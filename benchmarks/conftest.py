@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks default to the ``quick`` profile (windows and database sizes
+scaled down ~8x, EBs ~10x with proportionally shorter think times, so
+utilisation and every qualitative shape are preserved).  Set
+``REPRO_PROFILE=paper`` to run at full paper scale.
+
+Every benchmark writes its rendered report to
+``benchmarks/results/<name>.txt`` (in addition to stdout), so the
+regenerated tables and series survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_profile
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile benchmarks run at."""
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory collecting the rendered per-figure reports."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Callable writing a named report to disk and stdout."""
+    def _publish(name: str, text: str) -> None:
+        path = os.path.join(results_dir, "%s.txt" % name)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+    return _publish

@@ -1,0 +1,103 @@
+"""Classic microbenchmarks of the substrates (multi-round timing).
+
+These are honest pytest-benchmark measurements of the building blocks:
+kernel event throughput, parser speed, MVCC reads, and engine statement
+execution.  They guard against performance regressions that would make
+the paper-scale experiments impractical.
+"""
+
+import pytest
+
+from repro.engine import DbmsInstance, Session, parse
+from repro.engine.mvcc import VersionChain
+from repro.sim import Environment
+
+
+def test_kernel_event_throughput(benchmark):
+    """Ping-pong processes: events processed per second."""
+    def run():
+        env = Environment()
+
+        def ping(env):
+            for _i in range(2000):
+                yield env.timeout(1)
+        env.process(ping(env))
+        env.process(ping(env))
+        env.run()
+        return env.now
+    result = benchmark(run)
+    assert result == 2000
+
+
+def test_parser_throughput(benchmark):
+    sql = ("SELECT i_id, i_title, i_srp FROM item "
+           "WHERE i_subject = 'subject7' ORDER BY i_title LIMIT 50")
+    statement = benchmark(parse, sql)
+    assert statement.table == "item"
+
+
+def test_version_chain_read(benchmark):
+    chain = VersionChain()
+    for csn in range(1, 201):
+        chain.install(csn, {"v": csn})
+    row = benchmark(chain.read, 100)
+    assert row == {"v": 100}
+
+
+def test_engine_point_select(benchmark):
+    env = Environment()
+    instance = DbmsInstance(env, "n0")
+    instance.create_tenant("T")
+    session = Session(instance, "T")
+
+    def setup(env):
+        yield from session.execute(
+            "CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        yield from session.execute("BEGIN")
+        for key in range(100):
+            yield from session.execute(
+                "INSERT INTO kv (k, v) VALUES (%d, %d)" % (key, key))
+        yield from session.execute("COMMIT")
+    env.process(setup(env))
+    env.run()
+    statement = parse("SELECT v FROM kv WHERE k = 42")
+
+    def run_select():
+        def proc(env):
+            result = yield from session.execute(statement, cpu_cost=0.0)
+            return result
+        process = env.process(proc(env))
+        env.run()
+        return process.value
+    result = benchmark(run_select)
+    assert result.rows[0]["v"] == 42
+
+
+def test_update_commit_cycle(benchmark):
+    env = Environment()
+    instance = DbmsInstance(env, "n0")
+    instance.create_tenant("T")
+    session = Session(instance, "T")
+
+    def setup(env):
+        yield from session.execute(
+            "CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        yield from session.execute("BEGIN")
+        yield from session.execute("INSERT INTO kv (k, v) VALUES (0, 0)")
+        yield from session.execute("COMMIT")
+    env.process(setup(env))
+    env.run()
+
+    def cycle():
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from session.execute("SELECT v FROM kv WHERE k = 0")
+            yield from session.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = 0")
+            result = yield from session.execute("COMMIT")
+            return result
+        process = env.process(proc(env))
+        env.run()
+        return process.value
+    result = benchmark(cycle)
+    assert result.ok

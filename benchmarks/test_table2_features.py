@@ -1,0 +1,24 @@
+"""Table 2: the middleware feature matrix.
+
+Regenerates the MIN / CON-FW / CON-COM matrix from the policy objects
+and checks it against the paper's table exactly.
+"""
+
+from repro.core import feature_matrix
+from repro.experiments.migration_time import report_table2
+
+PAPER_TABLE2 = {
+    "B-ALL": (False, False, False),
+    "B-MIN": (True, False, False),
+    "B-CON": (True, True, False),
+    "Madeus": (True, True, True),
+}
+
+
+def test_table2_feature_matrix(benchmark, publish):
+    matrix = benchmark(feature_matrix)
+    for name, (min_set, con_fw, con_com) in PAPER_TABLE2.items():
+        assert matrix[name]["MIN"] is min_set
+        assert matrix[name]["CON-FW"] is con_fw
+        assert matrix[name]["CON-COM"] is con_com
+    publish("table2_features", report_table2())

@@ -1,0 +1,23 @@
+"""Table 3: database size versus TPC-W scale parameters.
+
+The population model's sizes must land within 10% of the paper's
+0.8 / 3.1 / 6.2 / 12 GB for the four (items, EBs) pairs.
+"""
+
+import pytest
+
+from repro.experiments import dbsize
+from repro.workload.tpcw import (PAPER_TABLE3, PopulationParams,
+                                 nominal_database_size_mb)
+
+
+def test_table3_database_sizes(benchmark, publish, profile):
+    def compute():
+        return [(entry, nominal_database_size_mb(
+            PopulationParams(items=entry["items"], ebs=entry["ebs"])))
+            for entry in PAPER_TABLE3]
+    sizes = benchmark(compute)
+    publish("table3_dbsize", dbsize.report_table3(profile))
+    for entry, size_mb in sizes:
+        assert size_mb / 1000.0 == pytest.approx(entry["size_gb"],
+                                                 rel=0.10), entry

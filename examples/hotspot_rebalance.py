@@ -1,0 +1,42 @@
+"""Hot-spot rebalancing: the paper's Section 5.6 scenario as an example.
+
+Node 0 hosts three TPC-W tenants: B is heavy (the hot spot driver),
+A and C are light.  We compare the two remedies the paper evaluates —
+migrating the heavy tenant vs migrating a light one — and print the
+per-tenant response times before and after each, ending with the
+paper's operational rule: *migrate the heavy tenant*.
+
+Run with::
+
+    python examples/hotspot_rebalance.py            # quick profile
+    REPRO_PROFILE=smoke python examples/hotspot_rebalance.py
+"""
+
+from repro.experiments import get_profile
+from repro.experiments.multitenant import (report_case, run_case,
+                                           which_migration_is_better)
+
+
+def main() -> None:
+    profile = get_profile()
+    print("profile: %s (set REPRO_PROFILE=paper for full scale)\n"
+          % profile.name)
+
+    print("Case 1 - migrate the HEAVY tenant (B, 700 paper-EBs)...")
+    case1 = run_case("B", profile)
+    print(report_case(case1, profile, "Case 1"))
+    print()
+
+    print("Case 2 - migrate a LIGHT tenant (C, 200 paper-EBs)...")
+    case2 = run_case("C", profile)
+    print(report_case(case2, profile, "Case 2"))
+    print()
+
+    answer, reasons = which_migration_is_better(case1, case2)
+    print("=> migrate the %s tenant." % answer.upper())
+    for reason in reasons:
+        print("   - %s" % reason)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Madeus reproduction: DBMS-transparent database live migration.
+
+A full, from-scratch reproduction of *"Madeus: Database Live Migration
+Middleware under Heavy Workloads for Cloud Environment"* (SIGMOD 2015)
+on a deterministic discrete-event substrate:
+
+* :mod:`repro.sim` — the simulation kernel (events, processes,
+  resources, seeded randomness, monitors);
+* :mod:`repro.engine` — a PostgreSQL-like storage engine: MVCC snapshot
+  isolation with first-updater-wins, shared-process multi-tenancy, WAL
+  with group commit, checkpointing, mini-SQL, dump/restore;
+* :mod:`repro.cluster` / :mod:`repro.net` — nodes and the LAN;
+* :mod:`repro.core` — **Madeus itself**: the LSIR, syncset
+  buffers/list, workers, manager, conductor, players, and the three
+  baseline propagation policies of Table 2;
+* :mod:`repro.workload` — TPC-W (schema, Table-3 population, the three
+  mixes, emulated browsers) and a simple key-value workload;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import (Environment, Cluster, Middleware,
+                       MiddlewareConfig, MADEUS)
+
+    env = Environment()
+    cluster = Cluster(env)
+    cluster.add_node("node0")
+    cluster.add_node("node1")
+    middleware = Middleware(env, cluster, MiddlewareConfig(policy=MADEUS))
+    # ... create a tenant, drive load, then:
+    # report = yield from middleware.migrate("tenant", "node1")
+"""
+
+from .cluster import Cluster, Node, NodeSpec
+from .core import (ALL_POLICIES, B_ALL, B_CON, B_MIN, MADEUS, Middleware,
+                   MiddlewareConfig, MigrationReport, PropagationPolicy)
+from .engine import (DbmsInstance, Session, TenantDatabase, TransferRates,
+                     parse)
+from .errors import (CatchUpTimeout, MigrationError, ReproError,
+                     RoutingError, SchemaError, SqlError,
+                     TransactionAborted)
+from .sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_POLICIES",
+    "B_ALL",
+    "B_CON",
+    "B_MIN",
+    "CatchUpTimeout",
+    "Cluster",
+    "DbmsInstance",
+    "Environment",
+    "MADEUS",
+    "Middleware",
+    "MiddlewareConfig",
+    "MigrationError",
+    "MigrationReport",
+    "Node",
+    "NodeSpec",
+    "PropagationPolicy",
+    "ReproError",
+    "RoutingError",
+    "SchemaError",
+    "Session",
+    "SqlError",
+    "TenantDatabase",
+    "TransactionAborted",
+    "TransferRates",
+    "parse",
+    "__version__",
+]

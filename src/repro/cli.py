@@ -1,0 +1,128 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig5
+    python -m repro fig6 --profile smoke
+    python -m repro fig9 --profile quick
+    python -m repro multitenant
+    python -m repro costmodel
+    python -m repro all --profile smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments import get_profile
+from .experiments import (costmodel, dbsize, migration_time, multitenant,
+                          performance, preliminary)
+
+
+def _run_fig5(profile) -> None:
+    points = preliminary.run_preliminary(profile)
+    print(preliminary.report(points, profile))
+
+
+def _run_fig6(profile) -> None:
+    print(migration_time.report_table2())
+    print()
+    results = migration_time.run_figure6(profile)
+    print(migration_time.report(results, profile))
+
+
+def _run_fig7_8(profile) -> None:
+    result = performance.run_timeline(profile)
+    print(performance.report_fig7(result, profile))
+    print()
+    print(performance.report_fig8(result, profile))
+
+
+def _run_fig9(profile) -> None:
+    print(dbsize.report_table3(profile))
+    print()
+    results = dbsize.run_figure9(profile)
+    print(dbsize.report_fig9(results, profile))
+
+
+def _run_multitenant(profile) -> None:
+    case1 = multitenant.run_case("B", profile)
+    print(multitenant.report_case(case1, profile, "Figures 10-13"))
+    print()
+    case2 = multitenant.run_case("C", profile)
+    print(multitenant.report_case(case2, profile, "Figures 14-19"))
+    print()
+    answer, reasons = multitenant.which_migration_is_better(case1, case2)
+    print("Section 5.6: migrate the %s tenant" % answer)
+    for reason in reasons:
+        print("  - %s" % reason)
+
+
+def _run_costmodel(profile) -> None:
+    del profile
+    costmodel.main()
+
+
+COMMANDS: Dict[str, Callable] = {
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7_8,
+    "fig8": _run_fig7_8,
+    "fig9": _run_fig9,
+    "table2": lambda profile: print(migration_time.report_table2()),
+    "table3": lambda profile: print(dbsize.report_table3(profile)),
+    "multitenant": _run_multitenant,
+    "costmodel": _run_costmodel,
+}
+
+DESCRIPTIONS: Dict[str, str] = {
+    "fig5": "response time vs EBs (the 2-second-rule banding)",
+    "fig6": "migration time of all four middlewares + Table 2",
+    "fig7": "response-time timeline during migration",
+    "fig8": "throughput timeline during migration",
+    "fig9": "migration time vs database size + Table 3",
+    "table2": "the middleware feature matrix",
+    "table3": "database size vs TPC-W scale parameters",
+    "multitenant": "the hot-spot cases (Figures 10-19, Section 5.6)",
+    "costmodel": "the analytic LSIR cost model (Section 4.5.2)",
+}
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Madeus (SIGMOD 2015) reproduction: run any paper "
+                    "experiment.")
+    parser.add_argument("command",
+                        choices=sorted(COMMANDS) + ["list", "all"],
+                        help="experiment to run ('list' to enumerate, "
+                             "'all' for everything)")
+    parser.add_argument("--profile", default=None,
+                        choices=["paper", "quick", "smoke"],
+                        help="experiment scale (default: $REPRO_PROFILE "
+                             "or 'quick')")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(COMMANDS):
+            print("%-12s %s" % (name, DESCRIPTIONS[name]))
+        return 0
+    profile = get_profile(args.profile)
+    if args.command == "all":
+        for name in ("table2", "table3", "fig5", "fig6", "fig7", "fig9",
+                     "multitenant", "costmodel"):
+            print("=" * 72)
+            print("== %s: %s" % (name, DESCRIPTIONS[name]))
+            print("=" * 72)
+            COMMANDS[name](profile)
+            print()
+        return 0
+    COMMANDS[args.command](profile)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

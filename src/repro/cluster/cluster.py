@@ -1,0 +1,61 @@
+"""Cluster assembly: nodes + network + tenant placement."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..errors import RoutingError
+from ..net.network import Network, NetworkSpec
+from .node import Node, NodeSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.instance import Observer
+    from ..sim.core import Environment
+
+
+class Cluster:
+    """A set of nodes on one LAN, with tenant lookup helpers."""
+
+    def __init__(self, env: "Environment",
+                 network_spec: Optional[NetworkSpec] = None):
+        self.env = env
+        self.network = Network(env, network_spec)
+        self.nodes: Dict[str, Node] = {}
+
+    def add_node(self, name: str, spec: Optional[NodeSpec] = None,
+                 observer: Optional["Observer"] = None) -> Node:
+        """Provision a new node."""
+        if name in self.nodes:
+            raise RoutingError("node %r already exists" % name)
+        node = Node(self.env, name, spec, observer=observer)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        node = self.nodes.get(name)
+        if node is None:
+            raise RoutingError("unknown node %r" % name)
+        return node
+
+    def node_of_tenant(self, tenant_name: str) -> Node:
+        """The node currently hosting ``tenant_name``."""
+        hosts: List[Node] = [n for n in self.nodes.values()
+                             if n.hosts(tenant_name)]
+        if not hosts:
+            raise RoutingError("no node hosts tenant %r" % tenant_name)
+        if len(hosts) > 1:
+            # During migration both master and slave copies exist; routing
+            # must go through the middleware's router, not this helper.
+            raise RoutingError("tenant %r is hosted on %d nodes; use the "
+                               "middleware router during migration"
+                               % (tenant_name, len(hosts)))
+        return hosts[0]
+
+    def tenant_placement(self) -> Dict[str, str]:
+        """tenant name -> node name for all singly-hosted tenants."""
+        placement: Dict[str, str] = {}
+        for node in self.nodes.values():
+            for tenant_name in node.instance.tenants:
+                placement.setdefault(tenant_name, node.name)
+        return placement

@@ -1,0 +1,56 @@
+"""Madeus — the paper's primary contribution.
+
+The pure-middleware live-migration proxy: operation classification,
+syncset buffers/list (SSB/SSL), the master/slave logical clocks, the
+critical region, the LSIR, the conductor/player propagation engines, the
+migration manager, and the three baseline policies of Table 2.
+"""
+
+from .middleware import (Connection, Middleware, MiddlewareConfig,
+                         MigrationReport, TenantState)
+from .operations import Operation, OpKind, TxnTracker
+from .policy import (ALL_POLICIES, B_ALL, B_CON, B_MIN, MADEUS,
+                     PropagationPolicy, feature_matrix, policy_by_name)
+from .propagation import Conductor, PropagationStats, SerialReplayer
+from .region import (COMMIT_CLASS, EXCLUSIVE_CLASS, FIRST_READ_CLASS,
+                     CriticalRegion)
+from .ssb import SyncsetBuffer, SyncsetList
+from .theory import (NECESSARY_DEPENDENCIES, UNNECESSARY_DEPENDENCIES,
+                     DependencyType, HistoryRecorder, LsirValidator,
+                     ReplayEvent, mapping_function_output, states_equal)
+
+__all__ = [
+    "ALL_POLICIES",
+    "B_ALL",
+    "B_CON",
+    "B_MIN",
+    "COMMIT_CLASS",
+    "Conductor",
+    "Connection",
+    "CriticalRegion",
+    "DependencyType",
+    "EXCLUSIVE_CLASS",
+    "FIRST_READ_CLASS",
+    "HistoryRecorder",
+    "LsirValidator",
+    "MADEUS",
+    "Middleware",
+    "MiddlewareConfig",
+    "MigrationReport",
+    "NECESSARY_DEPENDENCIES",
+    "Operation",
+    "OpKind",
+    "PropagationPolicy",
+    "PropagationStats",
+    "ReplayEvent",
+    "SerialReplayer",
+    "SyncsetBuffer",
+    "SyncsetList",
+    "TenantState",
+    "TxnTracker",
+    "UNNECESSARY_DEPENDENCIES",
+    "feature_matrix",
+    "mapping_function_output",
+    "policy_by_name",
+    "states_equal",
+]

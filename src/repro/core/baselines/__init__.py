@@ -1,0 +1,11 @@
+"""The three baseline middlewares of Table 2.
+
+These are the same middleware with weaker propagation policies; the
+paper implemented them to isolate the contribution of each LSIR
+ingredient (minimum query set, concurrent first reads/writes, concurrent
+commits).  See ``repro.core.policy`` for the feature matrix.
+"""
+
+from ..policy import B_ALL, B_CON, B_MIN, PropagationPolicy
+
+__all__ = ["B_ALL", "B_CON", "B_MIN", "PropagationPolicy"]

@@ -1,0 +1,581 @@
+"""The Madeus middleware: workers, router, and the migration manager.
+
+This is the pure-middleware proxy of Figure 2.  Customers connect through
+:meth:`Middleware.connect` and send statements through
+:meth:`Middleware.submit`; a *worker* (Algorithm 1/2) executes inline on
+the customer's connection, classifying each statement, forwarding it to
+the tenant's master node, maintaining the master logical clock (MLC), and
+building syncset buffers.  :meth:`Middleware.migrate` is the *manager*
+(Algorithm 3), orchestrating the four migration steps with a conductor
+and players (Algorithms 4/5) chosen by the propagation policy — Madeus or
+any of the Table-2 baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Dict, Generator, List, Optional)
+
+from ..cluster.cluster import Cluster
+from ..engine.dump import TransferRates, dump, restore
+from ..engine.session import Session, SessionResult
+from ..engine.sqlmini import Statement, parse
+from ..errors import CatchUpTimeout, MigrationError, RoutingError
+from ..sim.events import Event
+from ..sim.sync import Gate
+from .operations import Operation, OpKind, TxnTracker
+from .policy import MADEUS, PropagationPolicy
+from .propagation import make_propagator
+from .region import COMMIT_CLASS, FIRST_READ_CLASS, CriticalRegion
+from .ssb import SyncsetBuffer, SyncsetList
+from .theory import LsirValidator, states_equal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+
+@dataclass
+class MiddlewareConfig:
+    """Tunables of the middleware itself."""
+
+    #: Propagation protocol (Madeus by default; see ``repro.core.policy``).
+    policy: PropagationPolicy = MADEUS
+    #: Record slave replay events for LSIR validation (tests; small runs).
+    validate_lsir: bool = False
+    #: Compare master/slave logical state at switch-over (Theorem 2).
+    verify_consistency: bool = True
+    #: Abort the migration if the slave has not caught up by this many
+    #: simulated seconds after propagation starts (None = never).
+    catchup_deadline: Optional[float] = None
+    #: Drop the tenant from the source node after switch-over.
+    drop_source_copy: bool = False
+
+
+@dataclass
+class TenantState:
+    """Per-tenant middleware state (MLC, critical region, SSL, gate)."""
+
+    name: str
+    mlc: int = 0
+    migrating: bool = False
+    region: CriticalRegion = None  # type: ignore[assignment]
+    ssl: SyncsetList = field(default_factory=SyncsetList)
+    gate: Gate = None  # type: ignore[assignment]
+    active_txns: int = 0
+    drain_waiters: List[Event] = field(default_factory=list)
+    propagator: Any = None
+    #: Additional slaves fed during a multi-slave migration
+    #: (Section 4.2: "Madeus can propagate syncsets to multiple slaves
+    #: at the same time"); node name -> (SyncsetList, propagator).
+    standby_ssls: Dict[str, SyncsetList] = field(default_factory=dict)
+    standby_propagators: Dict[str, Any] = field(default_factory=dict)
+    failed_standbys: List[str] = field(default_factory=list)
+    # statistics
+    operations_seen: int = 0
+    commits_seen: int = 0
+    read_only_commits: int = 0
+    aborts_seen: int = 0
+
+    def all_ssls(self) -> List[SyncsetList]:
+        """The primary SSL plus one per standby slave."""
+        return [self.ssl] + list(self.standby_ssls.values())
+
+    def all_propagators(self) -> List[Any]:
+        """Every live propagation engine."""
+        engines = [self.propagator] if self.propagator is not None else []
+        engines.extend(self.standby_propagators.values())
+        return engines
+
+
+@dataclass
+class MigrationReport:
+    """Everything the experiments need to know about one migration."""
+
+    tenant: str
+    source: str
+    destination: str
+    policy: str
+    started_at: float
+    snapshot_at: float = 0.0
+    restored_at: float = 0.0
+    caught_up_at: float = 0.0
+    switched_at: float = 0.0
+    ended_at: float = 0.0
+    mts: int = 0
+    snapshot_size_mb: float = 0.0
+    syncsets_propagated: int = 0
+    operations_propagated: int = 0
+    max_concurrent_players: int = 0
+    rounds: int = 0
+    slave_commit_count: int = 0
+    slave_flush_count: int = 0
+    slave_mean_group_size: float = 0.0
+    consistent: Optional[bool] = None
+    inconsistencies: List[str] = field(default_factory=list)
+    lsir_violations: List[str] = field(default_factory=list)
+    #: Multi-slave migration: per-standby-node consistency verdicts for
+    #: the standbys that survived to switch-over.
+    standby_consistency: Dict[str, bool] = field(default_factory=dict)
+    #: Standby nodes dropped mid-migration (injected failures).
+    failed_standbys: List[str] = field(default_factory=list)
+
+    @property
+    def migration_time(self) -> float:
+        """End-to-end migration duration (Figure 6's metric)."""
+        return self.ended_at - self.started_at
+
+    @property
+    def dump_time(self) -> float:
+        """Step 1 duration."""
+        return self.snapshot_at - self.started_at
+
+    @property
+    def restore_time(self) -> float:
+        """Step 2 duration."""
+        return self.restored_at - self.snapshot_at
+
+    @property
+    def catchup_time(self) -> float:
+        """Step 3 duration (first catch-up)."""
+        return self.caught_up_at - self.restored_at
+
+    @property
+    def switch_time(self) -> float:
+        """Step 4 duration (suspend, drain, switch-over, resume)."""
+        return self.ended_at - self.caught_up_at
+
+
+class Connection:
+    """One customer connection proxied by the middleware."""
+
+    def __init__(self, middleware: "Middleware", tenant: str):
+        self.middleware = middleware
+        self.tenant = tenant
+        self.tracker = TxnTracker()
+        self.ssb: Optional[SyncsetBuffer] = None
+        self.in_active_txn = False
+        self._node_name: Optional[str] = None
+        self._session: Optional[Session] = None
+        # statistics
+        self.statements = 0
+        self.errors = 0
+
+    def session(self) -> Session:
+        """The master-side session, re-bound after switch-over."""
+        node_name = self.middleware.route(self.tenant)
+        if self._session is None or self._node_name != node_name:
+            instance = self.middleware.cluster.node(node_name).instance
+            self._session = Session(instance, self.tenant)
+            self._node_name = node_name
+        return self._session
+
+
+class Middleware:
+    """A pure-middleware database proxy with live migration."""
+
+    def __init__(self, env: "Environment", cluster: Cluster,
+                 config: Optional[MiddlewareConfig] = None):
+        self.env = env
+        self.cluster = cluster
+        self.config = config or MiddlewareConfig()
+        self._tenants: Dict[str, TenantState] = {}
+        self._routes: Dict[str, str] = {}
+        self.validator: Optional[LsirValidator] = (
+            LsirValidator() if self.config.validate_lsir else None)
+        self.reports: List[MigrationReport] = []
+
+    # ------------------------------------------------------------------
+    # tenant management / routing
+    # ------------------------------------------------------------------
+    def register_tenant(self, tenant: str, node_name: str) -> TenantState:
+        """Register a tenant hosted on ``node_name``."""
+        if tenant in self._tenants:
+            raise RoutingError("tenant %r already registered" % tenant)
+        self.cluster.node(node_name)  # validate
+        state = TenantState(tenant)
+        state.region = CriticalRegion(self.env, "region.%s" % tenant)
+        state.gate = Gate(self.env, is_open=True)
+        self._tenants[tenant] = state
+        self._routes[tenant] = node_name
+        return state
+
+    def route(self, tenant: str) -> str:
+        """Current master node of a tenant."""
+        node = self._routes.get(tenant)
+        if node is None:
+            raise RoutingError("tenant %r is not registered" % tenant)
+        return node
+
+    def tenant_state(self, tenant: str) -> TenantState:
+        """Middleware-side state of a tenant."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            raise RoutingError("tenant %r is not registered" % tenant)
+        return state
+
+    def connect(self, tenant: str) -> Connection:
+        """Open a customer connection to a tenant."""
+        self.tenant_state(tenant)  # validate
+        return Connection(self, tenant)
+
+    # ------------------------------------------------------------------
+    # the worker (Algorithms 1 and 2), inline on the customer connection
+    # ------------------------------------------------------------------
+    def submit(self, conn: Connection, sql: str,
+               cpu_cost: Optional[float] = None
+               ) -> Generator[Any, Any, SessionResult]:
+        """Proxy one customer statement to the tenant's master.
+
+        The customer -> middleware and middleware -> master hops each pay
+        one network round trip; the worker logic itself is free (the
+        paper measured the middleware node as ~100% idle).
+        """
+        state = self.tenant_state(conn.tenant)
+        was_update = conn.tracker.is_update
+        operation = conn.tracker.classify(parse(sql), sql, cpu_cost)
+        conn.statements += 1
+        state.operations_seen += 1
+        # customer -> middleware hop
+        yield from self.cluster.network.round_trip()
+        if operation.kind == OpKind.BEGIN:
+            # Suspended during switch-over: new transactions wait at the
+            # gate; running ones drain (Algorithm 3 lines 14-17).
+            yield state.gate.wait()
+            state.active_txns += 1
+            conn.in_active_txn = True
+            result = yield from self._forward(conn, operation)
+            return result
+        if operation.kind == OpKind.FIRST_READ:
+            result = yield from self._first_read(conn, state, operation)
+        elif operation.kind == OpKind.WRITE:
+            result = yield from self._write(conn, state, operation)
+        elif operation.kind == OpKind.COMMIT:
+            result = yield from self._commit(conn, state, operation,
+                                             was_update)
+        elif operation.kind == OpKind.ABORT:
+            result = yield from self._abort(conn, state, operation)
+        else:  # plain read
+            result = yield from self._read(conn, state, operation)
+        if not result.ok:
+            conn.errors += 1
+        return result
+
+    def _forward(self, conn: Connection, operation: Operation
+                 ) -> Generator[Any, Any, SessionResult]:
+        """middleware -> master round trip plus execution."""
+        yield from self.cluster.network.round_trip()
+        result = yield from conn.session().execute(operation.statement,
+                                                   cpu_cost=operation.cpu_cost)
+        return result
+
+    def _first_read(self, conn: Connection, state: TenantState,
+                    operation: Operation
+                    ) -> Generator[Any, Any, SessionResult]:
+        """Algorithm 1 lines 1-10: execute, tag STS, allocate the SSB."""
+        yield from state.region.enter(FIRST_READ_CLASS)
+        try:
+            result = yield from self._forward(conn, operation)
+            if result.ok:
+                ssb = SyncsetBuffer(sts=state.mlc,
+                                    txn_label=operation.txn_label)
+                ssb.save(operation)
+                conn.ssb = ssb
+                for ssl in state.all_ssls():
+                    ssl.register_open(ssb)
+            else:
+                self._transaction_ended(conn, state, aborted=True)
+        finally:
+            state.region.leave()
+        return result
+
+    def _write(self, conn: Connection, state: TenantState,
+               operation: Operation
+               ) -> Generator[Any, Any, SessionResult]:
+        """Algorithm 1 lines 11-15: execute, then save to the SSB."""
+        result = yield from self._forward(conn, operation)
+        if result.ok:
+            if conn.ssb is not None:
+                conn.ssb.save(operation)
+        else:
+            # Engine-initiated abort (first-updater-wins): the master
+            # already rolled the transaction back; discard the SSB.
+            self._transaction_ended(conn, state, aborted=True)
+        return result
+
+    def _read(self, conn: Connection, state: TenantState,
+              operation: Operation
+              ) -> Generator[Any, Any, SessionResult]:
+        """Algorithm 1 lines 30-33 / Algorithm 2: forward, maybe save.
+
+        The minimum-set policies discard non-first reads; B-ALL keeps
+        them so the slave can replay entire transactions.
+        """
+        result = yield from self._forward(conn, operation)
+        if result.ok:
+            if not self.config.policy.minimum_set and conn.ssb is not None:
+                conn.ssb.save(operation)
+        else:
+            self._transaction_ended(conn, state, aborted=True)
+        return result
+
+    def _commit(self, conn: Connection, state: TenantState,
+                operation: Operation, was_update: bool
+                ) -> Generator[Any, Any, SessionResult]:
+        """Algorithm 1 lines 16-29: execute, tag ETS, bump MLC, link."""
+        if not was_update:
+            # Read-only commit: no snapshot state changes, no MLC bump,
+            # no critical region (Algorithm 2), and nothing to replay —
+            # the mapping function maps it to the empty set under every
+            # policy (a read-only transaction changes no data).
+            result = yield from self._forward(conn, operation)
+            if result.ok:
+                state.commits_seen += 1
+                state.read_only_commits += 1
+            self._transaction_ended(conn, state,
+                                    aborted=not result.ok)
+            return result
+        yield from state.region.enter(COMMIT_CLASS)
+        try:
+            result = yield from self._forward(conn, operation)
+            if result.ok:
+                state.commits_seen += 1
+                ssb = conn.ssb
+                if ssb is not None:
+                    ssb.ets = state.mlc
+                    ssb.save(operation)
+                state.mlc += 1
+                if ssb is not None:
+                    conn.ssb = None
+                    for ssl in state.all_ssls():
+                        ssl.resolve_open(ssb)
+                        if state.migrating:
+                            ssl.link(ssb, self.env.now)
+                    for propagator in state.all_propagators():
+                        if state.migrating:
+                            propagator.notify_linked()
+                        propagator.notify_open_changed()
+                self._transaction_closed(conn, state)
+            else:
+                self._transaction_ended(conn, state, aborted=True)
+        finally:
+            state.region.leave()
+        return result
+
+    def _abort(self, conn: Connection, state: TenantState,
+               operation: Operation
+               ) -> Generator[Any, Any, SessionResult]:
+        """Client rollback: forward and discard the SSB."""
+        result = yield from self._forward(conn, operation)
+        self._transaction_ended(conn, state, aborted=True)
+        return result
+
+    # ------------------------------------------------------------------
+    def _transaction_ended(self, conn: Connection, state: TenantState,
+                           aborted: bool) -> None:
+        """Discard the SSB (mapping function: aborted/failed -> empty)."""
+        if conn.ssb is not None:
+            for ssl in state.all_ssls():
+                ssl.resolve_open(conn.ssb)
+            conn.ssb = None
+            for propagator in state.all_propagators():
+                propagator.notify_open_changed()
+        if aborted:
+            state.aborts_seen += 1
+            # the engine already rolled back; re-sync the tracker
+            if conn.tracker.in_txn:
+                conn.tracker.reset()
+        self._transaction_closed(conn, state)
+
+    def _transaction_closed(self, conn: Connection,
+                            state: TenantState) -> None:
+        if not conn.in_active_txn:
+            return
+        conn.in_active_txn = False
+        if state.active_txns > 0:
+            state.active_txns -= 1
+        if state.active_txns == 0 and not state.gate.is_open:
+            waiters, state.drain_waiters = state.drain_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    # ------------------------------------------------------------------
+    # the manager (Algorithm 3): four-step live migration
+    # ------------------------------------------------------------------
+    def migrate(self, tenant: str, destination: str,
+                rates: Optional[TransferRates] = None,
+                standbys: Optional[List[str]] = None
+                ) -> Generator[Any, Any, MigrationReport]:
+        """Live-migrate ``tenant`` to node ``destination``.
+
+        Steps: (1) snapshot the master inside the critical region so the
+        MTS is a clean commit boundary; (2) restore on the destination;
+        (3) propagate syncsets under the configured policy until caught
+        up; (4) suspend new transactions, drain, switch over, resume.
+
+        ``standbys`` names additional nodes that receive the snapshot
+        and the same syncset stream concurrently (Section 4.2); they end
+        up as consistent warm replicas, and a standby that fails
+        mid-migration can be dropped with :meth:`fail_standby` without
+        stopping the migration.
+        """
+        rates = rates or TransferRates()
+        standbys = list(standbys or [])
+        state = self.tenant_state(tenant)
+        if state.migrating:
+            raise MigrationError("tenant %r is already migrating" % tenant)
+        source = self.route(tenant)
+        for node_name in [destination] + standbys:
+            if source == node_name:
+                raise MigrationError("tenant %r is already on %s"
+                                     % (tenant, node_name))
+        if destination in standbys:
+            raise MigrationError("destination cannot also be a standby")
+        source_instance = self.cluster.node(source).instance
+        dest_instance = self.cluster.node(destination).instance
+        standby_instances = {name: self.cluster.node(name).instance
+                             for name in standbys}
+        report = MigrationReport(tenant, source, destination,
+                                 self.config.policy.name,
+                                 started_at=self.env.now)
+        # --- Step 1: snapshot at a commit boundary --------------------
+        yield from state.region.enter(FIRST_READ_CLASS)
+        report.mts = state.mlc
+        snapshot_csn = source_instance.current_csn()
+        state.migrating = True  # commits from here on link their SSBs
+        state.region.leave()
+        snapshot = yield from dump(source_instance, tenant, snapshot_csn,
+                                   rates)
+        report.snapshot_at = self.env.now
+        report.snapshot_size_mb = snapshot.size_mb
+        # --- Step 2: create the slave(s) --------------------------------
+        def ship_and_restore(instance) -> Generator:
+            yield from self.cluster.network.message(snapshot.size_mb)
+            yield from restore(instance, snapshot, rates,
+                               tenant_name=tenant)
+        restores = [self.env.process(ship_and_restore(dest_instance))]
+        restores += [self.env.process(ship_and_restore(instance))
+                     for instance in standby_instances.values()]
+        yield self.env.all_of(restores)
+        report.restored_at = self.env.now
+        # --- Step 3: concurrent syncset propagation --------------------
+        propagator = make_propagator(self.env, state.ssl, dest_instance,
+                                     tenant, self.cluster.network,
+                                     self.config.policy, self.validator)
+        state.propagator = propagator
+        for name, instance in standby_instances.items():
+            standby_ssl = SyncsetList()
+            standby_ssl.adopt_opens(state.ssl)
+            standby_ssl.adopt_backlog(state.ssl)
+            standby_prop = make_propagator(
+                self.env, standby_ssl, instance, tenant,
+                self.cluster.network, self.config.policy)
+            state.standby_ssls[name] = standby_ssl
+            state.standby_propagators[name] = standby_prop
+            standby_prop.start()
+        slave_flushes_before = dest_instance.wal.flush_count
+        slave_commits_before = dest_instance.wal.commit_count
+        propagator.start()
+        caught_up = propagator.wait_caught_up()
+        if self.config.catchup_deadline is not None:
+            deadline = self.env.timeout(self.config.catchup_deadline)
+            outcome = yield self.env.any_of([caught_up, deadline])
+            if outcome is deadline:
+                backlog = state.ssl.pending_count()
+                self._abort_migration(state, dest_instance, tenant)
+                raise CatchUpTimeout(
+                    "%s: slave could not catch up with the master within "
+                    "%.0f s (backlog: %d syncsets)"
+                    % (self.config.policy.name,
+                       self.config.catchup_deadline, backlog),
+                    backlog=backlog,
+                    elapsed=self.env.now - report.restored_at)
+        else:
+            yield caught_up
+        report.caught_up_at = self.env.now
+        # --- Step 4: suspend, drain, switch over, resume ---------------
+        state.gate.close()
+        if state.active_txns > 0:
+            drained = Event(self.env)
+            state.drain_waiters.append(drained)
+            yield drained
+        drain_events = []
+        for engine in state.all_propagators():
+            engine.request_stop()
+            drain_events.append(engine.wait_fully_drained())
+        yield self.env.all_of(drain_events)
+        report.switched_at = self.env.now
+        if self.config.verify_consistency:
+            equal, differences = states_equal(
+                source_instance.tenant(tenant),
+                dest_instance.tenant(tenant))
+            report.consistent = equal
+            report.inconsistencies = differences
+            for name in list(state.standby_propagators):
+                standby_equal, _diffs = states_equal(
+                    source_instance.tenant(tenant),
+                    standby_instances[name].tenant(tenant))
+                report.standby_consistency[name] = standby_equal
+        self._routes[tenant] = destination
+        state.migrating = False
+        state.propagator = None
+        state.standby_ssls.clear()
+        state.standby_propagators.clear()
+        if self.config.drop_source_copy:
+            source_instance.drop_tenant(tenant)
+        state.gate.open()
+        report.ended_at = self.env.now
+        stats = propagator.stats
+        report.syncsets_propagated = stats.syncsets_replayed
+        report.operations_propagated = stats.operations_replayed
+        report.max_concurrent_players = stats.max_concurrent_players
+        report.rounds = stats.rounds
+        report.slave_commit_count = (dest_instance.wal.commit_count
+                                     - slave_commits_before)
+        report.slave_flush_count = (dest_instance.wal.flush_count
+                                    - slave_flushes_before)
+        if report.slave_flush_count:
+            report.slave_mean_group_size = (report.slave_commit_count
+                                            / report.slave_flush_count)
+        if self.validator is not None:
+            report.lsir_violations = self.validator.violations()
+        report.failed_standbys = list(state.failed_standbys)
+        state.failed_standbys.clear()
+        self.reports.append(report)
+        return report
+
+    def fail_standby(self, tenant: str, node_name: str) -> None:
+        """Drop a failed standby slave and continue the migration.
+
+        Section 4.2: "If a slave fails, Madeus discards the slave and
+        continues to propagate the remaining syncsets to the others."
+        The standby's backlog is discarded and its propagator told to
+        wind down; the primary slave (and other standbys) are
+        unaffected.
+        """
+        state = self.tenant_state(tenant)
+        propagator = state.standby_propagators.pop(node_name, None)
+        ssl = state.standby_ssls.pop(node_name, None)
+        if propagator is None:
+            raise MigrationError("no standby %r for tenant %r"
+                                 % (node_name, tenant))
+        if ssl is not None:
+            ssl.take_all()
+        propagator.request_stop()
+        state.failed_standbys.append(node_name)
+
+    def _abort_migration(self, state: TenantState,
+                         dest_instance: Any, tenant: str) -> None:
+        """Tear down a failed migration: stop linking and drop backlog.
+
+        The orphaned slave copy is intentionally left in place: in-flight
+        players may still be replaying against it, and the destination is
+        abandoned by the caller anyway (the paper reports this outcome as
+        "N/A" for B-CON under heavy workload).
+        """
+        del dest_instance, tenant
+        state.migrating = False
+        if state.propagator is not None:
+            state.propagator.request_stop()
+            state.propagator = None
+        # Unlink any backlog so the SSL does not leak into a retry.
+        state.ssl.take_all()

@@ -1,0 +1,336 @@
+"""Statement execution against a tenant database under SI.
+
+The executor evaluates parsed mini-SQL statements for one transaction:
+reads resolve against the transaction's snapshot (own writes first),
+writes follow the first-updater-wins protocol of Section 2.3 (immediate
+abort when the newest committed version postdates the snapshot; queue
+behind a concurrent writer's lock otherwise).
+
+Execution methods are generators because lock acquisition can block in
+simulated time; they raise :class:`TransactionAborted` on conflicts, which
+the session layer converts into an engine-initiated rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Generator, Hashable, List, Optional,
+                    Tuple)
+
+from ..errors import SchemaError, SqlError, TransactionAborted
+from .database import Table, TenantDatabase
+from .mvcc import Row
+from .schema import TableSchema
+from .sqlmini import (AlterTable, BinaryOp, ColumnRef, Comparison,
+                      CreateIndex, CreateTable, Delete, Insert, Literal,
+                      Select, Statement, Update)
+from .transaction import Transaction
+
+#: Optional observer interface used by the theory layer: callables
+#: (txn_id, table, key, info) invoked on reads and writes.
+ReadHook = Callable[[int, str, Hashable, int], None]
+WriteHook = Callable[[int, str, Hashable], None]
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one statement: result rows or an affected-row count."""
+
+    rows: List[Row] = field(default_factory=list)
+    affected: int = 0
+
+
+def _evaluate(expression: Any, row: Row) -> Any:
+    """Evaluate a SET/SELECT expression against the current row."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        if expression.name not in row:
+            raise SqlError("unknown column %r in expression"
+                           % expression.name)
+        return row[expression.name]
+    if isinstance(expression, BinaryOp):
+        left = _evaluate(expression.left, row)
+        right = _evaluate(expression.right, row)
+        if expression.op == "+":
+            return left + right
+        if expression.op == "-":
+            return left - right
+        if expression.op == "*":
+            return left * right
+        raise SqlError("unsupported operator %r" % expression.op)
+    raise SqlError("unsupported expression %r" % (expression,))
+
+
+def _matches(row: Row, where: Tuple[Comparison, ...]) -> bool:
+    """Whether ``row`` satisfies every conjunct of ``where``."""
+    for comparison in where:
+        actual = row.get(comparison.column)
+        expected = comparison.value
+        op = comparison.op
+        if actual is None:
+            return False
+        if op == "=":
+            ok = actual == expected
+        elif op == "!=":
+            ok = actual != expected
+        elif op == "<":
+            ok = actual < expected
+        elif op == "<=":
+            ok = actual <= expected
+        elif op == ">":
+            ok = actual > expected
+        else:  # >=
+            ok = actual >= expected
+        if not ok:
+            return False
+    return True
+
+
+class Executor:
+    """Executes statements for transactions of one tenant database."""
+
+    def __init__(self, database: TenantDatabase,
+                 current_csn: Callable[[], int],
+                 read_hook: Optional[ReadHook] = None,
+                 write_hook: Optional[WriteHook] = None):
+        self.database = database
+        self._current_csn = current_csn
+        self.read_hook = read_hook
+        self.write_hook = write_hook
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def execute(self, txn: Optional[Transaction],
+                statement: Statement) -> Generator[Any, Any, ExecResult]:
+        """Execute one statement; a generator that may wait on locks."""
+        if isinstance(statement, Select):
+            return (yield from self._select(txn, statement))
+        if isinstance(statement, Update):
+            return (yield from self._update(txn, statement))
+        if isinstance(statement, Insert):
+            return (yield from self._insert(txn, statement))
+        if isinstance(statement, Delete):
+            return (yield from self._delete(txn, statement))
+        if isinstance(statement, CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, CreateIndex):
+            return self._create_index(statement)
+        if isinstance(statement, AlterTable):
+            return self._alter_table(statement)
+        raise SqlError("executor cannot run %r"
+                       % statement.__class__.__name__)
+
+    # ------------------------------------------------------------------
+    # snapshot handling
+    # ------------------------------------------------------------------
+    def _ensure_snapshot(self, txn: Transaction) -> int:
+        """Implicit snapshot creation just before the first operation."""
+        if txn.snapshot_csn is None:
+            txn.snapshot_csn = self._current_csn()
+        return txn.snapshot_csn
+
+    # ------------------------------------------------------------------
+    # candidate row resolution
+    # ------------------------------------------------------------------
+    def _candidates(self, txn: Optional[Transaction], table: Table,
+                    where: Tuple[Comparison, ...]) -> List[Hashable]:
+        """Candidate primary keys for a WHERE clause.
+
+        Prefers a primary-key equality probe, then a secondary-index
+        probe, then a full scan.  Own uncommitted writes are always added
+        because indexes only cover committed versions.
+        """
+        schema = table.schema
+        for comparison in where:
+            schema.require_column(comparison.column)
+        keys: Optional[List[Hashable]] = None
+        for comparison in where:
+            if comparison.op != "=":
+                continue
+            if comparison.column == schema.primary_key:
+                keys = [comparison.value]
+                break
+        if keys is None:
+            for comparison in where:
+                if comparison.op != "=":
+                    continue
+                for index in table.indexes.values():
+                    if index.column == comparison.column:
+                        keys = list(index.lookup(comparison.value))
+                        break
+                if keys is not None:
+                    break
+        if keys is None:
+            keys = list(table.chains.keys())
+        if txn is not None:
+            table_name = schema.name
+            for (name, key) in txn.write_order:
+                if name == table_name and key not in keys:
+                    keys.append(key)
+        return keys
+
+    def _visible_row(self, txn: Optional[Transaction], table: Table,
+                     key: Hashable, snapshot_csn: int) -> Optional[Row]:
+        """Snapshot read of one key, honouring own uncommitted writes."""
+        if txn is not None:
+            written, value = txn.own_write((table.schema.name, key))
+            if written:
+                return value
+        chain = table.chain(key)
+        if chain is None:
+            return None
+        return chain.read(snapshot_csn)
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _select(self, txn: Optional[Transaction],
+                statement: Select) -> Generator[Any, Any, ExecResult]:
+        table = self.database.table(statement.table)
+        snapshot = (self._ensure_snapshot(txn) if txn is not None
+                    else self._current_csn())
+        rows: List[Row] = []
+        for key in self._candidates(txn, table, statement.where):
+            row = self._visible_row(txn, table, key, snapshot)
+            if row is None or not _matches(row, statement.where):
+                continue
+            rows.append(row)
+            if self.read_hook is not None and txn is not None:
+                chain = table.chain(key)
+                version = chain.latest_csn() if chain is not None else 0
+                self.read_hook(txn.txn_id, statement.table, key,
+                               min(version, snapshot))
+        if statement.order_by is not None:
+            table.schema.require_column(statement.order_by)
+            rows.sort(key=lambda r: (r.get(statement.order_by) is None,
+                                     r.get(statement.order_by)),
+                      reverse=statement.descending)
+        if statement.limit is not None:
+            rows = rows[:statement.limit]
+        if statement.columns:
+            for column in statement.columns:
+                table.schema.require_column(column)
+            rows = [{c: row.get(c) for c in statement.columns}
+                    for row in rows]
+        else:
+            rows = [dict(row) for row in rows]
+        if txn is not None:
+            txn.read_count += 1
+        return ExecResult(rows=rows)
+        yield  # pragma: no cover - makes this function a generator
+
+    # ------------------------------------------------------------------
+    # write-path helpers
+    # ------------------------------------------------------------------
+    def _acquire_write(self, txn: Transaction, table: Table,
+                       key: Hashable) -> Generator[Any, Any, None]:
+        """First-updater-wins write access to (table, key).
+
+        Raises :class:`TransactionAborted` immediately when the newest
+        committed version postdates the snapshot, or later if a concurrent
+        lock holder commits first.
+        """
+        snapshot = self._ensure_snapshot(txn)
+        chain = table.chain(key)
+        if chain is not None and chain.latest_csn() > snapshot:
+            self.database.locks.immediate_aborts += 1
+            raise TransactionAborted(
+                "first-updater-wins: item already updated by a newer commit")
+        lock_key = (table.schema.name, key)
+        grant = self.database.locks.try_acquire(txn, lock_key)
+        yield grant  # may raise TransactionAborted via event failure
+        # Re-check after a wait: the previous holder must have aborted, so
+        # the newest committed version is unchanged, but be defensive.
+        chain = table.chain(key)
+        if chain is not None and chain.latest_csn() > snapshot:
+            self.database.locks.immediate_aborts += 1
+            raise TransactionAborted(
+                "first-updater-wins: newer version appeared while waiting")
+
+    # ------------------------------------------------------------------
+    # UPDATE / DELETE / INSERT
+    # ------------------------------------------------------------------
+    def _update(self, txn: Optional[Transaction],
+                statement: Update) -> Generator[Any, Any, ExecResult]:
+        if txn is None:
+            raise SqlError("UPDATE requires a transaction")
+        table = self.database.table(statement.table)
+        snapshot = self._ensure_snapshot(txn)
+        for column, _expr in statement.assignments:
+            table.schema.require_column(column)
+        affected = 0
+        for key in self._candidates(txn, table, statement.where):
+            row = self._visible_row(txn, table, key, snapshot)
+            if row is None or not _matches(row, statement.where):
+                continue
+            yield from self._acquire_write(txn, table, key)
+            new_row = dict(row)
+            for column, expression in statement.assignments:
+                new_row[column] = _evaluate(expression, row)
+            txn.record_write((statement.table, key), new_row)
+            if self.write_hook is not None:
+                self.write_hook(txn.txn_id, statement.table, key)
+            affected += 1
+        return ExecResult(affected=affected)
+
+    def _delete(self, txn: Optional[Transaction],
+                statement: Delete) -> Generator[Any, Any, ExecResult]:
+        if txn is None:
+            raise SqlError("DELETE requires a transaction")
+        table = self.database.table(statement.table)
+        snapshot = self._ensure_snapshot(txn)
+        affected = 0
+        for key in self._candidates(txn, table, statement.where):
+            row = self._visible_row(txn, table, key, snapshot)
+            if row is None or not _matches(row, statement.where):
+                continue
+            yield from self._acquire_write(txn, table, key)
+            txn.record_write((statement.table, key), None)
+            if self.write_hook is not None:
+                self.write_hook(txn.txn_id, statement.table, key)
+            affected += 1
+        return ExecResult(affected=affected)
+
+    def _insert(self, txn: Optional[Transaction],
+                statement: Insert) -> Generator[Any, Any, ExecResult]:
+        if txn is None:
+            raise SqlError("INSERT requires a transaction")
+        table = self.database.table(statement.table)
+        snapshot = self._ensure_snapshot(txn)
+        schema = table.schema
+        row: Row = {}
+        for column, value in zip(statement.columns, statement.values):
+            schema.require_column(column)
+            row[column] = value
+        key = row.get(schema.primary_key)
+        if key is None:
+            raise SchemaError("INSERT into %r must set the primary key %r"
+                              % (schema.name, schema.primary_key))
+        if self._visible_row(txn, table, key, snapshot) is not None:
+            raise SchemaError("duplicate primary key %r in %r"
+                              % (key, schema.name))
+        yield from self._acquire_write(txn, table, key)
+        txn.record_write((schema.name, key), row)
+        if self.write_hook is not None:
+            self.write_hook(txn.txn_id, schema.name, key)
+        return ExecResult(affected=1)
+
+    # ------------------------------------------------------------------
+    # DDL (auto-committed; used by setup and the restore path)
+    # ------------------------------------------------------------------
+    def _create_table(self, statement: CreateTable) -> ExecResult:
+        self.database.create_table(TableSchema(statement.table,
+                                               statement.columns))
+        return ExecResult(affected=0)
+
+    def _create_index(self, statement: CreateIndex) -> ExecResult:
+        table = self.database.table(statement.table)
+        table.create_index(statement.name, statement.column)
+        return ExecResult(affected=0)
+
+    def _alter_table(self, statement: AlterTable) -> ExecResult:
+        table = self.database.table(statement.table)
+        table.schema.add_column(statement.column)
+        return ExecResult(affected=0)

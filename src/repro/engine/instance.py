@@ -1,0 +1,234 @@
+"""The shared-process DBMS instance.
+
+One :class:`DbmsInstance` runs per node and hosts *multiple tenant
+databases* inside the same process, sharing the CPU, the disk, and —
+crucially — one WAL (the shared process model of Curino et al. [22] the
+paper adopts).  It provides snapshot isolation with the first-updater-wins
+rule and group commit, and exposes the begin/execute/commit/abort
+primitives sessions are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Generator, Optional)
+
+from ..errors import SchemaError, TransactionAborted
+from ..sim.resources import Resource
+from .checkpoint import Checkpointer, CheckpointSpec
+from .database import TenantDatabase
+from .disk import Disk, DiskSpec
+from .executor import ExecResult, Executor
+from .sqlmini import Statement
+from .transaction import Transaction, TxnStatus
+from .wal import WalWriter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+
+@dataclass
+class EngineCosts:
+    """CPU service-time model, in simulated seconds.
+
+    Per-statement costs can be overridden by the workload templates (a
+    TPC-W "best sellers" query costs far more than a point lookup); these
+    are the defaults for unannotated statements.
+    """
+
+    #: Base CPU held per statement (parse/plan/execute overhead).
+    base_statement_cpu: float = 0.0008
+    #: Extra CPU per row touched by a statement.
+    per_row_cpu: float = 0.0001
+    #: CPU to process a commit or abort (excluding the WAL flush).
+    end_cpu: float = 0.0002
+
+
+class Observer:
+    """Optional engine observer; the theory layer subclasses this."""
+
+    def on_begin(self, txn: Transaction) -> None:
+        """Called when a transaction is created."""
+
+    def on_read(self, txn_id: int, table: str, key: Any,
+                version_csn: int) -> None:
+        """Called for each row read."""
+
+    def on_write(self, txn_id: int, table: str, key: Any) -> None:
+        """Called for each row written (uncommitted)."""
+
+    def on_commit(self, txn: Transaction) -> None:
+        """Called after a transaction's versions are installed."""
+
+    def on_abort(self, txn: Transaction) -> None:
+        """Called after a transaction rolls back."""
+
+
+class DbmsInstance:
+    """A DBMS process hosting many tenants on one node."""
+
+    def __init__(self, env: "Environment", name: str,
+                 cpu_cores: int = 4,
+                 disk_spec: Optional[DiskSpec] = None,
+                 costs: Optional[EngineCosts] = None,
+                 group_commit: bool = True,
+                 checkpoint_spec: Optional[CheckpointSpec] = None,
+                 observer: Optional[Observer] = None):
+        self.env = env
+        self.name = name
+        self.costs = costs or EngineCosts()
+        self.cpu = Resource(env, capacity=cpu_cores, name="%s.cpu" % name)
+        self.disk = Disk(env, disk_spec, name="%s.disk" % name)
+        self.wal = WalWriter(env, self.disk, group_commit=group_commit,
+                             name="%s.wal" % name)
+        self.checkpointer: Optional[Checkpointer] = None
+        if checkpoint_spec is not None:
+            self.checkpointer = Checkpointer(env, self.disk, checkpoint_spec,
+                                             name="%s.ckpt" % name)
+        self.observer = observer
+        self.tenants: Dict[str, TenantDatabase] = {}
+        self._executors: Dict[str, Executor] = {}
+        self._csn = 0
+        # statistics
+        self.statements_executed = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # ------------------------------------------------------------------
+    # tenants
+    # ------------------------------------------------------------------
+    def create_tenant(self, name: str) -> TenantDatabase:
+        """Create an empty tenant database in this instance."""
+        if name in self.tenants:
+            raise SchemaError("tenant %r already exists on %s"
+                              % (name, self.name))
+        tenant = TenantDatabase(name, self.env)
+        self.tenants[name] = tenant
+        read_hook = self.observer.on_read if self.observer else None
+        write_hook = self.observer.on_write if self.observer else None
+        self._executors[name] = Executor(tenant, self.current_csn,
+                                         read_hook, write_hook)
+        return tenant
+
+    def drop_tenant(self, name: str) -> None:
+        """Remove a tenant (after migration switch-over)."""
+        if name not in self.tenants:
+            raise SchemaError("no tenant %r on %s" % (name, self.name))
+        del self.tenants[name]
+        del self._executors[name]
+
+    def tenant(self, name: str) -> TenantDatabase:
+        """Look up a tenant database."""
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            raise SchemaError("no tenant %r on %s" % (name, self.name))
+        return tenant
+
+    def has_tenant(self, name: str) -> bool:
+        """Whether this instance hosts ``name``."""
+        return name in self.tenants
+
+    # ------------------------------------------------------------------
+    # snapshots / CSNs
+    # ------------------------------------------------------------------
+    def current_csn(self) -> int:
+        """The newest committed CSN (snapshot basis for new readers)."""
+        return self._csn
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, tenant_name: str) -> Transaction:
+        """Start a transaction; the snapshot is taken at the first op."""
+        self.tenant(tenant_name)  # validate
+        txn = Transaction(tenant_name, self.env.now)
+        if self.observer is not None:
+            self.observer.on_begin(txn)
+        return txn
+
+    def execute(self, txn: Optional[Transaction], tenant_name: str,
+                statement: Statement,
+                cpu_cost: Optional[float] = None
+                ) -> Generator[Any, Any, ExecResult]:
+        """Run one statement, charging CPU service time then logic.
+
+        CPU is held for the service time and released *before* any lock
+        wait, so a transaction blocked on a row lock does not occupy a
+        core (as in a real DBMS, where it sleeps on a lock queue).
+        """
+        if txn is not None:
+            txn.require_active()
+        executor = self._executors.get(tenant_name)
+        if executor is None:
+            raise SchemaError("no tenant %r on %s" % (tenant_name, self.name))
+        service = (cpu_cost if cpu_cost is not None
+                   else self.costs.base_statement_cpu)
+        core = self.cpu.request()
+        yield core
+        yield self.env.timeout(service)
+        self.cpu.release(core)
+        self.statements_executed += 1
+        result = yield from executor.execute(txn, statement)
+        extra = self.costs.per_row_cpu * (len(result.rows) + result.affected)
+        if extra > 0:
+            yield self.env.timeout(extra)
+        return result
+
+    def commit(self, txn: Transaction
+               ) -> Generator[Any, Any, Optional[int]]:
+        """Commit: WAL flush (group commit) then atomic version install.
+
+        Returns the commit CSN for update transactions, None for
+        read-only ones (which need no flush and create no snapshot —
+        exactly why the mapping function discards them).
+        """
+        txn.require_active()
+        core = self.cpu.request()
+        yield core
+        yield self.env.timeout(self.costs.end_cpu)
+        self.cpu.release(core)
+        if not txn.is_update:
+            txn.status = TxnStatus.COMMITTED
+            txn.finished_at = self.env.now
+            tenant = self.tenants.get(txn.tenant)
+            if tenant is not None:
+                tenant.committed_readonly += 1
+            if self.observer is not None:
+                self.observer.on_commit(txn)
+            return None
+        # Durability first: wait for the (possibly grouped) WAL flush.
+        yield self.wal.commit()
+        # Atomic visibility: no yields from here to the end.
+        tenant = self.tenant(txn.tenant)
+        self._csn += 1
+        csn = self._csn
+        txn.commit_csn = csn
+        for key in txn.write_order:
+            table_name, row_key = key
+            tenant.table(table_name).install(row_key, csn, txn.writes[key])
+        txn.status = TxnStatus.COMMITTED
+        txn.finished_at = self.env.now
+        tenant.locks.release_all(txn, committed=True)
+        tenant.committed_updates += 1
+        self.commits += 1
+        if self.checkpointer is not None:
+            self.checkpointer.note_commit()
+        if self.observer is not None:
+            self.observer.on_commit(txn)
+        return csn
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back: discard writes, hand locks to waiters."""
+        if txn.status == TxnStatus.ABORTED:
+            return
+        txn.require_active()
+        tenant = self.tenants.get(txn.tenant)
+        txn.status = TxnStatus.ABORTED
+        txn.finished_at = self.env.now
+        txn.writes.clear()
+        if tenant is not None:
+            tenant.locks.release_all(txn, committed=False)
+            tenant.aborted += 1
+        self.aborts += 1
+        if self.observer is not None:
+            self.observer.on_abort(txn)

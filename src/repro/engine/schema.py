@@ -1,0 +1,136 @@
+"""Table schemas and per-tenant catalogs.
+
+A tenant database owns a :class:`Catalog` of :class:`TableSchema` objects.
+Schemas also drive the size model: each column type has a nominal on-disk
+width, so row counts translate into database sizes (Table 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import SchemaError
+from .sqlmini import ColumnDef
+
+#: Nominal on-disk width in bytes per column type, tuple space included.
+#: Calibrated so the TPC-W population model lands on the paper's Table 3
+#: sizes (100k items + 100 EBs -> ~0.8 GB).
+TYPE_WIDTHS: Dict[str, int] = {
+    "INT": 8,
+    "INTEGER": 8,
+    "BIGINT": 8,
+    "FLOAT": 8,
+    "DOUBLE": 8,
+    "NUMERIC": 12,
+    "DATE": 8,
+    "TIMESTAMP": 8,
+    "TEXT": 64,
+    "VARCHAR": 40,
+    "CHAR": 16,
+    "BLOB": 2048,
+}
+
+#: Per-row fixed overhead (tuple header + item pointer), PostgreSQL-like.
+ROW_OVERHEAD_BYTES = 32
+
+#: Per-index-entry overhead (btree entry).
+INDEX_ENTRY_BYTES = 24
+
+
+@dataclass
+class TableSchema:
+    """Schema of one table: ordered columns, primary key, indexes."""
+
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    indexes: Dict[str, str] = field(default_factory=dict)  # index -> column
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate column in table %r" % self.name)
+        primaries = [c.name for c in self.columns if c.primary_key]
+        if len(primaries) != 1:
+            raise SchemaError("table %r must have exactly one primary key "
+                              "column, found %d" % (self.name, len(primaries)))
+        self._primary_key = primaries[0]
+        self._column_set = set(names)
+
+    @property
+    def primary_key(self) -> str:
+        """Name of the primary-key column."""
+        return self._primary_key
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table defines column ``name``."""
+        return name in self._column_set
+
+    def require_column(self, name: str) -> None:
+        """Raise :class:`SchemaError` unless ``name`` is a column."""
+        if name not in self._column_set:
+            raise SchemaError("table %r has no column %r"
+                              % (self.name, name))
+
+    def add_column(self, column: ColumnDef) -> None:
+        """ALTER TABLE ADD COLUMN support."""
+        if column.name in self._column_set:
+            raise SchemaError("column %r already exists in %r"
+                              % (column.name, self.name))
+        if column.primary_key:
+            raise SchemaError("cannot add a second primary key to %r"
+                              % self.name)
+        self.columns = self.columns + (column,)
+        self._column_set.add(column.name)
+
+    def add_index(self, index_name: str, column: str) -> None:
+        """CREATE INDEX support."""
+        self.require_column(column)
+        if index_name in self.indexes:
+            raise SchemaError("index %r already exists" % index_name)
+        self.indexes[index_name] = column
+
+    def indexed_column_names(self) -> Tuple[str, ...]:
+        """Columns covered by a secondary index."""
+        return tuple(self.indexes.values())
+
+    def row_width_bytes(self) -> int:
+        """Nominal stored width of one row, including tuple overhead."""
+        width = ROW_OVERHEAD_BYTES
+        for column in self.columns:
+            width += TYPE_WIDTHS.get(column.type_name, 16)
+        # one btree entry for the PK plus one per secondary index
+        width += INDEX_ENTRY_BYTES * (1 + len(self.indexes))
+        return width
+
+
+class Catalog:
+    """The set of table schemas of one tenant database."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableSchema] = {}
+
+    def create_table(self, schema: TableSchema) -> None:
+        """Register a new table schema."""
+        if schema.name in self._tables:
+            raise SchemaError("table %r already exists" % schema.name)
+        self._tables[schema.name] = schema
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a schema; raises :class:`SchemaError` if unknown."""
+        schema = self._tables.get(name)
+        if schema is None:
+            raise SchemaError("unknown table %r" % name)
+        return schema
+
+    def has_table(self, name: str) -> bool:
+        """Whether ``name`` is a known table."""
+        return name in self._tables
+
+    def table_names(self) -> Tuple[str, ...]:
+        """All table names, in creation order."""
+        return tuple(self._tables)
+
+    def get(self, name: str) -> Optional[TableSchema]:
+        """Like :meth:`table` but returns ``None`` when unknown."""
+        return self._tables.get(name)

@@ -1,0 +1,130 @@
+"""Client sessions: the statement-at-a-time interface to an instance.
+
+A :class:`Session` is what a connection looks like to a client (or to the
+middleware, which holds one master-side session per customer connection
+and slave-side sessions inside its players).  It tracks the current
+transaction, routes BEGIN/COMMIT/ROLLBACK, converts engine-initiated
+aborts into error results, and accepts raw SQL text or pre-parsed ASTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Union
+
+from ..errors import (InvalidTransactionState, SchemaError, SqlError,
+                      TransactionAborted)
+from .instance import DbmsInstance
+from .mvcc import Row
+from .sqlmini import Begin, Commit, Rollback, Statement, parse
+from .transaction import Transaction
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one statement as seen by the client."""
+
+    kind: str                       # "rows" | "affected" | "ok" | "error"
+    rows: List[Row] = field(default_factory=list)
+    affected: int = 0
+    error: Optional[str] = None
+    commit_csn: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the statement succeeded."""
+        return self.kind != "error"
+
+
+class Session:
+    """One client connection to a tenant on a DBMS instance."""
+
+    def __init__(self, instance: DbmsInstance, tenant_name: str):
+        self.instance = instance
+        self.tenant_name = tenant_name
+        self.txn: Optional[Transaction] = None
+        # statistics
+        self.statements = 0
+        self.aborts_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit transaction is open."""
+        return self.txn is not None and self.txn.is_active
+
+    def execute(self, statement: Union[str, Statement],
+                cpu_cost: Optional[float] = None
+                ) -> Generator[Any, Any, SessionResult]:
+        """Run one statement; never raises for transaction conflicts.
+
+        Engine-initiated aborts (first-updater-wins) surface as an
+        ``error`` result after the transaction has been rolled back, like
+        a PostgreSQL ``ERROR: could not serialize access``.
+        """
+        if isinstance(statement, str):
+            try:
+                statement = parse(statement)
+            except SqlError as exc:
+                return SessionResult(kind="error", error=str(exc))
+        self.statements += 1
+        if isinstance(statement, Begin):
+            return self._begin()
+        if isinstance(statement, Commit):
+            return (yield from self._commit())
+        if isinstance(statement, Rollback):
+            return self._rollback()
+        try:
+            result = yield from self.instance.execute(
+                self.txn, self.tenant_name, statement, cpu_cost=cpu_cost)
+        except TransactionAborted as exc:
+            self.aborts_seen += 1
+            if self.txn is not None:
+                self.instance.abort(self.txn)
+                self.txn = None
+            return SessionResult(kind="error", error=str(exc))
+        except (SchemaError, SqlError) as exc:
+            # Statement-level error: PostgreSQL would poison the txn; we
+            # abort it for simplicity, which is the strictest behaviour.
+            if self.txn is not None:
+                self.instance.abort(self.txn)
+                self.txn = None
+            return SessionResult(kind="error", error=str(exc))
+        if result.rows:
+            return SessionResult(kind="rows", rows=result.rows)
+        if result.affected:
+            return SessionResult(kind="affected", affected=result.affected)
+        return SessionResult(kind="rows", rows=result.rows)
+
+    # ------------------------------------------------------------------
+    def _begin(self) -> SessionResult:
+        if self.in_transaction:
+            return SessionResult(kind="error",
+                                 error="transaction already in progress")
+        self.txn = self.instance.begin(self.tenant_name)
+        return SessionResult(kind="ok")
+
+    def _commit(self) -> Generator[Any, Any, SessionResult]:
+        if not self.in_transaction:
+            return SessionResult(kind="error",
+                                 error="no transaction in progress")
+        txn = self.txn
+        try:
+            csn = yield from self.instance.commit(txn)
+        except InvalidTransactionState as exc:
+            self.txn = None
+            return SessionResult(kind="error", error=str(exc))
+        self.txn = None
+        return SessionResult(kind="ok", commit_csn=csn)
+
+    def _rollback(self) -> SessionResult:
+        if self.txn is not None and self.txn.is_active:
+            self.instance.abort(self.txn)
+        self.txn = None
+        return SessionResult(kind="ok")
+
+    def reset(self) -> None:
+        """Abort any open transaction (connection close)."""
+        if self.txn is not None and self.txn.is_active:
+            self.instance.abort(self.txn)
+        self.txn = None

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Madeus reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SqlError(ReproError):
+    """Malformed mini-SQL text or an unsupported construct."""
+
+
+class SchemaError(ReproError):
+    """Unknown table/column, duplicate definitions, key violations."""
+
+
+class TransactionError(ReproError):
+    """Base for transaction-lifecycle errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and must be rolled back by the client.
+
+    Under snapshot isolation with the first-updater-wins rule this is the
+    normal outcome of a write-write conflict (Section 2.3 of the paper).
+    """
+
+    def __init__(self, reason: str = "serialization conflict"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class InvalidTransactionState(TransactionError):
+    """An operation was issued on a finished or unknown transaction."""
+
+
+class MigrationError(ReproError):
+    """Live-migration orchestration failed (e.g. slave cannot catch up)."""
+
+
+class CatchUpTimeout(MigrationError):
+    """The slave failed to catch up with the master within the deadline.
+
+    This reproduces the paper's "N/A" entry for B-CON under heavy workload
+    (Section 5.3.2): serial commit propagation throughput falls below the
+    master's commit rate, so the syncset backlog grows without bound.
+    """
+
+    def __init__(self, message: str, backlog: int, elapsed: float):
+        super().__init__(message)
+        self.backlog = backlog
+        self.elapsed = elapsed
+
+
+class RoutingError(ReproError):
+    """No node hosts the requested tenant, or routing tables are stale."""

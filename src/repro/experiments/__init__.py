@@ -1,0 +1,19 @@
+"""Experiment harness: one module per paper table/figure, plus profiles.
+
+==================  =============================================
+module              reproduces
+==================  =============================================
+``preliminary``     Figure 5 (response time vs EBs, 2-second rule)
+``migration_time``  Figure 6 and Table 2
+``performance``     Figures 7 and 8 (timelines during migration)
+``dbsize``          Figure 9 and Table 3
+``multitenant``     Figures 10-19 and the Section 5.6 answer
+``costmodel``       Section 4.5.2 (Equations 2-4)
+==================  =============================================
+"""
+
+from .common import TenantSetup, Testbed, build_testbed
+from .profiles import (PAPER, PROFILES, QUICK, SMOKE, Profile, get_profile)
+
+__all__ = ["PAPER", "PROFILES", "QUICK", "SMOKE", "Profile",
+           "TenantSetup", "Testbed", "build_testbed", "get_profile"]

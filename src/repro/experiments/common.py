@@ -1,0 +1,138 @@
+"""Shared experiment scaffolding: testbed assembly and run helpers.
+
+Every experiment builds the same five-role testbed the paper used — a
+master node, a destination node, the middleware, and (folded into the EB
+processes) the Tomcat and load-generator tiers — then attaches TPC-W
+tenants and emulated-browser populations to it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.node import NodeSpec
+from ..core.middleware import Middleware, MiddlewareConfig, MigrationReport
+from ..core.policy import MADEUS, PropagationPolicy
+from ..engine.checkpoint import CheckpointSpec
+from ..errors import CatchUpTimeout
+from ..sim.core import Environment
+from ..sim.rand import StreamFactory
+from ..workload.tpcw import (EbConfig, PopulationParams, TenantMetrics,
+                             TpcwContext, populate, start_tenant_load)
+from .profiles import Profile
+
+
+@dataclass
+class TenantSetup:
+    """One tenant's placement, database scale, and workload."""
+
+    name: str
+    node: str
+    paper_ebs: int
+    items: int = 100000
+    #: EB count used for the *database population* (Table 3 couples DB
+    #: size to an EB figure independent of the applied load).
+    population_ebs: int = 100
+    mix: str = "ordering"
+
+
+@dataclass
+class Testbed:
+    """A fully assembled simulation: cluster, middleware, tenants, load."""
+
+    env: Environment
+    cluster: Cluster
+    middleware: Middleware
+    profile: Profile
+    metrics: Dict[str, TenantMetrics] = field(default_factory=dict)
+    contexts: Dict[str, TpcwContext] = field(default_factory=dict)
+
+    def node(self, name: str):
+        """Shorthand for a cluster node."""
+        return self.cluster.node(name)
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to ``until``."""
+        self.env.run(until=until)
+
+    def run_until(self, condition: Callable[[], bool], step: float = 10.0,
+                  cap: float = 100000.0) -> None:
+        """Advance in ``step`` chunks until ``condition()`` or ``cap``."""
+        while not condition() and self.env.now < cap:
+            self.env.run(until=self.env.now + step)
+
+    def migrate_async(self, tenant: str, destination: str
+                      ) -> Dict[str, Any]:
+        """Launch a migration; returns a dict later holding the outcome.
+
+        The returned dict gains ``report`` (a
+        :class:`~repro.core.middleware.MigrationReport`) on success or
+        ``timeout`` (a :class:`~repro.errors.CatchUpTimeout`) when the
+        slave diverges, plus ``done`` either way.
+        """
+        outcome: Dict[str, Any] = {}
+
+        def runner() -> Generator:
+            try:
+                report = yield from self.middleware.migrate(
+                    tenant, destination, self.profile.rates)
+                outcome["report"] = report
+            except CatchUpTimeout as exc:
+                outcome["timeout"] = exc
+            outcome["done"] = True
+        self.env.process(runner(), name="migrate-%s" % tenant)
+        return outcome
+
+
+def build_testbed(profile: Profile,
+                  tenants: List[TenantSetup],
+                  policy: PropagationPolicy = MADEUS,
+                  nodes: Optional[List[str]] = None,
+                  checkpoints: bool = False,
+                  validate_lsir: bool = False,
+                  verify_consistency: bool = True) -> Testbed:
+    """Assemble nodes, middleware, tenant databases, and EB load."""
+    env = Environment()
+    cluster = Cluster(env)
+    checkpoint_spec = None
+    if checkpoints:
+        checkpoint_spec = CheckpointSpec(
+            interval=max(5.0, profile.duration(290.0)))
+    node_spec = NodeSpec(checkpoint=checkpoint_spec)
+    for node_name in (nodes or ["node0", "node1"]):
+        cluster.add_node(node_name, node_spec)
+    middleware = Middleware(env, cluster, MiddlewareConfig(
+        policy=policy,
+        validate_lsir=validate_lsir,
+        verify_consistency=verify_consistency,
+        catchup_deadline=profile.catchup_deadline))
+    testbed = Testbed(env, cluster, middleware, profile)
+    streams = StreamFactory(profile.seed)
+    for setup in tenants:
+        params = PopulationParams(items=setup.items,
+                                  ebs=setup.population_ebs,
+                                  row_scale=profile.row_scale)
+        instance = cluster.node(setup.node).instance
+        populate(instance, setup.name, params,
+                 streams.stream("populate-%s" % setup.name))
+        tenant_db = instance.tenant(setup.name)
+        tenant_db.fixed_overhead_mb *= profile.size_scale
+        tenant_db.size_multiplier *= profile.size_scale
+        middleware.register_tenant(setup.name, setup.node)
+        scaled = params.scaled_cardinalities()
+        ctx = TpcwContext(customers=scaled["customer"],
+                          items=scaled["item"],
+                          orders=scaled["orders"])
+        testbed.contexts[setup.name] = ctx
+        config = EbConfig(ebs=profile.ebs(setup.paper_ebs),
+                          mix=setup.mix,
+                          think_time=profile.think_time,
+                          cpu_scale=profile.cpu_scale)
+        # zlib.crc32 is stable across processes (hash() is salted).
+        testbed.metrics[setup.name] = start_tenant_load(
+            env, middleware, setup.name, ctx, config,
+            seed=profile.seed + zlib.crc32(setup.name.encode()) % 1000)
+    return testbed

@@ -1,0 +1,134 @@
+"""Figures 7 and 8: response time and throughput timelines during
+Madeus migration.
+
+One tenant (800 MB at paper scale) under heavy workload (700 EBs); the
+migration order is issued mid-run.  The paper's timeline shows: warm-up
+degradation early on, a response-time bump at the start of migration
+(the manager's critical region blocks commits while capturing the MTS),
+near-normal performance *during* migration, a bump at the end
+(suspend/drain/switch-over), and a checkpoint whisker around t=290 s
+that is *larger* than any migration-induced disturbance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.middleware import MigrationReport
+from ..metrics.report import format_series, format_table, sparkline
+from .common import TenantSetup, build_testbed
+from .profiles import Profile, get_profile
+
+#: Paper timeline: migration runs roughly [150 s, 250 s] of a ~350 s run.
+PAPER_MIGRATION_START = 150.0
+PAPER_RUN_LENGTH = 360.0
+
+
+@dataclass
+class TimelineResult:
+    """Both series plus the migration window and summary statistics."""
+
+    response_series: List[Tuple[float, float]]
+    throughput_series: List[Tuple[float, float]]
+    report: Optional[MigrationReport]
+    migration_start: float
+    migration_end: float
+    run_length: float
+    bucket: float
+    #: window means: (before, during, after) migration
+    rt_before: float = 0.0
+    rt_during: float = 0.0
+    rt_after: float = 0.0
+    tput_before: float = 0.0
+    tput_during: float = 0.0
+    tput_after: float = 0.0
+    checkpoints: int = 0
+
+
+def run_timeline(profile: Optional[Profile] = None,
+                 paper_ebs: int = 700,
+                 checkpoints: bool = True) -> TimelineResult:
+    """Run the Figure 7/8 experiment and bucket both series."""
+    profile = profile or get_profile()
+    start = profile.duration(PAPER_MIGRATION_START)
+    run_length = profile.duration(PAPER_RUN_LENGTH)
+    bucket = max(0.5, profile.duration(5.0))
+    testbed = build_testbed(
+        profile, [TenantSetup("A", "node0", paper_ebs=paper_ebs)],
+        checkpoints=checkpoints)
+    testbed.run(until=start)
+    outcome = testbed.migrate_async("A", "node1")
+    cap = start + profile.catchup_deadline + profile.duration(400.0)
+    testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
+    report = outcome.get("report")
+    end = report.ended_at if report is not None else testbed.env.now
+    final = max(run_length, end + profile.duration(60.0))
+    testbed.run(until=final)
+    metrics = testbed.metrics["A"]
+    rt_series = metrics.response_times.bucketed_mean(bucket, 0.0, final)
+    tput_series = metrics.completions.bucketed_rate(bucket, 0.0, final)
+    warm = profile.duration(60.0)
+    result = TimelineResult(
+        response_series=rt_series,
+        throughput_series=tput_series,
+        report=report,
+        migration_start=start,
+        migration_end=end,
+        run_length=final,
+        bucket=bucket,
+        rt_before=metrics.response_times.mean(warm, start),
+        rt_during=metrics.response_times.mean(start, end),
+        rt_after=metrics.response_times.mean(end, final),
+        tput_before=metrics.completions.rate(warm, start),
+        tput_during=metrics.completions.rate(start, end),
+        tput_after=metrics.completions.rate(end, final))
+    node0 = testbed.node("node0").instance
+    if node0.checkpointer is not None:
+        result.checkpoints = node0.checkpointer.checkpoints
+    return result
+
+
+def report_fig7(result: TimelineResult, profile: Profile) -> str:
+    """Figure 7: the response-time timeline."""
+    lines = [format_series(
+        "Figure 7 - response time during migration (profile=%s)"
+        % profile.name,
+        result.response_series, "elapsed [s]", "mean RT [s]")]
+    lines.append("shape: |%s|" % sparkline(result.response_series))
+    lines.append("migration window: [%.1f, %.1f] s"
+                 % (result.migration_start, result.migration_end))
+    rows = [["before", result.rt_before * 1000.0],
+            ["during", result.rt_during * 1000.0],
+            ["after", result.rt_after * 1000.0]]
+    lines.append(format_table(["window", "mean RT [ms]"], rows))
+    return "\n".join(lines)
+
+
+def report_fig8(result: TimelineResult, profile: Profile) -> str:
+    """Figure 8: the throughput timeline."""
+    lines = [format_series(
+        "Figure 8 - throughput during migration (profile=%s)"
+        % profile.name,
+        result.throughput_series, "elapsed [s]", "interactions/s")]
+    lines.append("shape: |%s|" % sparkline(result.throughput_series))
+    rows = [["before", result.tput_before],
+            ["during", result.tput_during],
+            ["after", result.tput_after]]
+    lines.append(format_table(["window", "tput [/s]"], rows))
+    if result.checkpoints:
+        lines.append("checkpoints during run: %d" % result.checkpoints)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Run at the default profile and print both figures."""
+    profile = get_profile()
+    result = run_timeline(profile)
+    print(report_fig7(result, profile))
+    print()
+    print(report_fig8(result, profile))
+
+
+if __name__ == "__main__":
+    main()

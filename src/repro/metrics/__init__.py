@@ -1,0 +1,7 @@
+"""Metrics: time-series probes and report formatting."""
+
+from ..sim.monitor import CounterSeries, SampleSeries
+from .report import format_series, format_table, shape_note, sparkline
+
+__all__ = ["CounterSeries", "SampleSeries", "format_series",
+           "format_table", "shape_note", "sparkline"]

@@ -1,0 +1,64 @@
+"""Simulated LAN: per-hop latency plus shared-link bandwidth.
+
+The paper's testbed connects all machines over 1-Gbps Ethernet.  Customer
+operations, syncset propagation, and the snapshot transfer all cross this
+network; only the snapshot transfer is large enough for bandwidth to
+matter, but modelling it keeps Step 2 honest on big databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+
+@dataclass
+class NetworkSpec:
+    """Latency/bandwidth envelope of the cluster LAN."""
+
+    #: One-way message latency (switch + stack), ~0.1 ms on a quiet GbE.
+    latency: float = 0.0001
+    #: Aggregate link bandwidth in MB/s (1 Gbps ~ 125 MB/s).
+    bandwidth_mb_s: float = 125.0
+    #: Transfers larger than this are serialised on the shared link.
+    bulk_threshold_mb: float = 1.0
+
+
+class Network:
+    """The cluster LAN; messages share one bulk-transfer channel."""
+
+    def __init__(self, env: "Environment", spec: NetworkSpec | None = None):
+        self.env = env
+        self.spec = spec or NetworkSpec()
+        self._bulk = Resource(env, capacity=1, name="net.bulk")
+        # statistics
+        self.messages = 0
+        self.bytes_moved = 0.0
+
+    def message(self, size_mb: float = 0.0) -> Generator[Any, Any, None]:
+        """One request or response hop.
+
+        Small messages only pay latency; bulk transfers additionally hold
+        the shared link for their serialisation time.
+        """
+        self.messages += 1
+        self.bytes_moved += size_mb * 1e6
+        yield self.env.timeout(self.spec.latency)
+        if size_mb > self.spec.bulk_threshold_mb:
+            grant = self._bulk.request()
+            yield grant
+            yield self.env.timeout(size_mb / self.spec.bandwidth_mb_s)
+            self._bulk.release(grant)
+        elif size_mb > 0:
+            yield self.env.timeout(size_mb / self.spec.bandwidth_mb_s)
+
+    def round_trip(self, request_mb: float = 0.0,
+                   response_mb: float = 0.0) -> Generator[Any, Any, None]:
+        """A request hop followed by a response hop."""
+        yield from self.message(request_mb)
+        yield from self.message(response_mb)

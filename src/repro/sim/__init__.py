@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the substrate on which everything else runs: a small,
+deterministic, dependency-free event engine (in the style of SimPy) plus
+resources, synchronisation primitives, seeded random streams, and
+time-series monitors.
+"""
+
+from .core import Environment, Process, ProcessDied, run_processes
+from .events import AllOf, AnyOf, Event, Interrupt, Timeout
+from .monitor import CounterSeries, SampleSeries
+from .rand import RandomStream, StreamFactory
+from .resources import Request, Resource, Store
+from .sync import CountdownLatch, Gate, Mutex, Semaphore
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CountdownLatch",
+    "CounterSeries",
+    "Environment",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "Mutex",
+    "Process",
+    "ProcessDied",
+    "RandomStream",
+    "Request",
+    "Resource",
+    "SampleSeries",
+    "Semaphore",
+    "Store",
+    "StreamFactory",
+    "Timeout",
+    "run_processes",
+]

@@ -1,0 +1,237 @@
+"""Discrete-event simulation kernel: environment and processes.
+
+This is a small, dependency-free engine in the style of SimPy.  All of the
+Madeus middleware, the MVCC storage engine, the cluster substrate, and the
+TPC-W emulated browsers run as processes on one :class:`Environment`.
+
+Determinism: the event queue is ordered by ``(time, priority, sequence)``
+where ``sequence`` is a monotonically increasing tie-breaker, so runs are
+exactly reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Interrupt, Timeout
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+#: Priority used for normal events.
+NORMAL = 1
+#: Priority used for urgent (kernel-internal) events.
+URGENT = 0
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at ``until``."""
+
+
+class Environment:
+    """Execution environment for a single simulation run.
+
+    The environment owns simulated time, the event queue, and the scheduler
+    loop.  Typical use::
+
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 5
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional["Process"] = None
+
+    # ------------------------------------------------------------------
+    # time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq,
+                                     event))
+
+    # ------------------------------------------------------------------
+    # event factories
+    # ------------------------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> "Process":
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event in the queue."""
+        if not self._queue:
+            raise RuntimeError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        stop: Optional[Event] = None
+        if until is not None:
+            if until < self._now:
+                raise ValueError("until=%r is in the past (now=%r)"
+                                 % (until, self._now))
+            stop = Event(self)
+            stop.callbacks.append(self._stop_callback)
+            self._seq += 1
+            # URGENT priority: the stop event pre-empts same-time events.
+            heapq.heappush(self._queue, (until, URGENT, self._seq, stop))
+            stop._state = "triggered"
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation:
+            pass
+
+    @staticmethod
+    def _stop_callback(_event: Event) -> None:
+        raise StopSimulation
+
+
+class ProcessDied(Exception):
+    """Raised when waiting on a process that terminated with an error."""
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that fires on exit.
+
+    The process's generator yields :class:`Event` objects.  When a yielded
+    event succeeds, the event's value is sent back into the generator; when
+    it fails, the exception is thrown into the generator.  The process
+    itself is an event which succeeds with the generator's return value, or
+    fails with its uncaught exception.
+    """
+
+    __slots__ = ("generator", "_target")
+
+    def __init__(self, env: Environment, generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        super().__init__(env, name=name or getattr(generator, "__name__",
+                                                   None))
+        self.generator = generator
+        self._target: Optional[Event] = None
+        # Kick off the process on a zero-delay internal event so that the
+        # creator finishes its current step first (SimPy semantics).
+        start = Event(env)
+        start.callbacks.append(self._resume)
+        start._state = "triggered"
+        env._schedule(start, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not yet terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a dead process")
+        interrupt_event = Event(self.env)
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event._state = "triggered"
+        interrupt_event.callbacks.append(self._resume)
+        # Detach from the event we were waiting on, so its later firing does
+        # not resume us twice.
+        if self._target is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        self.env._schedule(interrupt_event, priority=URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                if event._exception is not None:
+                    target = self.generator.throw(event._exception)
+                else:
+                    target = self.generator.send(event._value)
+                if not isinstance(target, Event):
+                    raise TypeError("process %r yielded a non-event: %r"
+                                    % (self.name, target))
+                if target.processed:
+                    # Already fired and processed: loop immediately with its
+                    # outcome instead of registering a callback.
+                    event = target
+                    continue
+                self._target = target
+                target.callbacks.append(self._resume)
+                return
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+        except BaseException as error:
+            if isinstance(error, StopSimulation):
+                raise
+            self._target = None
+            if self.callbacks or self._has_waiters():
+                self.fail(error)
+            else:
+                # Nobody is waiting: surface the crash instead of dropping it.
+                raise
+        finally:
+            self.env._active_process = None
+
+    def _has_waiters(self) -> bool:
+        return bool(self.callbacks)
+
+
+def run_processes(*generators: ProcessGenerator,
+                  until: Optional[float] = None) -> Environment:
+    """Convenience: run a set of process generators in a new environment."""
+    env = Environment()
+    for generator in generators:
+        env.process(generator)
+    env.run(until=until)
+    return env

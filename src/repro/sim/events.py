@@ -1,0 +1,192 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic generator-coroutine style: a simulated
+*process* is a Python generator that ``yield``s :class:`Event` objects.  The
+:class:`~repro.sim.core.Environment` resumes the generator when the yielded
+event fires, sending the event's value back into the generator (or throwing
+the event's exception).
+
+Events move through three states:
+
+``PENDING``
+    created but not yet triggered,
+``TRIGGERED``
+    scheduled on the event queue with a value or an exception,
+``PROCESSED``
+    callbacks have run; waiting processes have been resumed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .core import Environment
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Processes wait for events by yielding them.  An event is *succeeded*
+    with a value or *failed* with an exception exactly once.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_state", "name")
+
+    def __init__(self, env: "Environment", name: Optional[str] = None):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._state = PENDING
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled (succeeded or failed)."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event was succeeded with."""
+        if not self.triggered:
+            raise RuntimeError("value of untriggered event %r" % self)
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the event was failed with, if any."""
+        return self._exception
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError("event %r already triggered" % self)
+        self._value = value
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event has the exception thrown into it.
+        """
+        if self.triggered:
+            raise RuntimeError("event %r already triggered" % self)
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._state = PROCESSED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.__class__.__name__
+        return "<%s state=%s at t=%s>" % (label, self._state, self.env.now)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of simulated time in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative delay %r" % delay)
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class Condition(Event):
+    """Base for composite events over several sub-events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            # A scheduled-but-unprocessed event (e.g. a fresh Timeout)
+            # still delivers callbacks; only a *processed* event must be
+            # consumed immediately.
+            if event.processed:
+                self._on_subevent(event)
+            else:
+                event.callbacks.append(self._on_subevent)
+
+    def _on_subevent(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires once *all* sub-events have fired; value is their value list."""
+
+    __slots__ = ()
+
+    def _on_subevent(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(Condition):
+    """Fires as soon as *any* sub-event fires; value is that event."""
+
+    __slots__ = ()
+
+    def _on_subevent(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        self.succeed(event)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause

@@ -1,0 +1,154 @@
+"""Shared resources for simulated processes.
+
+:class:`Resource` models a server pool with FIFO queueing (CPU cores, a
+disk head).  :class:`Store` is an unbounded producer/consumer queue used as
+the message channel between middleware threads.  Both integrate with the
+event kernel: requests are events that processes yield on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Yields to the requesting process once granted.  Must be released via
+    :meth:`Resource.release` (or use :meth:`Resource.acquire` /
+    ``with``-style helpers in caller code).
+    """
+
+    __slots__ = ("resource", "enqueued_at", "granted_at", "released")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.enqueued_at = resource.env.now
+        self.granted_at: Optional[float] = None
+        self.released = False
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a FIFO wait queue.
+
+    Tracks utilisation statistics (busy integral, wait times) so that the
+    experiment harness can report node utilisation.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1,
+                 name: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %r" % capacity)
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: int = 0
+        self.queue: Deque[Request] = deque()
+        # statistics
+        self.total_waits = 0
+        self.total_wait_time = 0.0
+        self._busy_integral = 0.0
+        self._last_change = env.now
+
+    # ------------------------------------------------------------------
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the claim is granted."""
+        req = Request(self)
+        if self.users < self.capacity and not self.queue:
+            self._grant(req)
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return the slot held by ``req`` and grant the next waiter."""
+        if req.released:
+            raise RuntimeError("request released twice")
+        req.released = True
+        if req.granted_at is None:
+            # Cancelled while queued.
+            try:
+                self.queue.remove(req)
+            except ValueError:
+                raise RuntimeError("release of a request that was never "
+                                   "granted nor queued")
+            return
+        self._account()
+        self.users -= 1
+        while self.queue and self.users < self.capacity:
+            self._grant(self.queue.popleft())
+
+    def _grant(self, req: Request) -> None:
+        self._account()
+        self.users += 1
+        req.granted_at = self.env.now
+        wait = req.granted_at - req.enqueued_at
+        self.total_waits += 1
+        self.total_wait_time += wait
+        req.succeed(self)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_integral += self.users * (now - self._last_change)
+        self._last_change = now
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Number of requests currently waiting."""
+        return len(self.queue)
+
+    def utilisation(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity busy since ``since`` (approximate)."""
+        self._account()
+        horizon = self.env.now - since
+        if horizon <= 0:
+            return 0.0
+        return self._busy_integral / (horizon * self.capacity)
+
+    def mean_wait(self) -> float:
+        """Mean queueing delay over all grants so far."""
+        if not self.total_waits:
+            return 0.0
+        return self.total_wait_time / self.total_waits
+
+
+class Store:
+    """Unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires when an item
+    is available.  Items are delivered to getters in FIFO order.
+    """
+
+    def __init__(self, env: "Environment", name: Optional[str] = None):
+        self.env = env
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)

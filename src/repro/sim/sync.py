@@ -1,0 +1,172 @@
+"""Synchronisation primitives built on the event kernel.
+
+The middleware algorithms in the paper use a critical region (Algorithm 1
+lines 2-9 / 17-28, Algorithm 3 lines 1-5), conductor/player rendezvous
+(Algorithms 4 and 5), and — in the B-CON baseline — a pthread mutex whose
+contention is itself a measured effect (Section 5.3.2).  These primitives
+model exactly those constructs.
+
+:class:`Mutex` records contention statistics and can charge a configurable
+*contention penalty* per contended acquisition, which is how the paper's
+observation that "all players compete for the pthread mutex lock at every
+commit time" becomes a first-class, tunable cost in the simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generator, List, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+
+class Mutex:
+    """A FIFO mutual-exclusion lock with contention accounting.
+
+    ``contention_penalty`` adds simulated time to every acquisition that
+    found the lock busy (cache-line bouncing / futex syscall cost); it is
+    used to model the B-CON commit-serialisation overhead.
+    """
+
+    def __init__(self, env: "Environment", name: Optional[str] = None,
+                 contention_penalty: float = 0.0):
+        self.env = env
+        self.name = name
+        self.contention_penalty = contention_penalty
+        self.locked = False
+        self._waiters: Deque[Event] = deque()
+        # statistics
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+        self.total_wait_time = 0.0
+
+    def acquire(self) -> Generator[Event, None, None]:
+        """Process-style acquire: ``yield from mutex.acquire()``."""
+        self.acquisitions += 1
+        if not self.locked and not self._waiters:
+            self.locked = True
+            return
+        self.contended_acquisitions += 1
+        waiter = Event(self.env)
+        enqueued = self.env.now
+        self._waiters.append(waiter)
+        yield waiter
+        self.total_wait_time += self.env.now - enqueued
+        if self.contention_penalty:
+            yield self.env.timeout(self.contention_penalty)
+
+    def release(self) -> None:
+        """Release the lock; hands it to the oldest waiter if any."""
+        if not self.locked:
+            raise RuntimeError("release of an unlocked mutex %r" % self.name)
+        if self._waiters:
+            # Ownership transfers directly: the lock stays held.
+            self._waiters.popleft().succeed()
+        else:
+            self.locked = False
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that found the mutex busy."""
+        if not self.acquisitions:
+            return 0.0
+        return self.contended_acquisitions / self.acquisitions
+
+
+class CountdownLatch:
+    """Fires an event once :meth:`arrive` has been called ``count`` times.
+
+    The conductor uses this to wait until all players have propagated their
+    current first-read (or commit) operations (Algorithm 4 lines 5 and 10).
+    """
+
+    def __init__(self, env: "Environment", count: int):
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.env = env
+        self.remaining = count
+        self.done = Event(env)
+        if count == 0:
+            self.done.succeed()
+
+    def arrive(self) -> None:
+        """Record one arrival; triggers :attr:`done` at zero."""
+        if self.remaining <= 0:
+            raise RuntimeError("latch over-arrived")
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.done.succeed()
+
+    def wait(self) -> Event:
+        """Event that fires when all arrivals have happened."""
+        return self.done
+
+
+class Gate:
+    """A reusable open/close barrier.
+
+    While closed, :meth:`wait` returns pending events; :meth:`open` releases
+    all current waiters and lets subsequent waiters pass immediately.  The
+    manager uses a gate to suspend and resume customer transactions around
+    switch-over (Algorithm 3 lines 14-17).
+    """
+
+    def __init__(self, env: "Environment", is_open: bool = True):
+        self.env = env
+        self._open = is_open
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the gate currently lets processes through."""
+        return self._open
+
+    def wait(self) -> Event:
+        """Event that fires once the gate is (or becomes) open."""
+        event = Event(self.env)
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def close(self) -> None:
+        """Close the gate: subsequent waiters block until :meth:`open`."""
+        self._open = False
+
+    def open(self) -> None:
+        """Open the gate and release every blocked waiter."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup order."""
+
+    def __init__(self, env: "Environment", value: int = 1):
+        if value < 0:
+            raise ValueError("initial value must be >= 0")
+        self.env = env
+        self.value = value
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Generator[Event, None, None]:
+        """Process-style P operation: ``yield from sem.acquire()``."""
+        if self.value > 0 and not self._waiters:
+            self.value -= 1
+            return
+        waiter = Event(self.env)
+        self._waiters.append(waiter)
+        yield waiter
+
+    def release(self) -> None:
+        """V operation; wakes the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.value += 1

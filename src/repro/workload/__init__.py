@@ -1,0 +1,1 @@
+"""Workload generators: TPC-W and a simple key-value workload."""

@@ -1,0 +1,140 @@
+"""A small key-value workload for tests, examples, and property checks.
+
+One ``kv`` table; clients run read-modify-write transactions (never blind
+writes, per the paper's Section 3.1 assumption) mixed with read-only
+transactions.  Deterministic under a seed, and every committed increment
+is counted so tests can check the final state value-by-value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+from ..core.middleware import Connection, Middleware
+from ..engine.session import Session
+from ..sim.rand import RandomStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.instance import DbmsInstance
+    from ..sim.core import Environment
+
+
+@dataclass
+class KvWorkloadConfig:
+    """Shape of the key-value workload."""
+
+    keys: int = 50
+    clients: int = 4
+    transactions_per_client: int = 25
+    #: Probability a transaction is read-only.
+    read_only_ratio: float = 0.4
+    #: Writes per update transaction.
+    writes_per_txn: int = 2
+    #: Mean think time between transactions (exponential).
+    think_time: float = 0.01
+
+
+@dataclass
+class KvWorkloadResult:
+    """What happened: per-key committed increments and counters."""
+
+    committed_increments: Dict[int, int] = field(default_factory=dict)
+    committed_txns: int = 0
+    aborted_txns: int = 0
+    read_only_txns: int = 0
+
+
+def setup_kv_tenant(instance: "DbmsInstance", tenant: str,
+                    keys: int) -> Generator[Any, Any, None]:
+    """Create the ``kv`` table and populate ``keys`` rows."""
+    instance.create_tenant(tenant)
+    session = Session(instance, tenant)
+    result = yield from session.execute(
+        "CREATE TABLE kv (k INT PRIMARY KEY, v INT, tag VARCHAR)")
+    assert result.ok, result.error
+    for key in range(keys):
+        yield from session.execute("BEGIN")
+        result = yield from session.execute(
+            "INSERT INTO kv (k, v, tag) VALUES (%d, 0, 'key%d')"
+            % (key, key))
+        assert result.ok, result.error
+        result = yield from session.execute("COMMIT")
+        assert result.ok, result.error
+
+
+def kv_client(env: "Environment", middleware: Middleware, tenant: str,
+              rng: RandomStream, config: KvWorkloadConfig,
+              result: KvWorkloadResult) -> Generator[Any, Any, None]:
+    """One client running the configured number of transactions."""
+    conn = middleware.connect(tenant)
+    for _txn_index in range(config.transactions_per_client):
+        yield env.timeout(rng.exponential(config.think_time))
+        if rng.random() < config.read_only_ratio:
+            yield from _read_only_txn(middleware, conn, rng, config, result)
+        else:
+            yield from _update_txn(middleware, conn, rng, config, result)
+
+
+def _read_only_txn(middleware: Middleware, conn: Connection,
+                   rng: RandomStream, config: KvWorkloadConfig,
+                   result: KvWorkloadResult) -> Generator[Any, Any, None]:
+    response = yield from middleware.submit(conn, "BEGIN")
+    assert response.ok, response.error
+    for _read in range(2):
+        key = rng.randint(0, config.keys - 1)
+        response = yield from middleware.submit(
+            conn, "SELECT v FROM kv WHERE k = %d" % key)
+        if not response.ok:
+            result.aborted_txns += 1
+            return
+    response = yield from middleware.submit(conn, "COMMIT")
+    if response.ok:
+        result.read_only_txns += 1
+    else:
+        result.aborted_txns += 1
+
+
+def _update_txn(middleware: Middleware, conn: Connection,
+                rng: RandomStream, config: KvWorkloadConfig,
+                result: KvWorkloadResult) -> Generator[Any, Any, None]:
+    keys = sorted({rng.randint(0, config.keys - 1)
+                   for _w in range(config.writes_per_txn)})
+    response = yield from middleware.submit(conn, "BEGIN")
+    assert response.ok, response.error
+    # never a blind write: read each key before updating it
+    for key in keys:
+        response = yield from middleware.submit(
+            conn, "SELECT v FROM kv WHERE k = %d" % key)
+        if not response.ok:
+            result.aborted_txns += 1
+            return
+    for key in keys:
+        response = yield from middleware.submit(
+            conn, "UPDATE kv SET v = v + 1 WHERE k = %d" % key)
+        if not response.ok:
+            result.aborted_txns += 1
+            return
+    response = yield from middleware.submit(conn, "COMMIT")
+    if response.ok:
+        result.committed_txns += 1
+        for key in keys:
+            result.committed_increments[key] = (
+                result.committed_increments.get(key, 0) + 1)
+    else:
+        result.aborted_txns += 1
+
+
+def run_kv_clients(env: "Environment", middleware: Middleware,
+                   tenant: str, config: KvWorkloadConfig,
+                   seed: int = 0) -> KvWorkloadResult:
+    """Spawn all clients; returns the (live) shared result object."""
+    from ..sim.rand import StreamFactory
+
+    result = KvWorkloadResult()
+    streams = StreamFactory(seed)
+    for index in range(config.clients):
+        rng = streams.stream("kv-client-%d" % index)
+        env.process(kv_client(env, middleware, tenant, rng, config, result),
+                    name="kv-client-%d" % index)
+    return result

@@ -1,0 +1,130 @@
+"""Emulated browsers (EBs) and the app-server tier.
+
+Each EB is a closed-loop client: think, pick an interaction from the
+mix, run it as one transaction through the middleware, record the
+response time, repeat.  Interactions that abort (first-updater-wins
+conflicts) are recorded separately and the EB simply moves on, as the
+TPC-W kit's error handling does.
+
+The Tomcat tier is modelled as one extra LAN round trip plus a small
+fixed service delay per interaction; the paper's app-server nodes were
+never the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
+
+from ...core.middleware import Middleware
+from ...sim.monitor import CounterSeries, SampleSeries
+from ...sim.rand import RandomStream, StreamFactory
+from .interactions import INTERACTIONS, EbState, TpcwContext
+from .mixes import UPDATE_INTERACTIONS, mix_weights
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...sim.core import Environment
+
+
+@dataclass
+class EbConfig:
+    """Load-generator knobs for one tenant's EB population."""
+
+    ebs: int = 100
+    mix: str = "ordering"
+    #: Mean think time between interactions (exponential; spec: 7 s).
+    think_time: float = 7.0
+    #: CPU-cost scale applied to every statement (hardware calibration).
+    cpu_scale: float = 1.0
+    #: Fixed app-server processing delay per interaction.
+    appserver_delay: float = 0.002
+    #: Stop issuing new interactions after this simulated time (None =
+    #: run until the environment stops).
+    until: Optional[float] = None
+
+
+@dataclass
+class TenantMetrics:
+    """Per-tenant observables the figures are drawn from."""
+
+    tenant: str
+    #: Per-interaction response times (seconds).
+    response_times: SampleSeries = field(
+        default_factory=lambda: SampleSeries("rt"))
+    #: Completed-interaction timestamps (throughput).
+    completions: CounterSeries = field(
+        default_factory=lambda: CounterSeries("tput"))
+    interactions: int = 0
+    update_interactions: int = 0
+    aborted_interactions: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def mean_response_time(self, start: float = 0.0,
+                           end: float = float("inf")) -> float:
+        """Mean response time over a window."""
+        return self.response_times.mean(start, end)
+
+    def throughput(self, start: float, end: float) -> float:
+        """Interactions per second over a window."""
+        return self.completions.rate(start, end)
+
+
+def emulated_browser(env: "Environment", middleware: Middleware,
+                     tenant: str, ctx: TpcwContext, config: EbConfig,
+                     rng: RandomStream, metrics: TenantMetrics,
+                     eb_index: int) -> Generator[Any, Any, None]:
+    """One EB's closed loop."""
+    state = EbState(customer_id=1 + (eb_index % max(1, ctx.customers)))
+    conn = middleware.connect(tenant)
+    names, weights = mix_weights(config.mix)
+    while True:
+        yield env.timeout(rng.exponential(config.think_time))
+        if config.until is not None and env.now >= config.until:
+            return
+        name = rng.weighted_choice(names, weights)
+        steps = INTERACTIONS[name](ctx, state, rng, config.cpu_scale)
+        started = env.now
+        # app-server hop: one LAN round trip + servlet processing
+        yield from middleware.cluster.network.round_trip()
+        yield env.timeout(config.appserver_delay)
+        ok = yield from _run_transaction(middleware, conn, steps)
+        finished = env.now
+        metrics.interactions += 1
+        if name in UPDATE_INTERACTIONS:
+            metrics.update_interactions += 1
+        if ok:
+            metrics.response_times.record(finished, finished - started)
+            metrics.completions.record(finished)
+        else:
+            metrics.aborted_interactions += 1
+
+
+def _run_transaction(middleware: Middleware, conn, steps
+                     ) -> Generator[Any, Any, bool]:
+    """BEGIN, run the steps, COMMIT; False if any statement aborted."""
+    result = yield from middleware.submit(conn, "BEGIN")
+    if not result.ok:
+        return False
+    for sql, cpu_cost in steps:
+        result = yield from middleware.submit(conn, sql, cpu_cost=cpu_cost)
+        if not result.ok:
+            # The engine already rolled the transaction back
+            # (first-updater-wins); do not send ROLLBACK.
+            return False
+    result = yield from middleware.submit(conn, "COMMIT")
+    return result.ok
+
+
+def start_tenant_load(env: "Environment", middleware: Middleware,
+                      tenant: str, ctx: TpcwContext, config: EbConfig,
+                      seed: int = 0) -> TenantMetrics:
+    """Spawn ``config.ebs`` emulated browsers; returns live metrics."""
+    metrics = TenantMetrics(tenant)
+    streams = StreamFactory(seed)
+    for index in range(config.ebs):
+        rng = streams.stream("%s-eb-%d" % (tenant, index))
+        env.process(
+            emulated_browser(env, middleware, tenant, ctx, config, rng,
+                             metrics, index),
+            name="%s-eb-%d" % (tenant, index))
+    return metrics

@@ -1,0 +1,333 @@
+"""The 14 TPC-W web interactions as transaction templates.
+
+Each interaction produces a list of ``(sql, cpu_cost)`` steps that the
+emulated browser wraps in ``BEGIN``/``COMMIT``.  The shapes follow the
+Java TPC-W kit the paper used: point lookups and secondary-index probes
+for browsing pages, heavier scans for best-sellers/search, and the
+order pipeline (cart -> buy request -> buy confirm) for updates.
+
+Two invariants matter to the middleware:
+
+* **No blind writes** (paper Section 3.1): every update template begins
+  with a SELECT, so the snapshot-creating first operation is a read.
+* **Primary-key writes**: update/insert/delete statements address rows by
+  primary key, so replaying them on the slave under the LSIR reproduces
+  the master's effects exactly (predicate writes during the snapshot
+  window are out of scope, as in the paper's workload).
+
+``cpu_cost`` values are the statements' CPU service times in seconds at
+scale 1.0; the experiment profile scales them to place the saturation
+knee (Figure 5) where the paper's hardware put it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...sim.rand import RandomStream
+
+#: One statement of an interaction: (sql text, cpu seconds at scale 1).
+Step = Tuple[str, float]
+
+#: Base for middleware-generated row ids, far above any populated id.
+_ID_BASE = 10_000_000
+
+_MS = 1e-3
+
+
+class IdAllocator:
+    """Unique row ids for INSERTs, shared by all EBs of one tenant."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, itertools.count] = {}
+
+    def next_id(self, table: str) -> int:
+        """A fresh id for ``table``."""
+        counter = self._counters.get(table)
+        if counter is None:
+            counter = itertools.count(_ID_BASE)
+            self._counters[table] = counter
+        return next(counter)
+
+
+@dataclass
+class TpcwContext:
+    """Per-tenant workload context: populated cardinalities and ids."""
+
+    customers: int
+    items: int
+    orders: int
+    subjects: int = 24
+    ids: IdAllocator = field(default_factory=IdAllocator)
+
+
+@dataclass
+class EbState:
+    """Per-emulated-browser session state."""
+
+    customer_id: int
+    cart_id: Optional[int] = None
+    cart_items: List[Tuple[int, int]] = field(default_factory=list)
+    logins: int = 0
+
+
+def _cpu(milliseconds: float, scale: float) -> float:
+    return milliseconds * _MS * scale
+
+
+# ---------------------------------------------------------------------------
+# browsing (read-only) interactions
+# ---------------------------------------------------------------------------
+
+def home(ctx: TpcwContext, state: EbState, rng: RandomStream,
+         scale: float) -> List[Step]:
+    """Home page: customer greeting plus promotional items."""
+    item = rng.randint(1, ctx.items)
+    return [
+        ("SELECT c_fname, c_lname FROM customer WHERE c_id = %d"
+         % state.customer_id, _cpu(5, scale)),
+        ("SELECT i_id, i_title, i_thumbnail FROM item WHERE i_id = %d"
+         % item, _cpu(5, scale)),
+        ("SELECT i_related1, i_related2, i_related3 FROM item "
+         "WHERE i_id = %d" % item, _cpu(10, scale)),
+    ]
+
+
+def new_products(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                 scale: float) -> List[Step]:
+    """New products by subject: an expensive sorted scan."""
+    subject = rng.randint(0, ctx.subjects - 1)
+    return [
+        ("SELECT i_id, i_title, i_pub_date FROM item "
+         "WHERE i_subject = 'subject%d' ORDER BY i_pub_date DESC LIMIT 50"
+         % subject, _cpu(90, scale)),
+    ]
+
+
+def best_sellers(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                 scale: float) -> List[Step]:
+    """Best sellers: the heaviest query (aggregates recent orders)."""
+    subject = rng.randint(0, ctx.subjects - 1)
+    return [
+        ("SELECT i_id, i_title FROM item WHERE i_subject = 'subject%d' "
+         "ORDER BY i_id LIMIT 50" % subject, _cpu(160, scale)),
+    ]
+
+
+def product_detail(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                   scale: float) -> List[Step]:
+    """Item page: the item and its author."""
+    item = rng.randint(1, ctx.items)
+    return [
+        ("SELECT * FROM item WHERE i_id = %d" % item, _cpu(6, scale)),
+        ("SELECT a_fname, a_lname FROM author WHERE a_id = %d"
+         % (1 + item % max(1, ctx.items // 4)), _cpu(6, scale)),
+    ]
+
+
+def search_request(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                   scale: float) -> List[Step]:
+    """Search form: trivial."""
+    return [
+        ("SELECT co_id, co_name FROM country WHERE co_id = %d"
+         % rng.randint(1, 92), _cpu(5, scale)),
+    ]
+
+
+def search_results(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                   scale: float) -> List[Step]:
+    """Search execution: subject/author/title search."""
+    subject = rng.randint(0, ctx.subjects - 1)
+    return [
+        ("SELECT i_id, i_title, i_srp FROM item "
+         "WHERE i_subject = 'subject%d' ORDER BY i_title LIMIT 50"
+         % subject, _cpu(80, scale)),
+    ]
+
+
+def order_inquiry(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                  scale: float) -> List[Step]:
+    """Order-status form."""
+    return [
+        ("SELECT c_id, c_uname FROM customer WHERE c_id = %d"
+         % state.customer_id, _cpu(5, scale)),
+    ]
+
+
+def order_display(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                  scale: float) -> List[Step]:
+    """Most recent order of the customer with its lines."""
+    return [
+        ("SELECT o_id, o_total, o_status FROM orders WHERE o_c_id = %d "
+         "ORDER BY o_id DESC LIMIT 1" % state.customer_id, _cpu(15, scale)),
+        ("SELECT ol_i_id, ol_qty FROM order_line WHERE ol_o_id = %d"
+         % rng.randint(1, max(1, ctx.orders)), _cpu(10, scale)),
+        ("SELECT cx_type, cx_xact_amt FROM cc_xacts WHERE cx_o_id = %d"
+         % rng.randint(1, max(1, ctx.orders)), _cpu(5, scale)),
+    ]
+
+
+def admin_request(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                  scale: float) -> List[Step]:
+    """Admin item view."""
+    item = rng.randint(1, ctx.items)
+    return [
+        ("SELECT * FROM item WHERE i_id = %d" % item, _cpu(6, scale)),
+        ("SELECT a_fname, a_lname FROM author WHERE a_id = %d"
+         % (1 + item % max(1, ctx.items // 4)), _cpu(6, scale)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# update interactions
+# ---------------------------------------------------------------------------
+
+def shopping_cart(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                  scale: float) -> List[Step]:
+    """Create or refresh the cart and add/refresh one line."""
+    item = rng.randint(1, ctx.items)
+    qty = rng.randint(1, 5)
+    steps: List[Step] = [
+        ("SELECT i_id, i_title, i_srp FROM item WHERE i_id = %d" % item,
+         _cpu(3, scale)),
+    ]
+    if state.cart_id is None:
+        state.cart_id = ctx.ids.next_id("shopping_cart")
+        steps.append(
+            ("INSERT INTO shopping_cart (sc_id, sc_time, sc_sub_total, "
+             "sc_total) VALUES (%d, 0, 0, 0)" % state.cart_id,
+             _cpu(4, scale)))
+    else:
+        steps.append(
+            ("SELECT sc_id, sc_total FROM shopping_cart WHERE sc_id = %d"
+             % state.cart_id, _cpu(2, scale)))
+        steps.append(
+            ("UPDATE shopping_cart SET sc_time = sc_time + 1 "
+             "WHERE sc_id = %d" % state.cart_id, _cpu(4, scale)))
+    line_id = ctx.ids.next_id("shopping_cart_line")
+    steps.append(
+        ("INSERT INTO shopping_cart_line (scl_id, scl_sc_id, scl_i_id, "
+         "scl_qty) VALUES (%d, %d, %d, %d)"
+         % (line_id, state.cart_id, item, qty), _cpu(4, scale)))
+    state.cart_items.append((item, qty))
+    if len(state.cart_items) > 5:
+        state.cart_items = state.cart_items[-5:]
+    return steps
+
+
+def customer_registration(ctx: TpcwContext, state: EbState,
+                          rng: RandomStream, scale: float) -> List[Step]:
+    """Register a new customer (insert customer + address)."""
+    new_c = ctx.ids.next_id("customer")
+    new_addr = ctx.ids.next_id("address")
+    return [
+        ("SELECT c_id, c_uname FROM customer WHERE c_id = %d"
+         % state.customer_id, _cpu(2.5, scale)),
+        ("INSERT INTO address (addr_id, addr_street1, addr_street2, "
+         "addr_city, addr_state, addr_zip, addr_co_id) "
+         "VALUES (%d, 'street', '', 'city', 'st', '00000', %d)"
+         % (new_addr, rng.randint(1, 92)), _cpu(4, scale)),
+        ("INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, "
+         "c_lname, c_addr_id, c_phone, c_email, c_since, c_last_login, "
+         "c_login, c_expiration, c_discount, c_balance, c_ytd_pmt, "
+         "c_birthdate, c_data) VALUES (%d, 'nu%d', 'pw', 'fn', 'ln', %d, "
+         "'555', 'e@x', 0, 0, 0, 0, 0.1, 0, 0, 0, 'd')"
+         % (new_c, new_c, new_addr), _cpu(5, scale)),
+    ]
+
+
+def buy_request(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                scale: float) -> List[Step]:
+    """Checkout form: refresh customer login state."""
+    state.logins += 1
+    return [
+        ("SELECT c_id, c_passwd, c_addr_id FROM customer WHERE c_id = %d"
+         % state.customer_id, _cpu(2.5, scale)),
+        ("SELECT addr_id, addr_street1 FROM address WHERE addr_id = %d"
+         % (2 * state.customer_id - 1), _cpu(2.5, scale)),
+        ("UPDATE customer SET c_login = %d, c_expiration = %d "
+         "WHERE c_id = %d"
+         % (state.logins, state.logins + 7200, state.customer_id),
+         _cpu(4, scale)),
+    ]
+
+
+def buy_confirm(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                scale: float) -> List[Step]:
+    """Place the order: the order-pipeline transaction.
+
+    Reads the customer and each cart item's stock, inserts the order with
+    its lines and the credit-card transaction, decrements the stock
+    (primary-key read-modify-write: the conflict source under load), and
+    empties the cart.
+    """
+    if not state.cart_items:
+        state.cart_items = [(rng.randint(1, ctx.items), rng.randint(1, 3))]
+    lines = state.cart_items[:3]
+    order_id = ctx.ids.next_id("orders")
+    steps: List[Step] = [
+        ("SELECT c_id, c_discount, c_balance FROM customer WHERE c_id = %d"
+         % state.customer_id, _cpu(3, scale)),
+    ]
+    for item, _qty in lines:
+        steps.append(("SELECT i_stock, i_cost FROM item WHERE i_id = %d"
+                      % item, _cpu(2, scale)))
+    steps.append(
+        ("INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_tax, "
+         "o_total, o_ship_type, o_ship_date, o_bill_addr_id, "
+         "o_ship_addr_id, o_status) VALUES (%d, %d, 0, 10, 1, 11, 'air', "
+         "0, %d, %d, 'pending')"
+         % (order_id, state.customer_id, 2 * state.customer_id - 1,
+            2 * state.customer_id), _cpu(4, scale)))
+    for item, qty in lines:
+        line_id = ctx.ids.next_id("order_line")
+        steps.append(
+            ("INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, "
+             "ol_discount, ol_comments) VALUES (%d, %d, %d, %d, 0, 'c')"
+             % (line_id, order_id, item, qty), _cpu(3.5, scale)))
+        steps.append(
+            ("UPDATE item SET i_stock = i_stock - %d WHERE i_id = %d"
+             % (min(qty, 2), item), _cpu(4, scale)))
+    steps.append(
+        ("INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, "
+         "cx_expiry, cx_auth_id, cx_xact_amt, cx_xact_date, cx_co_id) "
+         "VALUES (%d, 'VISA', '4111', 'n', 0, 'a', 11, 0, %d)"
+         % (order_id, rng.randint(1, 92)), _cpu(4, scale)))
+    state.cart_items = []
+    return steps
+
+
+def admin_confirm(ctx: TpcwContext, state: EbState, rng: RandomStream,
+                  scale: float) -> List[Step]:
+    """Admin update: change an item's image and related items."""
+    item = rng.randint(1, ctx.items)
+    related = rng.randint(1, ctx.items)
+    return [
+        ("SELECT i_id, i_image FROM item WHERE i_id = %d" % item,
+         _cpu(3, scale)),
+        ("UPDATE item SET i_image = 'img', i_thumbnail = 'th', "
+         "i_related1 = %d WHERE i_id = %d" % (related, item),
+         _cpu(5, scale)),
+    ]
+
+
+#: Interaction registry used by the emulated browsers.
+INTERACTIONS: Dict[str, Callable[[TpcwContext, EbState, RandomStream,
+                                  float], List[Step]]] = {
+    "home": home,
+    "new_products": new_products,
+    "best_sellers": best_sellers,
+    "product_detail": product_detail,
+    "search_request": search_request,
+    "search_results": search_results,
+    "shopping_cart": shopping_cart,
+    "customer_registration": customer_registration,
+    "buy_request": buy_request,
+    "buy_confirm": buy_confirm,
+    "order_inquiry": order_inquiry,
+    "order_display": order_display,
+    "admin_request": admin_request,
+    "admin_confirm": admin_confirm,
+}

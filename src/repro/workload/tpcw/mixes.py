@@ -1,0 +1,100 @@
+"""The three TPC-W mixes: browsing, shopping, ordering.
+
+The TPC-W specification defines web-interaction mixes via a Markov
+transition matrix; we use the resulting stationary interaction
+frequencies (the standard simplification for closed-loop load
+generators).  What matters for the paper's experiments is the ratio of
+read-only to update interactions: ~95% read-only for browsing, ~80% for
+shopping, and ~50% for ordering — the paper selected *ordering* because
+update-intensive workloads stress replication hardest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Interaction name -> relative frequency (percent), ordering mix.
+ORDERING_MIX: Dict[str, float] = {
+    "home": 9.12,
+    "new_products": 0.46,
+    "best_sellers": 0.46,
+    "product_detail": 12.35,
+    "search_request": 14.53,
+    "search_results": 13.08,
+    "shopping_cart": 13.53,
+    "customer_registration": 12.86,
+    "buy_request": 12.73,
+    "buy_confirm": 10.18,
+    "order_inquiry": 0.25,
+    "order_display": 0.22,
+    "admin_request": 0.12,
+    "admin_confirm": 0.11,
+}
+
+#: Shopping mix (~80% read-only).
+SHOPPING_MIX: Dict[str, float] = {
+    "home": 16.00,
+    "new_products": 5.00,
+    "best_sellers": 5.00,
+    "product_detail": 17.00,
+    "search_request": 20.00,
+    "search_results": 17.00,
+    "shopping_cart": 11.60,
+    "customer_registration": 3.00,
+    "buy_request": 2.60,
+    "buy_confirm": 1.20,
+    "order_inquiry": 0.75,
+    "order_display": 0.66,
+    "admin_request": 0.10,
+    "admin_confirm": 0.09,
+}
+
+#: Browsing mix (~95% read-only).
+BROWSING_MIX: Dict[str, float] = {
+    "home": 29.00,
+    "new_products": 11.00,
+    "best_sellers": 11.00,
+    "product_detail": 21.00,
+    "search_request": 12.00,
+    "search_results": 11.00,
+    "shopping_cart": 2.00,
+    "customer_registration": 0.82,
+    "buy_request": 0.75,
+    "buy_confirm": 0.69,
+    "order_inquiry": 0.30,
+    "order_display": 0.25,
+    "admin_request": 0.10,
+    "admin_confirm": 0.09,
+}
+
+MIXES: Dict[str, Dict[str, float]] = {
+    "ordering": ORDERING_MIX,
+    "shopping": SHOPPING_MIX,
+    "browsing": BROWSING_MIX,
+}
+
+#: Interactions whose transaction performs writes.
+UPDATE_INTERACTIONS = frozenset({
+    "shopping_cart", "customer_registration", "buy_request",
+    "buy_confirm", "admin_confirm",
+})
+
+
+def mix_weights(mix_name: str) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
+    """(interaction names, weights) for a mix, ready for weighted choice."""
+    mix = MIXES.get(mix_name)
+    if mix is None:
+        raise ValueError("unknown mix %r (expected one of %s)"
+                         % (mix_name, ", ".join(sorted(MIXES))))
+    names = tuple(mix)
+    weights = tuple(mix[name] for name in names)
+    return names, weights
+
+
+def update_fraction(mix_name: str) -> float:
+    """Fraction of interactions that perform updates under a mix."""
+    mix = MIXES[mix_name]
+    total = sum(mix.values())
+    updates = sum(weight for name, weight in mix.items()
+                  if name in UPDATE_INTERACTIONS)
+    return updates / total

@@ -1,0 +1,224 @@
+"""TPC-W population: cardinalities, sizing (Table 3), and bulk loading.
+
+TPC-W scales with two knobs: the number of catalogue items and the number
+of emulated browsers (EBs).  Cardinalities follow the specification:
+
+* ``customers   = 2880 x EBs``
+* ``addresses   = 2 x customers``
+* ``orders      = 0.9 x customers`` (order lines: 3 per order, one credit
+  card transaction per order)
+* ``authors     = 0.25 x items``
+
+The paper's Table 3 maps (items, EBs) to on-disk size; those sizes fit a
+``fixed overhead + linear`` model (about 0.2 GB of catalogs/WAL/free
+space plus the row payload), which is what
+:func:`nominal_database_size_mb` implements via the schema widths.
+
+Because the full-scale database (millions of rows) would not fit in a
+Python process, :func:`populate` loads rows at ``row_scale`` (for example
+1/100 of the cardinalities) and sets the tenant's ``size_multiplier`` so
+dump/restore timing still sees the full nominal size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from ...sim.rand import RandomStream
+from .schema import all_schemas
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...engine.instance import DbmsInstance
+
+#: Fixed per-database footprint implied by Table 3 (GB -> MB).
+FIXED_OVERHEAD_MB = 200.0
+
+#: TPC-W customers per emulated browser.
+CUSTOMERS_PER_EB = 2880
+
+#: The paper's Table 3, for reporting alongside measured sizes.
+PAPER_TABLE3 = (
+    {"items": 100000, "ebs": 100, "size_gb": 0.8},
+    {"items": 500000, "ebs": 500, "size_gb": 3.1},
+    {"items": 1000000, "ebs": 1000, "size_gb": 6.2},
+    {"items": 2000000, "ebs": 2000, "size_gb": 12.0},
+)
+
+
+@dataclass(frozen=True)
+class PopulationParams:
+    """Scale parameters of one TPC-W database."""
+
+    items: int = 100000
+    ebs: int = 100
+    #: Fraction of the nominal cardinalities actually materialised.
+    row_scale: float = 0.01
+
+    @property
+    def customers(self) -> int:
+        """Nominal customer count (2880 per EB)."""
+        return CUSTOMERS_PER_EB * self.ebs
+
+    @property
+    def orders(self) -> int:
+        """Nominal initial order count (0.9 per customer)."""
+        return int(0.9 * self.customers)
+
+    def cardinalities(self) -> Dict[str, int]:
+        """Nominal (full-scale) row counts per table."""
+        customers = self.customers
+        orders = self.orders
+        return {
+            "customer": customers,
+            "address": 2 * customers,
+            "country": 92,
+            "item": self.items,
+            "author": max(1, self.items // 4),
+            "orders": orders,
+            "order_line": 3 * orders,
+            "cc_xacts": orders,
+            "shopping_cart": 0,
+            "shopping_cart_line": 0,
+        }
+
+    def scaled_cardinalities(self) -> Dict[str, int]:
+        """Materialised row counts (at ``row_scale``), minimum 1 each."""
+        scaled = {}
+        for table, count in self.cardinalities().items():
+            scaled[table] = (max(1, int(math.ceil(count * self.row_scale)))
+                             if count else 0)
+        return scaled
+
+
+def nominal_database_size_mb(params: PopulationParams) -> float:
+    """Predicted on-disk size from schema widths + fixed overhead."""
+    schemas = all_schemas()
+    total_bytes = 0.0
+    for table, count in params.cardinalities().items():
+        total_bytes += count * schemas[table].row_width_bytes()
+    return FIXED_OVERHEAD_MB + total_bytes / 1e6
+
+
+def populate(instance: "DbmsInstance", tenant_name: str,
+             params: PopulationParams, rng: RandomStream) -> None:
+    """Create and bulk-load a TPC-W tenant (not timed; setup only).
+
+    Rows are installed directly at CSN 1, bypassing SQL, because initial
+    population is not part of any measured path.
+    """
+    tenant = instance.create_tenant(tenant_name)
+    tenant.fixed_overhead_mb = FIXED_OVERHEAD_MB
+    if params.row_scale < 1.0:
+        tenant.size_multiplier = 1.0 / params.row_scale
+    for schema in all_schemas().values():
+        tenant.create_table(schema)
+    counts = params.scaled_cardinalities()
+    csn = instance.current_csn() + 1
+    instance._csn = csn
+    _load_country(tenant, csn)
+    _load_items(tenant, csn, counts["item"], counts["author"], rng)
+    _load_authors(tenant, csn, counts["author"], rng)
+    _load_customers(tenant, csn, counts["customer"], rng)
+    _load_addresses(tenant, csn, counts["address"], rng)
+    _load_orders(tenant, csn, counts["orders"], counts["customer"],
+                 counts["item"], rng)
+
+
+def _load_country(tenant, csn: int) -> None:
+    table = tenant.table("country")
+    for co_id in range(1, 93):
+        table.install(co_id, csn, {
+            "co_id": co_id, "co_name": "country%d" % co_id,
+            "co_exchange": 1.0, "co_currency": "CUR"})
+
+
+def _load_items(tenant, csn: int, items: int, authors: int,
+                rng: RandomStream) -> None:
+    table = tenant.table("item")
+    for i_id in range(1, items + 1):
+        table.install(i_id, csn, {
+            "i_id": i_id,
+            "i_title": "title%d" % i_id,
+            "i_a_id": 1 + (i_id % max(1, authors)),
+            "i_pub_date": 0, "i_publisher": "pub%d" % (i_id % 100),
+            "i_subject": "subject%d" % (i_id % 24),
+            "i_desc": "description of item %d" % i_id,
+            "i_related1": 1 + (i_id % items),
+            "i_related2": 1 + ((i_id + 1) % items),
+            "i_related3": 1 + ((i_id + 2) % items),
+            "i_related4": 1 + ((i_id + 3) % items),
+            "i_related5": 1 + ((i_id + 4) % items),
+            "i_thumbnail": "thumb%d" % i_id, "i_image": "image%d" % i_id,
+            "i_srp": round(rng.uniform(1.0, 100.0), 2),
+            "i_cost": round(rng.uniform(1.0, 100.0), 2),
+            "i_avail": 0, "i_stock": rng.randint(10, 30),
+            "i_isbn": "isbn%d" % i_id, "i_page": rng.randint(20, 9999),
+            "i_backing": "paperback", "i_dimensions": "20x15x2",
+            "i_pad": "x" * 8})
+
+
+def _load_authors(tenant, csn: int, authors: int,
+                  rng: RandomStream) -> None:
+    table = tenant.table("author")
+    for a_id in range(1, authors + 1):
+        table.install(a_id, csn, {
+            "a_id": a_id, "a_fname": "fn%d" % a_id,
+            "a_lname": "ln%d" % a_id, "a_mname": "m",
+            "a_dob": 0, "a_bio": "bio", "a_bio2": "bio", "a_bio3": "bio"})
+
+
+def _load_customers(tenant, csn: int, customers: int,
+                    rng: RandomStream) -> None:
+    table = tenant.table("customer")
+    for c_id in range(1, customers + 1):
+        table.install(c_id, csn, {
+            "c_id": c_id, "c_uname": "user%d" % c_id,
+            "c_passwd": "pw%d" % c_id, "c_fname": "fn%d" % c_id,
+            "c_lname": "ln%d" % c_id, "c_addr_id": 2 * c_id - 1,
+            "c_phone": "555-%07d" % c_id, "c_email": "u%d@x.com" % c_id,
+            "c_since": 0, "c_last_login": 0, "c_login": 0,
+            "c_expiration": 0,
+            "c_discount": round(rng.uniform(0.0, 0.5), 2),
+            "c_balance": 0.0, "c_ytd_pmt": 0.0, "c_birthdate": 0,
+            "c_data": "d" * 16})
+
+
+def _load_addresses(tenant, csn: int, addresses: int,
+                    rng: RandomStream) -> None:
+    table = tenant.table("address")
+    for addr_id in range(1, addresses + 1):
+        table.install(addr_id, csn, {
+            "addr_id": addr_id, "addr_street1": "street %d" % addr_id,
+            "addr_street2": "", "addr_city": "city%d" % (addr_id % 100),
+            "addr_state": "st", "addr_zip": "%05d" % (addr_id % 99999),
+            "addr_co_id": 1 + (addr_id % 92)})
+
+
+def _load_orders(tenant, csn: int, orders: int, customers: int,
+                 items: int, rng: RandomStream) -> None:
+    order_table = tenant.table("orders")
+    line_table = tenant.table("order_line")
+    cc_table = tenant.table("cc_xacts")
+    ol_id = 0
+    for o_id in range(1, orders + 1):
+        c_id = 1 + (o_id % max(1, customers))
+        order_table.install(o_id, csn, {
+            "o_id": o_id, "o_c_id": c_id, "o_date": 0,
+            "o_sub_total": 10.0, "o_tax": 0.8, "o_total": 10.8,
+            "o_ship_type": "air", "o_ship_date": 0,
+            "o_bill_addr_id": 2 * c_id - 1, "o_ship_addr_id": 2 * c_id,
+            "o_status": "shipped"})
+        for _line in range(3):
+            ol_id += 1
+            line_table.install(ol_id, csn, {
+                "ol_id": ol_id, "ol_o_id": o_id,
+                "ol_i_id": rng.randint(1, max(1, items)),
+                "ol_qty": rng.randint(1, 5), "ol_discount": 0.0,
+                "ol_comments": "c"})
+        cc_table.install(o_id, csn, {
+            "cx_o_id": o_id, "cx_type": "VISA", "cx_num": "4111",
+            "cx_name": "name", "cx_expiry": 0, "cx_auth_id": "auth",
+            "cx_xact_amt": 10.8, "cx_xact_date": 0,
+            "cx_co_id": 1 + (o_id % 92)})

@@ -1,0 +1,138 @@
+"""TPC-W schema: the online-bookstore tables.
+
+Ten tables, with representative column sets whose nominal widths are
+calibrated so that the population model reproduces the paper's Table 3
+database sizes (100,000 items + 100 EBs -> ~0.8 GB, etc.).  Primary keys
+are single integer columns, as required by the storage engine, and the
+update statements the workload issues are always primary-key based — the
+same access pattern the Java TPC-W kit uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...engine.schema import TableSchema
+from ...engine.sqlmini import ColumnDef
+
+
+def _columns(*specs: Tuple[str, str]) -> Tuple[ColumnDef, ...]:
+    first = True
+    columns = []
+    for name, type_name in specs:
+        columns.append(ColumnDef(name, type_name, primary_key=first))
+        first = False
+    return tuple(columns)
+
+
+def customer_schema() -> TableSchema:
+    """CUSTOMER: one row per registered customer (~420 B nominal)."""
+    schema = TableSchema("customer", _columns(
+        ("c_id", "INT"), ("c_uname", "VARCHAR"), ("c_passwd", "VARCHAR"),
+        ("c_fname", "VARCHAR"), ("c_lname", "VARCHAR"), ("c_addr_id", "INT"),
+        ("c_phone", "VARCHAR"), ("c_email", "VARCHAR"),
+        ("c_since", "DATE"), ("c_last_login", "DATE"),
+        ("c_login", "TIMESTAMP"), ("c_expiration", "TIMESTAMP"),
+        ("c_discount", "FLOAT"), ("c_balance", "FLOAT"),
+        ("c_ytd_pmt", "FLOAT"), ("c_birthdate", "DATE"),
+        ("c_data", "TEXT")))
+    schema.add_index("idx_customer_uname", "c_uname")
+    return schema
+
+
+def address_schema() -> TableSchema:
+    """ADDRESS: two rows per customer (~190 B nominal)."""
+    return TableSchema("address", _columns(
+        ("addr_id", "INT"), ("addr_street1", "VARCHAR"),
+        ("addr_street2", "VARCHAR"), ("addr_city", "VARCHAR"),
+        ("addr_state", "VARCHAR"), ("addr_zip", "CHAR"),
+        ("addr_co_id", "INT")))
+
+
+def country_schema() -> TableSchema:
+    """COUNTRY: fixed 92 rows."""
+    return TableSchema("country", _columns(
+        ("co_id", "INT"), ("co_name", "VARCHAR"),
+        ("co_exchange", "FLOAT"), ("co_currency", "VARCHAR")))
+
+
+def item_schema() -> TableSchema:
+    """ITEM: the catalogue (~650 B nominal — long titles/descriptions)."""
+    schema = TableSchema("item", _columns(
+        ("i_id", "INT"), ("i_title", "VARCHAR"), ("i_a_id", "INT"),
+        ("i_pub_date", "DATE"), ("i_publisher", "VARCHAR"),
+        ("i_subject", "VARCHAR"), ("i_desc", "TEXT"),
+        ("i_related1", "INT"), ("i_related2", "INT"),
+        ("i_related3", "INT"), ("i_related4", "INT"),
+        ("i_related5", "INT"), ("i_thumbnail", "TEXT"),
+        ("i_image", "TEXT"), ("i_srp", "FLOAT"), ("i_cost", "FLOAT"),
+        ("i_avail", "DATE"), ("i_stock", "INT"), ("i_isbn", "CHAR"),
+        ("i_page", "INT"), ("i_backing", "VARCHAR"),
+        ("i_dimensions", "VARCHAR"), ("i_pad", "TEXT")))
+    schema.add_index("idx_item_subject", "i_subject")
+    schema.add_index("idx_item_author", "i_a_id")
+    return schema
+
+
+def author_schema() -> TableSchema:
+    """AUTHOR: one row per 4 items (~350 B nominal)."""
+    return TableSchema("author", _columns(
+        ("a_id", "INT"), ("a_fname", "VARCHAR"), ("a_lname", "VARCHAR"),
+        ("a_mname", "VARCHAR"), ("a_dob", "DATE"), ("a_bio", "TEXT"),
+        ("a_bio2", "TEXT"), ("a_bio3", "TEXT")))
+
+
+def orders_schema() -> TableSchema:
+    """ORDERS: 0.9 per customer initially (~230 B nominal)."""
+    schema = TableSchema("orders", _columns(
+        ("o_id", "INT"), ("o_c_id", "INT"), ("o_date", "DATE"),
+        ("o_sub_total", "FLOAT"), ("o_tax", "FLOAT"), ("o_total", "FLOAT"),
+        ("o_ship_type", "VARCHAR"), ("o_ship_date", "DATE"),
+        ("o_bill_addr_id", "INT"), ("o_ship_addr_id", "INT"),
+        ("o_status", "VARCHAR")))
+    schema.add_index("idx_orders_customer", "o_c_id")
+    return schema
+
+
+def order_line_schema() -> TableSchema:
+    """ORDER_LINE: three per order on average (~200 B nominal)."""
+    schema = TableSchema("order_line", _columns(
+        ("ol_id", "INT"), ("ol_o_id", "INT"), ("ol_i_id", "INT"),
+        ("ol_qty", "INT"), ("ol_discount", "FLOAT"),
+        ("ol_comments", "TEXT")))
+    schema.add_index("idx_order_line_order", "ol_o_id")
+    return schema
+
+
+def cc_xacts_schema() -> TableSchema:
+    """CC_XACTS: one card transaction per order (~210 B nominal)."""
+    return TableSchema("cc_xacts", _columns(
+        ("cx_o_id", "INT"), ("cx_type", "VARCHAR"), ("cx_num", "CHAR"),
+        ("cx_name", "VARCHAR"), ("cx_expiry", "DATE"),
+        ("cx_auth_id", "CHAR"), ("cx_xact_amt", "FLOAT"),
+        ("cx_xact_date", "DATE"), ("cx_co_id", "INT")))
+
+
+def shopping_cart_schema() -> TableSchema:
+    """SHOPPING_CART: one per active EB session."""
+    return TableSchema("shopping_cart", _columns(
+        ("sc_id", "INT"), ("sc_time", "TIMESTAMP"),
+        ("sc_sub_total", "FLOAT"), ("sc_total", "FLOAT")))
+
+
+def shopping_cart_line_schema() -> TableSchema:
+    """SHOPPING_CART_LINE: lines of active carts."""
+    schema = TableSchema("shopping_cart_line", _columns(
+        ("scl_id", "INT"), ("scl_sc_id", "INT"), ("scl_i_id", "INT"),
+        ("scl_qty", "INT")))
+    schema.add_index("idx_scl_cart", "scl_sc_id")
+    return schema
+
+
+def all_schemas() -> Dict[str, TableSchema]:
+    """Every TPC-W table schema, keyed by table name."""
+    schemas = [customer_schema(), address_schema(), country_schema(),
+               item_schema(), author_schema(), orders_schema(),
+               order_line_schema(), cc_xacts_schema(),
+               shopping_cart_schema(), shopping_cart_line_schema()]
+    return {schema.name: schema for schema in schemas}

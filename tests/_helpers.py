@@ -1,0 +1,21 @@
+"""Helpers shared by the test modules."""
+
+from __future__ import annotations
+
+from repro.sim import Environment
+
+
+def drive(env: Environment, generator, until=None):
+    """Run a process generator to completion and return its value."""
+    process = env.process(generator)
+    env.run(until=until)
+    if not process.triggered:
+        raise AssertionError("process did not finish by until=%r" % until)
+    return process.value
+
+
+def drive_all(env: Environment, *generators, until=None):
+    """Run several process generators; returns their values in order."""
+    processes = [env.process(g) for g in generators]
+    env.run(until=until)
+    return [p.value if p.triggered else None for p in processes]

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Make tests/_helpers.py importable from every test module regardless of
+# the pytest import mode.
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.sim import Environment  # noqa: E402
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()

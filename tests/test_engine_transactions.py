@@ -1,0 +1,387 @@
+"""Snapshot-isolation semantics end-to-end through sessions.
+
+These tests exercise the paper's Section 2.3 behaviours: snapshot
+visibility, repeatable reads, first-updater-wins (both the waiting and
+the immediate-abort paths), read-own-writes, and lock hand-off on abort.
+"""
+
+import pytest
+
+from repro.engine import DbmsInstance, Session
+from repro.sim import Environment
+
+from _helpers import drive, drive_all
+
+
+@pytest.fixture
+def instance(env):
+    inst = DbmsInstance(env, "n0")
+    inst.create_tenant("T")
+
+    def setup(env):
+        s = Session(inst, "T")
+        result = yield from s.execute(
+            "CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        assert result.ok
+        yield from s.execute("BEGIN")
+        for key in range(5):
+            result = yield from s.execute(
+                "INSERT INTO kv (k, v) VALUES (%d, %d)" % (key, key * 10))
+            assert result.ok, result.error
+        result = yield from s.execute("COMMIT")
+        assert result.ok
+    drive(env, setup(env))
+    return inst
+
+
+def _read_v(session, key):
+    result = yield from session.execute(
+        "SELECT v FROM kv WHERE k = %d" % key)
+    assert result.ok, result.error
+    return result.rows[0]["v"] if result.rows else None
+
+
+class TestSnapshotVisibility:
+    def test_snapshot_taken_at_first_operation(self, env, instance):
+        """A transaction's snapshot excludes commits after its first
+        read, even if BEGIN preceded them."""
+        reader = Session(instance, "T")
+        writer = Session(instance, "T")
+
+        def reader_proc(env):
+            yield from reader.execute("BEGIN")
+            yield env.timeout(5)  # writer commits in this window
+            first = yield from _read_v(reader, 0)
+            yield env.timeout(5)
+            second = yield from _read_v(reader, 0)
+            yield from reader.execute("COMMIT")
+            return (first, second)
+
+        def writer_proc(env):
+            yield env.timeout(1)
+            yield from writer.execute("BEGIN")
+            yield from _read_v(writer, 0)
+            result = yield from writer.execute(
+                "UPDATE kv SET v = 111 WHERE k = 0")
+            assert result.ok
+            yield from writer.execute("COMMIT")
+        values = drive_all(env, reader_proc(env), writer_proc(env))[0]
+        # snapshot was created after the writer's commit -> sees 111
+        assert values == (111, 111)
+
+    def test_no_dirty_reads(self, env, instance):
+        """Uncommitted writes are invisible to other transactions."""
+        reader = Session(instance, "T")
+        writer = Session(instance, "T")
+
+        def writer_proc(env):
+            yield from writer.execute("BEGIN")
+            yield from _read_v(writer, 1)
+            yield from writer.execute("UPDATE kv SET v = 999 WHERE k = 1")
+            yield env.timeout(10)  # hold the write uncommitted
+            yield from writer.execute("ROLLBACK")
+
+        def reader_proc(env):
+            yield env.timeout(2)
+            yield from reader.execute("BEGIN")
+            value = yield from _read_v(reader, 1)
+            yield from reader.execute("COMMIT")
+            return value
+        values = drive_all(env, writer_proc(env), reader_proc(env))
+        assert values[1] == 10
+
+    def test_repeatable_read(self, env, instance):
+        """Reads within one transaction agree despite later commits."""
+        reader = Session(instance, "T")
+        writer = Session(instance, "T")
+
+        def reader_proc(env):
+            yield from reader.execute("BEGIN")
+            first = yield from _read_v(reader, 2)
+            yield env.timeout(10)
+            second = yield from _read_v(reader, 2)
+            yield from reader.execute("COMMIT")
+            return (first, second)
+
+        def writer_proc(env):
+            yield env.timeout(3)
+            yield from writer.execute("BEGIN")
+            yield from _read_v(writer, 2)
+            yield from writer.execute("UPDATE kv SET v = 777 WHERE k = 2")
+            yield from writer.execute("COMMIT")
+        values = drive_all(env, reader_proc(env), writer_proc(env))[0]
+        assert values == (20, 20)
+
+    def test_read_own_writes(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, 3)
+            yield from session.execute("UPDATE kv SET v = v + 5 WHERE k = 3")
+            value = yield from _read_v(session, 3)
+            yield from session.execute("COMMIT")
+            return value
+        assert drive(env, proc(env)) == 35
+
+    def test_insert_visible_after_commit_only(self, env, instance):
+        writer = Session(instance, "T")
+        reader = Session(instance, "T")
+
+        def writer_proc(env):
+            yield from writer.execute("BEGIN")
+            yield from _read_v(writer, 0)
+            yield from writer.execute("INSERT INTO kv (k, v) VALUES (50, 1)")
+            yield env.timeout(5)
+            yield from writer.execute("COMMIT")
+
+        def early_reader(env):
+            yield env.timeout(2)
+            value = yield from _read_v(reader, 50)
+            return value
+
+        def late_reader(env):
+            yield env.timeout(10)
+            value = yield from _read_v(reader, 50)
+            return value
+        values = drive_all(env, writer_proc(env), early_reader(env),
+                           late_reader(env))
+        assert values[1] is None
+        assert values[2] == 1
+
+    def test_delete_hides_row(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, 4)
+            result = yield from session.execute("DELETE FROM kv WHERE k = 4")
+            assert result.affected == 1
+            yield from session.execute("COMMIT")
+            value = yield from _read_v(session, 4)
+            return value
+        assert drive(env, proc(env)) is None
+
+
+class TestFirstUpdaterWins:
+    def test_waiter_aborts_when_holder_commits(self, env, instance):
+        t1 = Session(instance, "T")
+        t2 = Session(instance, "T")
+        log = []
+
+        def holder(env):
+            yield from t1.execute("BEGIN")
+            yield from _read_v(t1, 0)
+            yield from t1.execute("UPDATE kv SET v = v + 1 WHERE k = 0")
+            yield env.timeout(5)
+            result = yield from t1.execute("COMMIT")
+            log.append(("t1", result.ok))
+
+        def waiter(env):
+            yield env.timeout(1)
+            yield from t2.execute("BEGIN")
+            yield from _read_v(t2, 0)
+            result = yield from t2.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = 0")
+            log.append(("t2", result.ok, result.error))
+        drive_all(env, holder(env), waiter(env))
+        assert ("t1", True) in log
+        t2_entry = [e for e in log if e[0] == "t2"][0]
+        assert t2_entry[1] is False
+        assert "first-updater-wins" in t2_entry[2]
+
+    def test_waiter_proceeds_when_holder_aborts(self, env, instance):
+        t1 = Session(instance, "T")
+        t2 = Session(instance, "T")
+        log = []
+
+        def holder(env):
+            yield from t1.execute("BEGIN")
+            yield from _read_v(t1, 1)
+            yield from t1.execute("UPDATE kv SET v = 100 WHERE k = 1")
+            yield env.timeout(5)
+            yield from t1.execute("ROLLBACK")
+
+        def waiter(env):
+            yield env.timeout(1)
+            yield from t2.execute("BEGIN")
+            yield from _read_v(t2, 1)
+            result = yield from t2.execute(
+                "UPDATE kv SET v = 200 WHERE k = 1")
+            log.append(("t2-update", result.ok, env.now))
+            result = yield from t2.execute("COMMIT")
+            log.append(("t2-commit", result.ok))
+        drive_all(env, holder(env), waiter(env))
+        update_entry = [e for e in log if e[0] == "t2-update"][0]
+        assert update_entry[1] is True
+        assert update_entry[2] >= 5  # waited for the holder's abort
+        assert ("t2-commit", True) in log
+
+    def test_immediate_abort_on_stale_snapshot(self, env, instance):
+        """If a newer committed version postdates the snapshot, the
+        update aborts immediately — no waiting for its own commit."""
+        t1 = Session(instance, "T")
+        t2 = Session(instance, "T")
+
+        def t2_proc(env):
+            yield from t2.execute("BEGIN")
+            yield from _read_v(t2, 2)  # snapshot taken here
+            yield env.timeout(5)       # t1 commits an update meanwhile
+            result = yield from t2.execute(
+                "UPDATE kv SET v = 1 WHERE k = 2")
+            return (result.ok, result.error, env.now)
+
+        def t1_proc(env):
+            yield env.timeout(1)
+            yield from t1.execute("BEGIN")
+            yield from _read_v(t1, 2)
+            yield from t1.execute("UPDATE kv SET v = 2 WHERE k = 2")
+            yield from t1.execute("COMMIT")
+        values = drive_all(env, t2_proc(env), t1_proc(env))[0]
+        ok, error, when = values
+        assert ok is False
+        assert "first-updater-wins" in error
+        # aborted at the write attempt (t=5), not after a lock wait
+        assert when == pytest.approx(5, abs=0.5)
+
+    def test_same_txn_rewrite_is_not_a_conflict(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, 3)
+            r1 = yield from session.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = 3")
+            r2 = yield from session.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = 3")
+            commit = yield from session.execute("COMMIT")
+            return (r1.ok, r2.ok, commit.ok)
+        assert drive(env, proc(env)) == (True, True, True)
+
+    def test_intra_ww_last_write_wins_at_commit(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, 3)
+            yield from session.execute("UPDATE kv SET v = 1 WHERE k = 3")
+            yield from session.execute("UPDATE kv SET v = 2 WHERE k = 3")
+            yield from session.execute("COMMIT")
+            value = yield from _read_v(session, 3)
+            return value
+        assert drive(env, proc(env)) == 2
+
+    def test_serial_writers_never_conflict(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            for _round in range(3):
+                yield from session.execute("BEGIN")
+                yield from _read_v(session, 0)
+                result = yield from session.execute(
+                    "UPDATE kv SET v = v + 1 WHERE k = 0")
+                assert result.ok
+                result = yield from session.execute("COMMIT")
+                assert result.ok
+            value = yield from _read_v(session, 0)
+            return value
+        assert drive(env, proc(env)) == 3
+
+    def test_concurrent_disjoint_writers_both_commit(self, env, instance):
+        t1 = Session(instance, "T")
+        t2 = Session(instance, "T")
+
+        def writer(session, key, env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, key)
+            result = yield from session.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = %d" % key)
+            assert result.ok
+            result = yield from session.execute("COMMIT")
+            return result.ok
+        results = drive_all(env, writer(t1, 0, env), writer(t2, 1, env))
+        assert results == [True, True]
+
+
+class TestSessionLifecycle:
+    def test_commit_without_begin_errors(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            result = yield from session.execute("COMMIT")
+            return result
+        result = drive(env, proc(env))
+        assert not result.ok
+
+    def test_nested_begin_errors(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            result = yield from session.execute("BEGIN")
+            return result
+        assert not drive(env, proc(env)).ok
+
+    def test_rollback_without_txn_is_ok(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            result = yield from session.execute("ROLLBACK")
+            return result
+        assert drive(env, proc(env)).ok
+
+    def test_readonly_commit_has_no_csn(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, 0)
+            result = yield from session.execute("COMMIT")
+            return result.commit_csn
+        assert drive(env, proc(env)) is None
+
+    def test_update_commit_has_csn(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, 0)
+            yield from session.execute("UPDATE kv SET v = v + 1 WHERE k = 0")
+            result = yield from session.execute("COMMIT")
+            return result.commit_csn
+        assert drive(env, proc(env)) is not None
+
+    def test_duplicate_insert_aborts_txn(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, 0)
+            result = yield from session.execute(
+                "INSERT INTO kv (k, v) VALUES (0, 1)")
+            return (result.ok, session.in_transaction)
+        ok, in_txn = drive(env, proc(env))
+        assert not ok
+        assert not in_txn
+
+    def test_reset_aborts_open_txn(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            yield from session.execute("BEGIN")
+            yield from _read_v(session, 0)
+            yield from session.execute("UPDATE kv SET v = 1 WHERE k = 0")
+            session.reset()
+            return session.in_transaction
+        assert drive(env, proc(env)) is False
+        assert instance.aborts == 1
+
+    def test_unknown_table_is_error_result(self, env, instance):
+        session = Session(instance, "T")
+
+        def proc(env):
+            result = yield from session.execute("SELECT v FROM ghost")
+            return result
+        result = drive(env, proc(env))
+        assert not result.ok
+        assert "ghost" in result.error

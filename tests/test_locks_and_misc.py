@@ -1,0 +1,244 @@
+"""Unit tests for the lock table, the simple KV workload, and the
+exception hierarchy."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import MADEUS, Middleware, MiddlewareConfig
+from repro.engine import DbmsInstance, TenantDatabase
+from repro.engine.locks import LockTable
+from repro.engine.transaction import Transaction, TxnStatus
+from repro.errors import (CatchUpTimeout, MigrationError, ReproError,
+                          RoutingError, SchemaError, SqlError,
+                          TransactionAborted)
+from repro.sim import Environment
+from repro.workload.simplekv import (KvWorkloadConfig, run_kv_clients,
+                                     setup_kv_tenant)
+
+from _helpers import drive
+
+
+class TestLockTable:
+    def _txn(self):
+        return Transaction("T", 0.0)
+
+    def test_first_acquire_granted_immediately(self, env):
+        locks = LockTable(env)
+        txn = self._txn()
+        event = locks.try_acquire(txn, ("t", 1))
+        assert event.triggered and event.ok
+        assert locks.holder(("t", 1)) is txn
+
+    def test_reentrant_acquire(self, env):
+        locks = LockTable(env)
+        txn = self._txn()
+        locks.try_acquire(txn, ("t", 1))
+        again = locks.try_acquire(txn, ("t", 1))
+        assert again.triggered and again.ok
+
+    def test_conflicting_acquire_waits(self, env):
+        locks = LockTable(env)
+        holder, waiter = self._txn(), self._txn()
+        locks.try_acquire(holder, ("t", 1))
+        event = locks.try_acquire(waiter, ("t", 1))
+        assert not event.triggered
+        assert locks.conflicts == 1
+        assert waiter.waiting_on == ("t", 1)
+
+    def test_commit_aborts_waiters(self, env):
+        locks = LockTable(env)
+        holder, waiter = self._txn(), self._txn()
+        locks.try_acquire(holder, ("t", 1))
+        event = locks.try_acquire(waiter, ("t", 1))
+
+        def observe(env):
+            try:
+                yield event
+            except TransactionAborted as exc:
+                return str(exc)
+        locks.release_all(holder, committed=True)
+        message = drive(env, observe(env))
+        assert "first-updater-wins" in message
+        assert locks.wait_aborts == 1
+        assert locks.holder(("t", 1)) is None
+
+    def test_abort_grants_next_waiter(self, env):
+        locks = LockTable(env)
+        holder, waiter = self._txn(), self._txn()
+        locks.try_acquire(holder, ("t", 1))
+        event = locks.try_acquire(waiter, ("t", 1))
+        locks.release_all(holder, committed=False)
+
+        def observe(env):
+            yield event
+            return locks.holder(("t", 1))
+        assert drive(env, observe(env)) is waiter
+        assert ("t", 1) in waiter.held_locks
+
+    def test_withdrawn_waiter_removed(self, env):
+        locks = LockTable(env)
+        holder, waiter = self._txn(), self._txn()
+        locks.try_acquire(holder, ("t", 1))
+        locks.try_acquire(waiter, ("t", 1))
+        # the waiter itself aborts (e.g. client rollback while queued)
+        locks.release_all(waiter, committed=False)
+        assert locks.waiter_count() == 0
+        # the holder's later commit aborts nobody
+        locks.release_all(holder, committed=True)
+        assert locks.wait_aborts == 0
+
+    def test_lock_counts(self, env):
+        locks = LockTable(env)
+        txn = self._txn()
+        locks.try_acquire(txn, ("t", 1))
+        locks.try_acquire(txn, ("t", 2))
+        assert locks.lock_count() == 2
+        locks.release_all(txn, committed=True)
+        assert locks.lock_count() == 0
+
+
+class TestTransactionObject:
+    def test_initial_state(self):
+        txn = Transaction("T", 1.5)
+        assert txn.is_active
+        assert not txn.is_update
+        assert txn.snapshot_csn is None
+
+    def test_record_write_tracks_order(self):
+        txn = Transaction("T", 0.0)
+        txn.record_write(("t", 2), {"v": 1})
+        txn.record_write(("t", 1), {"v": 2})
+        txn.record_write(("t", 2), {"v": 3})  # overwrite
+        assert txn.write_order == [("t", 2), ("t", 1)]
+        assert txn.writes[("t", 2)] == {"v": 3}
+        assert txn.is_update
+
+    def test_own_write_lookup(self):
+        txn = Transaction("T", 0.0)
+        txn.record_write(("t", 1), None)
+        written, value = txn.own_write(("t", 1))
+        assert written and value is None
+        written, _value = txn.own_write(("t", 9))
+        assert not written
+
+    def test_require_active_raises_after_commit(self):
+        from repro.errors import InvalidTransactionState
+        txn = Transaction("T", 0.0)
+        txn.status = TxnStatus.COMMITTED
+        with pytest.raises(InvalidTransactionState):
+            txn.require_active()
+
+
+class TestSimpleKvWorkload:
+    def test_workload_counters_consistent(self, env):
+        cluster = Cluster(env)
+        cluster.add_node("n0")
+        middleware = Middleware(env, cluster,
+                                MiddlewareConfig(policy=MADEUS))
+
+        def main(env):
+            yield from setup_kv_tenant(cluster.node("n0").instance, "A",
+                                       20)
+            middleware.register_tenant("A", "n0")
+        drive(env, main(env))
+        config = KvWorkloadConfig(keys=20, clients=4,
+                                  transactions_per_client=30,
+                                  think_time=0.005)
+        result = run_kv_clients(env, middleware, "A", config, seed=5)
+        env.run()
+        total = (result.committed_txns + result.read_only_txns
+                 + result.aborted_txns)
+        assert total == 4 * 30
+        assert sum(result.committed_increments.values()) > 0
+
+    def test_increments_match_database(self, env):
+        cluster = Cluster(env)
+        cluster.add_node("n0")
+        middleware = Middleware(env, cluster,
+                                MiddlewareConfig(policy=MADEUS))
+
+        def main(env):
+            yield from setup_kv_tenant(cluster.node("n0").instance, "A",
+                                       10)
+            middleware.register_tenant("A", "n0")
+        drive(env, main(env))
+        config = KvWorkloadConfig(keys=10, clients=5,
+                                  transactions_per_client=40,
+                                  read_only_ratio=0.2, think_time=0.002)
+        result = run_kv_clients(env, middleware, "A", config, seed=8)
+        env.run()
+        table = cluster.node("n0").instance.tenant("A").table("kv")
+        for key in range(10):
+            expected = result.committed_increments.get(key, 0)
+            assert table.chain(key).latest()["v"] == expected
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            env = Environment()
+            cluster = Cluster(env)
+            cluster.add_node("n0")
+            middleware = Middleware(env, cluster,
+                                    MiddlewareConfig(policy=MADEUS))
+
+            def main(env):
+                yield from setup_kv_tenant(
+                    cluster.node("n0").instance, "A", 10)
+                middleware.register_tenant("A", "n0")
+            drive(env, main(env))
+            config = KvWorkloadConfig(keys=10, clients=3,
+                                      transactions_per_client=20,
+                                      think_time=0.004)
+            result = run_kv_clients(env, middleware, "A", config, seed=4)
+            env.run()
+            return (result.committed_txns, result.aborted_txns,
+                    dict(result.committed_increments))
+        assert run_once() == run_once()
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        SqlError, SchemaError, TransactionAborted, MigrationError,
+        CatchUpTimeout, RoutingError])
+    def test_all_derive_from_repro_error(self, exc_type):
+        if exc_type is CatchUpTimeout:
+            instance = exc_type("m", backlog=1, elapsed=2.0)
+        elif exc_type is TransactionAborted:
+            instance = exc_type("reason")
+        else:
+            instance = exc_type("m")
+        assert isinstance(instance, ReproError)
+
+    def test_catchup_timeout_carries_diagnostics(self):
+        exc = CatchUpTimeout("slow", backlog=42, elapsed=7.5)
+        assert exc.backlog == 42
+        assert exc.elapsed == 7.5
+
+    def test_transaction_aborted_reason(self):
+        exc = TransactionAborted("conflict on row 5")
+        assert exc.reason == "conflict on row 5"
+
+
+class TestTenantDatabase:
+    def test_fingerprint_reflects_latest_state(self, env):
+        from repro.engine.schema import TableSchema
+        from repro.engine.sqlmini import ColumnDef
+        tenant = TenantDatabase("x", env)
+        tenant.create_table(TableSchema("t", (
+            ColumnDef("k", "INT", True), ColumnDef("v", "INT"))))
+        table = tenant.table("t")
+        table.install(1, 1, {"k": 1, "v": 10})
+        table.install(1, 2, {"k": 1, "v": 20})
+        fingerprint = tenant.state_fingerprint()
+        assert fingerprint["t"][1] == (("k", 1), ("v", 20))
+
+    def test_size_with_multiplier_and_overhead(self, env):
+        from repro.engine.schema import TableSchema
+        from repro.engine.sqlmini import ColumnDef
+        tenant = TenantDatabase("x", env)
+        tenant.create_table(TableSchema("t", (
+            ColumnDef("k", "INT", True),)))
+        tenant.table("t").install(1, 1, {"k": 1})
+        base = tenant.size_bytes()
+        tenant.size_multiplier = 10.0
+        tenant.fixed_overhead_mb = 1.0
+        assert tenant.size_bytes() == pytest.approx(base * 10 + 1e6)

@@ -1,0 +1,156 @@
+"""Edge cases of the middleware proxy: routing, registration,
+autocommit statements, and the suspension gate."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import MADEUS, Middleware, MiddlewareConfig
+from repro.engine.dump import TransferRates
+from repro.errors import RoutingError
+from repro.sim import Environment
+from repro.workload.simplekv import setup_kv_tenant
+
+from _helpers import drive
+
+
+@pytest.fixture
+def rig(env):
+    cluster = Cluster(env)
+    cluster.add_node("node0")
+    cluster.add_node("node1")
+    middleware = Middleware(env, cluster,
+                            MiddlewareConfig(policy=MADEUS))
+    drive(env, setup_kv_tenant(cluster.node("node0").instance, "A", 10))
+    middleware.register_tenant("A", "node0")
+    return cluster, middleware
+
+
+class TestRouting:
+    def test_route_known_tenant(self, rig):
+        _cluster, middleware = rig
+        assert middleware.route("A") == "node0"
+
+    def test_route_unknown_tenant_raises(self, rig):
+        _cluster, middleware = rig
+        with pytest.raises(RoutingError):
+            middleware.route("ghost")
+
+    def test_connect_unknown_tenant_raises(self, rig):
+        _cluster, middleware = rig
+        with pytest.raises(RoutingError):
+            middleware.connect("ghost")
+
+    def test_duplicate_registration_raises(self, rig):
+        _cluster, middleware = rig
+        with pytest.raises(RoutingError):
+            middleware.register_tenant("A", "node1")
+
+    def test_register_on_unknown_node_raises(self, env):
+        cluster = Cluster(env)
+        cluster.add_node("node0")
+        middleware = Middleware(env, cluster, MiddlewareConfig())
+        with pytest.raises(RoutingError):
+            middleware.register_tenant("B", "ghost-node")
+
+
+class TestAutocommitStatements:
+    def test_autocommit_read_passes_through(self, env, rig):
+        _cluster, middleware = rig
+        conn = middleware.connect("A")
+
+        def proc(env):
+            result = yield from middleware.submit(
+                conn, "SELECT v FROM kv WHERE k = 1")
+            return result
+        result = drive(env, proc(env))
+        assert result.ok
+        assert result.rows[0]["v"] == 0
+
+    def test_autocommit_read_creates_no_ssb(self, env, rig):
+        _cluster, middleware = rig
+        conn = middleware.connect("A")
+
+        def proc(env):
+            yield from middleware.submit(
+                conn, "SELECT v FROM kv WHERE k = 1")
+        drive(env, proc(env))
+        assert conn.ssb is None
+        state = middleware.tenant_state("A")
+        assert state.ssl.open_count() == 0
+
+
+class TestSuspensionGate:
+    def test_new_transactions_blocked_while_gate_closed(self, env, rig):
+        _cluster, middleware = rig
+        state = middleware.tenant_state("A")
+        state.gate.close()
+        conn = middleware.connect("A")
+        started = []
+
+        def client(env):
+            yield from middleware.submit(conn, "BEGIN")
+            started.append(env.now)
+            yield from middleware.submit(
+                conn, "SELECT v FROM kv WHERE k = 0")
+            yield from middleware.submit(conn, "COMMIT")
+
+        def opener(env):
+            yield env.timeout(1.0)
+            state.gate.open()
+        env.process(client(env))
+        env.process(opener(env))
+        env.run()
+        assert started and started[0] >= 1.0
+
+    def test_statements_of_running_txn_pass_closed_gate(self, env, rig):
+        """Suspension blocks transaction *starts*; in-flight
+        transactions drain (otherwise Step 4 would deadlock)."""
+        _cluster, middleware = rig
+        state = middleware.tenant_state("A")
+        conn = middleware.connect("A")
+        finished = []
+
+        def client(env):
+            yield from middleware.submit(conn, "BEGIN")
+            state.gate.close()
+            yield from middleware.submit(
+                conn, "SELECT v FROM kv WHERE k = 0")
+            result = yield from middleware.submit(conn, "COMMIT")
+            finished.append((env.now, result.ok))
+            state.gate.open()
+        env.process(client(env))
+        env.run(until=5.0)
+        assert finished and finished[0][1] is True
+
+
+class TestConnectionStats:
+    def test_statement_and_error_counters(self, env, rig):
+        _cluster, middleware = rig
+        conn = middleware.connect("A")
+
+        def proc(env):
+            yield from middleware.submit(conn, "BEGIN")
+            yield from middleware.submit(
+                conn, "SELECT v FROM kv WHERE k = 0")
+            yield from middleware.submit(conn, "SELECT v FROM nowhere")
+        drive(env, proc(env))
+        assert conn.statements == 3
+        assert conn.errors == 1
+
+    def test_session_rebinds_after_switchover(self, env, rig):
+        cluster, middleware = rig
+        conn = middleware.connect("A")
+
+        def proc(env):
+            yield from middleware.submit(
+                conn, "SELECT v FROM kv WHERE k = 0")
+            first = conn.session().instance.name
+            yield from middleware.migrate(
+                "A", "node1", TransferRates(dump_mb_s=50.0,
+                                            restore_mb_s=20.0))
+            yield from middleware.submit(
+                conn, "SELECT v FROM kv WHERE k = 0")
+            return first, conn.session().instance.name
+        before, after = drive(env, proc(env))
+        assert before == "node0"
+        assert after == "node1"

@@ -1,0 +1,233 @@
+"""Unit tests for the propagation engines against hand-built SSLs.
+
+These drive the Conductor and SerialReplayer directly (no middleware,
+no workload) so round structure, commit batching, and drain semantics
+can be asserted precisely.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (B_CON, B_MIN, MADEUS, LsirValidator, Operation,
+                        OpKind, SyncsetBuffer, SyncsetList)
+from repro.core.propagation import Conductor, SerialReplayer, \
+    make_propagator
+from repro.engine import DbmsInstance, Session, parse
+from repro.net.network import Network
+from repro.sim import Environment
+
+from _helpers import drive
+
+
+def _slave(env, keys=10):
+    instance = DbmsInstance(env, "slave")
+    instance.create_tenant("T")
+
+    def setup(env):
+        s = Session(instance, "T")
+        yield from s.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        yield from s.execute("BEGIN")
+        for key in range(keys):
+            yield from s.execute(
+                "INSERT INTO kv (k, v) VALUES (%d, 0)" % key)
+        yield from s.execute("COMMIT")
+    drive(env, setup(env))
+    return instance
+
+
+def _ssb(sts, ets, key, value):
+    ssb = SyncsetBuffer(sts=sts)
+    read_sql = "SELECT v FROM kv WHERE k = %d" % key
+    ssb.save(Operation(OpKind.FIRST_READ, read_sql, parse(read_sql)))
+    write_sql = "UPDATE kv SET v = %d WHERE k = %d" % (value, key)
+    ssb.save(Operation(OpKind.WRITE, write_sql, parse(write_sql)))
+    ssb.ets = ets
+    ssb.save(Operation(OpKind.COMMIT, "COMMIT", parse("COMMIT")))
+    return ssb
+
+
+def _build(env, policy, validator=None):
+    slave = _slave(env)
+    ssl = SyncsetList()
+    network = Network(env)
+    propagator = make_propagator(env, ssl, slave, "T", network, policy,
+                                 validator)
+    return slave, ssl, propagator
+
+
+class TestFactory:
+    def test_concurrent_policies_get_conductor(self, env):
+        _s, _ssl, prop = _build(env, MADEUS)
+        assert isinstance(prop, Conductor)
+
+    def test_serial_policies_get_replayer(self, env):
+        _s, _ssl, prop = _build(env, B_MIN)
+        assert isinstance(prop, SerialReplayer)
+
+
+class TestConductorRounds:
+    def test_replays_linked_ssbs_and_drains(self, env):
+        validator = LsirValidator()
+        slave, ssl, prop = _build(env, MADEUS, validator)
+        # two concurrent txns at snapshot 0, one later at snapshot 2
+        for ssb in (_ssb(0, 0, 1, 11), _ssb(0, 1, 2, 22),
+                    _ssb(2, 2, 3, 33)):
+            ssl.link(ssb, env.now)
+        prop.start()
+        prop.notify_linked()
+        prop.request_stop()
+        drained = prop.wait_fully_drained()
+
+        def waiter(env):
+            yield drained
+        drive(env, waiter(env))
+        assert prop.stats.syncsets_replayed == 3
+        assert validator.is_valid
+        table = slave.tenant("T").table("kv")
+        assert table.chain(1).latest()["v"] == 11
+        assert table.chain(3).latest()["v"] == 33
+
+    def test_concurrent_commits_share_flush(self, env):
+        slave, ssl, prop = _build(env, MADEUS)
+        # four txns sharing STS=0 with consecutive ETS: one commit batch
+        for index in range(4):
+            ssl.link(_ssb(0, index, index, index + 1), env.now)
+        flushes_before = slave.wal.flush_count
+        prop.start()
+        prop.notify_linked()
+        prop.request_stop()
+        drained = prop.wait_fully_drained()
+
+        def waiter(env):
+            yield drained
+        drive(env, waiter(env))
+        flushes = slave.wal.flush_count - flushes_before
+        assert prop.stats.commits_replayed == 4
+        assert flushes < 4  # grouped
+
+    def test_serial_commits_flush_individually(self, env):
+        slave, ssl, prop = _build(env, B_CON)
+        for index in range(4):
+            ssl.link(_ssb(0, index, index, index + 1), env.now)
+        flushes_before = slave.wal.flush_count
+        prop.start()
+        prop.notify_linked()
+        prop.request_stop()
+        drained = prop.wait_fully_drained()
+
+        def waiter(env):
+            yield drained
+        drive(env, waiter(env))
+        assert slave.wal.flush_count - flushes_before == 4
+
+    def test_conductor_waits_for_open_transaction(self, env):
+        """An open SSB at the smallest STS blocks the round until the
+        transaction resolves — the invariant behind rule 1-b."""
+        validator = LsirValidator()
+        _slave_inst, ssl, prop = _build(env, MADEUS, validator)
+        open_ssb = _ssb(0, None, 5, 55)
+        open_ssb.ets = None
+        open_ssb.entries.pop()  # drop the commit entry: still running
+        ssl.register_open(open_ssb)
+        ssl.link(_ssb(0, 0, 1, 11), env.now)
+        prop.start()
+        prop.notify_linked()
+
+        def resolver(env):
+            yield env.timeout(0.5)
+            # transaction commits now: link it
+            open_ssb.ets = 1
+            open_ssb.save(Operation(OpKind.COMMIT, "COMMIT",
+                                    parse("COMMIT")))
+            ssl.resolve_open(open_ssb)
+            ssl.link(open_ssb, env.now)
+            prop.notify_linked()
+            prop.notify_open_changed()
+            prop.request_stop()
+            yield prop.wait_fully_drained()
+        drive(env, resolver(env))
+        assert prop.stats.syncsets_replayed == 2
+        assert validator.is_valid
+        # nothing replayed before the open transaction resolved
+        first_times = [e.time for e in validator.events
+                       if e.kind == "first_read"]
+        assert min(first_times) >= 0.5
+
+    def test_rounds_counted(self, env):
+        _s, ssl, prop = _build(env, MADEUS)
+        ssl.link(_ssb(0, 0, 1, 1), env.now)
+        ssl.link(_ssb(1, 1, 2, 2), env.now)
+        prop.start()
+        prop.notify_linked()
+        prop.request_stop()
+        drained = prop.wait_fully_drained()
+
+        def waiter(env):
+            yield drained
+        drive(env, waiter(env))
+        assert prop.stats.rounds == 2
+
+
+class TestSerialReplayer:
+    def test_replays_in_link_order(self, env):
+        validator = LsirValidator()
+        slave, ssl, prop = _build(env, B_MIN, validator)
+        ssl.link(_ssb(0, 1, 1, 10), 0.0)
+        ssl.link(_ssb(0, 0, 2, 20), 0.1)  # later link, smaller ETS
+        prop.start()
+        prop.notify_linked()
+        prop.request_stop()
+        drained = prop.wait_fully_drained()
+
+        def waiter(env):
+            yield drained
+        drive(env, waiter(env))
+        commits = [e for e in validator.events if e.kind == "commit"]
+        assert [c.ets for c in commits] == [1, 0]  # link order
+
+    def test_single_player_only(self, env):
+        _s, ssl, prop = _build(env, B_MIN)
+        for index in range(5):
+            ssl.link(_ssb(0, index, index, index), env.now)
+        prop.start()
+        prop.notify_linked()
+        prop.request_stop()
+        drained = prop.wait_fully_drained()
+
+        def waiter(env):
+            yield drained
+        drive(env, waiter(env))
+        assert prop.stats.max_concurrent_players == 1
+
+    def test_caught_up_fires_when_queue_empties(self, env):
+        _s, ssl, prop = _build(env, B_MIN)
+        ssl.link(_ssb(0, 0, 1, 1), env.now)
+        prop.start()
+        prop.notify_linked()
+        caught = prop.wait_caught_up()
+
+        def waiter(env):
+            yield caught
+            return env.now
+        finished_at = drive(env, waiter(env), until=5.0)
+        assert finished_at < 5.0
+        prop.request_stop()
+        env.run()
+
+
+class TestReplayFailure:
+    def test_bad_syncset_fails_loudly(self, env):
+        """A replay statement that errors (protocol bug) must crash the
+        propagation, not silently diverge."""
+        from repro.errors import MigrationError
+        _s, ssl, prop = _build(env, B_MIN)
+        ssb = SyncsetBuffer(sts=0)
+        bad_sql = "SELECT v FROM no_such_table"
+        ssb.save(Operation(OpKind.FIRST_READ, bad_sql, parse(bad_sql)))
+        ssb.ets = 0
+        ssb.save(Operation(OpKind.COMMIT, "COMMIT", parse("COMMIT")))
+        ssl.link(ssb, env.now)
+        prop.start()
+        prop.notify_linked()
+        with pytest.raises(MigrationError):
+            env.run()

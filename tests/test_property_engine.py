@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the storage engine's
+snapshot-isolation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import DbmsInstance, Session
+from repro.engine.mvcc import VersionChain
+from repro.sim import Environment
+
+# ---------------------------------------------------------------------------
+# VersionChain visibility properties
+# ---------------------------------------------------------------------------
+
+versions = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=1000),
+              st.one_of(st.none(), st.integers())),
+    min_size=0, max_size=20,
+    unique_by=lambda pair: pair[0])
+
+
+@given(versions=versions, snapshot=st.integers(min_value=0,
+                                               max_value=1100))
+def test_chain_read_returns_newest_visible(versions, snapshot):
+    """read(s) is the value of the largest CSN <= s, or None."""
+    chain = VersionChain()
+    ordered = sorted(versions)
+    for csn, value in ordered:
+        chain.install(csn, None if value is None else {"v": value})
+    visible = [(csn, value) for csn, value in ordered if csn <= snapshot]
+    row = chain.read(snapshot)
+    if not visible:
+        assert row is None
+    else:
+        _csn, value = visible[-1]
+        assert row == (None if value is None else {"v": value})
+
+
+@given(versions=versions,
+       horizon=st.integers(min_value=0, max_value=1100),
+       snapshot=st.integers(min_value=0, max_value=1100))
+def test_prune_preserves_visibility_at_or_after_horizon(versions, horizon,
+                                                        snapshot):
+    """Pruning below the horizon never changes reads at >= horizon."""
+    chain = VersionChain()
+    pruned = VersionChain()
+    for csn, value in sorted(versions):
+        row = None if value is None else {"v": value}
+        chain.install(csn, dict(row) if row else None)
+        pruned.install(csn, dict(row) if row else None)
+    pruned.prune(horizon)
+    if snapshot >= horizon:
+        assert chain.read(snapshot) == pruned.read(snapshot)
+
+
+# ---------------------------------------------------------------------------
+# engine-level SI invariants on randomised concurrent workloads
+# ---------------------------------------------------------------------------
+
+@st.composite
+def workload(draw):
+    """A set of concurrent read-modify-write clients."""
+    clients = draw(st.integers(min_value=2, max_value=5))
+    keys = draw(st.integers(min_value=1, max_value=4))
+    plans = []
+    for _c in range(clients):
+        txns = draw(st.lists(
+            st.tuples(st.integers(min_value=0, max_value=keys - 1),
+                      st.floats(min_value=0.0, max_value=0.02),
+                      st.booleans()),
+            min_size=1, max_size=4))
+        plans.append(txns)
+    return keys, plans
+
+
+@given(spec=workload())
+@settings(max_examples=30, deadline=None)
+def test_first_updater_wins_and_counter_integrity(spec):
+    """Under arbitrary interleavings of increment transactions:
+
+    * every key's final value equals the number of *successful* commits
+      that incremented it (no lost updates, the classic SI guarantee),
+    * at most one of any set of concurrent writers to a key commits.
+    """
+    keys, plans = spec
+    env = Environment()
+    instance = DbmsInstance(env, "n0")
+    instance.create_tenant("T")
+
+    def setup(env):
+        s = Session(instance, "T")
+        yield from s.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        yield from s.execute("BEGIN")
+        for key in range(keys):
+            yield from s.execute(
+                "INSERT INTO kv (k, v) VALUES (%d, 0)" % key)
+        yield from s.execute("COMMIT")
+    proc = env.process(setup(env))
+    env.run()
+    assert proc.ok
+
+    committed = {key: 0 for key in range(keys)}
+
+    def client(env, plan):
+        session = Session(instance, "T")
+        for key, delay, do_abort in plan:
+            yield env.timeout(delay)
+            result = yield from session.execute("BEGIN")
+            assert result.ok
+            result = yield from session.execute(
+                "SELECT v FROM kv WHERE k = %d" % key)
+            if not result.ok:
+                continue
+            result = yield from session.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = %d" % key)
+            if not result.ok:
+                continue  # first-updater-wins abort
+            if do_abort:
+                yield from session.execute("ROLLBACK")
+                continue
+            result = yield from session.execute("COMMIT")
+            if result.ok:
+                committed[key] += 1
+    for plan in plans:
+        env.process(client(env, plan))
+    env.run()
+
+    table = instance.tenant("T").table("kv")
+    for key in range(keys):
+        row = table.chain(key).latest()
+        assert row["v"] == committed[key], (
+            "lost or phantom update on key %d" % key)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_snapshot_reads_are_stable(seed):
+    """A reader repeating the same SELECT sees the same value no matter
+    how many writers commit in between."""
+    import random
+    rng = random.Random(seed)
+    env = Environment()
+    instance = DbmsInstance(env, "n0")
+    instance.create_tenant("T")
+
+    def setup(env):
+        s = Session(instance, "T")
+        yield from s.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        yield from s.execute("BEGIN")
+        yield from s.execute("INSERT INTO kv (k, v) VALUES (0, 0)")
+        yield from s.execute("COMMIT")
+    env.process(setup(env))
+    env.run()
+
+    observations = []
+
+    def reader(env):
+        session = Session(instance, "T")
+        yield from session.execute("BEGIN")
+        for _i in range(4):
+            result = yield from session.execute(
+                "SELECT v FROM kv WHERE k = 0")
+            observations.append(result.rows[0]["v"])
+            yield env.timeout(0.01)
+        yield from session.execute("COMMIT")
+
+    def writer(env):
+        session = Session(instance, "T")
+        for _i in range(3):
+            yield env.timeout(rng.uniform(0.0, 0.03))
+            yield from session.execute("BEGIN")
+            yield from session.execute("SELECT v FROM kv WHERE k = 0")
+            result = yield from session.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = 0")
+            if result.ok:
+                yield from session.execute("COMMIT")
+    env.process(reader(env))
+    env.process(writer(env))
+    env.run()
+    assert len(set(observations)) == 1

@@ -1,0 +1,182 @@
+"""Tests for Mutex, CountdownLatch, Gate, Semaphore."""
+
+import pytest
+
+from repro.sim import CountdownLatch, Environment, Gate, Mutex, Semaphore
+
+from _helpers import drive
+
+
+class TestMutex:
+    def test_uncontended_acquire_is_instant(self, env):
+        mutex = Mutex(env)
+
+        def proc(env):
+            yield from mutex.acquire()
+            at = env.now
+            mutex.release()
+            return at
+        assert drive(env, proc(env)) == 0.0
+        assert mutex.contended_acquisitions == 0
+
+    def test_contended_fifo(self, env):
+        mutex = Mutex(env)
+        order = []
+
+        def locker(env, tag):
+            yield from mutex.acquire()
+            order.append((tag, env.now))
+            yield env.timeout(1)
+            mutex.release()
+        for tag in ("a", "b", "c"):
+            env.process(locker(env, tag))
+        env.run()
+        assert order == [("a", 0), ("b", 1), ("c", 2)]
+
+    def test_contention_penalty_charged(self, env):
+        mutex = Mutex(env, contention_penalty=0.5)
+        times = []
+
+        def locker(env):
+            yield from mutex.acquire()
+            times.append(env.now)
+            yield env.timeout(1)
+            mutex.release()
+        env.process(locker(env))
+        env.process(locker(env))
+        env.run()
+        # second holder: waits 1, then pays 0.5 penalty
+        assert times == [0, 1.5]
+
+    def test_release_unlocked_raises(self, env):
+        with pytest.raises(RuntimeError):
+            Mutex(env).release()
+
+    def test_contention_ratio(self, env):
+        mutex = Mutex(env)
+
+        def locker(env):
+            yield from mutex.acquire()
+            yield env.timeout(1)
+            mutex.release()
+        env.process(locker(env))
+        env.process(locker(env))
+        env.run()
+        assert mutex.contention_ratio == pytest.approx(0.5)
+
+    def test_ratio_zero_without_acquisitions(self, env):
+        assert Mutex(env).contention_ratio == 0.0
+
+
+class TestCountdownLatch:
+    def test_zero_count_fires_immediately(self, env):
+        latch = CountdownLatch(env, 0)
+
+        def proc(env):
+            yield latch.wait()
+            return env.now
+        assert drive(env, proc(env)) == 0.0
+
+    def test_fires_after_all_arrivals(self, env):
+        latch = CountdownLatch(env, 3)
+
+        def arriver(env, delay):
+            yield env.timeout(delay)
+            latch.arrive()
+
+        def waiter(env):
+            yield latch.wait()
+            return env.now
+        for delay in (1, 2, 5):
+            env.process(arriver(env, delay))
+        assert drive(env, waiter(env)) == 5
+
+    def test_over_arrival_raises(self, env):
+        latch = CountdownLatch(env, 1)
+        latch.arrive()
+        with pytest.raises(RuntimeError):
+            latch.arrive()
+
+    def test_negative_count_rejected(self, env):
+        with pytest.raises(ValueError):
+            CountdownLatch(env, -1)
+
+
+class TestGate:
+    def test_open_gate_passes_immediately(self, env):
+        gate = Gate(env, is_open=True)
+
+        def proc(env):
+            yield gate.wait()
+            return env.now
+        assert drive(env, proc(env)) == 0.0
+
+    def test_closed_gate_blocks_until_open(self, env):
+        gate = Gate(env, is_open=False)
+
+        def waiter(env):
+            yield gate.wait()
+            return env.now
+
+        def opener(env):
+            yield env.timeout(7)
+            gate.open()
+        process = env.process(waiter(env))
+        env.process(opener(env))
+        env.run()
+        assert process.value == 7
+
+    def test_close_then_reopen_is_reusable(self, env):
+        gate = Gate(env)
+        times = []
+
+        def crosser(env, delay):
+            yield env.timeout(delay)
+            yield gate.wait()
+            times.append(env.now)
+
+        def controller(env):
+            yield env.timeout(1)
+            gate.close()
+            yield env.timeout(4)
+            gate.open()
+        env.process(crosser(env, 0))   # passes while open
+        env.process(crosser(env, 2))   # blocked until t=5
+        env.process(controller(env))
+        env.run()
+        assert times == [0, 5]
+
+    def test_is_open_property(self, env):
+        gate = Gate(env)
+        assert gate.is_open
+        gate.close()
+        assert not gate.is_open
+
+
+class TestSemaphore:
+    def test_initial_value_permits(self, env):
+        sem = Semaphore(env, value=2)
+        times = []
+
+        def proc(env):
+            yield from sem.acquire()
+            times.append(env.now)
+            yield env.timeout(1)
+            sem.release()
+        for _count in range(3):
+            env.process(proc(env))
+        env.run()
+        assert times == [0, 0, 1]
+
+    def test_negative_value_rejected(self, env):
+        with pytest.raises(ValueError):
+            Semaphore(env, value=-1)
+
+    def test_release_without_waiter_increments(self, env):
+        sem = Semaphore(env, value=0)
+        sem.release()
+
+        def proc(env):
+            yield from sem.acquire()
+            return env.now
+        assert drive(env, proc(env)) == 0.0

@@ -1,0 +1,261 @@
+"""Tests for the mini-SQL tokenizer, parser, and AST."""
+
+import pytest
+
+from repro.engine.sqlmini import (AlterTable, Begin, BinaryOp, ColumnRef,
+                                  Commit, Comparison, CreateIndex,
+                                  CreateTable, Delete, Insert, Literal,
+                                  Rollback, Select, Update,
+                                  is_read_statement, is_write_statement,
+                                  parse, tokenize)
+from repro.errors import SqlError
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].kind == "name"
+        assert tokens[0].text == "MyTable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("number", "42"), ("number", "3.14")]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "hello world"
+
+    def test_escaped_quote_in_string(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a >= 1 AND b <= 2 AND c != 3 AND d <> 4")
+        ops = [t.text for t in tokens if t.kind == "punct"]
+        assert ops == [">=", "<=", "!=", "<>"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlError, match="unexpected"):
+            tokenize("SELECT @ FROM t")
+
+    def test_semicolons_ignored(self):
+        statement = parse("COMMIT;")
+        assert isinstance(statement, Commit)
+
+    def test_end_token_present(self):
+        tokens = tokenize("COMMIT")
+        assert tokens[-1].kind == "end"
+
+
+class TestTransactionStatements:
+    def test_begin(self):
+        assert isinstance(parse("BEGIN"), Begin)
+
+    def test_commit(self):
+        assert isinstance(parse("COMMIT"), Commit)
+
+    def test_rollback(self):
+        assert isinstance(parse("ROLLBACK"), Rollback)
+
+    def test_abort_synonym(self):
+        assert isinstance(parse("ABORT"), Rollback)
+
+
+class TestSelect:
+    def test_star_projection(self):
+        statement = parse("SELECT * FROM item")
+        assert statement == Select("item", ())
+
+    def test_column_projection(self):
+        statement = parse("SELECT a, b FROM t")
+        assert statement.columns == ("a", "b")
+
+    def test_where_equality(self):
+        statement = parse("SELECT a FROM t WHERE id = 5")
+        assert statement.where == (Comparison("id", "=", 5),)
+
+    def test_where_conjunction(self):
+        statement = parse("SELECT a FROM t WHERE x = 1 AND y >= 2.5")
+        assert statement.where == (Comparison("x", "=", 1),
+                                   Comparison("y", ">=", 2.5))
+
+    def test_where_string_literal(self):
+        statement = parse("SELECT a FROM t WHERE name = 'bob'")
+        assert statement.where[0].value == "bob"
+
+    def test_not_equal_normalised(self):
+        statement = parse("SELECT a FROM t WHERE x <> 3")
+        assert statement.where[0].op == "!="
+
+    def test_order_by_default_ascending(self):
+        statement = parse("SELECT a FROM t ORDER BY a")
+        assert statement.order_by == "a"
+        assert statement.descending is False
+
+    def test_order_by_desc(self):
+        statement = parse("SELECT a FROM t ORDER BY a DESC")
+        assert statement.descending is True
+
+    def test_order_by_explicit_asc(self):
+        statement = parse("SELECT a FROM t ORDER BY a ASC")
+        assert statement.descending is False
+
+    def test_limit(self):
+        statement = parse("SELECT a FROM t LIMIT 10")
+        assert statement.limit == 10
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t LIMIT -1")
+
+    def test_full_combination(self):
+        statement = parse("SELECT a, b FROM t WHERE x = 1 "
+                          "ORDER BY b DESC LIMIT 5")
+        assert statement.table == "t"
+        assert statement.limit == 5
+
+    def test_is_read_statement(self):
+        assert is_read_statement(parse("SELECT a FROM t"))
+        assert not is_write_statement(parse("SELECT a FROM t"))
+
+
+class TestInsert:
+    def test_basic(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert statement == Insert("t", ("a", "b"), (1, "x"))
+
+    def test_null_value(self):
+        statement = parse("INSERT INTO t (a) VALUES (NULL)")
+        assert statement.values == (None,)
+
+    def test_negative_number(self):
+        statement = parse("INSERT INTO t (a) VALUES (-5)")
+        assert statement.values == (-5,)
+
+    def test_float_value(self):
+        statement = parse("INSERT INTO t (a) VALUES (2.75)")
+        assert statement.values == (2.75,)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SqlError, match="arity"):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_is_write_statement(self):
+        assert is_write_statement(parse("INSERT INTO t (a) VALUES (1)"))
+
+
+class TestUpdate:
+    def test_literal_assignment(self):
+        statement = parse("UPDATE t SET a = 5 WHERE id = 1")
+        assert statement.assignments == (("a", Literal(5)),)
+
+    def test_column_arithmetic(self):
+        statement = parse("UPDATE t SET a = a + 1 WHERE id = 1")
+        column, expression = statement.assignments[0]
+        assert expression == BinaryOp("+", ColumnRef("a"), Literal(1))
+
+    def test_multiple_assignments(self):
+        statement = parse("UPDATE t SET a = 1, b = 'x' WHERE id = 2")
+        assert len(statement.assignments) == 2
+
+    def test_subtraction_expression(self):
+        statement = parse("UPDATE t SET stock = stock - 3 WHERE id = 9")
+        _col, expression = statement.assignments[0]
+        assert expression.op == "-"
+
+    def test_multiplication_precedence(self):
+        statement = parse("UPDATE t SET a = b + 2 * 3 WHERE id = 1")
+        _col, expression = statement.assignments[0]
+        assert expression.op == "+"
+        assert expression.right == BinaryOp("*", Literal(2), Literal(3))
+
+    def test_parenthesised_expression(self):
+        statement = parse("UPDATE t SET a = (b + 2) * 3 WHERE id = 1")
+        _col, expression = statement.assignments[0]
+        assert expression.op == "*"
+
+    def test_no_where_allowed(self):
+        statement = parse("UPDATE t SET a = 1")
+        assert statement.where == ()
+
+
+class TestDelete:
+    def test_with_where(self):
+        statement = parse("DELETE FROM t WHERE id = 3")
+        assert statement == Delete("t", (Comparison("id", "=", 3),))
+
+    def test_without_where(self):
+        assert parse("DELETE FROM t") == Delete("t", ())
+
+
+class TestDdl:
+    def test_create_table(self):
+        statement = parse("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        assert isinstance(statement, CreateTable)
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].type_name == "TEXT"
+
+    def test_create_index(self):
+        statement = parse("CREATE INDEX idx ON t (col)")
+        assert statement == CreateIndex("idx", "t", "col")
+
+    def test_alter_table_add_column(self):
+        statement = parse("ALTER TABLE t ADD COLUMN extra INT")
+        assert isinstance(statement, AlterTable)
+        assert statement.column.name == "extra"
+
+    def test_alter_without_column_keyword(self):
+        statement = parse("ALTER TABLE t ADD extra INT")
+        assert statement.column.name == "extra"
+
+    def test_create_without_kind_raises(self):
+        with pytest.raises(SqlError):
+            parse("CREATE VIEW v")
+
+    def test_ddl_is_write(self):
+        assert is_write_statement(parse("CREATE INDEX i ON t (c)"))
+
+
+class TestErrors:
+    def test_empty_statement(self):
+        with pytest.raises(SqlError):
+            parse("")
+
+    def test_unknown_statement(self):
+        # GRANT is not a keyword of the dialect, so it fails as a
+        # non-keyword statement head.
+        with pytest.raises(SqlError):
+            parse("GRANT ALL")
+        # WHERE is a keyword but cannot head a statement.
+        with pytest.raises(SqlError, match="unsupported"):
+            parse("WHERE x = 1")
+
+    def test_statement_starting_with_name(self):
+        with pytest.raises(SqlError):
+            parse("foo bar")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError, match="trailing"):
+            parse("COMMIT COMMIT")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a WHERE x = 1")
+
+    def test_bad_comparison_operator(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE x LIKE 'y'")
+
+    def test_where_requires_literal_rhs(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE x = y")
