@@ -32,13 +32,28 @@ Quickstart::
 """
 
 from .cluster import Cluster, Node, NodeSpec
-from .core import (ALL_POLICIES, B_ALL, B_CON, B_MIN, MADEUS, Middleware,
-                   MiddlewareConfig, MigrationReport, PropagationPolicy)
-from .engine import (DbmsInstance, Session, TenantDatabase, TransferRates,
-                     parse)
-from .errors import (CatchUpTimeout, MigrationError, ReproError,
-                     RoutingError, SchemaError, SqlError,
-                     TransactionAborted)
+from .core import (
+    ALL_POLICIES,
+    B_ALL,
+    B_CON,
+    B_MIN,
+    MADEUS,
+    Middleware,
+    MiddlewareConfig,
+    MigrationReport,
+    PropagationPolicy,
+)
+from .engine import DbmsInstance, Session, TenantDatabase, TransferRates, parse
+from .errors import (
+    CatchUpTimeout,
+    MigrationError,
+    ReproError,
+    RoutingError,
+    SchemaError,
+    SqlError,
+    TransactionAborted,
+)
+from .obs import MetricsRegistry, Tracer, read_trace, write_trace
 from .sim import Environment
 
 __version__ = "1.0.0"
@@ -53,6 +68,7 @@ __all__ = [
     "DbmsInstance",
     "Environment",
     "MADEUS",
+    "MetricsRegistry",
     "Middleware",
     "MiddlewareConfig",
     "MigrationError",
@@ -66,8 +82,11 @@ __all__ = [
     "Session",
     "SqlError",
     "TenantDatabase",
+    "Tracer",
     "TransactionAborted",
     "TransferRates",
     "parse",
+    "read_trace",
+    "write_trace",
     "__version__",
 ]

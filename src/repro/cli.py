@@ -9,6 +9,7 @@ Examples::
     python -m repro multitenant
     python -m repro costmodel
     python -m repro all --profile smoke
+    python -m repro trace benchmarks/results/traces/trace_001_*.jsonl
 """
 
 from __future__ import annotations
@@ -18,8 +19,14 @@ import sys
 from typing import Callable, Dict
 
 from .experiments import get_profile
-from .experiments import (costmodel, dbsize, migration_time, multitenant,
-                          performance, preliminary)
+from .experiments import (
+    costmodel,
+    dbsize,
+    migration_time,
+    multitenant,
+    performance,
+    preliminary,
+)
 
 
 def _run_fig5(profile) -> None:
@@ -91,16 +98,72 @@ DESCRIPTIONS: Dict[str, str] = {
 }
 
 
+def trace_main(argv=None) -> int:
+    """Entry point for ``python -m repro trace``.
+
+    Parses one or more ``trace.jsonl`` files (the artifact every
+    instrumented migration emits; see ``repro.obs``) and renders the
+    phase timeline, the migration-phase table, the propagation-round
+    summary, and every exported metric.
+    """
+    from .obs import check_phase_order, read_trace
+    from .obs.timeline import render_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Render a structured trace.jsonl: phase timeline, "
+                    "span summary, and metrics.")
+    parser.add_argument("trace", nargs="+",
+                        help="path(s) to trace.jsonl files emitted by "
+                             "an instrumented run (Testbed.export_trace "
+                             "or $REPRO_TRACE_DIR)")
+    parser.add_argument("--check-phases", action="store_true",
+                        help="exit nonzero unless every migration's "
+                             "phase spans are finished and ordered "
+                             "dump -> restore -> catch-up -> handover")
+    args = parser.parse_args(argv)
+    status = 0
+    for index, path in enumerate(args.trace):
+        if index:
+            print()
+        try:
+            data = read_trace(path)
+        except OSError as exc:
+            print("repro trace: cannot read %s: %s" % (path, exc),
+                  file=sys.stderr)
+            return 2
+        except (KeyError, TypeError, ValueError) as exc:
+            print("repro trace: %s is not a valid trace.jsonl (%s: %s)"
+                  % (path, type(exc).__name__, exc), file=sys.stderr)
+            return 2
+        print(render_report(data, source=path))
+        if args.check_phases:
+            problems = check_phase_order(data.spans)
+            for problem in problems:
+                print("phase-order problem: %s" % problem)
+            if problems:
+                status = 1
+            else:
+                print("phase order: ok")
+    return status
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Madeus (SIGMOD 2015) reproduction: run any paper "
-                    "experiment.")
+                    "experiment, or inspect a trace with "
+                    "'repro trace FILE'.")
     parser.add_argument("command",
                         choices=sorted(COMMANDS) + ["list", "all"],
                         help="experiment to run ('list' to enumerate, "
-                             "'all' for everything)")
+                             "'all' for everything; see also the "
+                             "'trace' subcommand)")
     parser.add_argument("--profile", default=None,
                         choices=["paper", "quick", "smoke"],
                         help="experiment scale (default: $REPRO_PROFILE "
@@ -109,6 +172,9 @@ def main(argv=None) -> int:
     if args.command == "list":
         for name in sorted(COMMANDS):
             print("%-12s %s" % (name, DESCRIPTIONS[name]))
+        print("%-12s %s" % ("trace",
+                            "render a trace.jsonl (phase timeline, "
+                            "spans, metrics)"))
         return 0
     profile = get_profile(args.profile)
     if args.command == "all":

@@ -13,7 +13,6 @@ from typing import TYPE_CHECKING, Dict, Optional
 from ..engine.checkpoint import CheckpointSpec
 from ..engine.disk import DiskSpec
 from ..engine.instance import DbmsInstance, EngineCosts, Observer
-from ..errors import SchemaError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment

@@ -6,18 +6,42 @@ critical region, the LSIR, the conductor/player propagation engines, the
 migration manager, and the three baseline policies of Table 2.
 """
 
-from .middleware import (Connection, Middleware, MiddlewareConfig,
-                         MigrationReport, TenantState)
+from .middleware import (
+    Connection,
+    Middleware,
+    MiddlewareConfig,
+    MigrationReport,
+    TenantState,
+)
 from .operations import Operation, OpKind, TxnTracker
-from .policy import (ALL_POLICIES, B_ALL, B_CON, B_MIN, MADEUS,
-                     PropagationPolicy, feature_matrix, policy_by_name)
+from .policy import (
+    ALL_POLICIES,
+    B_ALL,
+    B_CON,
+    B_MIN,
+    MADEUS,
+    PropagationPolicy,
+    feature_matrix,
+    policy_by_name,
+)
 from .propagation import Conductor, PropagationStats, SerialReplayer
-from .region import (COMMIT_CLASS, EXCLUSIVE_CLASS, FIRST_READ_CLASS,
-                     CriticalRegion)
+from .region import (
+    COMMIT_CLASS,
+    EXCLUSIVE_CLASS,
+    FIRST_READ_CLASS,
+    CriticalRegion,
+)
 from .ssb import SyncsetBuffer, SyncsetList
-from .theory import (NECESSARY_DEPENDENCIES, UNNECESSARY_DEPENDENCIES,
-                     DependencyType, HistoryRecorder, LsirValidator,
-                     ReplayEvent, mapping_function_output, states_equal)
+from .theory import (
+    NECESSARY_DEPENDENCIES,
+    UNNECESSARY_DEPENDENCIES,
+    DependencyType,
+    HistoryRecorder,
+    LsirValidator,
+    ReplayEvent,
+    mapping_function_output,
+    states_equal,
+)
 
 __all__ = [
     "ALL_POLICIES",

@@ -14,13 +14,15 @@ any of the Table-2 baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Any, Dict, Generator, List, Optional)
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from ..cluster.cluster import Cluster
 from ..engine.dump import TransferRates, dump, restore
 from ..engine.session import Session, SessionResult
-from ..engine.sqlmini import Statement, parse
+from ..engine.sqlmini import parse
 from ..errors import CatchUpTimeout, MigrationError, RoutingError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import MIGRATION, Tracer
 from ..sim.events import Event
 from ..sim.sync import Gate
 from .operations import Operation, OpKind, TxnTracker
@@ -174,10 +176,18 @@ class Middleware:
     """A pure-middleware database proxy with live migration."""
 
     def __init__(self, env: "Environment", cluster: Cluster,
-                 config: Optional[MiddlewareConfig] = None):
+                 config: Optional[MiddlewareConfig] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.env = env
         self.cluster = cluster
         self.config = config or MiddlewareConfig()
+        #: Span/event recorder on the simulated clock; every migration
+        #: emits phase spans (dump -> restore -> catch-up -> handover).
+        self.tracer = tracer if tracer is not None else Tracer(env)
+        #: Structured counters/gauges/histograms for the whole stack.
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry())
         self._tenants: Dict[str, TenantState] = {}
         self._routes: Dict[str, str] = {}
         self.validator: Optional[LsirValidator] = (
@@ -437,7 +447,12 @@ class Middleware:
         report = MigrationReport(tenant, source, destination,
                                  self.config.policy.name,
                                  started_at=self.env.now)
+        migration_span = self.tracer.start(
+            "migration", kind=MIGRATION, tenant=tenant, source=source,
+            destination=destination, policy=self.config.policy.name,
+            standbys=len(standbys))
         # --- Step 1: snapshot at a commit boundary --------------------
+        phase_span = self.tracer.phase("dump", parent=migration_span)
         yield from state.region.enter(FIRST_READ_CLASS)
         report.mts = state.mlc
         snapshot_csn = source_instance.current_csn()
@@ -447,7 +462,12 @@ class Middleware:
                                    rates)
         report.snapshot_at = self.env.now
         report.snapshot_size_mb = snapshot.size_mb
+        self.tracer.finish(phase_span, mts=report.mts,
+                           size_mb=snapshot.size_mb)
         # --- Step 2: create the slave(s) --------------------------------
+        phase_span = self.tracer.phase("restore", parent=migration_span,
+                                       size_mb=snapshot.size_mb)
+
         def ship_and_restore(instance) -> Generator:
             yield from self.cluster.network.message(snapshot.size_mb)
             yield from restore(instance, snapshot, rates,
@@ -457,10 +477,15 @@ class Middleware:
                      for instance in standby_instances.values()]
         yield self.env.all_of(restores)
         report.restored_at = self.env.now
+        self.tracer.finish(phase_span)
         # --- Step 3: concurrent syncset propagation --------------------
+        phase_span = self.tracer.phase("catch-up", parent=migration_span,
+                                       backlog=state.ssl.pending_count())
         propagator = make_propagator(self.env, state.ssl, dest_instance,
                                      tenant, self.cluster.network,
-                                     self.config.policy, self.validator)
+                                     self.config.policy, self.validator,
+                                     tracer=self.tracer,
+                                     metrics=self.metrics)
         state.propagator = propagator
         for name, instance in standby_instances.items():
             standby_ssl = SyncsetList()
@@ -468,7 +493,9 @@ class Middleware:
             standby_ssl.adopt_backlog(state.ssl)
             standby_prop = make_propagator(
                 self.env, standby_ssl, instance, tenant,
-                self.cluster.network, self.config.policy)
+                self.cluster.network, self.config.policy,
+                metrics=self.metrics,
+                metrics_prefix="propagation.standby.%s" % name)
             state.standby_ssls[name] = standby_ssl
             state.standby_propagators[name] = standby_prop
             standby_prop.start()
@@ -482,6 +509,10 @@ class Middleware:
             if outcome is deadline:
                 backlog = state.ssl.pending_count()
                 self._abort_migration(state, dest_instance, tenant)
+                self.tracer.finish(phase_span, outcome="timeout",
+                                   backlog_at_timeout=backlog)
+                self.tracer.finish(migration_span, outcome="aborted")
+                self.metrics.counter("migration.aborted").inc()
                 raise CatchUpTimeout(
                     "%s: slave could not catch up with the master within "
                     "%.0f s (backlog: %d syncsets)"
@@ -492,7 +523,12 @@ class Middleware:
         else:
             yield caught_up
         report.caught_up_at = self.env.now
+        self.tracer.finish(phase_span,
+                           rounds=propagator.stats.rounds,
+                           syncsets=propagator.stats.syncsets_replayed)
         # --- Step 4: suspend, drain, switch over, resume ---------------
+        phase_span = self.tracer.phase("handover",
+                                       parent=migration_span)
         state.gate.close()
         if state.active_txns > 0:
             drained = Event(self.env)
@@ -504,6 +540,8 @@ class Middleware:
             drain_events.append(engine.wait_fully_drained())
         yield self.env.all_of(drain_events)
         report.switched_at = self.env.now
+        self.tracer.event("migration.switched", tenant=tenant,
+                          destination=destination)
         if self.config.verify_consistency:
             equal, differences = states_equal(
                 source_instance.tenant(tenant),
@@ -540,8 +578,35 @@ class Middleware:
             report.lsir_violations = self.validator.violations()
         report.failed_standbys = list(state.failed_standbys)
         state.failed_standbys.clear()
+        self.tracer.finish(phase_span)
+        self.tracer.finish(
+            migration_span, outcome="ok",
+            rounds=report.rounds,
+            max_concurrent_players=report.max_concurrent_players,
+            syncsets=report.syncsets_propagated,
+            slave_commit_count=report.slave_commit_count,
+            slave_flush_count=report.slave_flush_count,
+            consistent=report.consistent)
+        self._publish_report_metrics(report, stats)
         self.reports.append(report)
         return report
+
+    def _publish_report_metrics(self, report: MigrationReport,
+                                stats: Any) -> None:
+        """Mirror one finished migration into the metrics registry."""
+        self.metrics.counter("migration.completed").inc()
+        self.metrics.absorb("propagation", stats)
+        self.metrics.absorb("migration.last", {
+            "migration_time": report.migration_time,
+            "dump_time": report.dump_time,
+            "restore_time": report.restore_time,
+            "catchup_time": report.catchup_time,
+            "switch_time": report.switch_time,
+            "snapshot_size_mb": report.snapshot_size_mb,
+            "slave_commit_count": report.slave_commit_count,
+            "slave_flush_count": report.slave_flush_count,
+            "slave_mean_group_size": report.slave_mean_group_size,
+        })
 
     def fail_standby(self, tenant: str, node_name: str) -> None:
         """Drop a failed standby slave and continue the migration.

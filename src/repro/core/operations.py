@@ -12,11 +12,18 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from ..engine.sqlmini import (Begin, Commit, Rollback, Statement,
-                              is_read_statement, is_write_statement, parse)
+from ..engine.sqlmini import (
+    Begin,
+    Commit,
+    Rollback,
+    Statement,
+    is_read_statement,
+    is_write_statement,
+    parse,
+)
 from ..errors import SqlError
 
 

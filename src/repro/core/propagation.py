@@ -18,12 +18,13 @@ manager through ``caught_up`` events.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Any, Generator, List, Optional)
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, List, Optional
 
 from ..engine.session import Session
 from ..engine.sqlmini import Begin, Commit
 from ..errors import MigrationError
+from ..obs.trace import ROUND
 from ..sim.events import Event
 from ..sim.sync import CountdownLatch, Mutex
 from .operations import Operation, OpKind
@@ -34,6 +35,8 @@ from .theory import LsirValidator
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine.instance import DbmsInstance
     from ..net.network import Network
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import Tracer
     from ..sim.core import Environment
 
 _BEGIN = Begin()
@@ -60,7 +63,10 @@ class _BasePropagator:
     def __init__(self, env: "Environment", ssl: SyncsetList,
                  slave: "DbmsInstance", tenant_name: str,
                  network: "Network", policy: PropagationPolicy,
-                 validator: Optional[LsirValidator] = None):
+                 validator: Optional[LsirValidator] = None,
+                 tracer: Optional["Tracer"] = None,
+                 metrics: Optional["MetricsRegistry"] = None,
+                 metrics_prefix: str = "propagation"):
         self.env = env
         self.ssl = ssl
         self.slave = slave
@@ -68,6 +74,9 @@ class _BasePropagator:
         self.network = network
         self.policy = policy
         self.validator = validator
+        self.tracer = tracer
+        self.metrics = metrics
+        self.metrics_prefix = metrics_prefix
         self.stats = PropagationStats()
         self._stop_requested = False
         self._link_signal: Optional[Event] = None
@@ -118,12 +127,23 @@ class _BasePropagator:
     # ------------------------------------------------------------------
     # internal helpers
     # ------------------------------------------------------------------
+    def _publish_stats(self) -> None:
+        """Mirror the cumulative stats into the metrics registry."""
+        if self.metrics is not None:
+            self.metrics.absorb(self.metrics_prefix, self.stats)
+
     def _fire_caught_up(self) -> None:
+        self._publish_stats()
         waiters, self._caught_up_waiters = self._caught_up_waiters, []
+        if waiters and self.tracer is not None:
+            self.tracer.event("propagation.caught_up",
+                              engine=self.policy.name,
+                              backlog=self.ssl.pending_count())
         for event in waiters:
             event.succeed()
 
     def _fire_drained(self) -> None:
+        self._publish_stats()
         waiters, self._drained_waiters = self._drained_waiters, []
         for event in waiters:
             event.succeed()
@@ -233,6 +253,8 @@ class SerialReplayer(_BasePropagator):
             self.stats.operations_replayed -= 1
         ssb.propagated_at = self.env.now
         self.stats.syncsets_replayed += 1
+        if self.stats.syncsets_replayed % 64 == 0:
+            self._publish_stats()
 
 
 class _PlayerHandle:
@@ -267,6 +289,13 @@ class Conductor(_BasePropagator):
 
     def _in_flight(self) -> int:
         return self._active_players
+
+    def _publish_players(self) -> None:
+        """Track the live player count (and its high-water mark)."""
+        if self.metrics is not None:
+            self.metrics.gauge("%s.players"
+                               % self.metrics_prefix).set(
+                self._active_players)
 
     # ------------------------------------------------------------------
     #: The slave counts as "caught up" once the replay lag is this many
@@ -316,6 +345,11 @@ class Conductor(_BasePropagator):
             if not group and not self._awaiting:
                 continue
             self.stats.rounds += 1
+            round_span = None
+            if self.tracer is not None:
+                round_span = self.tracer.start(
+                    "round", kind=ROUND, slc=slc, group=len(group),
+                    awaiting=len(self._awaiting))
             # Order the first operations of the whole STS group at once.
             latch = CountdownLatch(self.env, len(group))
             for ssb in group:
@@ -326,12 +360,17 @@ class Conductor(_BasePropagator):
                     self.stats.max_concurrent_players, self._active_players)
                 self.env.process(self._player(handle, latch),
                                  name="player.%d" % ssb.ssb_id)
+            self._publish_players()
             yield latch.wait()
             # Next snapshot point bounds the commit batch (Equation 1):
             # commits with oldSLC <= ETS <= newSLC - 1 may go out now.
             next_sts = self.ssl.smallest_sts()
             upper = (next_sts - 1) if next_sts is not None else None
             yield from self._release_commits(upper)
+            if round_span is not None:
+                self.tracer.finish(round_span,
+                                   players=self._active_players)
+            self._publish_stats()
 
     def _release_commits(self, upper: Optional[int]) -> Generator:
         """Order the commits whose ETS is within the round's bound."""
@@ -393,16 +432,21 @@ class Conductor(_BasePropagator):
         ssb.propagated_at = self.env.now
         self.stats.syncsets_replayed += 1
         self._active_players -= 1
+        self._publish_players()
         handle.done.succeed()
 
 
 def make_propagator(env: "Environment", ssl: SyncsetList,
                     slave: "DbmsInstance", tenant_name: str,
                     network: "Network", policy: PropagationPolicy,
-                    validator: Optional[LsirValidator] = None
+                    validator: Optional[LsirValidator] = None,
+                    tracer: Optional["Tracer"] = None,
+                    metrics: Optional["MetricsRegistry"] = None,
+                    metrics_prefix: str = "propagation"
                     ) -> _BasePropagator:
     """Instantiate the propagation engine a policy calls for."""
     engine_cls = Conductor if policy.concurrent_first_writes \
         else SerialReplayer
     return engine_cls(env, ssl, slave, tenant_name, network, policy,
-                      validator)
+                      validator, tracer=tracer, metrics=metrics,
+                      metrics_prefix=metrics_prefix)

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..engine.database import TenantDatabase
 from ..engine.instance import Observer
-from ..engine.transaction import Transaction, TxnStatus
+from ..engine.transaction import Transaction
 
 
 class DependencyType(enum.Enum):

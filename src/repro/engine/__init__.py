@@ -10,18 +10,38 @@ dump/restore.
 from .checkpoint import Checkpointer, CheckpointSpec
 from .database import Table, TenantDatabase
 from .disk import Disk, DiskSpec
-from .dump import (LogicalSnapshot, SchemaSpec, TransferRates, dump,
-                   restore, restore_duration, snapshot_size_mb)
+from .dump import (
+    LogicalSnapshot,
+    SchemaSpec,
+    TransferRates,
+    dump,
+    restore,
+    restore_duration,
+    snapshot_size_mb,
+)
 from .executor import ExecResult, Executor
 from .instance import DbmsInstance, EngineCosts, Observer
 from .locks import LockTable
 from .mvcc import SecondaryIndex, VersionChain
 from .schema import Catalog, TableSchema
 from .session import Session, SessionResult
-from .sqlmini import (AlterTable, Begin, ColumnDef, Commit, CreateIndex,
-                      CreateTable, Delete, Insert, Rollback, Select,
-                      Statement, Update, is_read_statement,
-                      is_write_statement, parse)
+from .sqlmini import (
+    AlterTable,
+    Begin,
+    ColumnDef,
+    Commit,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    Insert,
+    Rollback,
+    Select,
+    Statement,
+    Update,
+    is_read_statement,
+    is_write_statement,
+    parse,
+)
 from .transaction import Transaction, TxnStatus
 from .wal import WalWriter
 

@@ -8,7 +8,7 @@ table, and size accounting used by the migration experiments.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterator, Optional, Tuple
 
 from ..errors import SchemaError
 from .mvcc import Row, SecondaryIndex, VersionChain
@@ -89,7 +89,7 @@ class TenantDatabase:
     """One tenant: catalog + tables + lock table + size accounting."""
 
     def __init__(self, name: str, env: "Environment"):
-        from .locks import LockTable  # local import to avoid cycle
+        from .locks import LockTable
 
         self.name = name
         self.env = env

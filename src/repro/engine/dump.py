@@ -88,7 +88,8 @@ def dump(instance: DbmsInstance, tenant_name: str, snapshot_csn: int,
         yield from instance.disk.read(chunk)
         # pace the dump at the configured rate (parsing/output formatting
         # keeps it below raw disk bandwidth)
-        pace = chunk / rates.dump_mb_s - chunk / instance.disk.spec.read_bandwidth_mb_s
+        read_bw = instance.disk.spec.read_bandwidth_mb_s
+        pace = chunk / rates.dump_mb_s - chunk / read_bw
         if pace > 0:
             yield instance.env.timeout(pace)
         remaining -= chunk

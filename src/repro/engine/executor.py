@@ -14,16 +14,26 @@ the session layer converts into an engine-initiated rollback.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Generator, Hashable, List, Optional,
-                    Tuple)
+from typing import Any, Callable, Generator, Hashable, List, Optional, Tuple
 
 from ..errors import SchemaError, SqlError, TransactionAborted
 from .database import Table, TenantDatabase
 from .mvcc import Row
 from .schema import TableSchema
-from .sqlmini import (AlterTable, BinaryOp, ColumnRef, Comparison,
-                      CreateIndex, CreateTable, Delete, Insert, Literal,
-                      Select, Statement, Update)
+from .sqlmini import (
+    AlterTable,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    Insert,
+    Literal,
+    Select,
+    Statement,
+    Update,
+)
 from .transaction import Transaction
 
 #: Optional observer interface used by the theory layer: callables

@@ -11,9 +11,10 @@ primitives sessions are built on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import (TYPE_CHECKING, Any, Callable, Dict, Generator, Optional)
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
-from ..errors import SchemaError, TransactionAborted
+from ..errors import SchemaError
+from ..obs.metrics import MetricsRegistry
 from ..sim.resources import Resource
 from .checkpoint import Checkpointer, CheckpointSpec
 from .database import TenantDatabase
@@ -93,6 +94,24 @@ class DbmsInstance:
         self.statements_executed = 0
         self.commits = 0
         self.aborts = 0
+        # bound observability instruments (see bind_obs)
+        self._m_statements = None
+        self._m_commits = None
+        self._m_aborts = None
+
+    def bind_obs(self, metrics: MetricsRegistry,
+                 prefix: Optional[str] = None) -> None:
+        """Mirror executor-path counters into a metrics registry.
+
+        Creates ``<prefix>.statements`` / ``.commits`` / ``.aborts``
+        counters (prefix defaults to the instance name) and also binds
+        the instance's WAL under ``<prefix>.wal``.
+        """
+        base = prefix if prefix is not None else self.name
+        self._m_statements = metrics.counter("%s.statements" % base)
+        self._m_commits = metrics.counter("%s.commits" % base)
+        self._m_aborts = metrics.counter("%s.aborts" % base)
+        self.wal.bind_obs(metrics, "%s.wal" % base)
 
     # ------------------------------------------------------------------
     # tenants
@@ -168,6 +187,8 @@ class DbmsInstance:
         yield self.env.timeout(service)
         self.cpu.release(core)
         self.statements_executed += 1
+        if self._m_statements is not None:
+            self._m_statements.inc()
         result = yield from executor.execute(txn, statement)
         extra = self.costs.per_row_cpu * (len(result.rows) + result.affected)
         if extra > 0:
@@ -211,6 +232,8 @@ class DbmsInstance:
         tenant.locks.release_all(txn, committed=True)
         tenant.committed_updates += 1
         self.commits += 1
+        if self._m_commits is not None:
+            self._m_commits.inc()
         if self.checkpointer is not None:
             self.checkpointer.note_commit()
         if self.observer is not None:
@@ -230,5 +253,7 @@ class DbmsInstance:
             tenant.locks.release_all(txn, committed=False)
             tenant.aborted += 1
         self.aborts += 1
+        if self._m_aborts is not None:
+            self._m_aborts.inc()
         if self.observer is not None:
             self.observer.on_abort(txn)

@@ -11,7 +11,7 @@ attempt (i.e. the newest committed version postdates ``T_j``'s snapshot),
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, Hashable, List, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Hashable, Tuple
 
 from ..errors import TransactionAborted
 from ..sim.events import Event

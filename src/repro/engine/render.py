@@ -10,10 +10,23 @@ from __future__ import annotations
 from typing import Any
 
 from ..errors import SqlError
-from .sqlmini import (AlterTable, Begin, BinaryOp, ColumnRef, Commit,
-                      Comparison, CreateIndex, CreateTable, Delete,
-                      Expression, Insert, Literal, Rollback, Select,
-                      Statement, Update)
+from .sqlmini import (
+    AlterTable,
+    Begin,
+    BinaryOp,
+    ColumnRef,
+    Commit,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    Expression,
+    Insert,
+    Literal,
+    Rollback,
+    Select,
+    Statement,
+    Update,
+)
 
 
 def render_literal(value: Any) -> str:

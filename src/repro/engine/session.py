@@ -12,8 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, List, Optional, Union
 
-from ..errors import (InvalidTransactionState, SchemaError, SqlError,
-                      TransactionAborted)
+from ..errors import (
+    InvalidTransactionState,
+    SchemaError,
+    SqlError,
+    TransactionAborted,
+)
 from .instance import DbmsInstance
 from .mvcc import Row
 from .sqlmini import Begin, Commit, Rollback, Statement, parse

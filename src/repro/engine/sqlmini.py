@@ -22,7 +22,7 @@ conjunctions of ``col OP literal`` comparisons (``= != < <= > >=``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple, Union
 
 from ..errors import SqlError

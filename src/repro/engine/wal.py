@@ -20,6 +20,7 @@ from ..sim.events import Event
 from .disk import Disk
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
     from ..sim.core import Environment
 
 
@@ -42,13 +43,36 @@ class WalWriter:
         self.commit_count = 0
         self.flush_count = 0
         self.largest_group = 0
+        # bound observability instruments (see bind_obs)
+        self._m_commits = None
+        self._m_flushes = None
+        self._m_group_size = None
+        self._m_fsync_mb = None
         env.process(self._flusher(), name="%s.flusher" % name)
+
+    # ------------------------------------------------------------------
+    def bind_obs(self, metrics: "MetricsRegistry",
+                 prefix: Optional[str] = None) -> None:
+        """Mirror this WAL's counters into a metrics registry.
+
+        Creates ``<prefix>.commits`` / ``.flushes`` counters plus
+        ``.group_size`` / ``.fsync_mb`` histograms (prefix defaults to
+        the WAL's name, e.g. ``node1.wal``) and updates them live on the
+        fsync path.
+        """
+        base = prefix if prefix is not None else self.name
+        self._m_commits = metrics.counter("%s.commits" % base)
+        self._m_flushes = metrics.counter("%s.flushes" % base)
+        self._m_group_size = metrics.histogram("%s.group_size" % base)
+        self._m_fsync_mb = metrics.histogram("%s.fsync_mb" % base)
 
     # ------------------------------------------------------------------
     def commit(self) -> Event:
         """Request a durable commit; the event fires once flushed."""
         done = Event(self.env)
         self.commit_count += 1
+        if self._m_commits is not None:
+            self._m_commits.inc()
         self._pending.append(done)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
@@ -76,6 +100,10 @@ class WalWriter:
             yield from self.disk.fsync(payload_mb=payload)
             self.flush_count += 1
             self.largest_group = max(self.largest_group, len(batch))
+            if self._m_flushes is not None:
+                self._m_flushes.inc()
+                self._m_group_size.observe(len(batch))
+                self._m_fsync_mb.observe(payload)
             for done in batch:
                 done.succeed()
 

@@ -13,7 +13,7 @@ module              reproduces
 """
 
 from .common import TenantSetup, Testbed, build_testbed
-from .profiles import (PAPER, PROFILES, QUICK, SMOKE, Profile, get_profile)
+from .profiles import PAPER, PROFILES, QUICK, SMOKE, Profile, get_profile
 
 __all__ = ["PAPER", "PROFILES", "QUICK", "SMOKE", "Profile",
            "TenantSetup", "Testbed", "build_testbed", "get_profile"]

@@ -8,6 +8,8 @@ tenants and emulated-browser populations to it.
 
 from __future__ import annotations
 
+import itertools
+import os
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
@@ -18,11 +20,28 @@ from ..core.middleware import Middleware, MiddlewareConfig, MigrationReport
 from ..core.policy import MADEUS, PropagationPolicy
 from ..engine.checkpoint import CheckpointSpec
 from ..errors import CatchUpTimeout
+from ..obs.export import write_trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..sim.core import Environment
 from ..sim.rand import StreamFactory
-from ..workload.tpcw import (EbConfig, PopulationParams, TenantMetrics,
-                             TpcwContext, populate, start_tenant_load)
+from ..workload.tpcw import (
+    EbConfig,
+    PopulationParams,
+    TenantMetrics,
+    TpcwContext,
+    populate,
+    start_tenant_load,
+)
 from .profiles import Profile
+
+#: When set, every migration run through :meth:`Testbed.migrate_async`
+#: exports its trace into this directory (the CI bench-smoke artifact
+#: convention; see EXPERIMENTS.md).
+TRACE_DIR_ENV_VAR = "REPRO_TRACE_DIR"
+
+#: Monotonic sequence number keeping artifact names unique per process.
+_trace_sequence = itertools.count(1)
 
 
 @dataclass
@@ -54,6 +73,46 @@ class Testbed:
         """Shorthand for a cluster node."""
         return self.cluster.node(name)
 
+    @property
+    def tracer(self) -> Tracer:
+        """The middleware's span tracer (simulated-clock timestamps)."""
+        return self.middleware.tracer
+
+    @property
+    def observability(self) -> MetricsRegistry:
+        """The middleware's metrics registry.
+
+        (Named ``observability`` because :attr:`metrics` already holds
+        the per-tenant TPC-W load metrics.)
+        """
+        return self.middleware.metrics
+
+    def export_trace(self, path: str,
+                     meta: Optional[Dict[str, Any]] = None) -> int:
+        """Write this testbed's trace + metrics to ``path`` (JSONL)."""
+        base: Dict[str, Any] = {
+            "profile": self.profile.name,
+            "policy": self.middleware.config.policy.name,
+            "seed": self.profile.seed,
+        }
+        if meta:
+            base.update(meta)
+        return write_trace(path, self.middleware.tracer,
+                           self.middleware.metrics, base)
+
+    def _maybe_export_trace(self, tenant: str) -> Optional[str]:
+        """Export a trace artifact when REPRO_TRACE_DIR is set."""
+        directory = os.environ.get(TRACE_DIR_ENV_VAR)
+        if not directory:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        name = ("trace_%03d_%s_%s.jsonl"
+                % (next(_trace_sequence),
+                   self.middleware.config.policy.name, tenant))
+        path = os.path.join(directory, name)
+        self.export_trace(path, meta={"tenant": tenant})
+        return path
+
     def run(self, until: float) -> None:
         """Advance the simulation to ``until``."""
         self.env.run(until=until)
@@ -83,6 +142,9 @@ class Testbed:
             except CatchUpTimeout as exc:
                 outcome["timeout"] = exc
             outcome["done"] = True
+            trace_path = self._maybe_export_trace(tenant)
+            if trace_path is not None:
+                outcome["trace_path"] = trace_path
         self.env.process(runner(), name="migrate-%s" % tenant)
         return outcome
 
@@ -109,6 +171,8 @@ def build_testbed(profile: Profile,
         validate_lsir=validate_lsir,
         verify_consistency=verify_consistency,
         catchup_deadline=profile.catchup_deadline))
+    for node_name in (nodes or ["node0", "node1"]):
+        cluster.node(node_name).instance.bind_obs(middleware.metrics)
     testbed = Testbed(env, cluster, middleware, profile)
     streams = StreamFactory(profile.seed)
     for setup in tenants:

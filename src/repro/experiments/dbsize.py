@@ -16,8 +16,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..metrics.report import format_table
-from ..workload.tpcw import PAPER_TABLE3, PopulationParams, \
-    nominal_database_size_mb
+from ..workload.tpcw import (
+    PAPER_TABLE3,
+    PopulationParams,
+    nominal_database_size_mb,
+)
 from .common import TenantSetup, build_testbed
 from .profiles import Profile, get_profile
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.middleware import MigrationReport
-from ..metrics.report import format_series, format_table, sparkline
+from ..metrics.report import format_table, sparkline
 from .common import TenantSetup, build_testbed
 from .profiles import Profile, get_profile
 

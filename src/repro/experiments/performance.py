@@ -12,7 +12,7 @@ that is *larger* than any migration-induced disturbance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..core.middleware import MigrationReport

@@ -1,7 +1,14 @@
-"""Metrics: time-series probes and report formatting."""
+"""Metrics: time-series probes, report formatting, and instruments.
 
+The structured counter/gauge/histogram instruments live in
+:mod:`repro.obs.metrics`; they are re-exported here because this is the
+layer experiment code reaches for when it wants numbers out of a run.
+"""
+
+from ..obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from ..sim.monitor import CounterSeries, SampleSeries
 from .report import format_series, format_table, shape_note, sparkline
 
-__all__ = ["CounterSeries", "SampleSeries", "format_series",
+__all__ = ["Counter", "CounterSeries", "Gauge", "Histogram",
+           "MetricsRegistry", "SampleSeries", "format_series",
            "format_table", "shape_note", "sparkline"]

@@ -1,0 +1,130 @@
+"""JSON-lines trace export and import.
+
+One ``trace.jsonl`` file carries a whole run: a ``meta`` line, one
+``span`` line per span, one ``event`` line per event, and one ``metric``
+line per instrument.  The format is append-friendly, greppable, and —
+because every timestamp is simulated time — byte-stable across runs for
+a fixed seed (modulo the metadata the caller chooses to embed).
+
+The reader is forgiving: unknown record types and trailing blank lines
+are skipped, so the format can grow fields without breaking old tools.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+
+from .metrics import MetricsRegistry
+from .trace import Span, TraceEvent, Tracer
+
+#: Format version stamped into the meta line.
+FORMAT_VERSION = 1
+
+
+def trace_records(tracer: Tracer,
+                  metrics: Optional[MetricsRegistry] = None,
+                  meta: Optional[Dict[str, Any]] = None
+                  ) -> Iterable[Dict[str, Any]]:
+    """Yield every record of a trace, meta line first."""
+    header: Dict[str, Any] = {"type": "meta", "version": FORMAT_VERSION,
+                              "clock": "sim"}
+    if tracer.dropped:
+        header["dropped"] = tracer.dropped
+    if meta:
+        header.update(meta)
+    yield header
+    for span in sorted(tracer.spans, key=lambda s: (s.start, s.span_id)):
+        yield span.to_dict()
+    for event in sorted(tracer.events, key=lambda e: e.time):
+        yield event.to_dict()
+    if metrics is not None:
+        for name in metrics.names():
+            yield metrics.get(name).to_dict()
+
+
+def write_trace(path_or_file: Union[str, TextIO], tracer: Tracer,
+                metrics: Optional[MetricsRegistry] = None,
+                meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write a trace as JSON lines; returns the record count."""
+    count = 0
+    if hasattr(path_or_file, "write"):
+        for record in trace_records(tracer, metrics, meta):
+            path_or_file.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+        return count
+    with open(path_or_file, "w") as handle:
+        for record in trace_records(tracer, metrics, meta):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+@dataclass
+class TraceData:
+    """A parsed ``trace.jsonl``."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
+    events: List[TraceEvent] = field(default_factory=list)
+    #: Metric records by name (plain dicts, as exported).
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def find_spans(self, name: Optional[str] = None,
+                   kind: Optional[str] = None) -> List[Span]:
+        """Spans matching the given criteria, in start order."""
+        matches = [s for s in self.spans
+                   if (name is None or s.name == name)
+                   and (kind is None or s.kind == kind)]
+        matches.sort(key=lambda s: (s.start, s.span_id))
+        return matches
+
+    def metric_value(self, name: str,
+                     key: str = "value") -> Optional[float]:
+        """One field of one metric record, or ``None`` if absent."""
+        record = self.metrics.get(name)
+        if record is None:
+            return None
+        return record.get(key)
+
+
+def _span_from_dict(record: Dict[str, Any]) -> Span:
+    span = Span(int(record["id"]), record["name"],
+                record.get("kind", "span"), float(record["start"]),
+                parent_id=record.get("parent"),
+                attrs=record.get("attrs") or {})
+    end = record.get("end")
+    span.end = float(end) if end is not None else None
+    return span
+
+
+def read_trace(path_or_file: Union[str, TextIO]) -> TraceData:
+    """Parse a ``trace.jsonl`` back into spans, events, and metrics."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file) as handle:
+            lines = handle.read().splitlines()
+    data = TraceData()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        record_type = record.get("type")
+        if record_type == "meta":
+            data.meta.update({k: v for k, v in record.items()
+                              if k != "type"})
+        elif record_type == "span":
+            data.spans.append(_span_from_dict(record))
+        elif record_type == "event":
+            data.events.append(TraceEvent(float(record["time"]),
+                                          record["name"],
+                                          record.get("attrs") or {}))
+        elif record_type == "metric":
+            data.metrics[record["name"]] = record
+        # unknown record types are skipped (forward compatibility)
+    data.spans.sort(key=lambda s: (s.start, s.span_id))
+    data.events.sort(key=lambda e: e.time)
+    return data

@@ -1,0 +1,199 @@
+"""Counters, gauges, and histograms behind one registry.
+
+The :class:`MetricsRegistry` is the structured replacement for the
+ad-hoc stat dataclasses scattered through the stack
+(:class:`~repro.core.propagation.PropagationStats`, the executor/WAL
+counters on :class:`~repro.engine.instance.DbmsInstance` and
+:class:`~repro.engine.wal.WalWriter`): those dataclasses stay for
+backwards compatibility, and :meth:`MetricsRegistry.absorb` mirrors
+them into named instruments so they reach the trace export alongside
+the live-instrumented values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counter %r cannot decrease" % self.name)
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable record (the ``metric`` line of the JSONL)."""
+        return {"type": "metric", "kind": "counter", "name": self.name,
+                "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways; tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+        self.max_value: float = 0
+
+    def set(self, value: float) -> None:
+        """Set the current value."""
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Adjust the current value by ``amount``."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        """Adjust the current value by ``-amount``."""
+        self.set(self.value - amount)
+
+    def reset(self) -> None:
+        """Zero the value and the high-water mark."""
+        self.value = 0
+        self.max_value = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable record (the ``metric`` line of the JSONL)."""
+        return {"type": "metric", "kind": "gauge", "name": self.name,
+                "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (count/sum/min/max)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        return self.total / self.count
+
+    def reset(self) -> None:
+        """Forget every sample."""
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable record (the ``metric`` line of the JSONL)."""
+        return {"type": "metric", "kind": "histogram", "name": self.name,
+                "count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Names are dotted paths (``wal.node1.flushes``,
+    ``propagation.rounds``); one name is always one instrument kind —
+    asking for an existing name with a different kind raises.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls: Any) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError("metric %r is a %s, not a %s"
+                            % (name, type(instrument).__name__,
+                               cls.__name__))
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(name, Histogram)
+
+    # ------------------------------------------------------------------
+    def absorb(self, prefix: str, stats: Any) -> None:
+        """Mirror a stats dataclass (or mapping) into gauges.
+
+        Each numeric field becomes the gauge ``<prefix>.<field>`` set to
+        the field's current value, so repeated calls track a cumulative
+        dataclass without double counting.
+        """
+        if is_dataclass(stats) and not isinstance(stats, type):
+            items = [(f.name, getattr(stats, f.name))
+                     for f in fields(stats)]
+        elif isinstance(stats, dict):
+            items = list(stats.items())
+        else:
+            raise TypeError("cannot absorb %r" % (stats,))
+        for key, value in items:
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            self.gauge("%s.%s" % (prefix, key)).set(value)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Every instrument name, sorted."""
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Any]:
+        """The instrument called ``name``, if it exists."""
+        return self._instruments.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A point-in-time copy of every instrument as plain dicts."""
+        return {name: self._instruments[name].to_dict()
+                for name in self.names()}
+
+    def reset(self) -> None:
+        """Reset every instrument in place (handles stay valid)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments

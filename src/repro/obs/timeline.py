@@ -1,0 +1,154 @@
+"""Render a trace as a phase timeline and summary tables.
+
+Used by the ``repro trace`` CLI subcommand and by tests; everything
+returns plain strings built on the same fixed-width table helpers the
+experiment reports use, so trace output stays machine-greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..metrics.report import format_table
+from .export import TraceData
+from .trace import MIGRATION, PHASE, ROUND, Span
+
+#: Width of the ASCII gantt bars.
+BAR_WIDTH = 48
+
+
+def _bar(span: Span, t0: float, t1: float, width: int) -> str:
+    """An ASCII gantt bar for ``span`` over the window [t0, t1]."""
+    window = (t1 - t0) or 1.0
+    end = span.end if span.end is not None else t1
+    left = int((span.start - t0) / window * width)
+    right = max(left + 1, int((end - t0) / window * width))
+    left = min(left, width - 1)
+    right = min(right, width)
+    return (" " * left + "#" * (right - left)
+            + " " * (width - right))
+
+
+def render_timeline(data: TraceData, width: int = BAR_WIDTH) -> str:
+    """The migration/phase spans as an ASCII gantt chart."""
+    bars = [s for s in data.spans if s.kind in (MIGRATION, PHASE)]
+    if not bars:
+        return "(no migration or phase spans in this trace)"
+    t0 = min(s.start for s in bars)
+    t1 = max(s.end if s.end is not None else s.start for s in bars)
+    lines = ["phase timeline  (window %.3f s .. %.3f s)" % (t0, t1)]
+    for span in bars:
+        label = span.name if span.kind == PHASE else "[%s]" % span.name
+        duration = ("%10.3f" % span.duration
+                    if span.duration is not None else "      open")
+        lines.append("  %-12s |%s| %s s"
+                     % (label, _bar(span, t0, t1, width), duration))
+    return "\n".join(lines)
+
+
+def render_phase_table(data: TraceData) -> str:
+    """Start/end/duration of every phase span, with attributes."""
+    rows: List[List[Any]] = []
+    for span in data.find_spans(kind=PHASE):
+        rows.append([span.name, span.start, span.end, span.duration,
+                     _format_attrs(span.attrs)])
+    if not rows:
+        return "(no phase spans)"
+    return format_table(
+        ["phase", "start [s]", "end [s]", "duration [s]", "attributes"],
+        rows, title="migration phases")
+
+
+def render_span_summary(data: TraceData) -> str:
+    """Per-(kind, name) span counts and total duration."""
+    groups: Dict[Any, List[Span]] = {}
+    for span in data.spans:
+        groups.setdefault((span.kind, span.name), []).append(span)
+    rows = []
+    for (kind, name), spans in sorted(groups.items()):
+        closed = [s.duration for s in spans if s.duration is not None]
+        rows.append([kind, name, len(spans),
+                     sum(closed) if closed else 0.0,
+                     (sum(closed) / len(closed)) if closed else 0.0])
+    if not rows:
+        return "(no spans)"
+    return format_table(
+        ["kind", "name", "count", "total [s]", "mean [s]"],
+        rows, title="span summary")
+
+
+def render_metrics_table(data: TraceData) -> str:
+    """Every exported metric as one row."""
+    rows = []
+    for name in sorted(data.metrics):
+        record = data.metrics[name]
+        kind = record.get("kind", "?")
+        if kind == "histogram":
+            detail = ("count=%s mean=%.3g min=%s max=%s"
+                      % (record.get("count"), record.get("mean") or 0.0,
+                         record.get("min"), record.get("max")))
+            value: Any = record.get("sum")
+        elif kind == "gauge":
+            detail = "max=%s" % record.get("max")
+            value = record.get("value")
+        else:
+            detail = ""
+            value = record.get("value")
+        rows.append([name, kind, value, detail])
+    if not rows:
+        return "(no metrics)"
+    return format_table(["metric", "kind", "value", "detail"], rows,
+                        title="metrics")
+
+
+def render_round_summary(data: TraceData) -> str:
+    """One line summarising the conductor rounds, if any."""
+    rounds = data.find_spans(kind=ROUND)
+    if not rounds:
+        return "(no propagation rounds recorded)"
+    closed = [s.duration for s in rounds if s.duration is not None]
+    groups = [s.attrs.get("group", 0) for s in rounds]
+    return ("propagation rounds: %d  (mean length %.4f s, "
+            "mean group size %.2f, max group %d)"
+            % (len(rounds),
+               (sum(closed) / len(closed)) if closed else 0.0,
+               (sum(groups) / len(groups)) if groups else 0.0,
+               max(groups) if groups else 0))
+
+
+def render_report(data: TraceData,
+                  source: Optional[str] = None) -> str:
+    """The full ``repro trace`` report for one parsed trace."""
+    parts: List[str] = []
+    if source:
+        parts.append("trace: %s" % source)
+    if data.meta:
+        interesting = {k: v for k, v in data.meta.items()
+                       if k not in ("version", "clock")}
+        if interesting:
+            parts.append("meta: " + ", ".join(
+                "%s=%s" % (k, v) for k, v in sorted(interesting.items())))
+    parts.append("")
+    parts.append(render_timeline(data))
+    parts.append("")
+    parts.append(render_phase_table(data))
+    parts.append("")
+    parts.append(render_round_summary(data))
+    parts.append("")
+    parts.append(render_span_summary(data))
+    parts.append("")
+    parts.append(render_metrics_table(data))
+    return "\n".join(parts)
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    return " ".join("%s=%s" % (key, _short(value))
+                    for key, value in sorted(attrs.items()))
+
+
+def _short(value: Any) -> str:
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)

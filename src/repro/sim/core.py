@@ -12,7 +12,7 @@ exactly reproducible for a fixed seed.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from .events import AllOf, AnyOf, Event, Interrupt, Timeout
 

@@ -150,7 +150,7 @@ class Condition(Event):
             else:
                 event.callbacks.append(self._on_subevent)
 
-    def _on_subevent(self, event: Event) -> None:  # pragma: no cover - abstract
+    def _on_subevent(self, event: Event) -> None:  # pragma: no cover
         raise NotImplementedError
 
 

@@ -9,7 +9,7 @@ is counted so tests can check the final state value-by-value.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator
 
 from ..core.middleware import Connection, Middleware
 from ..engine.session import Session

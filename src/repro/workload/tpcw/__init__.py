@@ -3,11 +3,23 @@ emulated browsers."""
 
 from .browser import EbConfig, TenantMetrics, start_tenant_load
 from .interactions import INTERACTIONS, EbState, IdAllocator, TpcwContext
-from .mixes import (BROWSING_MIX, MIXES, ORDERING_MIX, SHOPPING_MIX,
-                    UPDATE_INTERACTIONS, mix_weights, update_fraction)
-from .population import (CUSTOMERS_PER_EB, FIXED_OVERHEAD_MB, PAPER_TABLE3,
-                         PopulationParams, nominal_database_size_mb,
-                         populate)
+from .mixes import (
+    BROWSING_MIX,
+    MIXES,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+    UPDATE_INTERACTIONS,
+    mix_weights,
+    update_fraction,
+)
+from .population import (
+    CUSTOMERS_PER_EB,
+    FIXED_OVERHEAD_MB,
+    PAPER_TABLE3,
+    PopulationParams,
+    nominal_database_size_mb,
+    populate,
+)
 from .schema import all_schemas
 
 __all__ = [
