@@ -47,9 +47,10 @@ def load_records(path):
 
 
 def index_trace(path):
-    """Split one trace file into meta / spans / metrics."""
+    """Split one trace file into meta / spans / events / metrics."""
     meta = {}
     spans = []
+    events = []
     metrics = {}
     for record in load_records(path):
         kind = record.get("type")
@@ -57,9 +58,11 @@ def index_trace(path):
             meta = record
         elif kind == "span":
             spans.append(record)
+        elif kind == "event":
+            events.append(record)
         elif kind == "metric":
             metrics[record.get("name")] = record
-    return meta, spans, metrics
+    return meta, spans, events, metrics
 
 
 def check_phase_order(spans):
@@ -118,14 +121,61 @@ def migration_attr(spans, name):
     return None
 
 
+def count_events(events, name):
+    return sum(1 for event in events if event.get("name") == name)
+
+
+def check_outcome(expected, spans, events):
+    """Failures for ``--expect-outcome`` (ok / aborted / failover).
+
+    ``failover`` means the migration *completed* (span outcome "ok")
+    but only after promoting a standby -- visible as a positive
+    ``failovers`` span attribute or a ``migration.failover`` event.
+    """
+    failures = []
+    outcome = migration_attr(spans, "outcome")
+    failovers = migration_attr(spans, "failovers") or 0
+    failover_events = count_events(events, "migration.failover")
+    if expected == "aborted":
+        if outcome != "aborted":
+            failures.append("migration outcome is %r, expected 'aborted'"
+                            % outcome)
+    else:
+        if outcome != "ok":
+            failures.append("migration outcome is %r, expected 'ok'"
+                            % outcome)
+        if expected == "failover" and not failovers and not failover_events:
+            failures.append("expected a failover but the trace has no "
+                            "migration.failover event and failovers = 0")
+        if expected == "ok" and (failovers or failover_events):
+            failures.append("expected a plain 'ok' outcome but the "
+                            "migration failed over %s time(s)"
+                            % (failovers or failover_events))
+    return failures
+
+
 def check_file(path, args):
     """Return a list of failures for one trace file."""
     failures = []
-    meta, spans, metrics = index_trace(path)
+    meta, spans, events, metrics = index_trace(path)
     policy = meta.get("policy") or migration_attr(spans, "policy")
 
     if args.require_phase_order:
         failures.extend(check_phase_order(spans))
+
+    if args.min_fault_events is not None:
+        injected = count_events(events, "fault.injected")
+        if injected < args.min_fault_events:
+            failures.append("fault.injected events = %d < required %d"
+                            % (injected, args.min_fault_events))
+
+    if args.expect_standby_dropped is not None:
+        dropped = metric_value(metrics, "migration.standby_dropped")
+        if dropped is None:
+            dropped = count_events(events, "migration.standby_dropped")
+        if dropped != args.expect_standby_dropped:
+            failures.append("migration.standby_dropped = %s, expected %d"
+                            % (dropped, args.expect_standby_dropped))
 
     if args.policy and policy != args.policy:
         # Baselines may legitimately abort (the paper's B-CON "N/A"
@@ -133,10 +183,13 @@ def check_file(path, args):
         # selected policy; phase order was still checked above.
         return policy, failures, True  # skipped by policy filter
 
-    outcome = migration_attr(spans, "outcome")
-    if outcome not in (None, "ok"):
-        failures.append("migration outcome is %r, expected 'ok'"
-                        % outcome)
+    if args.expect_outcome is not None:
+        failures.extend(check_outcome(args.expect_outcome, spans, events))
+    else:
+        outcome = migration_attr(spans, "outcome")
+        if outcome not in (None, "ok"):
+            failures.append("migration outcome is %r, expected 'ok'"
+                            % outcome)
 
     # Prefer the registry gauges; fall back to the migration span
     # attributes so the gate survives a metrics-less export.
@@ -180,6 +233,17 @@ def main(argv=None):
     parser.add_argument("--require-phase-order", action="store_true",
                         help="fail unless every migration's phases are "
                              "dump/restore/catch-up/handover in order")
+    parser.add_argument("--expect-outcome", default=None,
+                        choices=["ok", "aborted", "failover"],
+                        help="required migration outcome: 'ok' (no "
+                             "failover), 'aborted', or 'failover' "
+                             "(completed on a promoted standby)")
+    parser.add_argument("--min-fault-events", type=int, default=None,
+                        help="minimum number of fault.injected trace "
+                             "events (chaos runs)")
+    parser.add_argument("--expect-standby-dropped", type=int,
+                        default=None,
+                        help="exact migration.standby_dropped count")
     args = parser.parse_args(argv)
 
     exit_code = 0

@@ -47,12 +47,15 @@ from .engine import DbmsInstance, Session, TenantDatabase, TransferRates, parse
 from .errors import (
     CatchUpTimeout,
     MigrationError,
+    NetworkDown,
+    NodeCrashed,
     ReproError,
     RoutingError,
     SchemaError,
     SqlError,
     TransactionAborted,
 )
+from .faults import FaultInjector, FaultPlan, FaultSpec
 from .obs import MetricsRegistry, Tracer, read_trace, write_trace
 from .sim import Environment
 
@@ -67,13 +70,18 @@ __all__ = [
     "Cluster",
     "DbmsInstance",
     "Environment",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "MADEUS",
     "MetricsRegistry",
     "Middleware",
     "MiddlewareConfig",
     "MigrationError",
     "MigrationReport",
+    "NetworkDown",
     "Node",
+    "NodeCrashed",
     "NodeSpec",
     "PropagationPolicy",
     "ReproError",

@@ -10,6 +10,7 @@ Examples::
     python -m repro costmodel
     python -m repro all --profile smoke
     python -m repro trace benchmarks/results/traces/trace_001_*.jsonl
+    python -m repro chaos --scenario standby-crash --profile smoke
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from typing import Callable, Dict
 
 from .experiments import get_profile
 from .experiments import (
+    chaos,
     costmodel,
     dbsize,
     migration_time,
@@ -98,6 +100,38 @@ DESCRIPTIONS: Dict[str, str] = {
 }
 
 
+def chaos_main(argv=None) -> int:
+    """Entry point for ``python -m repro chaos``.
+
+    Runs one (or all) fault-injection scenarios from
+    :mod:`repro.experiments.chaos` and prints the outcome table.  With
+    ``$REPRO_TRACE_DIR`` set, each scenario exports its trace as
+    ``trace_chaos_<scenario>.jsonl`` for offline gating with
+    ``scripts/check_trace.py``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Run a TPC-W live migration under a seeded fault "
+                    "plan (crashes, outages, degradation, disk stalls).")
+    parser.add_argument("--scenario", default="all",
+                        choices=sorted(chaos.SCENARIOS) + ["all"],
+                        help="fault plan to run (default: all)")
+    parser.add_argument("--profile", default=None,
+                        choices=["paper", "quick", "smoke"],
+                        help="experiment scale (default: $REPRO_PROFILE "
+                             "or 'quick')")
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+    names = (sorted(chaos.SCENARIOS) if args.scenario == "all"
+             else [args.scenario])
+    outcomes = chaos.run_all(profile, names)
+    print(chaos.report(outcomes, profile))
+    for outcome in outcomes:
+        if outcome.trace_path is not None:
+            print("trace: %s" % outcome.trace_path)
+    return 0
+
+
 def trace_main(argv=None) -> int:
     """Entry point for ``python -m repro trace``.
 
@@ -154,6 +188,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Madeus (SIGMOD 2015) reproduction: run any paper "
@@ -163,7 +199,7 @@ def main(argv=None) -> int:
                         choices=sorted(COMMANDS) + ["list", "all"],
                         help="experiment to run ('list' to enumerate, "
                              "'all' for everything; see also the "
-                             "'trace' subcommand)")
+                             "'trace' and 'chaos' subcommands)")
     parser.add_argument("--profile", default=None,
                         choices=["paper", "quick", "smoke"],
                         help="experiment scale (default: $REPRO_PROFILE "
@@ -175,6 +211,9 @@ def main(argv=None) -> int:
         print("%-12s %s" % ("trace",
                             "render a trace.jsonl (phase timeline, "
                             "spans, metrics)"))
+        print("%-12s %s" % ("chaos",
+                            "migration under injected faults (crash, "
+                            "outage, degradation, stall)"))
         return 0
     profile = get_profile(args.profile)
     if args.command == "all":

@@ -20,7 +20,13 @@ from ..cluster.cluster import Cluster
 from ..engine.dump import TransferRates, dump, restore
 from ..engine.session import Session, SessionResult
 from ..engine.sqlmini import parse
-from ..errors import CatchUpTimeout, MigrationError, RoutingError
+from ..errors import (
+    CatchUpTimeout,
+    MigrationError,
+    NetworkDown,
+    NodeCrashed,
+    RoutingError,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import MIGRATION, Tracer
 from ..sim.events import Event
@@ -51,6 +57,19 @@ class MiddlewareConfig:
     catchup_deadline: Optional[float] = None
     #: Drop the tenant from the source node after switch-over.
     drop_source_copy: bool = False
+    #: Max resend attempts per node when the snapshot ship/restore hits a
+    #: transient network outage (capped exponential backoff between them).
+    ship_retry_limit: int = 5
+    ship_retry_base: float = 0.1
+    ship_retry_cap: float = 2.0
+    #: Catch-up divergence watchdog (active only with a catchup_deadline):
+    #: sample the backlog every ``divergence_interval`` seconds and abort
+    #: early once it has grown strictly monotonically across
+    #: ``divergence_window`` samples by at least ``divergence_min_growth``
+    #: syncsets — a healthy catch-up never sustains that.
+    divergence_interval: float = 5.0
+    divergence_window: int = 6
+    divergence_min_growth: int = 64
 
 
 @dataclass
@@ -120,6 +139,12 @@ class MigrationReport:
     standby_consistency: Dict[str, bool] = field(default_factory=dict)
     #: Standby nodes dropped mid-migration (injected failures).
     failed_standbys: List[str] = field(default_factory=list)
+    #: "ok" or "aborted"; aborted migrations are reported too.
+    outcome: str = "ok"
+    #: Times a crashed destination was replaced by a promoted standby.
+    failovers: int = 0
+    #: Snapshot ship/restore resends across transient outages.
+    ship_retries: int = 0
 
     @property
     def migration_time(self) -> float:
@@ -246,7 +271,12 @@ class Middleware:
         conn.statements += 1
         state.operations_seen += 1
         # customer -> middleware hop
-        yield from self.cluster.network.round_trip()
+        try:
+            yield from self.cluster.network.round_trip()
+        except NetworkDown as exc:
+            conn.errors += 1
+            self._connection_lost(conn, state)
+            return SessionResult(kind="error", error=str(exc))
         if operation.kind == OpKind.BEGIN:
             # Suspended during switch-over: new transactions wait at the
             # gate; running ones drain (Algorithm 3 lines 14-17).
@@ -254,6 +284,10 @@ class Middleware:
             state.active_txns += 1
             conn.in_active_txn = True
             result = yield from self._forward(conn, operation)
+            if not result.ok:
+                # The master refused/never saw the BEGIN (crash, outage):
+                # release the gate slot instead of leaking active_txns.
+                self._transaction_ended(conn, state, aborted=True)
             return result
         if operation.kind == OpKind.FIRST_READ:
             result = yield from self._first_read(conn, state, operation)
@@ -272,8 +306,20 @@ class Middleware:
 
     def _forward(self, conn: Connection, operation: Operation
                  ) -> Generator[Any, Any, SessionResult]:
-        """middleware -> master round trip plus execution."""
-        yield from self.cluster.network.round_trip()
+        """middleware -> master round trip plus execution.
+
+        A link outage surfaces as an error result, like a proxy
+        returning 503; the master-side transaction (which never saw the
+        statement) is rolled back, as a real server does when it loses
+        the client connection.
+        """
+        try:
+            yield from self.cluster.network.round_trip()
+        except NetworkDown as exc:
+            session = conn._session
+            if session is not None and session.in_transaction:
+                session.reset()
+            return SessionResult(kind="error", error=str(exc))
         result = yield from conn.session().execute(operation.statement,
                                                    cpu_cost=operation.cpu_cost)
         return result
@@ -396,6 +442,14 @@ class Middleware:
                 conn.tracker.reset()
         self._transaction_closed(conn, state)
 
+    def _connection_lost(self, conn: Connection,
+                         state: TenantState) -> None:
+        """Unwind one connection whose customer hop hit an outage."""
+        session = conn._session
+        if session is not None and session.in_transaction:
+            session.reset()
+        self._transaction_ended(conn, state, aborted=True)
+
     def _transaction_closed(self, conn: Connection,
                             state: TenantState) -> None:
         if not conn.in_active_txn:
@@ -467,17 +521,76 @@ class Middleware:
         # --- Step 2: create the slave(s) --------------------------------
         phase_span = self.tracer.phase("restore", parent=migration_span,
                                        size_mb=snapshot.size_mb)
+        restore_errors: Dict[str, Optional[str]] = {}
 
-        def ship_and_restore(instance) -> Generator:
-            yield from self.cluster.network.message(snapshot.size_mb)
-            yield from restore(instance, snapshot, rates,
-                               tenant_name=tenant)
-        restores = [self.env.process(ship_and_restore(dest_instance))]
-        restores += [self.env.process(ship_and_restore(instance))
-                     for instance in standby_instances.values()]
+        def ship_and_restore(node_name: str, instance: Any) -> Generator:
+            """Ship + restore one node; resend across transient outages.
+
+            Never raises: per-node outcomes land in ``restore_errors`` so
+            one dead node cannot fail the whole fan-out (``all_of`` fails
+            fast on a sub-event failure).
+            """
+            attempt = 0
+            while True:
+                try:
+                    yield from self.cluster.network.message(
+                        snapshot.size_mb)
+                    yield from restore(instance, snapshot, rates,
+                                       tenant_name=tenant)
+                    restore_errors[node_name] = None
+                    return
+                except NetworkDown as exc:
+                    attempt += 1
+                    if instance.has_tenant(tenant):
+                        # Discard the partial copy before resending.
+                        instance.drop_tenant(tenant)
+                    if attempt > self.config.ship_retry_limit:
+                        restore_errors[node_name] = str(exc)
+                        return
+                    delay = min(
+                        self.config.ship_retry_cap,
+                        self.config.ship_retry_base * (2 ** (attempt - 1)))
+                    report.ship_retries += 1
+                    self.metrics.counter("migration.retries").inc()
+                    self.tracer.event("migration.retry", tenant=tenant,
+                                      node=node_name, attempt=attempt,
+                                      delay=delay)
+                    yield self.env.timeout(delay)
+                except NodeCrashed as exc:
+                    restore_errors[node_name] = str(exc)
+                    return
+
+        restores = [self.env.process(
+            ship_and_restore(destination, dest_instance))]
+        restores += [self.env.process(ship_and_restore(name, instance))
+                     for name, instance in standby_instances.items()]
         yield self.env.all_of(restores)
+        # A standby that failed to restore is discarded (Section 4.2); a
+        # dead destination promotes a restored standby or aborts.
+        for name in sorted(standby_instances):
+            error = restore_errors.get(name)
+            if error is not None:
+                standby_instances.pop(name)
+                self._drop_standby(state, name, phase="restore",
+                                   reason=error)
+        dest_error = restore_errors.get(destination)
+        if dest_error is not None:
+            survivors = sorted(standby_instances)
+            if not survivors:
+                self._abort_migration(state, dest_instance, tenant)
+                self.tracer.finish(phase_span, outcome="failed")
+                self.tracer.finish(migration_span, outcome="aborted",
+                                   reason="restore_failed")
+                self._finalize_abort(state, report)
+                raise MigrationError(
+                    "restore on destination %s failed (%s) and no "
+                    "standby survives to take over"
+                    % (destination, dest_error))
+            destination, dest_instance = self._promote_standby(
+                state, standby_instances, report, tenant,
+                failed=destination, phase="restore", reason=dest_error)
         report.restored_at = self.env.now
-        self.tracer.finish(phase_span)
+        self.tracer.finish(phase_span, retries=report.ship_retries)
         # --- Step 3: concurrent syncset propagation --------------------
         phase_span = self.tracer.phase("catch-up", parent=migration_span,
                                        backlog=state.ssl.pending_count())
@@ -499,29 +612,99 @@ class Middleware:
             state.standby_ssls[name] = standby_ssl
             state.standby_propagators[name] = standby_prop
             standby_prop.start()
-        slave_flushes_before = dest_instance.wal.flush_count
-        slave_commits_before = dest_instance.wal.commit_count
+        # Per-slave WAL baselines, recorded up front so a standby
+        # promoted mid-catch-up still reports correct deltas.
+        wal_before = {destination: (dest_instance.wal.flush_count,
+                                    dest_instance.wal.commit_count)}
+        for name, instance in standby_instances.items():
+            wal_before[name] = (instance.wal.flush_count,
+                                instance.wal.commit_count)
         propagator.start()
-        caught_up = propagator.wait_caught_up()
+        deadline_event = None
+        diverging: Optional[Event] = None
+        watchdog_control = {"stop": False}
         if self.config.catchup_deadline is not None:
-            deadline = self.env.timeout(self.config.catchup_deadline)
-            outcome = yield self.env.any_of([caught_up, deadline])
-            if outcome is deadline:
-                backlog = state.ssl.pending_count()
-                self._abort_migration(state, dest_instance, tenant)
-                self.tracer.finish(phase_span, outcome="timeout",
-                                   backlog_at_timeout=backlog)
-                self.tracer.finish(migration_span, outcome="aborted")
-                self.metrics.counter("migration.aborted").inc()
+            deadline_event = self.env.timeout(self.config.catchup_deadline)
+            diverging = Event(self.env)
+            self.env.process(
+                self._divergence_watchdog(state, diverging,
+                                          watchdog_control),
+                name="catchup.watchdog.%s" % tenant)
+        # Supervision loop: wait for catch-up while reacting to slave
+        # faults.  A dead standby is discarded and propagation continues
+        # (Section 4.2); a dead destination promotes a surviving standby
+        # or aborts; the deadline / divergence watchdog abort early.
+        while True:
+            caught_up = state.propagator.wait_caught_up()
+            primary_failed = state.propagator.wait_failed()
+            standby_failed = {
+                name: prop.wait_failed()
+                for name, prop in state.standby_propagators.items()}
+            waits = [caught_up, primary_failed]
+            waits.extend(standby_failed.values())
+            if deadline_event is not None:
+                waits.append(deadline_event)
+            if diverging is not None:
+                waits.append(diverging)
+            fired = yield self.env.any_of(waits)
+            if fired is caught_up:
+                break
+            dropped = None
+            for name, event in standby_failed.items():
+                if fired is event:
+                    dropped = name
+                    break
+            if dropped is not None:
+                reason = (state.standby_propagators[dropped].failed
+                          or "replay failed")
+                self._drop_standby(state, dropped, phase="catch-up",
+                                   reason=reason)
+                standby_instances.pop(dropped, None)
+                continue
+            if fired is primary_failed:
+                reason = state.propagator.failed or "replay failed"
+                if standby_instances:
+                    destination, dest_instance = self._promote_standby(
+                        state, standby_instances, report, tenant,
+                        failed=destination, phase="catch-up",
+                        reason=reason)
+                    continue
+                abort_reason = "destination_failed"
+            elif diverging is not None and fired is diverging:
+                abort_reason = "diverging"
+            else:
+                abort_reason = "timeout"
+            # --- abort: tear down, report, raise -----------------------
+            watchdog_control["stop"] = True
+            backlog = state.ssl.pending_count()
+            elapsed = self.env.now - report.restored_at
+            self._abort_migration(state, dest_instance, tenant)
+            self.tracer.finish(phase_span, outcome=abort_reason,
+                               backlog_at_timeout=backlog)
+            self.tracer.finish(migration_span, outcome="aborted",
+                               reason=abort_reason)
+            self._finalize_abort(state, report)
+            if abort_reason == "destination_failed":
+                raise MigrationError(
+                    "destination %s failed during catch-up (%s) and no "
+                    "standby survives to take over"
+                    % (destination, reason))
+            if abort_reason == "diverging":
                 raise CatchUpTimeout(
-                    "%s: slave could not catch up with the master within "
-                    "%.0f s (backlog: %d syncsets)"
-                    % (self.config.policy.name,
-                       self.config.catchup_deadline, backlog),
-                    backlog=backlog,
-                    elapsed=self.env.now - report.restored_at)
-        else:
-            yield caught_up
+                    "%s: slave backlog is diverging (%d syncsets and "
+                    "strictly growing); aborting ahead of the %.0f s "
+                    "deadline"
+                    % (self.config.policy.name, backlog,
+                       self.config.catchup_deadline),
+                    backlog=backlog, elapsed=elapsed, reason="diverging")
+            raise CatchUpTimeout(
+                "%s: slave could not catch up with the master within "
+                "%.0f s (backlog: %d syncsets)"
+                % (self.config.policy.name,
+                   self.config.catchup_deadline, backlog),
+                backlog=backlog, elapsed=elapsed)
+        watchdog_control["stop"] = True
+        propagator = state.propagator
         report.caught_up_at = self.env.now
         self.tracer.finish(phase_span,
                            rounds=propagator.stats.rounds,
@@ -567,10 +750,11 @@ class Middleware:
         report.operations_propagated = stats.operations_replayed
         report.max_concurrent_players = stats.max_concurrent_players
         report.rounds = stats.rounds
+        flushes_before, commits_before = wal_before[destination]
         report.slave_commit_count = (dest_instance.wal.commit_count
-                                     - slave_commits_before)
+                                     - commits_before)
         report.slave_flush_count = (dest_instance.wal.flush_count
-                                    - slave_flushes_before)
+                                    - flushes_before)
         if report.slave_flush_count:
             report.slave_mean_group_size = (report.slave_commit_count
                                             / report.slave_flush_count)
@@ -586,7 +770,9 @@ class Middleware:
             syncsets=report.syncsets_propagated,
             slave_commit_count=report.slave_commit_count,
             slave_flush_count=report.slave_flush_count,
-            consistent=report.consistent)
+            consistent=report.consistent,
+            failovers=report.failovers,
+            standby_dropped=len(report.failed_standbys))
         self._publish_report_metrics(report, stats)
         self.reports.append(report)
         return report
@@ -606,6 +792,8 @@ class Middleware:
             "slave_commit_count": report.slave_commit_count,
             "slave_flush_count": report.slave_flush_count,
             "slave_mean_group_size": report.slave_mean_group_size,
+            "failovers": report.failovers,
+            "ship_retries": report.ship_retries,
         })
 
     def fail_standby(self, tenant: str, node_name: str) -> None:
@@ -615,18 +803,112 @@ class Middleware:
         continues to propagate the remaining syncsets to the others."
         The standby's backlog is discarded and its propagator told to
         wind down; the primary slave (and other standbys) are
-        unaffected.
+        unaffected.  (This manual hook shares its teardown with the
+        automatic crash-detection path in :meth:`migrate`.)
         """
         state = self.tenant_state(tenant)
-        propagator = state.standby_propagators.pop(node_name, None)
-        ssl = state.standby_ssls.pop(node_name, None)
-        if propagator is None:
+        if node_name not in state.standby_propagators:
             raise MigrationError("no standby %r for tenant %r"
                                  % (node_name, tenant))
+        self._drop_standby(state, node_name, phase="manual",
+                           reason="failed by operator")
+
+    def _drop_standby(self, state: TenantState, node_name: str,
+                      phase: str, reason: str) -> None:
+        """Discard one standby: stop its engine, drop its backlog."""
+        propagator = state.standby_propagators.pop(node_name, None)
+        ssl = state.standby_ssls.pop(node_name, None)
         if ssl is not None:
             ssl.take_all()
-        propagator.request_stop()
+        if propagator is not None:
+            propagator.request_stop()
         state.failed_standbys.append(node_name)
+        self.metrics.counter("migration.standby_dropped").inc()
+        self.tracer.event("migration.standby_dropped", tenant=state.name,
+                          node=node_name, phase=phase, reason=reason)
+
+    def _promote_standby(self, state: TenantState,
+                         standby_instances: Dict[str, Any],
+                         report: MigrationReport, tenant: str,
+                         failed: str, phase: str, reason: str):
+        """Fail over: the first surviving standby becomes destination.
+
+        During catch-up the standby's SSL and propagator simply take
+        over the primary role — the standby replayed the same syncset
+        stream, so it is exactly as caught up as its own backlog says.
+        Survivor choice is sorted-order for determinism.
+        """
+        promoted = sorted(standby_instances)[0]
+        instance = standby_instances.pop(promoted)
+        standby_prop = state.standby_propagators.pop(promoted, None)
+        standby_ssl = state.standby_ssls.pop(promoted, None)
+        if standby_prop is not None:
+            old_ssl = state.ssl
+            state.ssl = standby_ssl
+            state.propagator = standby_prop
+            old_ssl.take_all()  # the dead destination's backlog
+        report.destination = promoted
+        report.failovers += 1
+        self.metrics.counter("migration.failover").inc()
+        self.tracer.event("migration.failover", tenant=tenant,
+                          failed=failed, promoted=promoted, phase=phase,
+                          reason=reason)
+        return promoted, instance
+
+    def _finalize_abort(self, state: TenantState,
+                        report: MigrationReport) -> None:
+        """Stamp and record a report for a migration that aborted.
+
+        Aborted migrations are reported too: ``ended_at`` is set (so
+        ``migration_time`` is meaningful), ``outcome`` says why it is
+        not "ok", and the report joins :attr:`reports` and the metrics
+        registry like any completed migration.
+        """
+        report.outcome = "aborted"
+        report.ended_at = self.env.now
+        report.failed_standbys = list(state.failed_standbys)
+        state.failed_standbys.clear()
+        self.metrics.counter("migration.aborted").inc()
+        self.metrics.absorb("migration.last", {
+            "migration_time": report.migration_time,
+            "dump_time": report.dump_time,
+            "snapshot_size_mb": report.snapshot_size_mb,
+            "failovers": report.failovers,
+            "ship_retries": report.ship_retries,
+        })
+        self.reports.append(report)
+
+    def _divergence_watchdog(self, state: TenantState, fired: Event,
+                             control: Dict[str, bool]) -> Generator:
+        """Abort-early detector over the primary replay backlog.
+
+        Samples ``state.ssl`` each interval (reading the attribute live,
+        so a promoted standby's SSL is followed automatically) and fires
+        once the backlog has grown *strictly monotonically* across the
+        whole window by at least the configured floor.  A healthy
+        catch-up oscillates toward zero and never sustains that, so a
+        positive signal means replay throughput is provably below the
+        master's commit rate — the situation the paper reports as "N/A".
+        """
+        samples: List[int] = []
+        while not control["stop"]:
+            yield self.env.timeout(self.config.divergence_interval)
+            if control["stop"]:
+                return
+            samples.append(state.ssl.pending_count())
+            if len(samples) > self.config.divergence_window:
+                samples.pop(0)
+            if (len(samples) == self.config.divergence_window
+                    and all(later > earlier for earlier, later
+                            in zip(samples, samples[1:]))
+                    and (samples[-1] - samples[0]
+                         >= self.config.divergence_min_growth)):
+                self.tracer.event("migration.diverging",
+                                  tenant=state.name,
+                                  samples=list(samples))
+                if not fired.triggered:
+                    fired.succeed()
+                return
 
     def _abort_migration(self, state: TenantState,
                          dest_instance: Any, tenant: str) -> None:
@@ -644,3 +926,8 @@ class Middleware:
             state.propagator = None
         # Unlink any backlog so the SSL does not leak into a retry.
         state.ssl.take_all()
+        # Standby engines must wind down too, or their propagators and
+        # SSLs would leak into (and corrupt) a retry of the migration.
+        for name in sorted(state.standby_propagators):
+            self._drop_standby(state, name, phase="abort",
+                               reason="migration aborted")

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Generator, List, Optional
 
 from ..engine.session import Session
 from ..engine.sqlmini import Begin, Commit
-from ..errors import MigrationError
+from ..errors import MigrationError, NetworkDown, NodeCrashed
 from ..obs.trace import ROUND
 from ..sim.events import Event
 from ..sim.sync import CountdownLatch, Mutex
@@ -55,6 +55,7 @@ class PropagationStats:
     rounds: int = 0
     max_concurrent_players: int = 0
     commit_mutex_waits: int = 0
+    net_retries: int = 0
 
 
 class _BasePropagator:
@@ -83,6 +84,10 @@ class _BasePropagator:
         self._open_signal: Optional[Event] = None
         self._caught_up_waiters: List[Event] = []
         self._drained_waiters: List[Event] = []
+        self._failed_waiters: List[Event] = []
+        #: Non-None once replay hit an unrecoverable fault (slave crash /
+        #: link lost past the retry budget); holds the reason string.
+        self.failed: Optional[str] = None
         self.process = None  # set by start()
 
     # ------------------------------------------------------------------
@@ -108,7 +113,20 @@ class _BasePropagator:
     def wait_fully_drained(self) -> Event:
         """Event firing when backlog, in-flight, and open SSBs are gone."""
         event = Event(self.env)
+        if self.failed is not None:
+            # Nothing left to drain towards; release the waiter at once.
+            event.succeed()
+            return event
         self._drained_waiters.append(event)
+        return event
+
+    def wait_failed(self) -> Event:
+        """Event firing when replay dies on a fault (see :attr:`failed`)."""
+        event = Event(self.env)
+        if self.failed is not None:
+            event.succeed(self.failed)
+            return event
+        self._failed_waiters.append(event)
         return event
 
     # ------------------------------------------------------------------
@@ -148,6 +166,30 @@ class _BasePropagator:
         for event in waiters:
             event.succeed()
 
+    def _fail(self, reason: str) -> None:
+        """Mark replay dead and wake the manager; idempotent.
+
+        Fires the failure *and* drain waiters (there will never be more
+        progress to wait for) but never the caught-up waiters: a dead
+        slave is not a caught-up slave.
+        """
+        if self.failed is not None:
+            return
+        self.failed = reason
+        self._stop_requested = True
+        if self.tracer is not None:
+            self.tracer.event("propagation.failed",
+                              engine=self.policy.name, reason=reason,
+                              backlog=self.ssl.pending_count())
+        self._on_fail()
+        waiters, self._failed_waiters = self._failed_waiters, []
+        for event in waiters:
+            event.succeed(reason)
+        self._fire_drained()
+
+    def _on_fail(self) -> None:
+        """Engine-specific cleanup hook run once on failure."""
+
     def _in_flight(self) -> int:
         raise NotImplementedError
 
@@ -160,13 +202,39 @@ class _BasePropagator:
         yield self._link_signal
         self._link_signal = None
 
+    #: Resend budget for one operation across a transient link outage.
+    NET_RETRY_LIMIT = 6
+    NET_RETRY_BASE = 0.05
+    NET_RETRY_CAP = 1.0
+
     def _replay_statement(self, session: Session,
                           operation: Operation) -> Generator:
-        """Forward one operation to the slave and await its response."""
-        yield from self.network.round_trip()
+        """Forward one operation to the slave and await its response.
+
+        Transient :class:`NetworkDown` hops are resent with capped
+        exponential backoff (replay is idempotent up to the statement:
+        nothing reached the slave).  A crashed slave raises
+        :class:`NodeCrashed` so the manager can discard or fail over.
+        """
+        attempt = 0
+        while True:
+            try:
+                yield from self.network.round_trip()
+                break
+            except NetworkDown:
+                attempt += 1
+                if attempt > self.NET_RETRY_LIMIT:
+                    raise
+                self.stats.net_retries += 1
+                yield self.env.timeout(
+                    min(self.NET_RETRY_CAP,
+                        self.NET_RETRY_BASE * (2 ** (attempt - 1))))
         result = yield from session.execute(operation.statement,
                                             cpu_cost=operation.cpu_cost)
         if not result.ok:
+            if self.slave.crashed:
+                raise NodeCrashed(self.slave.name,
+                                  "crashed during syncset replay")
             raise MigrationError(
                 "slave replay failed for %r: %s — the LSIR guarantees "
                 "conflict-free replay, so this indicates a protocol bug"
@@ -217,7 +285,13 @@ class SerialReplayer(_BasePropagator):
                 continue
             ssb = self._queue.pop(0)
             self._busy = True
-            yield from self._replay_serial(session, ssb)
+            try:
+                yield from self._replay_serial(session, ssb)
+            except (NodeCrashed, NetworkDown) as exc:
+                session.reset()
+                self._busy = False
+                self._fail(str(exc))
+                return
             self._busy = False
 
     def _replay_serial(self, session: Session,
@@ -305,8 +379,18 @@ class Conductor(_BasePropagator):
     #: to Step 4 at a small bounded lag and drains the remainder there.
     CATCHUP_THRESHOLD = 8
 
+    def _on_fail(self) -> None:
+        # Unpark players waiting for a commit order so their processes can
+        # observe the dead slave and exit instead of hanging forever.
+        parked, self._awaiting = self._awaiting, []
+        for handle in parked:
+            if not handle.commit_order.triggered:
+                handle.commit_order.succeed()
+
     def _run(self) -> Generator:
         while True:
+            if self.failed is not None:
+                return
             # Lag = linked-but-unstarted syncsets plus players still
             # replaying writes.  Players parked awaiting a commit order
             # are NOT lag: the LSIR forbids releasing a commit while an
@@ -400,35 +484,60 @@ class Conductor(_BasePropagator):
         """Algorithm 5: first op, then writes FIFO, then ordered commit."""
         ssb = handle.ssb
         session = Session(self.slave, self.tenant_name)
-        yield from self._replay_statement(
-            session, Operation(OpKind.BEGIN, "BEGIN", _BEGIN))
-        self.stats.operations_replayed -= 1
-        self._record(ssb, "first_read")
-        yield from self._replay_statement(session, ssb.first_operation)
-        self.stats.first_reads_replayed += 1
-        latch.arrive()
-        for index, entry in enumerate(ssb.write_operations):
-            self._record(ssb, "write", index)
-            yield from self._replay_statement(session, entry)
-            self.stats.writes_replayed += 1
-        yield handle.commit_order
-        if not self.policy.concurrent_commits:
-            # Every player in the pool competes for the commit mutex at
-            # every commit time (the B-CON overhead the paper calls
-            # out); each hand-off costs a futex round per contender.
-            self.stats.commit_mutex_waits += 1
-            penalty = (self.policy.commit_mutex_penalty
-                       * max(0, self.policy.player_pool - 1))
-            if penalty > 0:
-                yield self.env.timeout(penalty)
-            yield from self._commit_mutex.acquire()
-        self._record(ssb, "commit")
-        yield from self._replay_statement(
-            session, Operation(OpKind.COMMIT, "COMMIT", _COMMIT,
-                               ssb.commit_operation.cpu_cost))
-        self.stats.commits_replayed += 1
-        if not self.policy.concurrent_commits:
-            self._commit_mutex.release()
+        arrived = False
+        holding_mutex = False
+        try:
+            yield from self._replay_statement(
+                session, Operation(OpKind.BEGIN, "BEGIN", _BEGIN))
+            self.stats.operations_replayed -= 1
+            self._record(ssb, "first_read")
+            yield from self._replay_statement(session, ssb.first_operation)
+            self.stats.first_reads_replayed += 1
+            arrived = True
+            latch.arrive()
+            for index, entry in enumerate(ssb.write_operations):
+                self._record(ssb, "write", index)
+                yield from self._replay_statement(session, entry)
+                self.stats.writes_replayed += 1
+            yield handle.commit_order
+            if not self.policy.concurrent_commits:
+                # Every player in the pool competes for the commit mutex at
+                # every commit time (the B-CON overhead the paper calls
+                # out); each hand-off costs a futex round per contender.
+                self.stats.commit_mutex_waits += 1
+                penalty = (self.policy.commit_mutex_penalty
+                           * max(0, self.policy.player_pool - 1))
+                if penalty > 0:
+                    yield self.env.timeout(penalty)
+                yield from self._commit_mutex.acquire()
+                holding_mutex = True
+            self._record(ssb, "commit")
+            yield from self._replay_statement(
+                session, Operation(OpKind.COMMIT, "COMMIT", _COMMIT,
+                                   ssb.commit_operation.cpu_cost))
+            self.stats.commits_replayed += 1
+            if not self.policy.concurrent_commits:
+                holding_mutex = False
+                self._commit_mutex.release()
+        except (NodeCrashed, NetworkDown) as exc:
+            # The slave died (or the link to it did) under this player.
+            # Unwind so the conductor and its siblings are not left
+            # waiting on us, then flag the whole engine as failed.
+            session.reset()
+            if holding_mutex:
+                self._commit_mutex.release()
+            if not arrived:
+                latch.arrive()
+            try:
+                self._awaiting.remove(handle)
+            except ValueError:
+                pass
+            self._active_players -= 1
+            self._publish_players()
+            if not handle.done.triggered:
+                handle.done.succeed()
+            self._fail(str(exc))
+            return
         ssb.propagated_at = self.env.now
         self.stats.syncsets_replayed += 1
         self._active_players -= 1

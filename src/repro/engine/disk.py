@@ -44,6 +44,8 @@ class Disk:
         self.fsyncs = 0
         self.bytes_read = 0.0
         self.bytes_written = 0.0
+        self.stalls = 0
+        self.stall_time = 0.0
 
     # ------------------------------------------------------------------
     def _occupy(self, duration: float) -> Generator:
@@ -77,6 +79,17 @@ class Disk:
         self.bytes_written += size_mb * 1e6
         duration = (self.spec.seek_latency
                     + size_mb / self.spec.write_bandwidth_mb_s)
+        yield from self._occupy(duration)
+
+    def stall(self, duration: float) -> Generator:
+        """Occupy the head for ``duration`` without moving any bytes.
+
+        Models a firmware hiccup / overloaded hypervisor volume: queued
+        fsyncs, dump reads, and restore writes all wait behind the stall
+        (no errors -- I/O is late, not lost).
+        """
+        self.stalls += 1
+        self.stall_time += duration
         yield from self._occupy(duration)
 
     @property

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Hashable, List, Tuple
 
+from ..errors import NodeCrashed
 from .instance import DbmsInstance
 from .schema import TableSchema
 from .sqlmini import ColumnDef
@@ -135,6 +136,8 @@ def restore(instance: DbmsInstance, snapshot: LogicalSnapshot,
     chunks = max(1, int(math.ceil(write_mb / rates.chunk_mb)))
     pace_per_chunk = duration / chunks
     for _index in range(chunks):
+        if instance.crashed:
+            raise NodeCrashed(instance.name, "crashed during restore")
         chunk = write_mb / chunks
         yield from instance.disk.write(chunk)
         io_time = (instance.disk.spec.seek_latency
@@ -142,6 +145,8 @@ def restore(instance: DbmsInstance, snapshot: LogicalSnapshot,
         pace = pace_per_chunk - io_time
         if pace > 0:
             yield instance.env.timeout(pace)
+    if instance.crashed:
+        raise NodeCrashed(instance.name, "crashed during restore")
     # Bulk-install the snapshot rows at a fresh CSN on the destination.
     instance._csn += 1
     csn = instance._csn

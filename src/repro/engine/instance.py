@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
-from ..errors import SchemaError
+from ..errors import NodeCrashed, SchemaError
 from ..obs.metrics import MetricsRegistry
 from ..sim.resources import Resource
 from .checkpoint import Checkpointer, CheckpointSpec
@@ -90,14 +90,21 @@ class DbmsInstance:
         self.tenants: Dict[str, TenantDatabase] = {}
         self._executors: Dict[str, Executor] = {}
         self._csn = 0
+        # crash/recovery state (see crash()/restart())
+        self.crashed = False
+        self._replayed_commits = 0
         # statistics
         self.statements_executed = 0
         self.commits = 0
         self.aborts = 0
+        self.crash_count = 0
+        self.recoveries = 0
         # bound observability instruments (see bind_obs)
         self._m_statements = None
         self._m_commits = None
         self._m_aborts = None
+        self._m_crashes = None
+        self._m_recoveries = None
 
     def bind_obs(self, metrics: MetricsRegistry,
                  prefix: Optional[str] = None) -> None:
@@ -111,13 +118,68 @@ class DbmsInstance:
         self._m_statements = metrics.counter("%s.statements" % base)
         self._m_commits = metrics.counter("%s.commits" % base)
         self._m_aborts = metrics.counter("%s.aborts" % base)
+        self._m_crashes = metrics.counter("%s.crashes" % base)
+        self._m_recoveries = metrics.counter("%s.recoveries" % base)
         self.wal.bind_obs(metrics, "%s.wal" % base)
+
+    # ------------------------------------------------------------------
+    # crash / recovery (see repro.faults)
+    # ------------------------------------------------------------------
+
+    #: CPU per commit record redone during WAL-replay recovery.
+    RECOVERY_REPLAY_CPU = 0.00005
+
+    def crash(self) -> None:
+        """Kill the DBMS process at a statement boundary.
+
+        Committed state survives -- the commit protocol installs versions
+        only after the WAL flush returns, so everything visible is already
+        durable.  Unflushed commits fail with :class:`NodeCrashed`, and
+        every subsequent primitive raises it until :meth:`restart`
+        completes.  (Crashes take effect at statement boundaries: the
+        simulation has no mid-statement observable state to corrupt.)
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        if self._m_crashes is not None:
+            self._m_crashes.inc()
+        self.wal.crash(NodeCrashed(self.name, "crashed before WAL flush"))
+
+    def restart(self) -> Generator[Any, Any, None]:
+        """WAL-replay recovery: redo the log tail, then accept traffic.
+
+        The redo pass reads every commit record appended since the last
+        recovery (ARIES-style, minus the undo pass -- uncommitted writes
+        were never installed) and pays CPU per record, then fsyncs a
+        recovery checkpoint.  Survivors of the pre-crash era (locks held
+        by in-flight transactions) are released lazily when their
+        sessions observe the crash and roll back.
+        """
+        if not self.crashed:
+            return
+        records = self.wal.commit_count - self._replayed_commits
+        if records > 0:
+            yield from self.disk.read(records * WalWriter.COMMIT_RECORD_MB)
+            yield self.env.timeout(records * self.RECOVERY_REPLAY_CPU)
+        yield from self.disk.fsync()
+        self._replayed_commits = self.wal.commit_count
+        self.crashed = False
+        self.recoveries += 1
+        if self._m_recoveries is not None:
+            self._m_recoveries.inc()
+
+    def _require_up(self) -> None:
+        if self.crashed:
+            raise NodeCrashed(self.name)
 
     # ------------------------------------------------------------------
     # tenants
     # ------------------------------------------------------------------
     def create_tenant(self, name: str) -> TenantDatabase:
         """Create an empty tenant database in this instance."""
+        self._require_up()
         if name in self.tenants:
             raise SchemaError("tenant %r already exists on %s"
                               % (name, self.name))
@@ -159,6 +221,7 @@ class DbmsInstance:
     # ------------------------------------------------------------------
     def begin(self, tenant_name: str) -> Transaction:
         """Start a transaction; the snapshot is taken at the first op."""
+        self._require_up()
         self.tenant(tenant_name)  # validate
         txn = Transaction(tenant_name, self.env.now)
         if self.observer is not None:
@@ -175,6 +238,7 @@ class DbmsInstance:
         wait, so a transaction blocked on a row lock does not occupy a
         core (as in a real DBMS, where it sleeps on a lock queue).
         """
+        self._require_up()
         if txn is not None:
             txn.require_active()
         executor = self._executors.get(tenant_name)
@@ -203,6 +267,7 @@ class DbmsInstance:
         read-only ones (which need no flush and create no snapshot —
         exactly why the mapping function discards them).
         """
+        self._require_up()
         txn.require_active()
         core = self.cpu.request()
         yield core
@@ -218,6 +283,7 @@ class DbmsInstance:
                 self.observer.on_commit(txn)
             return None
         # Durability first: wait for the (possibly grouped) WAL flush.
+        self._require_up()  # the CPU wait may have straddled a crash
         yield self.wal.commit()
         # Atomic visibility: no yields from here to the end.
         tenant = self.tenant(txn.tenant)

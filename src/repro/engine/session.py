@@ -14,6 +14,7 @@ from typing import Any, Generator, List, Optional, Union
 
 from ..errors import (
     InvalidTransactionState,
+    NodeCrashed,
     SchemaError,
     SqlError,
     TransactionAborted,
@@ -94,6 +95,10 @@ class Session:
                 self.instance.abort(self.txn)
                 self.txn = None
             return SessionResult(kind="error", error=str(exc))
+        except NodeCrashed as exc:
+            # The backend died under us; the transaction died with it.
+            self._drop_dead_txn()
+            return SessionResult(kind="error", error=str(exc))
         if result.rows:
             return SessionResult(kind="rows", rows=result.rows)
         if result.affected:
@@ -105,7 +110,10 @@ class Session:
         if self.in_transaction:
             return SessionResult(kind="error",
                                  error="transaction already in progress")
-        self.txn = self.instance.begin(self.tenant_name)
+        try:
+            self.txn = self.instance.begin(self.tenant_name)
+        except NodeCrashed as exc:
+            return SessionResult(kind="error", error=str(exc))
         return SessionResult(kind="ok")
 
     def _commit(self) -> Generator[Any, Any, SessionResult]:
@@ -118,8 +126,18 @@ class Session:
         except InvalidTransactionState as exc:
             self.txn = None
             return SessionResult(kind="error", error=str(exc))
+        except NodeCrashed as exc:
+            self._drop_dead_txn()
+            return SessionResult(kind="error", error=str(exc))
         self.txn = None
         return SessionResult(kind="ok", commit_csn=csn)
+
+    def _drop_dead_txn(self) -> None:
+        """Roll back a transaction orphaned by a node crash."""
+        self.aborts_seen += 1
+        if self.txn is not None and self.txn.is_active:
+            self.instance.abort(self.txn)
+        self.txn = None
 
     def _rollback(self) -> SessionResult:
         if self.txn is not None and self.txn.is_active:

@@ -37,6 +37,7 @@ class WalWriter:
         self.group_commit = group_commit
         self.name = name
         self._pending: List[Event] = []
+        self._inflight: List[Event] = []
         self._wakeup: Optional[Event] = None
         self._running = True
         # statistics
@@ -84,6 +85,19 @@ class WalWriter:
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
 
+    def crash(self, exc: BaseException) -> None:
+        """Fail every queued (unflushed) commit with ``exc``.
+
+        Called by :meth:`DbmsInstance.crash`: commits whose records were
+        not yet fsynced are lost, so their waiters must see the failure
+        instead of hanging on an event that will never fire.
+        """
+        lost = self._pending + self._inflight
+        self._pending = []
+        for done in lost:
+            if not done.triggered:
+                done.fail(exc)
+
     # ------------------------------------------------------------------
     def _flusher(self) -> Generator:
         while self._running:
@@ -97,7 +111,9 @@ class WalWriter:
             else:
                 batch = [self._pending.pop(0)]
             payload = self.COMMIT_RECORD_MB * len(batch)
+            self._inflight = batch
             yield from self.disk.fsync(payload_mb=payload)
+            self._inflight = []
             self.flush_count += 1
             self.largest_group = max(self.largest_group, len(batch))
             if self._m_flushes is not None:
@@ -105,7 +121,9 @@ class WalWriter:
                 self._m_group_size.observe(len(batch))
                 self._m_fsync_mb.observe(payload)
             for done in batch:
-                done.succeed()
+                # Skip waiters a crash() already failed mid-fsync.
+                if not done.triggered:
+                    done.succeed()
 
     # ------------------------------------------------------------------
     @property

@@ -39,6 +39,30 @@ class InvalidTransactionState(TransactionError):
     """An operation was issued on a finished or unknown transaction."""
 
 
+class NodeCrashed(ReproError):
+    """The DBMS node is down: it crashed and has not been restarted yet.
+
+    Committed state survives (the commit protocol installs versions only
+    after the WAL flush), but every in-flight transaction and every new
+    statement fails with this error until :meth:`DbmsInstance.restart`
+    finishes WAL-replay recovery.
+    """
+
+    def __init__(self, node: str, reason: str = "node crashed"):
+        super().__init__("%s: %s" % (node, reason))
+        self.node = node
+        self.reason = reason
+
+
+class NetworkDown(ReproError):
+    """The cluster link is (transiently) unavailable.
+
+    Raised out of in-flight :meth:`Network.message` calls while a
+    ``link_down`` fault is active, so callers see the outage mid-transfer
+    rather than at the next send.
+    """
+
+
 class MigrationError(ReproError):
     """Live-migration orchestration failed (e.g. slave cannot catch up)."""
 
@@ -49,12 +73,16 @@ class CatchUpTimeout(MigrationError):
     This reproduces the paper's "N/A" entry for B-CON under heavy workload
     (Section 5.3.2): serial commit propagation throughput falls below the
     master's commit rate, so the syncset backlog grows without bound.
+    ``reason`` distinguishes the hard deadline (``"timeout"``) from the
+    divergence watchdog firing early (``"diverging"``).
     """
 
-    def __init__(self, message: str, backlog: int, elapsed: float):
+    def __init__(self, message: str, backlog: int, elapsed: float,
+                 reason: str = "timeout"):
         super().__init__(message)
         self.backlog = backlog
         self.elapsed = elapsed
+        self.reason = reason
 
 
 class RoutingError(ReproError):

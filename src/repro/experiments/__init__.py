@@ -9,6 +9,7 @@ module              reproduces
 ``dbsize``          Figure 9 and Table 3
 ``multitenant``     Figures 10-19 and the Section 5.6 answer
 ``costmodel``       Section 4.5.2 (Equations 2-4)
+``chaos``           robustness: migration under injected faults
 ==================  =============================================
 """
 

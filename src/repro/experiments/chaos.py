@@ -1,0 +1,229 @@
+"""Chaos runs: a TPC-W migration under a seeded fault plan.
+
+Not a paper figure — a robustness harness.  Each scenario builds the
+usual testbed (one TPC-W tenant under EB load), arms a declarative
+:class:`~repro.faults.FaultPlan` against the cluster, and runs a live
+migration through the fault storm.  The interesting output is *how* the
+migration ends:
+
+``ok``
+    Completed normally (possibly after retries / dropping a standby).
+``failover``
+    The destination died mid-migration and a standby was promoted; the
+    tenant ends up consistent on the promoted node.
+``aborted``
+    The migration gave up; the tenant must still be routable on the
+    source with the admission gate open.
+
+Every injected fault and every recovery action lands in the trace
+(``fault.injected``, ``migration.retry``, ``migration.standby_dropped``,
+``migration.failover``), so a chaos run is fully auditable offline —
+``scripts/check_trace.py --expect-outcome ...`` gates exactly that in CI.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..core.middleware import MigrationReport
+from ..errors import CatchUpTimeout, MigrationError
+from ..faults import FaultInjector, FaultPlan
+from ..metrics.report import format_table
+from .common import TRACE_DIR_ENV_VAR, TenantSetup, build_testbed
+from .profiles import Profile, get_profile
+
+#: Same warm-up rule as the Figure-6 harness.
+WARMUP_SECONDS = 30.0
+
+
+def _plan_standby_crash(profile: Profile) -> Tuple[FaultPlan, List[str]]:
+    """Crash the standby mid-catch-up; migration must finish without it."""
+    del profile
+    plan = FaultPlan()
+    plan.add("standby-dies", "crash", target="node2", phase="catch-up")
+    return plan, ["node2"]
+
+
+def _plan_destination_crash(profile: Profile) -> Tuple[FaultPlan, List[str]]:
+    """Crash the destination mid-catch-up; the standby must take over."""
+    del profile
+    plan = FaultPlan()
+    plan.add("destination-dies", "crash", target="node1", phase="catch-up")
+    return plan, ["node2"]
+
+
+def _plan_flaky_network(profile: Profile) -> Tuple[FaultPlan, List[str]]:
+    """Cut the link mid-snapshot-ship; the retry loop must absorb it.
+
+    The outage is shorter than the middleware's capped-backoff budget,
+    so the migration completes with ``migration.retries`` > 0.
+    """
+    outage = min(0.4, profile.duration(10.0))
+    plan = FaultPlan()
+    plan.add("link-flaps", "link_down", phase="restore", duration=outage)
+    return plan, []
+
+
+def _plan_disk_stall(profile: Profile) -> Tuple[FaultPlan, List[str]]:
+    """Stall the destination's disk during catch-up; just a slowdown."""
+    plan = FaultPlan()
+    plan.add("dest-disk-stalls", "disk_stall", target="node1",
+             phase="catch-up", duration=max(0.2, profile.duration(5.0)))
+    return plan, []
+
+
+def _plan_baseline(profile: Profile) -> Tuple[FaultPlan, List[str]]:
+    """No faults: the control run."""
+    del profile
+    return FaultPlan(), []
+
+
+SCENARIOS = {
+    "baseline": _plan_baseline,
+    "standby-crash": _plan_standby_crash,
+    "destination-crash": _plan_destination_crash,
+    "flaky-network": _plan_flaky_network,
+    "disk-stall": _plan_disk_stall,
+}
+
+DESCRIPTIONS = {
+    "baseline": "no faults (control)",
+    "standby-crash": "standby node crashes mid-catch-up -> dropped",
+    "destination-crash": "destination crashes mid-catch-up -> failover",
+    "flaky-network": "link outage during snapshot ship -> retries",
+    "disk-stall": "destination disk stalls during catch-up -> slowdown",
+}
+
+
+@dataclass
+class ChaosOutcome:
+    """What one chaos scenario did to the migration."""
+
+    scenario: str
+    outcome: str                       # "ok" | "failover" | "aborted"
+    route: str                         # where the tenant is routable now
+    error: Optional[str] = None
+    report: Optional[MigrationReport] = None
+    faults_injected: int = 0
+    retries: int = 0
+    standby_dropped: int = 0
+    failovers: int = 0
+    consistent: Optional[bool] = None
+    gate_open: bool = True
+    trace_path: Optional[str] = None
+    plan: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def run_chaos(scenario: str,
+              profile: Optional[Profile] = None) -> ChaosOutcome:
+    """Run one chaos scenario; deterministic under the profile's seed."""
+    profile = profile or get_profile()
+    builder = SCENARIOS.get(scenario)
+    if builder is None:
+        raise ValueError("unknown chaos scenario %r (one of %s)"
+                         % (scenario, ", ".join(sorted(SCENARIOS))))
+    plan, standbys = builder(profile)
+    testbed = build_testbed(
+        profile, [TenantSetup("A", "node0", paper_ebs=100)],
+        nodes=["node0", "node1", "node2"])
+    injector = FaultInjector(testbed.env, testbed.cluster, plan,
+                             tracer=testbed.tracer,
+                             metrics=testbed.observability)
+    warmup = max(2.0, WARMUP_SECONDS * profile.time_scale * 8)
+    testbed.run(until=warmup)
+    injector.start()
+    result: Dict[str, Any] = {}
+
+    def runner() -> Generator:
+        try:
+            report = yield from testbed.middleware.migrate(
+                "A", "node1", profile.rates, standbys=standbys)
+            result["report"] = report
+        except (CatchUpTimeout, MigrationError) as exc:
+            result["error"] = exc
+        result["done"] = True
+
+    testbed.env.process(runner(), name="chaos-migrate-A")
+    cap = warmup + (profile.catchup_deadline or 1000.0) \
+        + profile.duration(300.0)
+    testbed.run_until(lambda: "done" in result, step=1.0, cap=cap)
+    report = result.get("report")
+    error = result.get("error")
+    if report is not None:
+        outcome = "failover" if report.failovers else "ok"
+    else:
+        outcome = "aborted"
+    registry = testbed.observability
+    chaos = ChaosOutcome(
+        scenario=scenario,
+        outcome=outcome,
+        route=testbed.middleware.route("A"),
+        error=str(error) if error is not None else None,
+        report=report,
+        faults_injected=int(registry.counter("faults.injected").value),
+        retries=int(registry.counter("migration.retries").value),
+        standby_dropped=int(
+            registry.counter("migration.standby_dropped").value),
+        failovers=int(registry.counter("migration.failover").value),
+        consistent=report.consistent if report is not None else None,
+        gate_open=testbed.middleware.tenant_state("A").gate.is_open,
+        plan=plan.to_dicts())
+    chaos.trace_path = _maybe_export(testbed, scenario, chaos)
+    return chaos
+
+
+def _maybe_export(testbed: Any, scenario: str,
+                  chaos: ChaosOutcome) -> Optional[str]:
+    """Export the run's trace when $REPRO_TRACE_DIR is set."""
+    directory = os.environ.get(TRACE_DIR_ENV_VAR)
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "trace_chaos_%s.jsonl" % scenario)
+    testbed.export_trace(path, meta={
+        "tenant": "A",
+        "scenario": scenario,
+        "chaos_outcome": chaos.outcome,
+        "plan": chaos.plan,
+    })
+    return path
+
+
+def run_all(profile: Optional[Profile] = None,
+            scenarios: Optional[List[str]] = None) -> List[ChaosOutcome]:
+    """Run several scenarios (each on a fresh testbed)."""
+    profile = profile or get_profile()
+    return [run_chaos(name, profile)
+            for name in (scenarios or sorted(SCENARIOS))]
+
+
+def report(outcomes: List[ChaosOutcome], profile: Profile) -> str:
+    """Chaos results as a table."""
+    rows = []
+    for chaos in outcomes:
+        migration_time = (chaos.report.migration_time
+                          if chaos.report is not None else float("nan"))
+        rows.append([chaos.scenario, chaos.outcome, chaos.route,
+                     chaos.faults_injected, chaos.retries,
+                     chaos.standby_dropped, chaos.failovers,
+                     {True: "yes", False: "NO", None: "-"}[chaos.consistent],
+                     migration_time])
+    return format_table(
+        ["scenario", "outcome", "route", "faults", "retries",
+         "standby drop", "failover", "consistent", "migration [s]"],
+        rows,
+        title="Chaos - migration under injected faults (profile=%s)"
+              % profile.name)
+
+
+def main() -> None:
+    """Run every chaos scenario at the default profile."""
+    profile = get_profile()
+    outcomes = run_all(profile)
+    print(report(outcomes, profile))
+
+
+if __name__ == "__main__":
+    main()

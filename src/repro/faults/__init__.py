@@ -1,0 +1,31 @@
+"""Fault injection: declarative chaos plans on the simulated clock.
+
+``repro.faults`` schedules node crashes (with WAL-replay recovery),
+network degradation and outages, and disk stalls against a live cluster,
+driven by a seedable declarative plan.  See :mod:`repro.faults.plan` for
+the fault vocabulary and :mod:`repro.faults.injector` for scheduling.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    BANDWIDTH,
+    CRASH,
+    DISK_STALL,
+    FAULT_KINDS,
+    LATENCY,
+    LINK_DOWN,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "BANDWIDTH",
+    "CRASH",
+    "DISK_STALL",
+    "FAULT_KINDS",
+    "LATENCY",
+    "LINK_DOWN",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+]

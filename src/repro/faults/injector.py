@@ -1,0 +1,152 @@
+"""Scheduled fault injection on the simulated clock.
+
+The :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.plan.FaultPlan` into simulation processes: one
+arming process per fault, which waits for its trigger (absolute time, or
+a named migration phase opening plus an offset), injects the fault
+against the live cluster, and — for bounded faults — heals it after
+``duration`` seconds.
+
+Every injection emits a ``fault.injected`` trace event and bumps the
+``faults.injected`` (and ``faults.injected.<kind>``) counters; recoveries
+mirror that with ``fault.recovered`` / ``faults.recovered``.  That makes
+chaos runs auditable purely from the exported trace, which is what
+``scripts/check_trace.py`` gates on in CI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
+
+from ..obs.trace import PHASE
+from .plan import (
+    BANDWIDTH,
+    CRASH,
+    DISK_STALL,
+    LATENCY,
+    LINK_DOWN,
+    FaultPlan,
+    FaultSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import Tracer
+    from ..sim.core import Environment
+
+
+class FaultInjector:
+    """Schedules the faults of a plan against a cluster."""
+
+    #: How often a phase-anchored fault re-checks the tracer for its
+    #: trigger span, in simulated seconds.
+    POLL_INTERVAL = 0.05
+
+    def __init__(self, env: "Environment", cluster: "Cluster",
+                 plan: FaultPlan,
+                 tracer: Optional["Tracer"] = None,
+                 metrics: Optional["MetricsRegistry"] = None):
+        self.env = env
+        self.cluster = cluster
+        self.plan = plan
+        self.tracer = tracer
+        self.metrics = metrics
+        #: (sim time, spec) pairs, in injection order.
+        self.injected: List[tuple] = []
+        self.recovered: List[tuple] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Validate the plan and spawn one arming process per fault."""
+        if self._started:
+            raise RuntimeError("fault injector already started")
+        self.plan.validate()
+        if any(spec.phase is not None for spec in self.plan) \
+                and self.tracer is None:
+            raise ValueError("phase-anchored faults need a tracer")
+        self._started = True
+        for spec in self.plan:
+            self.env.process(self._arm(spec), name="fault.%s" % spec.name)
+
+    # ------------------------------------------------------------------
+    def _arm(self, spec: FaultSpec) -> Generator[Any, Any, None]:
+        if spec.phase is not None:
+            while not self._phase_open(spec.phase):
+                yield self.env.timeout(self.POLL_INTERVAL)
+        if spec.at > 0:
+            yield self.env.timeout(spec.at)
+        yield from self._inject(spec)
+
+    def _phase_open(self, phase_name: str) -> bool:
+        for span in reversed(self.tracer.spans):
+            if span.kind == PHASE and span.name == phase_name:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _inject(self, spec: FaultSpec) -> Generator[Any, Any, None]:
+        self.injected.append((self.env.now, spec))
+        self._record("fault.injected", spec)
+        if self.metrics is not None:
+            self.metrics.counter("faults.injected").inc()
+            self.metrics.counter("faults.injected.%s" % spec.kind).inc()
+        if spec.kind == CRASH:
+            yield from self._run_crash(spec)
+        elif spec.kind == LINK_DOWN:
+            yield from self._run_link_down(spec)
+        elif spec.kind == LATENCY:
+            yield from self._run_degrade(spec, latency=True)
+        elif spec.kind == BANDWIDTH:
+            yield from self._run_degrade(spec, latency=False)
+        elif spec.kind == DISK_STALL:
+            yield from self._run_disk_stall(spec)
+
+    def _record(self, event_name: str, spec: FaultSpec) -> None:
+        if self.tracer is not None:
+            self.tracer.event(event_name, fault=spec.name, kind=spec.kind,
+                              target=spec.target, duration=spec.duration)
+
+    def _heal(self, spec: FaultSpec) -> None:
+        self.recovered.append((self.env.now, spec))
+        self._record("fault.recovered", spec)
+        if self.metrics is not None:
+            self.metrics.counter("faults.recovered").inc()
+
+    # -- kind handlers -------------------------------------------------
+    def _run_crash(self, spec: FaultSpec) -> Generator[Any, Any, None]:
+        instance = self.cluster.node(spec.target).instance
+        instance.crash()
+        if spec.duration > 0:
+            yield self.env.timeout(spec.duration)
+            yield from instance.restart()
+            self._heal(spec)
+
+    def _run_link_down(self, spec: FaultSpec) -> Generator[Any, Any, None]:
+        net = self.cluster.network
+        net.fail_link()
+        if spec.duration > 0:
+            yield self.env.timeout(spec.duration)
+            net.restore_link()
+            self._heal(spec)
+
+    def _run_degrade(self, spec: FaultSpec,
+                     latency: bool) -> Generator[Any, Any, None]:
+        net = self.cluster.network
+        if latency:
+            net.degrade(latency_scale=spec.factor)
+        else:
+            net.degrade(bandwidth_scale=spec.factor)
+        if spec.duration > 0:
+            yield self.env.timeout(spec.duration)
+            if latency:
+                net.degrade(latency_scale=1.0 / spec.factor)
+            else:
+                net.degrade(bandwidth_scale=1.0 / spec.factor)
+            self._heal(spec)
+
+    def _run_disk_stall(self, spec: FaultSpec) -> Generator[Any, Any, None]:
+        disk = self.cluster.node(spec.target).instance.disk
+        yield from disk.stall(spec.duration)
+        self._heal(spec)

@@ -1,0 +1,140 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered list of named :class:`FaultSpec`
+records — *what* breaks, *where*, *when*, and for *how long* — that the
+:class:`~repro.faults.injector.FaultInjector` schedules on the simulated
+clock.  Keeping the plan declarative (and JSON round-trippable) makes
+chaos scenarios seedable, diffable, and replayable: the same plan plus
+the same workload seed reproduces the same run exactly.
+
+Fault kinds
+-----------
+
+``crash``
+    Kill the DBMS instance on ``target`` at a statement boundary; with
+    ``duration > 0`` it restarts after WAL-replay recovery.
+``link_down``
+    Transient cluster-link outage for ``duration`` seconds; in-flight
+    and new :meth:`Network.message` calls raise ``NetworkDown``.
+``latency``
+    Multiply the one-way network latency by ``factor`` for ``duration``.
+``bandwidth``
+    Divide the network bandwidth by ``factor`` for ``duration``
+    (bandwidth collapse).
+``disk_stall``
+    Occupy the disk head of ``target`` for ``duration`` seconds (queued
+    I/O waits; nothing errors).
+
+``at`` is an offset in simulated seconds — from injector start when
+``phase`` is ``None``, otherwise from the moment the named migration
+phase (``dump`` / ``restore`` / ``catch-up`` / ``handover``) first opens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+CRASH = "crash"
+LINK_DOWN = "link_down"
+LATENCY = "latency"
+BANDWIDTH = "bandwidth"
+DISK_STALL = "disk_stall"
+
+#: Every fault kind the injector knows how to schedule.
+FAULT_KINDS = (CRASH, LINK_DOWN, LATENCY, BANDWIDTH, DISK_STALL)
+
+#: Kinds that hit one node (and therefore require a ``target``).
+NODE_KINDS = (CRASH, DISK_STALL)
+
+#: The phase names a spec may anchor to (repro.obs.trace.PHASE_ORDER).
+PHASES = ("dump", "restore", "catch-up", "handover")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named fault to inject."""
+
+    name: str
+    kind: str
+    #: Offset in simulated seconds (from injector start / phase open).
+    at: float = 0.0
+    #: Node name for node faults; ignored by network faults.
+    target: str = ""
+    #: Outage / downtime / stall length; 0 means permanent for ``crash``
+    #: and ``link_down`` (never recovered within the run).
+    duration: float = 0.0
+    #: Degradation severity: latency multiplier or bandwidth divisor.
+    factor: float = 10.0
+    #: Arm when this migration phase opens instead of at absolute time.
+    phase: Optional[str] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on a malformed spec."""
+        if not self.name:
+            raise ValueError("fault needs a non-empty name")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r (one of %s)"
+                             % (self.kind, ", ".join(FAULT_KINDS)))
+        if self.kind in NODE_KINDS and not self.target:
+            raise ValueError("fault %r (%s) needs a target node"
+                             % (self.name, self.kind))
+        if self.at < 0:
+            raise ValueError("fault %r: negative offset %r"
+                             % (self.name, self.at))
+        if self.duration < 0:
+            raise ValueError("fault %r: negative duration %r"
+                             % (self.name, self.duration))
+        if self.kind in (LATENCY, BANDWIDTH) and self.factor <= 0:
+            raise ValueError("fault %r: factor must be positive"
+                             % self.name)
+        if self.kind == DISK_STALL and self.duration <= 0:
+            raise ValueError("fault %r: a disk stall needs a positive "
+                             "duration" % self.name)
+        if self.phase is not None and self.phase not in PHASES:
+            raise ValueError("fault %r: unknown phase %r (one of %s)"
+                             % (self.name, self.phase, ", ".join(PHASES)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable record."""
+        return asdict(self)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, validated collection of faults."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+
+    def add(self, name: str, kind: str, **kwargs: Any) -> FaultSpec:
+        """Append a new spec (validated immediately) and return it."""
+        spec = FaultSpec(name=name, kind=kind, **kwargs)
+        spec.validate()
+        self.faults.append(spec)
+        return spec
+
+    def validate(self) -> None:
+        """Validate every spec and reject duplicate fault names."""
+        seen = set()
+        for spec in self.faults:
+            spec.validate()
+            if spec.name in seen:
+                raise ValueError("duplicate fault name %r" % spec.name)
+            seen.add(spec.name)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """The plan as plain records (for JSON export / logging)."""
+        return [spec.to_dict() for spec in self.faults]
+
+    @classmethod
+    def from_dicts(cls, records: Iterable[Dict[str, Any]]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dicts` output."""
+        plan = cls([FaultSpec(**record) for record in records])
+        plan.validate()
+        return plan
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)

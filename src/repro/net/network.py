@@ -4,16 +4,25 @@ The paper's testbed connects all machines over 1-Gbps Ethernet.  Customer
 operations, syncset propagation, and the snapshot transfer all cross this
 network; only the snapshot transfer is large enough for bandwidth to
 matter, but modelling it keeps Step 2 honest on big databases.
+
+The link can also degrade (see :mod:`repro.faults`): latency spikes and
+bandwidth collapse multiply the effective cost of every hop, and a
+transient outage (:meth:`Network.fail_link`) surfaces a
+:class:`~repro.errors.NetworkDown` to in-flight :meth:`Network.message`
+calls -- the transfer was under way when the cable was pulled, so the
+caller finds out mid-flight, not at its next send.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
+from ..errors import NetworkDown
 from ..sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import MetricsRegistry
     from ..sim.core import Environment
 
 
@@ -36,29 +45,105 @@ class Network:
         self.env = env
         self.spec = spec or NetworkSpec()
         self._bulk = Resource(env, capacity=1, name="net.bulk")
+        # degradation state (see repro.faults): multiplicative so
+        # overlapping faults compose instead of clobbering each other
+        self.latency_factor = 1.0
+        self.bandwidth_factor = 1.0
+        self._down_count = 0
         # statistics
         self.messages = 0
+        self.messages_failed = 0
         self.bytes_moved = 0.0
+        self.outages = 0
+        self._metrics: Optional["MetricsRegistry"] = None
+        self._metrics_prefix = "net"
+
+    # ------------------------------------------------------------------
+    # fault surface
+    # ------------------------------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        """True while at least one link outage is active."""
+        return self._down_count > 0
+
+    def fail_link(self) -> None:
+        """Start an outage; nested outages stack until each is restored."""
+        self._down_count += 1
+        self.outages += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "%s.outages" % self._metrics_prefix).inc()
+
+    def restore_link(self) -> None:
+        """End one outage started by :meth:`fail_link`."""
+        if self._down_count > 0:
+            self._down_count -= 1
+
+    def degrade(self, latency_scale: float = 1.0,
+                bandwidth_scale: float = 1.0) -> None:
+        """Multiply effective latency / divide effective bandwidth.
+
+        Apply the inverse scale to undo one degradation, or call
+        :meth:`restore_quality` to clear everything at once.
+        """
+        self.latency_factor *= latency_scale
+        self.bandwidth_factor *= bandwidth_scale
+
+    def restore_quality(self) -> None:
+        """Reset latency/bandwidth degradation to the healthy baseline."""
+        self.latency_factor = 1.0
+        self.bandwidth_factor = 1.0
+
+    def _check_link(self) -> None:
+        if self._down_count > 0:
+            self.messages_failed += 1
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "%s.messages_failed" % self._metrics_prefix).inc()
+            raise NetworkDown("cluster link is down")
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
 
     def message(self, size_mb: float = 0.0) -> Generator[Any, Any, None]:
         """One request or response hop.
 
         Small messages only pay latency; bulk transfers additionally hold
-        the shared link for their serialisation time.
+        the shared link for their serialisation time.  Raises
+        :class:`NetworkDown` if an outage is active when the hop starts
+        *or* begins while the bytes are on the wire.
         """
+        self._check_link()
         self.messages += 1
         self.bytes_moved += size_mb * 1e6
-        yield self.env.timeout(self.spec.latency)
+        yield self.env.timeout(self.spec.latency * self.latency_factor)
+        self._check_link()
+        bandwidth = self.spec.bandwidth_mb_s / self.bandwidth_factor
         if size_mb > self.spec.bulk_threshold_mb:
             grant = self._bulk.request()
-            yield grant
-            yield self.env.timeout(size_mb / self.spec.bandwidth_mb_s)
-            self._bulk.release(grant)
+            try:
+                yield grant
+                yield self.env.timeout(size_mb / bandwidth)
+            finally:
+                self._bulk.release(grant)
         elif size_mb > 0:
-            yield self.env.timeout(size_mb / self.spec.bandwidth_mb_s)
+            yield self.env.timeout(size_mb / bandwidth)
+        self._check_link()
 
     def round_trip(self, request_mb: float = 0.0,
                    response_mb: float = 0.0) -> Generator[Any, Any, None]:
         """A request hop followed by a response hop."""
         yield from self.message(request_mb)
         yield from self.message(response_mb)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def bind_obs(self, metrics: "MetricsRegistry",
+                 prefix: str = "net") -> None:
+        """Mirror outage/failure counters into a metrics registry."""
+        self._metrics = metrics
+        self._metrics_prefix = prefix

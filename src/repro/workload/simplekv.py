@@ -80,7 +80,11 @@ def _read_only_txn(middleware: Middleware, conn: Connection,
                    rng: RandomStream, config: KvWorkloadConfig,
                    result: KvWorkloadResult) -> Generator[Any, Any, None]:
     response = yield from middleware.submit(conn, "BEGIN")
-    assert response.ok, response.error
+    if not response.ok:
+        # BEGIN only fails under injected faults (node down, link down);
+        # the client just counts the abort and retries next iteration.
+        result.aborted_txns += 1
+        return
     for _read in range(2):
         key = rng.randint(0, config.keys - 1)
         response = yield from middleware.submit(
@@ -101,7 +105,9 @@ def _update_txn(middleware: Middleware, conn: Connection,
     keys = sorted({rng.randint(0, config.keys - 1)
                    for _w in range(config.writes_per_txn)})
     response = yield from middleware.submit(conn, "BEGIN")
-    assert response.ok, response.error
+    if not response.ok:
+        result.aborted_txns += 1
+        return
     # never a blind write: read each key before updating it
     for key in keys:
         response = yield from middleware.submit(

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
 from ...core.middleware import Middleware
+from ...errors import NetworkDown
 from ...sim.monitor import CounterSeries, SampleSeries
 from ...sim.rand import RandomStream, StreamFactory
 from .interactions import INTERACTIONS, EbState, TpcwContext
@@ -84,10 +85,15 @@ def emulated_browser(env: "Environment", middleware: Middleware,
         name = rng.weighted_choice(names, weights)
         steps = INTERACTIONS[name](ctx, state, rng, config.cpu_scale)
         started = env.now
-        # app-server hop: one LAN round trip + servlet processing
-        yield from middleware.cluster.network.round_trip()
-        yield env.timeout(config.appserver_delay)
-        ok = yield from _run_transaction(middleware, conn, steps)
+        try:
+            # app-server hop: one LAN round trip + servlet processing
+            yield from middleware.cluster.network.round_trip()
+            yield env.timeout(config.appserver_delay)
+            ok = yield from _run_transaction(middleware, conn, steps)
+        except NetworkDown:
+            # The browser sees a connection error and moves on; the
+            # middleware already rolled back anything half-done.
+            ok = False
         finished = env.now
         metrics.interactions += 1
         if name in UPDATE_INTERACTIONS:

@@ -1,0 +1,438 @@
+"""Fault-tolerant migration orchestration: crashes, outages, and
+divergence handled inside ``Middleware.migrate`` (Section 4.2).
+
+These tests exercise the *automatic* recovery paths -- the manual
+``fail_standby`` hook is covered in test_multislave.py -- plus the
+chaos experiment harness end to end, gated by scripts/check_trace.py
+exactly as CI does it.
+"""
+
+import argparse
+import importlib.util
+import os
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (B_CON, MADEUS, Middleware, MiddlewareConfig,
+                        states_equal)
+from repro.engine.dump import TransferRates
+from repro.errors import CatchUpTimeout, MigrationError
+from repro.faults import FaultInjector, FaultPlan
+from repro.workload.simplekv import (KvWorkloadConfig, run_kv_clients,
+                                     setup_kv_tenant)
+
+RATES = TransferRates(dump_mb_s=5.0, restore_mb_s=2.0)
+
+
+def build(env, nodes=3, policy=MADEUS, deadline=None, **config_kwargs):
+    cluster = Cluster(env)
+    for index in range(nodes):
+        cluster.add_node("node%d" % index)
+    middleware = Middleware(env, cluster, MiddlewareConfig(
+        policy=policy, validate_lsir=False, verify_consistency=True,
+        catchup_deadline=deadline, **config_kwargs))
+    return cluster, middleware
+
+
+def seed_tenant(env, cluster, middleware, *, keys=30, overhead_mb=1.0,
+                clients=5, txns=60, think_time=0.01, read_ratio=0.4,
+                seed=21):
+    """Populate tenant A on node0 and start kv load; returns workload."""
+    holder = {}
+
+    def setup(env):
+        yield from setup_kv_tenant(cluster.node("node0").instance, "A",
+                                   keys)
+        cluster.node("node0").instance.tenant(
+            "A").fixed_overhead_mb = overhead_mb
+        middleware.register_tenant("A", "node0")
+        config = KvWorkloadConfig(keys=keys, clients=clients,
+                                  transactions_per_client=txns,
+                                  read_only_ratio=read_ratio,
+                                  think_time=think_time)
+        holder["workload"] = run_kv_clients(env, middleware, "A", config,
+                                            seed=seed)
+    env.process(setup(env))
+    while "workload" not in holder:
+        env.run(until=env.now + 0.05)
+    env.run(until=env.now + 0.05)   # let the load ramp up
+    return holder["workload"]
+
+
+def crash_when_catching_up(env, middleware, instance, extra_delay=0.0):
+    """Crash ``instance`` once Step 3 is under way for tenant A."""
+    def crasher(env):
+        state = middleware.tenant_state("A")
+        while state.propagator is None:
+            yield env.timeout(0.02)
+        if extra_delay:
+            yield env.timeout(extra_delay)
+        instance.crash()
+    env.process(crasher(env))
+
+
+class TestStandbyCrash:
+    def test_crashed_standby_is_auto_discarded(self, env):
+        cluster, middleware = build(env)
+        seed_tenant(env, cluster, middleware)
+        crash_when_catching_up(env, middleware,
+                               cluster.node("node2").instance)
+        holder = {}
+
+        def main(env):
+            holder["report"] = yield from middleware.migrate(
+                "A", "node1", RATES, standbys=["node2"])
+        env.process(main(env))
+        env.run()
+        report = holder["report"]
+        assert report.outcome == "ok"
+        assert report.consistent is True
+        assert report.failed_standbys == ["node2"]
+        assert report.failovers == 0
+        assert middleware.route("A") == "node1"
+        assert middleware.metrics.counter(
+            "migration.standby_dropped").value == 1
+        events = [e for e in middleware.tracer.events
+                  if e.name == "migration.standby_dropped"]
+        assert len(events) == 1
+        assert events[0].attrs["phase"] == "catch-up"
+
+    def test_standby_crash_during_restore_is_discarded(self, env):
+        cluster, middleware = build(env)
+        seed_tenant(env, cluster, middleware, overhead_mb=2.0)
+        holder = {}
+
+        def crasher(env):
+            # mid-restore: after the dump (0.4 s) but before the ~1 s
+            # restore completes on the standby
+            yield env.timeout(0.8)
+            cluster.node("node2").instance.crash()
+        env.process(crasher(env))
+
+        def main(env):
+            holder["report"] = yield from middleware.migrate(
+                "A", "node1", RATES, standbys=["node2"])
+        env.process(main(env))
+        env.run()
+        report = holder["report"]
+        assert report.outcome == "ok"
+        assert report.consistent is True
+        assert report.failed_standbys == ["node2"]
+        assert middleware.route("A") == "node1"
+
+
+class TestDestinationCrash:
+    def test_failover_promotes_surviving_standby(self, env):
+        cluster, middleware = build(env)
+        workload = seed_tenant(env, cluster, middleware)
+        crash_when_catching_up(env, middleware,
+                               cluster.node("node1").instance)
+        holder = {}
+
+        def main(env):
+            holder["report"] = yield from middleware.migrate(
+                "A", "node1", RATES, standbys=["node2"])
+        env.process(main(env))
+        env.run()
+        report = holder["report"]
+        assert report.outcome == "ok"
+        assert report.failovers == 1
+        assert report.destination == "node2"
+        assert report.consistent is True
+        assert middleware.route("A") == "node2"
+        assert middleware.metrics.counter(
+            "migration.failover").value == 1
+        # every committed increment made it to the promoted standby
+        promoted = cluster.node("node2").instance.tenant("A")
+        for key, increments in workload.committed_increments.items():
+            assert promoted.table("kv").chain(key).latest()["v"] == \
+                increments
+
+    def test_no_standby_aborts_and_source_stays_live(self, env):
+        cluster, middleware = build(env)
+        seed_tenant(env, cluster, middleware)
+        crash_when_catching_up(env, middleware,
+                               cluster.node("node1").instance)
+        holder = {}
+
+        def main(env):
+            try:
+                yield from middleware.migrate("A", "node1", RATES)
+            except MigrationError as exc:
+                holder["error"] = exc
+            # the tenant must still be fully usable on the source
+            conn = middleware.connect("A")
+            yield from middleware.submit(conn, "BEGIN")
+            result = yield from middleware.submit(
+                conn, "UPDATE kv SET v = v + 1 WHERE k = 0")
+            holder["update_ok"] = result.ok
+            result = yield from middleware.submit(conn, "COMMIT")
+            holder["commit_ok"] = result.ok
+        env.process(main(env))
+        env.run()
+        assert "destination node1 failed" in str(holder["error"])
+        assert middleware.route("A") == "node0"
+        state = middleware.tenant_state("A")
+        assert state.gate.is_open
+        assert not state.migrating
+        assert holder["update_ok"] and holder["commit_ok"]
+        # the aborted attempt is reported too (outcome + end stamped)
+        assert len(middleware.reports) == 1
+        report = middleware.reports[0]
+        assert report.outcome == "aborted"
+        assert report.ended_at is not None
+
+    def test_retry_after_destination_crash_succeeds(self, env):
+        cluster, middleware = build(env)
+        seed_tenant(env, cluster, middleware)
+        dest = cluster.node("node1").instance
+        crash_when_catching_up(env, middleware, dest)
+        holder = {}
+
+        def main(env):
+            try:
+                yield from middleware.migrate("A", "node1", RATES)
+            except MigrationError as exc:
+                holder["error"] = exc
+            # wind down, repair the node, retry the same move
+            yield env.timeout(2.0)
+            yield from dest.restart()
+            if dest.has_tenant("A"):
+                dest.drop_tenant("A")
+            holder["report"] = yield from middleware.migrate(
+                "A", "node1", RATES)
+        env.process(main(env))
+        env.run()
+        assert "error" in holder
+        assert holder["report"].consistent is True
+        assert middleware.route("A") == "node1"
+
+
+class TestShipRetries:
+    def test_transient_outage_during_ship_is_retried(self, env):
+        cluster, middleware = build(env, nodes=2)
+        seed_tenant(env, cluster, middleware, overhead_mb=10.0,
+                    think_time=0.05)
+        # Outage covers the dump (2 s at 5 MB/s) and the first ship
+        # attempts; the capped backoff keeps retrying until the link
+        # heals at t~2.5 s.
+        cluster.network.fail_link()
+
+        def healer(env):
+            yield env.timeout(2.5)
+            cluster.network.restore_link()
+        env.process(healer(env))
+        holder = {}
+
+        def main(env):
+            holder["report"] = yield from middleware.migrate(
+                "A", "node1", RATES)
+        env.process(main(env))
+        env.run()
+        report = holder["report"]
+        assert report.outcome == "ok"
+        assert report.consistent is True
+        assert report.ship_retries >= 1
+        assert middleware.metrics.counter(
+            "migration.retries").value == report.ship_retries
+        assert any(e.name == "migration.retry"
+                   for e in middleware.tracer.events)
+
+    def test_outage_longer_than_retry_budget_aborts(self, env):
+        cluster, middleware = build(
+            env, nodes=2, ship_retry_limit=2, ship_retry_base=0.01,
+            ship_retry_cap=0.02)
+        seed_tenant(env, cluster, middleware, overhead_mb=10.0,
+                    think_time=0.05)
+        cluster.network.fail_link()   # never restored
+        holder = {}
+
+        def main(env):
+            try:
+                yield from middleware.migrate("A", "node1", RATES)
+            except MigrationError as exc:
+                holder["error"] = exc
+        env.process(main(env))
+        env.run(until=30.0)
+        assert "no standby survives" in str(holder["error"])
+        assert middleware.route("A") == "node0"
+        assert middleware.tenant_state("A").gate.is_open
+        assert middleware.reports[0].outcome == "aborted"
+
+
+class TestDivergenceWatchdog:
+    def test_diverging_backlog_aborts_before_deadline(self, env):
+        # B-CON replays serially; a heavy update-only workload commits
+        # faster than the replayer drains, so the backlog grows without
+        # bound and the watchdog should fire long before the deadline.
+        cluster, middleware = build(
+            env, nodes=2, policy=B_CON, deadline=60.0,
+            divergence_interval=0.05, divergence_window=4,
+            divergence_min_growth=8)
+        seed_tenant(env, cluster, middleware, clients=8, txns=4000,
+                    think_time=0.002, read_ratio=0.0)
+        holder = {}
+
+        def main(env):
+            try:
+                yield from middleware.migrate("A", "node1", RATES)
+            except CatchUpTimeout as exc:
+                holder["timeout"] = exc
+                holder["at"] = env.now
+        env.process(main(env))
+        env.run(until=40.0)
+        timeout = holder["timeout"]
+        assert timeout.reason == "diverging"
+        assert "diverging" in str(timeout)
+        assert holder["at"] < 30.0   # way ahead of the 60 s deadline
+        assert any(e.name == "migration.diverging"
+                   for e in middleware.tracer.events)
+        report = middleware.reports[0]
+        assert report.outcome == "aborted"
+        assert report.ended_at is not None
+
+
+class TestAbortCleanup:
+    def test_abort_clears_standby_propagators(self, env):
+        """A timed-out migration must stop and clear the standby
+        engines, not just the primary (regression test)."""
+        cluster, middleware = build(env, deadline=0.001)
+        seed_tenant(env, cluster, middleware, clients=8, txns=400,
+                    think_time=0.005, read_ratio=0.0)
+        holder = {}
+
+        def main(env):
+            try:
+                yield from middleware.migrate("A", "node1", RATES,
+                                              standbys=["node2"])
+            except CatchUpTimeout as exc:
+                holder["timeout"] = exc
+        env.process(main(env))
+        env.run(until=20.0)
+        assert "timeout" in holder
+        state = middleware.tenant_state("A")
+        assert state.propagator is None
+        assert state.standby_propagators == {}
+        assert state.standby_ssls == {}
+        report = middleware.reports[0]
+        assert report.outcome == "aborted"
+        assert "node2" in report.failed_standbys
+
+    def test_timeout_report_is_stamped_and_recorded(self, env):
+        """Satellite: the CatchUpTimeout path must stamp ended_at and
+        append the report (it used to drop it on the floor)."""
+        cluster, middleware = build(env, deadline=0.001)
+        seed_tenant(env, cluster, middleware)
+        holder = {}
+
+        def main(env):
+            try:
+                yield from middleware.migrate("A", "node1", RATES)
+            except CatchUpTimeout as exc:
+                holder["timeout"] = exc
+        env.process(main(env))
+        env.run(until=20.0)
+        assert len(middleware.reports) == 1
+        report = middleware.reports[0]
+        assert report.outcome == "aborted"
+        assert report.ended_at is not None
+        assert report.ended_at >= report.started_at
+        assert middleware.metrics.counter("migration.aborted").value == 1
+        # and the tenant is still live on the source with the gate open
+        assert middleware.route("A") == "node0"
+        assert middleware.tenant_state("A").gate.is_open
+
+
+class TestInjectorDrivenMigration:
+    def test_phase_anchored_crash_via_injector(self, env):
+        """The full loop: a declarative plan armed against the
+        middleware's own tracer drops the standby automatically."""
+        cluster, middleware = build(env)
+        seed_tenant(env, cluster, middleware)
+        plan = FaultPlan()
+        plan.add("standby-dies", "crash", target="node2",
+                 phase="catch-up")
+        injector = FaultInjector(env, cluster, plan,
+                                 tracer=middleware.tracer,
+                                 metrics=middleware.metrics)
+        injector.start()
+        holder = {}
+
+        def main(env):
+            holder["report"] = yield from middleware.migrate(
+                "A", "node1", RATES, standbys=["node2"])
+        env.process(main(env))
+        env.run()
+        report = holder["report"]
+        assert report.outcome == "ok"
+        assert report.consistent is True
+        assert report.failed_standbys == ["node2"]
+        assert middleware.metrics.counter("faults.injected").value == 1
+        # source and destination agree despite the chaos
+        equal, diffs = states_equal(
+            cluster.node("node0").instance.tenant("A"),
+            cluster.node("node1").instance.tenant("A"))
+        assert equal, diffs
+
+
+def _load_check_trace():
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "scripts", "check_trace.py")
+    spec = importlib.util.spec_from_file_location("check_trace", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _gate_args(**overrides):
+    base = dict(policy=None, min_rounds=None, min_players=None,
+                require_phase_order=False, expect_outcome=None,
+                min_fault_events=None, expect_standby_dropped=None)
+    base.update(overrides)
+    return argparse.Namespace(**base)
+
+
+class TestChaosExperiment:
+    @pytest.fixture()
+    def trace_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        return tmp_path
+
+    def test_standby_crash_scenario_passes_the_ci_gate(self, trace_dir):
+        from repro.experiments import chaos
+        from repro.experiments.profiles import SMOKE
+        outcome = chaos.run_chaos("standby-crash", SMOKE)
+        assert outcome.outcome == "ok"
+        assert outcome.standby_dropped == 1
+        assert outcome.consistent is True
+        assert outcome.trace_path is not None
+        check_trace = _load_check_trace()
+        _policy, failures, _skipped = check_trace.check_file(
+            outcome.trace_path,
+            _gate_args(expect_outcome="ok", min_fault_events=1,
+                       expect_standby_dropped=1,
+                       require_phase_order=True))
+        assert failures == []
+
+    def test_destination_crash_scenario_fails_over(self, trace_dir):
+        from repro.experiments import chaos
+        from repro.experiments.profiles import SMOKE
+        outcome = chaos.run_chaos("destination-crash", SMOKE)
+        assert outcome.outcome == "failover"
+        assert outcome.route == "node2"
+        assert outcome.consistent is True
+        check_trace = _load_check_trace()
+        _policy, failures, _skipped = check_trace.check_file(
+            outcome.trace_path,
+            _gate_args(expect_outcome="failover", min_fault_events=1))
+        assert failures == []
+        # the same trace must NOT pass as a plain 'ok'
+        _policy, failures, _skipped = check_trace.check_file(
+            outcome.trace_path, _gate_args(expect_outcome="ok"))
+        assert failures
+
+    def test_unknown_scenario_rejected(self):
+        from repro.experiments import chaos
+        with pytest.raises(ValueError, match="unknown chaos scenario"):
+            chaos.run_chaos("meteor-strike")

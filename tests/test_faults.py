@@ -1,0 +1,345 @@
+"""Unit tests for the fault-injection subsystem (repro.faults) and the
+fault surfaces it drives: network outages/degradation, node crash +
+WAL-replay restart, and disk stalls."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.engine.session import Session
+from repro.errors import NetworkDown
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.obs import MetricsRegistry, Tracer
+
+
+class TestFaultPlan:
+    def test_add_validates_and_appends(self):
+        plan = FaultPlan()
+        plan.add("boom", "crash", target="node1", phase="catch-up")
+        plan.add("flap", "link_down", duration=0.5)
+        assert len(plan) == 2
+        assert [spec.name for spec in plan] == ["boom", "flap"]
+
+    def test_round_trip_through_dicts(self):
+        plan = FaultPlan()
+        plan.add("slow", "latency", at=1.0, duration=2.0, factor=5.0)
+        rebuilt = FaultPlan.from_dicts(plan.to_dicts())
+        assert rebuilt.faults == plan.faults
+
+    @pytest.mark.parametrize("kwargs, message", [
+        (dict(name="", kind="crash", target="n"), "non-empty name"),
+        (dict(name="x", kind="meteor"), "unknown fault kind"),
+        (dict(name="x", kind="crash"), "needs a target"),
+        (dict(name="x", kind="disk_stall"), "needs a target"),
+        (dict(name="x", kind="link_down", at=-1.0), "negative offset"),
+        (dict(name="x", kind="link_down", duration=-1.0),
+         "negative duration"),
+        (dict(name="x", kind="latency", factor=0.0), "must be positive"),
+        (dict(name="x", kind="disk_stall", target="n"),
+         "positive duration"),
+        (dict(name="x", kind="crash", target="n", phase="warp"),
+         "unknown phase"),
+    ])
+    def test_validation_rejects_malformed_specs(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            FaultSpec(**kwargs).validate()
+
+    def test_duplicate_names_rejected(self):
+        plan = FaultPlan()
+        plan.add("dup", "link_down")
+        plan.add("dup2", "link_down")
+        plan.faults.append(FaultSpec(name="dup", kind="link_down"))
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.validate()
+
+
+class TestNetworkFaults:
+    def test_down_link_raises_at_hop_entry(self, env):
+        cluster = Cluster(env)
+        network = cluster.network
+
+        def main(env):
+            network.fail_link()
+            with pytest.raises(NetworkDown):
+                yield from network.message()
+            network.restore_link()
+            yield from network.message()   # healthy again
+        process = env.process(main(env))
+        env.run()
+        assert process.ok
+        assert network.messages_failed == 1
+        assert network.outages == 1
+
+    def test_outage_interrupts_inflight_transfer(self, env):
+        cluster = Cluster(env)
+        network = cluster.network
+        outcome = {}
+
+        def sender(env):
+            try:
+                # 50 MB at 125 MB/s: on the wire for 0.4 s
+                yield from network.message(50.0)
+            except NetworkDown:
+                outcome["failed_at"] = env.now
+
+        def breaker(env):
+            yield env.timeout(0.01)
+            network.fail_link()
+        env.process(sender(env))
+        env.process(breaker(env))
+        env.run()
+        # the sender learns of the outage when the transfer completes,
+        # not at its next send
+        assert outcome["failed_at"] == pytest.approx(0.4001)
+
+    def test_nested_outages_stack(self, env):
+        network = Cluster(env).network
+        network.fail_link()
+        network.fail_link()
+        network.restore_link()
+        assert network.is_down
+        network.restore_link()
+        assert not network.is_down
+
+    def test_latency_degradation_scales_hop_time(self, env):
+        network = Cluster(env).network
+        network.degrade(latency_scale=10.0)
+
+        def main(env):
+            yield from network.message()
+        env.process(main(env))
+        env.run()
+        assert env.now == pytest.approx(network.spec.latency * 10.0)
+
+    def test_bandwidth_collapse_scales_transfer_time(self, env):
+        network = Cluster(env).network
+        network.degrade(bandwidth_scale=5.0)
+
+        def main(env):
+            yield from network.message(125.0)
+        env.process(main(env))
+        env.run()
+        # 125 MB at 125/5 MB/s = 5 s, plus one latency hop
+        assert env.now == pytest.approx(5.0 + network.spec.latency)
+
+    def test_degradations_compose_and_restore(self, env):
+        network = Cluster(env).network
+        network.degrade(latency_scale=4.0)
+        network.degrade(latency_scale=2.0, bandwidth_scale=3.0)
+        assert network.latency_factor == pytest.approx(8.0)
+        assert network.bandwidth_factor == pytest.approx(3.0)
+        network.degrade(latency_scale=0.5)
+        assert network.latency_factor == pytest.approx(4.0)
+        network.restore_quality()
+        assert network.latency_factor == 1.0
+        assert network.bandwidth_factor == 1.0
+
+
+def _seed_rows(env, instance, keys=5):
+    """Create tenant A with ``keys`` committed rows; returns a session."""
+    session = Session(instance, "A")
+
+    def main(env):
+        instance.create_tenant("A")
+        yield from session.execute(
+            "CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        for key in range(keys):
+            yield from session.execute("BEGIN")
+            yield from session.execute(
+                "INSERT INTO kv (k, v) VALUES (%d, 0)" % key)
+            yield from session.execute("COMMIT")
+    env.process(main(env))
+    env.run()
+    return session
+
+
+class TestNodeCrash:
+    def test_statements_fail_while_crashed(self, env):
+        instance = Cluster(env).add_node("node0").instance
+        session = _seed_rows(env, instance)
+        instance.crash()
+        assert instance.crashed
+
+        def main(env):
+            result = yield from session.execute("BEGIN")
+            return result
+        process = env.process(main(env))
+        env.run()
+        assert not process.value.ok
+        assert "crashed" in process.value.error
+
+    def test_crash_is_idempotent(self, env):
+        instance = Cluster(env).add_node("node0").instance
+        instance.crash()
+        instance.crash()
+        assert instance.crash_count == 1
+
+    def test_committed_data_survives_restart(self, env):
+        instance = Cluster(env).add_node("node0").instance
+        session = _seed_rows(env, instance, keys=7)
+        instance.crash()
+
+        def main(env):
+            yield from instance.restart()
+            result = yield from session.execute(
+                "SELECT v FROM kv WHERE k = 6")
+            return result
+        process = env.process(main(env))
+        env.run()
+        assert not instance.crashed
+        assert instance.recoveries == 1
+        assert process.value.ok
+        assert process.value.rows[0]["v"] == 0
+
+    def test_restart_replays_wal_on_the_clock(self, env):
+        instance = Cluster(env).add_node("node0").instance
+        _seed_rows(env, instance, keys=10)
+        instance.crash()
+        before = env.now
+
+        def main(env):
+            yield from instance.restart()
+        env.process(main(env))
+        env.run()
+        # recovery reads the commit records back and burns replay CPU
+        assert env.now > before
+        assert instance._replayed_commits == instance.wal.commit_count
+
+    def test_open_transaction_dies_with_the_node(self, env):
+        instance = Cluster(env).add_node("node0").instance
+        session = _seed_rows(env, instance)
+        outcome = {}
+
+        def writer(env):
+            yield from session.execute("BEGIN")
+            yield from session.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = 0")
+            instance.crash()
+            result = yield from session.execute("COMMIT")
+            outcome["commit"] = result
+            yield from instance.restart()
+            result = yield from session.execute(
+                "SELECT v FROM kv WHERE k = 0")
+            outcome["read"] = result
+        env.process(writer(env))
+        env.run()
+        assert not outcome["commit"].ok
+        # the uncommitted update was lost with the crash
+        assert outcome["read"].rows[0]["v"] == 0
+
+
+class TestDiskStall:
+    def test_stall_delays_queued_io(self, env):
+        instance = Cluster(env).add_node("node0").instance
+        disk = instance.disk
+        finished = {}
+
+        def staller(env):
+            yield from disk.stall(1.0)
+
+        def reader(env):
+            yield env.timeout(0.01)     # queue behind the stall
+            yield from disk.read(1.0)
+            finished["at"] = env.now
+        env.process(staller(env))
+        env.process(reader(env))
+        env.run()
+        assert finished["at"] >= 1.0
+        assert disk.stalls == 1
+        assert disk.stall_time == pytest.approx(1.0)
+
+
+class TestFaultInjector:
+    def _build(self, env, plan, tracer=None):
+        cluster = Cluster(env)
+        cluster.add_node("node0")
+        cluster.add_node("node1")
+        metrics = MetricsRegistry()
+        injector = FaultInjector(env, cluster, plan, tracer=tracer,
+                                 metrics=metrics)
+        return cluster, metrics, injector
+
+    def test_absolute_time_crash_and_recovery(self, env):
+        plan = FaultPlan()
+        plan.add("crash0", "crash", target="node0", at=1.0, duration=2.0)
+        cluster, metrics, injector = self._build(env, plan)
+        instance = cluster.node("node0").instance
+        injector.start()
+        env.run(until=1.5)
+        assert instance.crashed
+        env.run(until=4.0)
+        assert not instance.crashed
+        assert metrics.counter("faults.injected").value == 1
+        assert metrics.counter("faults.injected.crash").value == 1
+        assert metrics.counter("faults.recovered").value == 1
+        assert [spec.name for _t, spec in injector.injected] == ["crash0"]
+
+    def test_link_down_window(self, env):
+        plan = FaultPlan()
+        plan.add("flap", "link_down", at=0.5, duration=1.0)
+        cluster, _metrics, injector = self._build(env, plan)
+        injector.start()
+        env.run(until=1.0)
+        assert cluster.network.is_down
+        env.run(until=2.0)
+        assert not cluster.network.is_down
+
+    def test_degradation_window_restores_factors(self, env):
+        plan = FaultPlan()
+        plan.add("slow", "latency", at=0.0, duration=1.0, factor=8.0)
+        plan.add("thin", "bandwidth", at=0.0, duration=1.0, factor=4.0)
+        cluster, _metrics, injector = self._build(env, plan)
+        injector.start()
+        env.run(until=0.5)
+        assert cluster.network.latency_factor == pytest.approx(8.0)
+        assert cluster.network.bandwidth_factor == pytest.approx(4.0)
+        env.run(until=2.0)
+        assert cluster.network.latency_factor == pytest.approx(1.0)
+        assert cluster.network.bandwidth_factor == pytest.approx(1.0)
+
+    def test_emits_trace_events(self, env):
+        tracer = Tracer(env)
+        plan = FaultPlan()
+        plan.add("stall", "disk_stall", target="node1", at=0.2,
+                 duration=0.3)
+        _cluster, _metrics, injector = self._build(env, plan,
+                                                   tracer=tracer)
+        injector.start()
+        env.run()
+        names = [event.name for event in tracer.events]
+        assert names == ["fault.injected", "fault.recovered"]
+        assert tracer.events[0].attrs["fault"] == "stall"
+        assert tracer.events[0].attrs["kind"] == "disk_stall"
+
+    def test_phase_anchored_fault_requires_tracer(self, env):
+        plan = FaultPlan()
+        plan.add("late", "crash", target="node0", phase="catch-up")
+        _cluster, _metrics, injector = self._build(env, plan)
+        with pytest.raises(ValueError, match="tracer"):
+            injector.start()
+
+    def test_start_twice_rejected(self, env):
+        _cluster, _metrics, injector = self._build(env, FaultPlan())
+        injector.start()
+        with pytest.raises(RuntimeError):
+            injector.start()
+
+    def test_phase_anchored_fault_waits_for_phase_span(self, env):
+        tracer = Tracer(env)
+        plan = FaultPlan()
+        plan.add("mid", "link_down", phase="catch-up", duration=0.5)
+        cluster, _metrics, injector = self._build(env, plan,
+                                                  tracer=tracer)
+        injector.start()
+        env.run(until=5.0)
+        assert not cluster.network.is_down   # phase never opened
+
+        def opener(env):
+            yield env.timeout(1.0)
+            tracer.phase("catch-up")
+        env.process(opener(env))
+        env.run(until=7.0)
+        assert len(injector.injected) == 1
+        # injected shortly after the phase opened (poll granularity)
+        time, spec = injector.injected[0]
+        assert spec.name == "mid"
+        assert 6.0 <= time <= 6.0 + 3 * FaultInjector.POLL_INTERVAL
