@@ -15,7 +15,7 @@ Run with::
 """
 
 from repro import (Cluster, Environment, MADEUS, Middleware,
-                   MiddlewareConfig, TransferRates)
+                   MiddlewareConfig, MigrationOptions, TransferRates)
 from repro.core import states_equal
 from repro.engine import Session
 
@@ -88,8 +88,8 @@ def main() -> None:
 
         # --- live migration + explicit consistency check --------------
         report = yield from middleware.migrate(
-            "ledger", "node1", TransferRates(dump_mb_s=5.0,
-                                             restore_mb_s=2.0))
+            "ledger", "node1", MigrationOptions(
+                rates=TransferRates(dump_mb_s=5.0, restore_mb_s=2.0)))
         equal, differences = states_equal(
             source.instance.tenant("ledger"),
             destination.instance.tenant("ledger"))

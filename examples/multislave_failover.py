@@ -14,7 +14,7 @@ Run with::
 """
 
 from repro import (Cluster, Environment, MADEUS, Middleware,
-                   MiddlewareConfig, TransferRates)
+                   MiddlewareConfig, MigrationOptions, TransferRates)
 from repro.core import states_equal
 from repro.workload.simplekv import (KvWorkloadConfig, run_kv_clients,
                                      setup_kv_tenant)
@@ -50,8 +50,9 @@ def run(inject_failure: bool) -> None:
                 middleware.fail_standby("acme", "node2")
                 print("  !! standby node2 failed and was discarded")
             env.process(failer(env))
-        report = yield from middleware.migrate("acme", "node1", RATES,
-                                               standbys=["node2"])
+        report = yield from middleware.migrate(
+            "acme", "node1", MigrationOptions(rates=RATES,
+                                              standbys=["node2"]))
         holder["report"] = report
 
     env.process(scenario(env))

@@ -10,7 +10,7 @@ Run with::
 """
 
 from repro import (Cluster, Environment, MADEUS, Middleware,
-                   MiddlewareConfig, TransferRates)
+                   MiddlewareConfig, MigrationOptions, TransferRates)
 from repro.workload.simplekv import (KvWorkloadConfig, run_kv_clients,
                                      setup_kv_tenant)
 
@@ -41,8 +41,8 @@ def main() -> None:
         # 3. live-migrate while they run
         yield env.timeout(0.2)
         report = yield from middleware.migrate(
-            "acme", "node1", TransferRates(dump_mb_s=5.0,
-                                           restore_mb_s=2.0))
+            "acme", "node1", MigrationOptions(
+                rates=TransferRates(dump_mb_s=5.0, restore_mb_s=2.0)))
         holder["report"] = report
         holder["workload"] = workload
 

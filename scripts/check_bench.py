@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CI regression gate over ``BENCH_*.json`` bench artifacts.
+
+Validates the artifacts ``repro bench`` wrote (schema documented in
+EXPERIMENTS.md): every case carries the required fields, phase durations
+are non-negative and consistent with the wall clock, pipelined cases
+report chunks, and — for the ``pipeline`` scenario — the streamed path
+beats the serial path at every size by at least ``--min-improvement``
+(a *relative* ordering; per ROADMAP.md's tolerance policy the gate
+never asserts absolute timings).
+
+Like ``check_trace.py`` this script is deliberately stdlib-only and
+does not import :mod:`repro`, so a bug that breaks the bench harness
+fails the gate instead of hiding it.
+
+Usage::
+
+    python scripts/check_bench.py BENCH_pipeline.json \
+        BENCH_policies.json --min-improvement 0.25
+"""
+
+import argparse
+import json
+import sys
+
+CASE_FIELDS = ("scenario", "policy", "size_mb", "pipelined",
+               "wall_clock", "phases", "rounds", "group_commit",
+               "chunks", "ship_retries", "consistent")
+PHASE_NAMES = ("dump", "restore", "catch-up", "handover")
+GROUP_COMMIT_FIELDS = ("commits", "flushes", "mean_group_size")
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise SystemExit("cannot read bench artifact %s: %s"
+                         % (path, exc))
+    except json.JSONDecodeError as exc:
+        raise SystemExit("%s: invalid JSON: %s" % (path, exc))
+
+
+def check_case(index, case):
+    """Structural failures for one case record."""
+    failures = []
+    label = "case %d" % index
+    for field in CASE_FIELDS:
+        if field not in case:
+            failures.append("%s: missing field %r" % (label, field))
+    if failures:
+        return failures
+    label = "case %d (%s/%s, %.0f MB, %s)" % (
+        index, case["scenario"], case["policy"], case["size_mb"],
+        "pipelined" if case["pipelined"] else "serial")
+    if case["wall_clock"] <= 0:
+        failures.append("%s: wall_clock must be positive" % label)
+    for phase in PHASE_NAMES:
+        if phase not in case["phases"]:
+            failures.append("%s: missing phase %r" % (label, phase))
+        elif case["phases"][phase] < 0:
+            failures.append("%s: phase %r has negative duration"
+                            % (label, phase))
+    phase_sum = sum(case["phases"].get(p, 0.0) for p in PHASE_NAMES)
+    if phase_sum > case["wall_clock"] * 1.001:
+        failures.append("%s: phases sum to %.3f s > wall_clock %.3f s"
+                        % (label, phase_sum, case["wall_clock"]))
+    for field in GROUP_COMMIT_FIELDS:
+        if field not in case["group_commit"]:
+            failures.append("%s: group_commit missing %r"
+                            % (label, field))
+    if case["pipelined"] and case["chunks"] < 1:
+        failures.append("%s: pipelined case reports no chunks" % label)
+    if not case["pipelined"] and case["chunks"] != 0:
+        failures.append("%s: serial case reports %d chunks"
+                        % (label, case["chunks"]))
+    if case["consistent"] is False:
+        failures.append("%s: migration was NOT consistent" % label)
+    return failures
+
+
+def check_pipeline_comparisons(data, min_improvement):
+    """Relative-ordering failures for the pipeline scenario."""
+    failures = []
+    comparisons = data.get("comparisons") or []
+    if not comparisons:
+        failures.append("pipeline artifact has no comparisons")
+        return failures
+    for comparison in comparisons:
+        for field in ("size_mb", "serial_wall_clock",
+                      "pipelined_wall_clock", "improvement"):
+            if field not in comparison:
+                failures.append("comparison missing field %r" % field)
+                return failures
+        # A database that fits in one chunk legitimately ties, so per
+        # size the bar is non-regression; --min-improvement gates the
+        # headline (largest-size) comparison strictly.
+        if (comparison["pipelined_wall_clock"]
+                > comparison["serial_wall_clock"] * 1.0001):
+            failures.append(
+                "@ %.0f MB: pipelined (%.3f s) is slower than "
+                "serial (%.3f s)"
+                % (comparison["size_mb"],
+                   comparison["pipelined_wall_clock"],
+                   comparison["serial_wall_clock"]))
+    headline = data.get("headline_improvement")
+    if headline is None:
+        failures.append("headline_improvement missing")
+    elif min_improvement is not None and headline < min_improvement:
+        failures.append(
+            "headline improvement %.1f%% < required %.1f%%"
+            % (100.0 * headline, 100.0 * min_improvement))
+    return failures
+
+
+def check_file(path, args):
+    """Return a list of failures for one BENCH_*.json artifact."""
+    failures = []
+    data = load(path)
+    for field in ("bench", "profile", "seed", "cases"):
+        if field not in data:
+            failures.append("missing top-level field %r" % field)
+    if failures:
+        return failures
+    if not data["cases"]:
+        failures.append("artifact has no cases")
+    for index, case in enumerate(data["cases"]):
+        failures.extend(check_case(index, case))
+    if data["bench"] == "pipeline":
+        failures.extend(
+            check_pipeline_comparisons(data, args.min_improvement))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gate CI on BENCH_*.json bench artifacts.")
+    parser.add_argument("artifacts", nargs="+", metavar="BENCH",
+                        help="BENCH_*.json files to check")
+    parser.add_argument("--min-improvement", type=float, default=None,
+                        help="minimum relative headline improvement of "
+                             "pipelined over serial (e.g. 0.25)")
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    for path in args.artifacts:
+        failures = check_file(path, args)
+        if failures:
+            exit_code = 1
+            print("FAIL %s" % path)
+            for failure in failures:
+                print("  - %s" % failure)
+        else:
+            print("PASS %s" % path)
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

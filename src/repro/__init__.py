@@ -40,6 +40,7 @@ from .core import (
     MADEUS,
     Middleware,
     MiddlewareConfig,
+    MigrationOptions,
     MigrationReport,
     PropagationPolicy,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "Middleware",
     "MiddlewareConfig",
     "MigrationError",
+    "MigrationOptions",
     "MigrationReport",
     "NetworkDown",
     "Node",

@@ -1,0 +1,39 @@
+"""The stable public API of the Madeus reproduction.
+
+Import from here when building on the library; everything this module
+exports follows the deprecation policy in README.md ("Public API"):
+breaking changes are preceded by one release of ``DeprecationWarning``
+shims.  Internal modules (``repro.core.middleware``, ``repro.engine``,
+...) may reorganise without notice.
+
+The surface is deliberately small:
+
+* :class:`Middleware` / :class:`MiddlewareConfig` — the proxy itself;
+* :class:`MigrationOptions` — per-migration knobs for
+  :meth:`Middleware.migrate` (rates, standbys, pipelining, retries);
+* :class:`MigrationReport` — what a finished migration reports;
+* :class:`TransferRates` — the dump/restore rate model;
+* :func:`policy_by_name` — resolve ``"Madeus"`` / ``"B-ALL"`` / ... to a
+  propagation policy;
+* :func:`run_benchmark` — the ``repro bench`` harness, programmatically.
+"""
+
+from .core.middleware import (
+    Middleware,
+    MiddlewareConfig,
+    MigrationOptions,
+    MigrationReport,
+)
+from .core.policy import policy_by_name
+from .engine.dump import TransferRates
+from .experiments.bench import run_benchmark
+
+__all__ = [
+    "Middleware",
+    "MiddlewareConfig",
+    "MigrationOptions",
+    "MigrationReport",
+    "TransferRates",
+    "policy_by_name",
+    "run_benchmark",
+]

@@ -5,22 +5,24 @@ Examples::
     python -m repro list
     python -m repro fig5
     python -m repro fig6 --profile smoke
-    python -m repro fig9 --profile quick
+    python -m repro fig9 --profile quick --trace-dir traces/
     python -m repro multitenant
     python -m repro costmodel
     python -m repro all --profile smoke
     python -m repro trace benchmarks/results/traces/trace_001_*.jsonl
     python -m repro chaos --scenario standby-crash --profile smoke
+    python -m repro bench --profile quick --bench-dir bench/
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from .experiments import get_profile
 from .experiments import (
+    bench,
     chaos,
     costmodel,
     dbsize,
@@ -31,60 +33,34 @@ from .experiments import (
 )
 
 
-def _run_fig5(profile) -> None:
-    points = preliminary.run_preliminary(profile)
-    print(preliminary.report(points, profile))
+def _print_run(module_run: Callable) -> Callable:
+    """Adapt a module's uniform ``run()`` to a printing command."""
+    def command(profile, trace_dir: Optional[str] = None,
+                seed: Optional[int] = None) -> None:
+        print(module_run(profile, seed=seed, trace_dir=trace_dir).text)
+    return command
 
 
-def _run_fig6(profile) -> None:
+def _print_table2(profile, trace_dir=None, seed=None) -> None:
+    del profile, trace_dir, seed
     print(migration_time.report_table2())
-    print()
-    results = migration_time.run_figure6(profile)
-    print(migration_time.report(results, profile))
 
 
-def _run_fig7_8(profile) -> None:
-    result = performance.run_timeline(profile)
-    print(performance.report_fig7(result, profile))
-    print()
-    print(performance.report_fig8(result, profile))
-
-
-def _run_fig9(profile) -> None:
+def _print_table3(profile, trace_dir=None, seed=None) -> None:
+    del trace_dir, seed
     print(dbsize.report_table3(profile))
-    print()
-    results = dbsize.run_figure9(profile)
-    print(dbsize.report_fig9(results, profile))
-
-
-def _run_multitenant(profile) -> None:
-    case1 = multitenant.run_case("B", profile)
-    print(multitenant.report_case(case1, profile, "Figures 10-13"))
-    print()
-    case2 = multitenant.run_case("C", profile)
-    print(multitenant.report_case(case2, profile, "Figures 14-19"))
-    print()
-    answer, reasons = multitenant.which_migration_is_better(case1, case2)
-    print("Section 5.6: migrate the %s tenant" % answer)
-    for reason in reasons:
-        print("  - %s" % reason)
-
-
-def _run_costmodel(profile) -> None:
-    del profile
-    costmodel.main()
 
 
 COMMANDS: Dict[str, Callable] = {
-    "fig5": _run_fig5,
-    "fig6": _run_fig6,
-    "fig7": _run_fig7_8,
-    "fig8": _run_fig7_8,
-    "fig9": _run_fig9,
-    "table2": lambda profile: print(migration_time.report_table2()),
-    "table3": lambda profile: print(dbsize.report_table3(profile)),
-    "multitenant": _run_multitenant,
-    "costmodel": _run_costmodel,
+    "fig5": _print_run(preliminary.run),
+    "fig6": _print_run(migration_time.run),
+    "fig7": _print_run(performance.run),
+    "fig8": _print_run(performance.run),
+    "fig9": _print_run(dbsize.run),
+    "table2": _print_table2,
+    "table3": _print_table3,
+    "multitenant": _print_run(multitenant.run),
+    "costmodel": _print_run(costmodel.run),
 }
 
 DESCRIPTIONS: Dict[str, str] = {
@@ -98,6 +74,44 @@ DESCRIPTIONS: Dict[str, str] = {
     "multitenant": "the hot-spot cases (Figures 10-19, Section 5.6)",
     "costmodel": "the analytic LSIR cost model (Section 4.5.2)",
 }
+
+
+def bench_main(argv=None) -> int:
+    """Entry point for ``python -m repro bench``.
+
+    Runs the performance harness from :mod:`repro.experiments.bench`
+    and writes one ``BENCH_<scenario>.json`` per scenario (validated in
+    CI by ``scripts/check_bench.py``).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark the migration middleware: pipelined vs "
+                    "serial snapshot shipping, and a per-policy sweep. "
+                    "Writes BENCH_<scenario>.json artifacts.")
+    parser.add_argument("--scenario", default="all",
+                        choices=sorted(bench.SCENARIOS) + ["all"],
+                        help="bench scenario to run (default: all)")
+    parser.add_argument("--profile", default=None,
+                        choices=["paper", "quick", "smoke"],
+                        help="experiment scale (default: $REPRO_PROFILE "
+                             "or 'quick')")
+    parser.add_argument("--bench-dir", default=None,
+                        help="directory for BENCH_*.json (default: "
+                             "$REPRO_BENCH_DIR or benchmarks/results/"
+                             "bench)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="also export per-migration traces here "
+                             "(default: $REPRO_TRACE_DIR, or none)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the profile's root random seed")
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+    scenarios = None if args.scenario == "all" else [args.scenario]
+    result = bench.run(profile, seed=args.seed,
+                       trace_dir=args.trace_dir,
+                       bench_dir=args.bench_dir, scenarios=scenarios)
+    print(result.text)
+    return 0
 
 
 def chaos_main(argv=None) -> int:
@@ -120,11 +134,19 @@ def chaos_main(argv=None) -> int:
                         choices=["paper", "quick", "smoke"],
                         help="experiment scale (default: $REPRO_PROFILE "
                              "or 'quick')")
+    parser.add_argument("--trace-dir", default=None,
+                        help="export each scenario's trace here "
+                             "(default: $REPRO_TRACE_DIR, or none)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the profile's root random seed")
     args = parser.parse_args(argv)
     profile = get_profile(args.profile)
+    if args.seed is not None:
+        from .experiments.common import seeded
+        profile = seeded(profile, args.seed)
     names = (sorted(chaos.SCENARIOS) if args.scenario == "all"
              else [args.scenario])
-    outcomes = chaos.run_all(profile, names)
+    outcomes = chaos.run_all(profile, names, trace_dir=args.trace_dir)
     print(chaos.report(outcomes, profile))
     for outcome in outcomes:
         if outcome.trace_path is not None:
@@ -190,6 +212,8 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Madeus (SIGMOD 2015) reproduction: run any paper "
@@ -199,11 +223,17 @@ def main(argv=None) -> int:
                         choices=sorted(COMMANDS) + ["list", "all"],
                         help="experiment to run ('list' to enumerate, "
                              "'all' for everything; see also the "
-                             "'trace' and 'chaos' subcommands)")
+                             "'trace', 'chaos', and 'bench' "
+                             "subcommands)")
     parser.add_argument("--profile", default=None,
                         choices=["paper", "quick", "smoke"],
                         help="experiment scale (default: $REPRO_PROFILE "
                              "or 'quick')")
+    parser.add_argument("--trace-dir", default=None,
+                        help="export per-migration traces here "
+                             "(default: $REPRO_TRACE_DIR, or none)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the profile's root random seed")
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(COMMANDS):
@@ -214,6 +244,9 @@ def main(argv=None) -> int:
         print("%-12s %s" % ("chaos",
                             "migration under injected faults (crash, "
                             "outage, degradation, stall)"))
+        print("%-12s %s" % ("bench",
+                            "perf harness: pipelined vs serial "
+                            "snapshots, BENCH_*.json artifacts"))
         return 0
     profile = get_profile(args.profile)
     if args.command == "all":
@@ -222,10 +255,12 @@ def main(argv=None) -> int:
             print("=" * 72)
             print("== %s: %s" % (name, DESCRIPTIONS[name]))
             print("=" * 72)
-            COMMANDS[name](profile)
+            COMMANDS[name](profile, trace_dir=args.trace_dir,
+                           seed=args.seed)
             print()
         return 0
-    COMMANDS[args.command](profile)
+    COMMANDS[args.command](profile, trace_dir=args.trace_dir,
+                           seed=args.seed)
     return 0
 
 

@@ -10,10 +10,12 @@ from .middleware import (
     Connection,
     Middleware,
     MiddlewareConfig,
+    MigrationOptions,
     MigrationReport,
     TenantState,
 )
 from .operations import Operation, OpKind, TxnTracker
+from .pipeline import ChunkFeed, ChunkReader
 from .policy import (
     ALL_POLICIES,
     B_ALL,
@@ -49,6 +51,8 @@ __all__ = [
     "B_CON",
     "B_MIN",
     "COMMIT_CLASS",
+    "ChunkFeed",
+    "ChunkReader",
     "Conductor",
     "Connection",
     "CriticalRegion",
@@ -60,6 +64,7 @@ __all__ = [
     "MADEUS",
     "Middleware",
     "MiddlewareConfig",
+    "MigrationOptions",
     "MigrationReport",
     "NECESSARY_DEPENDENCIES",
     "Operation",

@@ -13,11 +13,27 @@ any of the Table-2 baselines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..cluster.cluster import Cluster
-from ..engine.dump import TransferRates, dump, restore
+from ..engine.dump import (
+    SnapshotTruncated,
+    TransferRates,
+    dump,
+    dump_stream,
+    restore,
+    restore_stream,
+)
 from ..engine.session import Session, SessionResult
 from ..engine.sqlmini import parse
 from ..errors import (
@@ -30,8 +46,9 @@ from ..errors import (
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import MIGRATION, Tracer
 from ..sim.events import Event
-from ..sim.sync import Gate
+from ..sim.sync import Channel, Gate
 from .operations import Operation, OpKind, TxnTracker
+from .pipeline import ChunkFeed
 from .policy import MADEUS, PropagationPolicy
 from .propagation import make_propagator
 from .region import COMMIT_CLASS, FIRST_READ_CLASS, CriticalRegion
@@ -70,6 +87,68 @@ class MiddlewareConfig:
     divergence_interval: float = 5.0
     divergence_window: int = 6
     divergence_min_growth: int = 64
+    #: Stream the snapshot (dump/ship/restore overlap) instead of the
+    #: serial paper-faithful chain.  Per-migration override:
+    #: :attr:`MigrationOptions.pipeline`.
+    pipeline_snapshot: bool = True
+    #: Chunks the dump may run ahead of the slowest destination (also
+    #: the per-destination in-flight channel capacity).
+    pipeline_depth: int = 4
+
+
+@dataclass(frozen=True)
+class MigrationOptions:
+    """Per-migration knobs for :meth:`Middleware.migrate`.
+
+    Every field defaults to ``None`` ("inherit"): :meth:`resolve` fills
+    it from the :class:`MiddlewareConfig` (or the library default), so a
+    bare ``MigrationOptions()`` reproduces the configured behaviour and
+    callers override only what they mean to change.
+    """
+
+    #: Dump/restore throughput model (None -> library defaults).
+    rates: Optional[TransferRates] = None
+    #: Extra nodes fed the snapshot + syncset stream (Section 4.2).
+    standbys: Optional[Sequence[str]] = None
+    #: Stream the snapshot pipeline-style (None -> config).
+    pipeline: Optional[bool] = None
+    #: Bounded-buffer depth of the pipelined path (None -> config).
+    pipeline_depth: Optional[int] = None
+    #: Chunk size for the streamed dump (None -> ``rates.chunk_mb``).
+    chunk_mb: Optional[float] = None
+    # ship-retry caps (None -> config)
+    ship_retry_limit: Optional[int] = None
+    ship_retry_base: Optional[float] = None
+    ship_retry_cap: Optional[float] = None
+    # divergence-watchdog thresholds (None -> config)
+    divergence_interval: Optional[float] = None
+    divergence_window: Optional[int] = None
+    divergence_min_growth: Optional[int] = None
+
+    def resolve(self, config: MiddlewareConfig) -> "MigrationOptions":
+        """Fill every ``None`` from ``config`` / library defaults."""
+
+        def pick(value: Any, fallback: Any) -> Any:
+            return fallback if value is None else value
+
+        return replace(
+            self,
+            rates=self.rates if self.rates is not None else TransferRates(),
+            standbys=tuple(self.standbys or ()),
+            pipeline=pick(self.pipeline, config.pipeline_snapshot),
+            pipeline_depth=pick(self.pipeline_depth, config.pipeline_depth),
+            ship_retry_limit=pick(self.ship_retry_limit,
+                                  config.ship_retry_limit),
+            ship_retry_base=pick(self.ship_retry_base,
+                                 config.ship_retry_base),
+            ship_retry_cap=pick(self.ship_retry_cap, config.ship_retry_cap),
+            divergence_interval=pick(self.divergence_interval,
+                                     config.divergence_interval),
+            divergence_window=pick(self.divergence_window,
+                                   config.divergence_window),
+            divergence_min_growth=pick(self.divergence_min_growth,
+                                       config.divergence_min_growth),
+        )
 
 
 @dataclass
@@ -145,6 +224,10 @@ class MigrationReport:
     failovers: int = 0
     #: Snapshot ship/restore resends across transient outages.
     ship_retries: int = 0
+    #: Whether the snapshot was streamed (dump/ship/restore overlapped).
+    pipelined: bool = False
+    #: Chunks the streamed dump emitted (0 on the serial path).
+    chunks: int = 0
 
     @property
     def migration_time(self) -> float:
@@ -465,25 +548,63 @@ class Middleware:
     # ------------------------------------------------------------------
     # the manager (Algorithm 3): four-step live migration
     # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_options(options: Any,
+                        rates: Optional[TransferRates],
+                        standbys: Optional[List[str]]
+                        ) -> MigrationOptions:
+        """Fold the deprecated ``migrate`` kwargs into MigrationOptions."""
+        if isinstance(options, TransferRates):
+            warnings.warn(
+                "passing TransferRates positionally to migrate() is "
+                "deprecated; use MigrationOptions(rates=...)",
+                DeprecationWarning, stacklevel=3)
+            options = MigrationOptions(rates=options)
+        if rates is not None or standbys is not None:
+            warnings.warn(
+                "the rates=/standbys= keyword arguments of migrate() are "
+                "deprecated; use MigrationOptions(rates=..., "
+                "standbys=...)",
+                DeprecationWarning, stacklevel=3)
+            base = options or MigrationOptions()
+            options = replace(
+                base,
+                rates=rates if rates is not None else base.rates,
+                standbys=(standbys if standbys is not None
+                          else base.standbys))
+        return options or MigrationOptions()
+
     def migrate(self, tenant: str, destination: str,
+                options: Optional[MigrationOptions] = None, *,
                 rates: Optional[TransferRates] = None,
                 standbys: Optional[List[str]] = None
                 ) -> Generator[Any, Any, MigrationReport]:
         """Live-migrate ``tenant`` to node ``destination``.
 
         Steps: (1) snapshot the master inside the critical region so the
-        MTS is a clean commit boundary; (2) restore on the destination;
-        (3) propagate syncsets under the configured policy until caught
-        up; (4) suspend new transactions, drain, switch over, resume.
+        MTS is a clean commit boundary; (2) ship + restore on the
+        destination — streamed in overlapping chunks by default, or the
+        serial paper-faithful chain with
+        ``MigrationOptions(pipeline=False)``; (3) propagate syncsets
+        under the configured policy until caught up; (4) suspend new
+        transactions, drain, switch over, resume.
 
-        ``standbys`` names additional nodes that receive the snapshot
-        and the same syncset stream concurrently (Section 4.2); they end
-        up as consistent warm replicas, and a standby that fails
-        mid-migration can be dropped with :meth:`fail_standby` without
-        stopping the migration.
+        All per-migration knobs live on :class:`MigrationOptions`;
+        ``options.standbys`` names additional nodes that receive the
+        snapshot and the same syncset stream concurrently (Section 4.2)
+        — they end up as consistent warm replicas, and a standby that
+        fails mid-migration is dropped without stopping the migration.
+
+        .. deprecated::
+           Passing ``rates`` positionally or the ``rates=`` /
+           ``standbys=`` keyword arguments; use
+           ``MigrationOptions(rates=..., standbys=...)``.  The shim is
+           kept for one release.
         """
-        rates = rates or TransferRates()
-        standbys = list(standbys or [])
+        options = self._coerce_options(options, rates, standbys)
+        opts = options.resolve(self.config)
+        rates = opts.rates
+        standbys = list(opts.standbys)
         state = self.tenant_state(tenant)
         if state.migrating:
             raise MigrationError("tenant %r is already migrating" % tenant)
@@ -500,71 +621,96 @@ class Middleware:
                              for name in standbys}
         report = MigrationReport(tenant, source, destination,
                                  self.config.policy.name,
-                                 started_at=self.env.now)
+                                 started_at=self.env.now,
+                                 pipelined=bool(opts.pipeline))
         migration_span = self.tracer.start(
             "migration", kind=MIGRATION, tenant=tenant, source=source,
             destination=destination, policy=self.config.policy.name,
-            standbys=len(standbys))
+            standbys=len(standbys), pipelined=bool(opts.pipeline))
         # --- Step 1: snapshot at a commit boundary --------------------
-        phase_span = self.tracer.phase("dump", parent=migration_span)
+        phase_span = self.tracer.phase("dump", parent=migration_span,
+                                       pipelined=bool(opts.pipeline))
         yield from state.region.enter(FIRST_READ_CLASS)
         report.mts = state.mlc
         snapshot_csn = source_instance.current_csn()
         state.migrating = True  # commits from here on link their SSBs
         state.region.leave()
-        snapshot = yield from dump(source_instance, tenant, snapshot_csn,
-                                   rates)
-        report.snapshot_at = self.env.now
-        report.snapshot_size_mb = snapshot.size_mb
-        self.tracer.finish(phase_span, mts=report.mts,
-                           size_mb=snapshot.size_mb)
-        # --- Step 2: create the slave(s) --------------------------------
-        phase_span = self.tracer.phase("restore", parent=migration_span,
-                                       size_mb=snapshot.size_mb)
         restore_errors: Dict[str, Optional[str]] = {}
 
-        def ship_and_restore(node_name: str, instance: Any) -> Generator:
-            """Ship + restore one node; resend across transient outages.
+        def retry_backoff(node_name: str, attempt: int) -> Generator:
+            delay = min(opts.ship_retry_cap,
+                        opts.ship_retry_base * (2 ** (attempt - 1)))
+            report.ship_retries += 1
+            self.metrics.counter("migration.retries").inc()
+            self.tracer.event("migration.retry", tenant=tenant,
+                              node=node_name, attempt=attempt,
+                              delay=delay)
+            yield self.env.timeout(delay)
 
-            Never raises: per-node outcomes land in ``restore_errors`` so
-            one dead node cannot fail the whole fan-out (``all_of`` fails
-            fast on a sub-event failure).
-            """
-            attempt = 0
-            while True:
-                try:
-                    yield from self.cluster.network.message(
-                        snapshot.size_mb)
-                    yield from restore(instance, snapshot, rates,
-                                       tenant_name=tenant)
-                    restore_errors[node_name] = None
-                    return
-                except NetworkDown as exc:
-                    attempt += 1
-                    if instance.has_tenant(tenant):
-                        # Discard the partial copy before resending.
-                        instance.drop_tenant(tenant)
-                    if attempt > self.config.ship_retry_limit:
+        if opts.pipeline:
+            dump_error, phase_span = yield from self._pipelined_snapshot(
+                state, tenant, source_instance, dest_instance,
+                destination, standby_instances, snapshot_csn, opts,
+                report, migration_span, phase_span, restore_errors,
+                retry_backoff)
+            if isinstance(dump_error, NodeCrashed):
+                # The *source* died mid-dump: nothing restored anywhere,
+                # mirror the serial path where dump() raises out of the
+                # manager — but tear down cleanly first.
+                self._abort_migration(state, dest_instance, tenant)
+                self.tracer.finish(phase_span, outcome="failed")
+                self.tracer.finish(migration_span, outcome="aborted",
+                                   reason="source_crashed")
+                self._finalize_abort(state, report)
+                raise dump_error
+        else:
+            snapshot = yield from dump(source_instance, tenant,
+                                       snapshot_csn, rates)
+            report.snapshot_at = self.env.now
+            report.snapshot_size_mb = snapshot.size_mb
+            self.tracer.finish(phase_span, mts=report.mts,
+                               size_mb=snapshot.size_mb)
+            # --- Step 2: create the slave(s) ---------------------------
+            phase_span = self.tracer.phase("restore",
+                                           parent=migration_span,
+                                           size_mb=snapshot.size_mb)
+
+            def ship_and_restore(node_name: str,
+                                 instance: Any) -> Generator:
+                """Ship + restore one node; resend across outages.
+
+                Never raises: per-node outcomes land in
+                ``restore_errors`` so one dead node cannot fail the
+                whole fan-out (``all_of`` fails fast on a sub-event
+                failure).
+                """
+                attempt = 0
+                while True:
+                    try:
+                        yield from self.cluster.network.message(
+                            snapshot.size_mb)
+                        yield from restore(instance, snapshot, rates,
+                                           tenant_name=tenant)
+                        restore_errors[node_name] = None
+                        return
+                    except NetworkDown as exc:
+                        attempt += 1
+                        if instance.has_tenant(tenant):
+                            # Discard the partial copy before resending.
+                            instance.drop_tenant(tenant)
+                        if attempt > opts.ship_retry_limit:
+                            restore_errors[node_name] = str(exc)
+                            return
+                        yield from retry_backoff(node_name, attempt)
+                    except NodeCrashed as exc:
                         restore_errors[node_name] = str(exc)
                         return
-                    delay = min(
-                        self.config.ship_retry_cap,
-                        self.config.ship_retry_base * (2 ** (attempt - 1)))
-                    report.ship_retries += 1
-                    self.metrics.counter("migration.retries").inc()
-                    self.tracer.event("migration.retry", tenant=tenant,
-                                      node=node_name, attempt=attempt,
-                                      delay=delay)
-                    yield self.env.timeout(delay)
-                except NodeCrashed as exc:
-                    restore_errors[node_name] = str(exc)
-                    return
 
-        restores = [self.env.process(
-            ship_and_restore(destination, dest_instance))]
-        restores += [self.env.process(ship_and_restore(name, instance))
-                     for name, instance in standby_instances.items()]
-        yield self.env.all_of(restores)
+            restores = [self.env.process(
+                ship_and_restore(destination, dest_instance))]
+            restores += [self.env.process(ship_and_restore(name, instance))
+                         for name, instance in standby_instances.items()]
+            yield self.env.all_of(restores)
         # A standby that failed to restore is discarded (Section 4.2); a
         # dead destination promotes a restored standby or aborts.
         for name in sorted(standby_instances):
@@ -628,7 +774,7 @@ class Middleware:
             diverging = Event(self.env)
             self.env.process(
                 self._divergence_watchdog(state, diverging,
-                                          watchdog_control),
+                                          watchdog_control, opts),
                 name="catchup.watchdog.%s" % tenant)
         # Supervision loop: wait for catch-up while reacting to slave
         # faults.  A dead standby is discarded and propagation continues
@@ -777,6 +923,126 @@ class Middleware:
         self.reports.append(report)
         return report
 
+    def _pipelined_snapshot(self, state: TenantState, tenant: str,
+                            source_instance: Any, dest_instance: Any,
+                            destination: str,
+                            standby_instances: Dict[str, Any],
+                            snapshot_csn: int, opts: MigrationOptions,
+                            report: MigrationReport, migration_span: Any,
+                            dump_span: Any,
+                            restore_errors: Dict[str, Optional[str]],
+                            retry_backoff: Any) -> Generator:
+        """Steps 1+2, streamed: dump, ship, and restore overlap.
+
+        One producer process runs :func:`dump_stream` into a
+        :class:`ChunkFeed`; per destination node, a network pump and a
+        :func:`restore_stream` consume it through a bounded channel.
+        Back-pressure flows the whole way: slow destination disk ->
+        full channel -> idle pump -> stalled feed reader -> paused dump.
+
+        Per-node failure semantics match the serial path: transient
+        outages rewind the reader and resend from chunk 0 (the feed
+        retains emitted chunks exactly as the serial path retains its
+        materialised snapshot), crashes mark the node failed.  Returns
+        ``(dump_error, restore_span)`` with the restore span left open
+        — the caller owns standby discard / failover and closes it.
+        """
+        del state  # symmetry with the serial branch; not needed here
+        rates = opts.rates
+        size_mb = source_instance.tenant(tenant).size_mb()
+        report.snapshot_size_mb = size_mb
+        started = self.env.now
+        feed = ChunkFeed(self.env, depth=opts.pipeline_depth,
+                         name="feed.%s" % tenant)
+        readers = {destination: feed.reader(destination)}
+        for name in standby_instances:
+            readers[name] = feed.reader(name)
+        dump_result: Dict[str, Any] = {}
+
+        def producer() -> Generator:
+            try:
+                chunks = yield from dump_stream(
+                    source_instance, tenant, snapshot_csn, rates, feed,
+                    chunk_mb=opts.chunk_mb)
+            except NodeCrashed as exc:
+                dump_result["error"] = exc
+                feed.fail(exc)
+                self.tracer.finish(dump_span, outcome="failed")
+            except RuntimeError as exc:
+                # Every reader failed permanently; the per-node errors
+                # in ``restore_errors`` tell the real story.
+                dump_result["error"] = exc
+                self.tracer.finish(dump_span, outcome="abandoned")
+            else:
+                report.chunks = chunks
+                report.snapshot_at = self.env.now
+                self.tracer.finish(dump_span, mts=report.mts,
+                                   size_mb=size_mb, chunks=chunks)
+
+        producer_proc = self.env.process(producer(),
+                                         name="dump.%s" % tenant)
+        restore_span = self.tracer.phase("restore",
+                                         parent=migration_span,
+                                         size_mb=size_mb, pipelined=True)
+
+        def node_stream(node_name: str, instance: Any) -> Generator:
+            """Pump + streaming restore for one node; never raises."""
+            reader = readers[node_name]
+            attempt = 0
+            while True:
+                channel = Channel(self.env,
+                                  capacity=opts.pipeline_depth,
+                                  name="ship.%s.%s" % (tenant, node_name))
+                pump = self.env.process(
+                    self.cluster.network.pump_chunks(reader, channel),
+                    name="pump.%s.%s" % (tenant, node_name))
+                try:
+                    yield from restore_stream(instance, channel, rates,
+                                              tenant_name=tenant)
+                    restore_errors[node_name] = None
+                    return
+                except NetworkDown as exc:
+                    attempt += 1
+                    if pump.is_alive:
+                        pump.interrupt("ship retry")
+                    if instance.has_tenant(tenant):
+                        # Discard the partial copy before resending.
+                        instance.drop_tenant(tenant)
+                    if attempt > opts.ship_retry_limit:
+                        restore_errors[node_name] = str(exc)
+                        reader.close()
+                        return
+                    yield from retry_backoff(node_name, attempt)
+                    reader.rewind()
+                except (NodeCrashed, SnapshotTruncated) as exc:
+                    if pump.is_alive:
+                        pump.interrupt("restore failed")
+                    restore_errors[node_name] = str(exc)
+                    reader.close()
+                    return
+
+        runners = [self.env.process(
+            node_stream(destination, dest_instance),
+            name="restore.%s.%s" % (tenant, destination))]
+        runners += [self.env.process(
+            node_stream(name, instance),
+            name="restore.%s.%s" % (tenant, name))
+            for name, instance in standby_instances.items()]
+        yield self.env.all_of(runners)
+        yield producer_proc  # the dump span is closed either way
+        window = self.env.now - started
+        dump_elapsed = report.snapshot_at - started
+        if size_mb > 0 and dump_elapsed > 0:
+            self.metrics.gauge("pipeline.dump_mb_s").set(
+                size_mb / dump_elapsed)
+        if size_mb > 0 and window > 0:
+            self.metrics.gauge("pipeline.restore_mb_s").set(
+                size_mb / window)
+        self.metrics.gauge("pipeline.chunks").set(report.chunks)
+        self.metrics.gauge("pipeline.backpressure_wait_s").set(
+            feed.producer_wait_time)
+        return dump_result.get("error"), restore_span
+
     def _publish_report_metrics(self, report: MigrationReport,
                                 stats: Any) -> None:
         """Mirror one finished migration into the metrics registry."""
@@ -794,6 +1060,7 @@ class Middleware:
             "slave_mean_group_size": report.slave_mean_group_size,
             "failovers": report.failovers,
             "ship_retries": report.ship_retries,
+            "chunks": report.chunks,
         })
 
     def fail_standby(self, tenant: str, node_name: str) -> None:
@@ -879,7 +1146,8 @@ class Middleware:
         self.reports.append(report)
 
     def _divergence_watchdog(self, state: TenantState, fired: Event,
-                             control: Dict[str, bool]) -> Generator:
+                             control: Dict[str, bool],
+                             opts: MigrationOptions) -> Generator:
         """Abort-early detector over the primary replay backlog.
 
         Samples ``state.ssl`` each interval (reading the attribute live,
@@ -892,17 +1160,17 @@ class Middleware:
         """
         samples: List[int] = []
         while not control["stop"]:
-            yield self.env.timeout(self.config.divergence_interval)
+            yield self.env.timeout(opts.divergence_interval)
             if control["stop"]:
                 return
             samples.append(state.ssl.pending_count())
-            if len(samples) > self.config.divergence_window:
+            if len(samples) > opts.divergence_window:
                 samples.pop(0)
-            if (len(samples) == self.config.divergence_window
+            if (len(samples) == opts.divergence_window
                     and all(later > earlier for earlier, later
                             in zip(samples, samples[1:]))
                     and (samples[-1] - samples[0]
-                         >= self.config.divergence_min_growth)):
+                         >= opts.divergence_min_growth)):
                 self.tracer.event("migration.diverging",
                                   tenant=state.name,
                                   samples=list(samples))

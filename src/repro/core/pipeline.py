@@ -1,0 +1,181 @@
+"""Chunk-feed plumbing for the pipelined snapshot path.
+
+The streaming dump is one producer feeding *several* consumers: the
+destination plus every standby each receive the full chunk sequence.  A
+:class:`ChunkFeed` is that single-producer / multi-reader broadcast
+buffer:
+
+* the producer (:func:`~repro.engine.dump.dump_stream`) ``put``s chunks
+  and blocks once it is more than ``depth`` chunks ahead of the slowest
+  *active* reader — the back-pressure that keeps a slow destination
+  disk from ballooning the in-flight buffer;
+* each :class:`ChunkReader` consumes at its own pace, and a reader can
+  :meth:`~ChunkReader.rewind` to chunk 0 after a transient network
+  outage — emitted chunks are retained for exactly this, mirroring the
+  serial path where the materialised snapshot outlives a failed ship
+  and is simply re-sent;
+* a reader that fails permanently is :meth:`~ChunkReader.close`\\ d so
+  the producer stops waiting for it, and :meth:`ChunkFeed.fail` tears
+  the whole stream down when the *source* dies mid-dump.
+
+Retained chunks cost simulated-master memory equal to the snapshot —
+the same footprint the serial path's :class:`LogicalSnapshot` has; the
+``depth`` bound governs what is in flight toward each destination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional
+
+from ..sim.events import Event
+from ..sim.sync import CLOSED
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+
+class ChunkFeed:
+    """Single-producer, multi-reader broadcast buffer with back-pressure.
+
+    Implements the ``sink`` protocol :func:`dump_stream` expects
+    (``put`` / ``close`` / ``fail``); attach consumers with
+    :meth:`reader` *before* the producer starts so back-pressure sees
+    them from the first chunk.
+    """
+
+    def __init__(self, env: "Environment", depth: int = 4,
+                 name: Optional[str] = None):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.env = env
+        self.depth = depth
+        self.name = name
+        self._chunks: List[Any] = []
+        self._closed = False
+        self._exc: Optional[BaseException] = None
+        self._readers: List["ChunkReader"] = []
+        self._producer_waiters: Deque[Event] = deque()
+        self._reader_waiters: Deque[Event] = deque()
+        # statistics
+        self.producer_wait_time = 0.0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def reader(self, name: Optional[str] = None) -> "ChunkReader":
+        """Attach a new consumer starting at chunk 0."""
+        reader = ChunkReader(self, name)
+        self._readers.append(reader)
+        return reader
+
+    @property
+    def emitted(self) -> int:
+        """Chunks the producer has emitted so far."""
+        return len(self._chunks)
+
+    @property
+    def closed(self) -> bool:
+        """Whether end-of-stream (or failure) has been signalled."""
+        return self._closed or self._exc is not None
+
+    def _active_floor(self) -> Optional[int]:
+        marks = [r.high_water for r in self._readers if r.active]
+        return min(marks) if marks else None
+
+    # ------------------------------------------------------------------
+    # producer side (dump_stream sink protocol)
+    # ------------------------------------------------------------------
+
+    def put(self, chunk: Any) -> Generator[Event, None, None]:
+        """Emit one chunk; blocks while ``depth`` ahead of the slowest
+        active reader.  Raises if every reader has failed permanently —
+        there is no one left to dump for.
+        """
+        while True:
+            if self._exc is not None:
+                raise self._exc
+            if self._closed:
+                raise RuntimeError("put on closed feed %r" % self.name)
+            if self._readers and not any(r.active for r in self._readers):
+                raise RuntimeError(
+                    "all readers of feed %r are gone" % self.name)
+            floor = self._active_floor()
+            if floor is None or len(self._chunks) - floor < self.depth:
+                break
+            waiter = Event(self.env)
+            enqueued = self.env.now
+            self._producer_waiters.append(waiter)
+            yield waiter
+            self.producer_wait_time += self.env.now - enqueued
+        self._chunks.append(chunk)
+        self._wake(self._reader_waiters)
+
+    def close(self) -> None:
+        """Signal normal end-of-stream; readers drain what remains."""
+        if self.closed:
+            return
+        self._closed = True
+        self._wake(self._reader_waiters)
+        self._wake(self._producer_waiters)
+
+    def fail(self, exc: BaseException) -> None:
+        """Tear the stream down; every reader observes ``exc``."""
+        if self._exc is not None:
+            return
+        self._exc = exc
+        self._wake(self._reader_waiters)
+        self._wake(self._producer_waiters)
+
+    def _wake(self, waiters: Deque[Event]) -> None:
+        # Succeed (not fail) so waiters re-check state; events abandoned
+        # by interrupted processes trigger harmlessly.
+        while waiters:
+            waiters.popleft().succeed()
+
+    def _wake_producer(self) -> None:
+        self._wake(self._producer_waiters)
+
+
+class ChunkReader:
+    """One consumer's cursor into a :class:`ChunkFeed`."""
+
+    def __init__(self, feed: ChunkFeed, name: Optional[str] = None):
+        self.feed = feed
+        self.name = name
+        self.index = 0
+        #: Highest chunk index ever consumed; back-pressure tracks this
+        #: (not ``index``) so a rewound reader re-reading retained
+        #: chunks does not stall the producer a second time.
+        self.high_water = 0
+        self.active = True
+
+    def get(self) -> Generator[Event, None, Any]:
+        """Next chunk, or :data:`~repro.sim.CLOSED` at end-of-stream."""
+        feed = self.feed
+        while True:
+            if feed._exc is not None:
+                raise feed._exc
+            if self.index < len(feed._chunks):
+                chunk = feed._chunks[self.index]
+                self.index += 1
+                if self.index > self.high_water:
+                    self.high_water = self.index
+                    feed._wake_producer()
+                return chunk
+            if feed._closed:
+                return CLOSED
+            waiter = Event(feed.env)
+            feed._reader_waiters.append(waiter)
+            yield waiter
+
+    def rewind(self) -> None:
+        """Restart from chunk 0 (ship retry after a transient outage)."""
+        self.index = 0
+
+    def close(self) -> None:
+        """Permanently detach: back-pressure stops counting this reader."""
+        if self.active:
+            self.active = False
+            self.feed._wake_producer()

@@ -13,10 +13,14 @@ from .disk import Disk, DiskSpec
 from .dump import (
     LogicalSnapshot,
     SchemaSpec,
+    SnapshotChunk,
+    SnapshotTruncated,
     TransferRates,
     dump,
+    dump_stream,
     restore,
     restore_duration,
+    restore_stream,
     snapshot_size_mb,
 )
 from .executor import ExecResult, Executor
@@ -72,6 +76,8 @@ __all__ = [
     "Select",
     "Session",
     "SessionResult",
+    "SnapshotChunk",
+    "SnapshotTruncated",
     "Statement",
     "Table",
     "TableSchema",
@@ -83,10 +89,12 @@ __all__ = [
     "VersionChain",
     "WalWriter",
     "dump",
+    "dump_stream",
     "is_read_statement",
     "is_write_statement",
     "parse",
     "restore",
     "restore_duration",
+    "restore_stream",
     "snapshot_size_mb",
 ]

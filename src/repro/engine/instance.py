@@ -216,6 +216,22 @@ class DbmsInstance:
         """The newest committed CSN (snapshot basis for new readers)."""
         return self._csn
 
+    def next_csn(self) -> int:
+        """Allocate and return the next CSN, advancing the counter.
+
+        Version installs (commit, restore, syncset replay) must stamp
+        rows with a CSN obtained here rather than poking ``_csn``.
+        """
+        self._csn += 1
+        return self._csn
+
+    def seed_csn(self, csn: int) -> None:
+        """Fast-forward the CSN counter (bulk population only)."""
+        if csn < self._csn:
+            raise ValueError("CSN counter cannot move backwards "
+                             "(%d -> %d)" % (self._csn, csn))
+        self._csn = csn
+
     # ------------------------------------------------------------------
     # transaction lifecycle
     # ------------------------------------------------------------------
@@ -287,8 +303,7 @@ class DbmsInstance:
         yield self.wal.commit()
         # Atomic visibility: no yields from here to the end.
         tenant = self.tenant(txn.tenant)
-        self._csn += 1
-        csn = self._csn
+        csn = self.next_csn()
         txn.commit_csn = csn
         for key in txn.write_order:
             table_name, row_key = key

@@ -10,11 +10,15 @@ module              reproduces
 ``multitenant``     Figures 10-19 and the Section 5.6 answer
 ``costmodel``       Section 4.5.2 (Equations 2-4)
 ``chaos``           robustness: migration under injected faults
+``bench``           perf harness: BENCH_*.json artifacts
 ==================  =============================================
+
+Every module exposes a uniform ``run(profile, *, seed, trace_dir)``
+entry point returning a :class:`~repro.experiments.common.Report`.
 """
 
-from .common import TenantSetup, Testbed, build_testbed
+from .common import Report, TenantSetup, Testbed, build_testbed
 from .profiles import PAPER, PROFILES, QUICK, SMOKE, Profile, get_profile
 
-__all__ = ["PAPER", "PROFILES", "QUICK", "SMOKE", "Profile",
+__all__ = ["PAPER", "PROFILES", "QUICK", "SMOKE", "Profile", "Report",
            "TenantSetup", "Testbed", "build_testbed", "get_profile"]

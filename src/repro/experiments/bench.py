@@ -1,0 +1,323 @@
+"""``repro bench``: the performance harness behind ``BENCH_*.json``.
+
+Not a paper figure — a regression harness for the middleware itself.
+Two scenarios:
+
+``pipeline``
+    Migrates the same tenant twice per database size — once with the
+    serial dump -> ship -> restore path and once with the streamed
+    (chunked, back-pressured) snapshot pipeline — and reports the
+    wall-clock improvement.  The largest size sits above the rate
+    model's ``base_mb`` knee, where the serial restore pays the
+    superlinear index-build term all at once while the pipeline pays it
+    per chunk, so that comparison is the headline number.
+
+``policies``
+    One migration per propagation policy (Table 2) on the default
+    streamed path, so policy-level regressions show up in the same
+    artifact schema.
+
+Each scenario writes one ``BENCH_<scenario>.json`` file (see
+EXPERIMENTS.md for the schema).  Values are *simulated* seconds from a
+seeded run, so the artifacts are exactly reproducible and safe to gate
+in CI — ``scripts/check_bench.py`` checks structure and relative
+ordering, never absolute timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.middleware import MigrationOptions, MigrationReport
+from ..core.policy import ALL_POLICIES, MADEUS, PropagationPolicy
+from ..engine.dump import restore_duration
+from ..metrics.report import format_table
+from .common import Report, TenantSetup, build_testbed, seeded
+from .profiles import Profile, get_profile
+
+#: When set, ``run_benchmark`` writes its ``BENCH_*.json`` files here
+#: (mirrors the ``REPRO_TRACE_DIR`` convention for traces).
+BENCH_DIR_ENV_VAR = "REPRO_BENCH_DIR"
+
+#: Default artifact directory (relative to the working directory).
+DEFAULT_BENCH_DIR = os.path.join("benchmarks", "results", "bench")
+
+#: The pipeline scenario's database sizes, as multiples of the rate
+#: model's ``base_mb`` knee.  The sub-knee point shows the small-DB
+#: behaviour; the 4x point is the headline (paper Figure 9 territory,
+#: where the serial restore's index builds turn superlinear).
+PIPELINE_SIZE_FACTORS = (0.5, 4.0)
+
+#: Workload applied while the benchmark migrations run.
+BENCH_PAPER_EBS = 100
+
+SCENARIOS = ("pipeline", "policies")
+
+
+@dataclass
+class BenchCase:
+    """One migration's numbers (one row of a ``BENCH_*.json``)."""
+
+    scenario: str
+    policy: str
+    size_mb: float
+    pipelined: bool
+    wall_clock: float
+    phases: Dict[str, float]
+    rounds: int
+    group_commit: Dict[str, float]
+    chunks: int
+    ship_retries: int
+    consistent: Optional[bool]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "size_mb": self.size_mb,
+            "pipelined": self.pipelined,
+            "wall_clock": self.wall_clock,
+            "phases": self.phases,
+            "rounds": self.rounds,
+            "group_commit": self.group_commit,
+            "chunks": self.chunks,
+            "ship_retries": self.ship_retries,
+            "consistent": self.consistent,
+        }
+
+
+@dataclass
+class BenchScenarioResult:
+    """One scenario's cases plus the artifact it was written to."""
+
+    scenario: str
+    profile: str
+    seed: int
+    cases: List[BenchCase] = field(default_factory=list)
+    #: Pipeline scenario: per-size serial-vs-pipelined comparisons.
+    comparisons: List[Dict[str, float]] = field(default_factory=list)
+    #: The largest size's relative improvement (pipeline scenario).
+    headline_improvement: Optional[float] = None
+    path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": self.scenario,
+            "profile": self.profile,
+            "seed": self.seed,
+            "cases": [case.to_dict() for case in self.cases],
+            "comparisons": self.comparisons,
+            "headline_improvement": self.headline_improvement,
+        }
+
+
+def _case_from_report(scenario: str, report: MigrationReport,
+                      size_mb: float) -> BenchCase:
+    """Flatten one MigrationReport into the bench schema."""
+    return BenchCase(
+        scenario=scenario,
+        policy=report.policy,
+        size_mb=round(size_mb, 3),
+        pipelined=report.pipelined,
+        wall_clock=report.migration_time,
+        phases={
+            "dump": report.dump_time,
+            "restore": report.restore_time,
+            "catch-up": report.catchup_time,
+            "handover": report.switch_time,
+        },
+        rounds=report.rounds,
+        group_commit={
+            "commits": report.slave_commit_count,
+            "flushes": report.slave_flush_count,
+            "mean_group_size": report.slave_mean_group_size,
+        },
+        chunks=report.chunks,
+        ship_retries=report.ship_retries,
+        consistent=report.consistent)
+
+
+def _run_migration(profile: Profile,
+                   policy: PropagationPolicy = MADEUS,
+                   size_mb: Optional[float] = None,
+                   pipeline: Optional[bool] = None,
+                   trace_dir: Optional[str] = None
+                   ) -> Tuple[MigrationReport, float]:
+    """One seeded migration; returns (report, tenant size in MB)."""
+    testbed = build_testbed(
+        profile,
+        [TenantSetup("A", "node0", paper_ebs=BENCH_PAPER_EBS)],
+        policy=policy, trace_dir=trace_dir)
+    tenant = testbed.node("node0").instance.tenant("A")
+    if size_mb is not None:
+        # Rescale the size *model* (not the row count) so dump/restore
+        # time what a database of size_mb would, while the identical
+        # seeded row data keeps serial-vs-pipelined runs comparable.
+        factor = size_mb / tenant.size_mb()
+        tenant.fixed_overhead_mb *= factor
+        tenant.size_multiplier *= factor
+    actual_mb = tenant.size_mb()
+    warmup = max(2.0, profile.duration(30.0))
+    testbed.run(until=warmup)
+    outcome = testbed.migrate_async(
+        "A", "node1", options=MigrationOptions(pipeline=pipeline))
+    transfer = (actual_mb / profile.rates.dump_mb_s
+                + restore_duration(actual_mb, profile.rates))
+    cap = (warmup + profile.catchup_deadline + profile.duration(60.0)
+           + 3.0 * transfer)
+    testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
+    report = outcome.get("report")
+    if report is None:
+        raise RuntimeError(
+            "bench migration did not complete (policy=%s, size=%.0f MB, "
+            "pipeline=%s): %s" % (policy.name, actual_mb, pipeline,
+                                  outcome.get("timeout")))
+    return report, actual_mb
+
+
+def run_pipeline_scenario(profile: Profile,
+                          size_factors: Sequence[float]
+                          = PIPELINE_SIZE_FACTORS,
+                          trace_dir: Optional[str] = None
+                          ) -> BenchScenarioResult:
+    """Serial vs pipelined snapshot shipping across database sizes."""
+    result = BenchScenarioResult(scenario="pipeline",
+                                 profile=profile.name,
+                                 seed=profile.seed)
+    for factor in size_factors:
+        size_mb = profile.rates.base_mb * factor
+        serial, actual_mb = _run_migration(
+            profile, size_mb=size_mb, pipeline=False,
+            trace_dir=trace_dir)
+        piped, _ = _run_migration(
+            profile, size_mb=size_mb, pipeline=True,
+            trace_dir=trace_dir)
+        result.cases.append(
+            _case_from_report("pipeline", serial, actual_mb))
+        result.cases.append(
+            _case_from_report("pipeline", piped, actual_mb))
+        improvement = ((serial.migration_time - piped.migration_time)
+                       / serial.migration_time)
+        result.comparisons.append({
+            "size_mb": round(actual_mb, 3),
+            "serial_wall_clock": serial.migration_time,
+            "pipelined_wall_clock": piped.migration_time,
+            "improvement": improvement,
+        })
+        result.headline_improvement = improvement
+    return result
+
+
+def run_policies_scenario(profile: Profile,
+                          policies: Sequence[PropagationPolicy]
+                          = ALL_POLICIES,
+                          trace_dir: Optional[str] = None
+                          ) -> BenchScenarioResult:
+    """One default-path migration per propagation policy."""
+    result = BenchScenarioResult(scenario="policies",
+                                 profile=profile.name,
+                                 seed=profile.seed)
+    for policy in policies:
+        report, actual_mb = _run_migration(profile, policy=policy,
+                                           trace_dir=trace_dir)
+        result.cases.append(
+            _case_from_report("policies", report, actual_mb))
+    return result
+
+
+def _write_artifact(result: BenchScenarioResult,
+                    bench_dir: str) -> str:
+    os.makedirs(bench_dir, exist_ok=True)
+    path = os.path.join(bench_dir, "BENCH_%s.json" % result.scenario)
+    with open(path, "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_benchmark(profile: Optional[Profile] = None, *,
+                  scenarios: Optional[Sequence[str]] = None,
+                  seed: Optional[int] = None,
+                  bench_dir: Optional[str] = None,
+                  trace_dir: Optional[str] = None
+                  ) -> List[BenchScenarioResult]:
+    """Run the selected bench scenarios and write ``BENCH_*.json``.
+
+    ``bench_dir`` falls back to ``$REPRO_BENCH_DIR``, then to
+    ``benchmarks/results/bench``.
+    """
+    profile = seeded(profile or get_profile(), seed)
+    directory = (bench_dir or os.environ.get(BENCH_DIR_ENV_VAR)
+                 or DEFAULT_BENCH_DIR)
+    results: List[BenchScenarioResult] = []
+    for scenario in (scenarios or SCENARIOS):
+        if scenario == "pipeline":
+            result = run_pipeline_scenario(profile, trace_dir=trace_dir)
+        elif scenario == "policies":
+            result = run_policies_scenario(profile, trace_dir=trace_dir)
+        else:
+            raise ValueError("unknown bench scenario %r (one of %s)"
+                             % (scenario, ", ".join(SCENARIOS)))
+        result.path = _write_artifact(result, directory)
+        results.append(result)
+    return results
+
+
+def report(results: List[BenchScenarioResult],
+           profile: Profile) -> str:
+    """The bench cases as a table, plus the headline comparisons."""
+    rows = []
+    for result in results:
+        for case in result.cases:
+            rows.append([case.scenario, case.policy, case.size_mb,
+                         "yes" if case.pipelined else "-",
+                         case.wall_clock, case.phases["dump"],
+                         case.phases["restore"],
+                         case.phases["catch-up"], case.chunks,
+                         case.group_commit["mean_group_size"]])
+    lines = [format_table(
+        ["scenario", "policy", "size [MB]", "piped", "wall [s]",
+         "dump [s]", "restore [s]", "catchup [s]", "chunks",
+         "group size"],
+        rows,
+        title="repro bench (profile=%s, seed=%d)"
+              % (profile.name, profile.seed))]
+    for result in results:
+        for comparison in result.comparisons:
+            lines.append(
+                "pipeline @ %.0f MB: serial %.1f s -> pipelined %.1f s "
+                "(%.0f%% faster)"
+                % (comparison["size_mb"],
+                   comparison["serial_wall_clock"],
+                   comparison["pipelined_wall_clock"],
+                   100.0 * comparison["improvement"]))
+        if result.path is not None:
+            lines.append("artifact: %s" % result.path)
+    return "\n".join(lines)
+
+
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None,
+        bench_dir: Optional[str] = None,
+        scenarios: Optional[Sequence[str]] = None) -> Report:
+    """Uniform entry point: run the bench, return the rendered table."""
+    profile = seeded(profile or get_profile(), seed)
+    results = run_benchmark(profile, scenarios=scenarios,
+                            bench_dir=bench_dir, trace_dir=trace_dir)
+    artifacts = [r.path for r in results if r.path is not None]
+    return Report(experiment="bench", profile=profile.name,
+                  seed=profile.seed, text=report(results, profile),
+                  data=results, artifacts=artifacts)
+
+
+def main() -> None:
+    """Run every scenario at the default profile and print the table."""
+    print(run().text)
+
+
+if __name__ == "__main__":
+    main()

@@ -27,11 +27,17 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..core.middleware import MigrationReport
+from ..core.middleware import MigrationOptions, MigrationReport
 from ..errors import CatchUpTimeout, MigrationError
 from ..faults import FaultInjector, FaultPlan
 from ..metrics.report import format_table
-from .common import TRACE_DIR_ENV_VAR, TenantSetup, build_testbed
+from .common import (
+    TRACE_DIR_ENV_VAR,
+    Report,
+    TenantSetup,
+    build_testbed,
+    seeded,
+)
 from .profiles import Profile, get_profile
 
 #: Same warm-up rule as the Figure-6 harness.
@@ -117,7 +123,8 @@ class ChaosOutcome:
 
 
 def run_chaos(scenario: str,
-              profile: Optional[Profile] = None) -> ChaosOutcome:
+              profile: Optional[Profile] = None,
+              trace_dir: Optional[str] = None) -> ChaosOutcome:
     """Run one chaos scenario; deterministic under the profile's seed."""
     profile = profile or get_profile()
     builder = SCENARIOS.get(scenario)
@@ -127,7 +134,7 @@ def run_chaos(scenario: str,
     plan, standbys = builder(profile)
     testbed = build_testbed(
         profile, [TenantSetup("A", "node0", paper_ebs=100)],
-        nodes=["node0", "node1", "node2"])
+        nodes=["node0", "node1", "node2"], trace_dir=trace_dir)
     injector = FaultInjector(testbed.env, testbed.cluster, plan,
                              tracer=testbed.tracer,
                              metrics=testbed.observability)
@@ -139,7 +146,8 @@ def run_chaos(scenario: str,
     def runner() -> Generator:
         try:
             report = yield from testbed.middleware.migrate(
-                "A", "node1", profile.rates, standbys=standbys)
+                "A", "node1", MigrationOptions(
+                    rates=profile.rates, standbys=tuple(standbys)))
             result["report"] = report
         except (CatchUpTimeout, MigrationError) as exc:
             result["error"] = exc
@@ -170,14 +178,15 @@ def run_chaos(scenario: str,
         consistent=report.consistent if report is not None else None,
         gate_open=testbed.middleware.tenant_state("A").gate.is_open,
         plan=plan.to_dicts())
-    chaos.trace_path = _maybe_export(testbed, scenario, chaos)
+    chaos.trace_path = _maybe_export(testbed, scenario, chaos,
+                                     trace_dir)
     return chaos
 
 
-def _maybe_export(testbed: Any, scenario: str,
-                  chaos: ChaosOutcome) -> Optional[str]:
-    """Export the run's trace when $REPRO_TRACE_DIR is set."""
-    directory = os.environ.get(TRACE_DIR_ENV_VAR)
+def _maybe_export(testbed: Any, scenario: str, chaos: ChaosOutcome,
+                  trace_dir: Optional[str] = None) -> Optional[str]:
+    """Export the run's trace when a trace directory is set."""
+    directory = trace_dir or os.environ.get(TRACE_DIR_ENV_VAR)
     if not directory:
         return None
     os.makedirs(directory, exist_ok=True)
@@ -192,11 +201,25 @@ def _maybe_export(testbed: Any, scenario: str,
 
 
 def run_all(profile: Optional[Profile] = None,
-            scenarios: Optional[List[str]] = None) -> List[ChaosOutcome]:
+            scenarios: Optional[List[str]] = None,
+            trace_dir: Optional[str] = None) -> List[ChaosOutcome]:
     """Run several scenarios (each on a fresh testbed)."""
     profile = profile or get_profile()
-    return [run_chaos(name, profile)
+    return [run_chaos(name, profile, trace_dir=trace_dir)
             for name in (scenarios or sorted(SCENARIOS))]
+
+
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None) -> Report:
+    """Uniform entry point: every chaos scenario, outcome table."""
+    profile = seeded(profile or get_profile(), seed)
+    outcomes = run_all(profile, trace_dir=trace_dir)
+    artifacts = [o.trace_path for o in outcomes
+                 if o.trace_path is not None]
+    return Report(experiment="chaos", profile=profile.name,
+                  seed=profile.seed, text=report(outcomes, profile),
+                  data=outcomes, artifacts=artifacts)
 
 
 def report(outcomes: List[ChaosOutcome], profile: Profile) -> str:

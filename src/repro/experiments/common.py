@@ -11,12 +11,17 @@ from __future__ import annotations
 import itertools
 import os
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..cluster.cluster import Cluster
 from ..cluster.node import NodeSpec
-from ..core.middleware import Middleware, MiddlewareConfig, MigrationReport
+from ..core.middleware import (
+    Middleware,
+    MiddlewareConfig,
+    MigrationOptions,
+    MigrationReport,
+)
 from ..core.policy import MADEUS, PropagationPolicy
 from ..engine.checkpoint import CheckpointSpec
 from ..errors import CatchUpTimeout
@@ -45,6 +50,31 @@ _trace_sequence = itertools.count(1)
 
 
 @dataclass
+class Report:
+    """Uniform envelope every experiment's ``run()`` returns.
+
+    ``data`` keeps the experiment-specific result objects (points,
+    timeline, cases ...) for programmatic use; ``text`` is the rendered
+    human-readable report the CLI prints; ``artifacts`` lists any files
+    the run exported (traces, BENCH_*.json).
+    """
+
+    experiment: str
+    profile: str
+    seed: int
+    text: str
+    data: Any = None
+    artifacts: List[str] = field(default_factory=list)
+
+
+def seeded(profile: Profile, seed: Optional[int]) -> Profile:
+    """The profile itself, or a copy re-rooted at ``seed``."""
+    if seed is None:
+        return profile
+    return replace(profile, seed=seed)
+
+
+@dataclass
 class TenantSetup:
     """One tenant's placement, database scale, and workload."""
 
@@ -68,6 +98,9 @@ class Testbed:
     profile: Profile
     metrics: Dict[str, TenantMetrics] = field(default_factory=dict)
     contexts: Dict[str, TpcwContext] = field(default_factory=dict)
+    #: Where :meth:`migrate_async` exports trace artifacts; ``None``
+    #: falls back to the ``$REPRO_TRACE_DIR`` environment variable.
+    trace_dir: Optional[str] = None
 
     def node(self, name: str):
         """Shorthand for a cluster node."""
@@ -101,8 +134,8 @@ class Testbed:
                            self.middleware.metrics, base)
 
     def _maybe_export_trace(self, tenant: str) -> Optional[str]:
-        """Export a trace artifact when REPRO_TRACE_DIR is set."""
-        directory = os.environ.get(TRACE_DIR_ENV_VAR)
+        """Export a trace artifact when a trace directory is set."""
+        directory = self.trace_dir or os.environ.get(TRACE_DIR_ENV_VAR)
         if not directory:
             return None
         os.makedirs(directory, exist_ok=True)
@@ -123,21 +156,28 @@ class Testbed:
         while not condition() and self.env.now < cap:
             self.env.run(until=self.env.now + step)
 
-    def migrate_async(self, tenant: str, destination: str
+    def migrate_async(self, tenant: str, destination: str,
+                      options: Optional[MigrationOptions] = None
                       ) -> Dict[str, Any]:
         """Launch a migration; returns a dict later holding the outcome.
 
         The returned dict gains ``report`` (a
         :class:`~repro.core.middleware.MigrationReport`) on success or
         ``timeout`` (a :class:`~repro.errors.CatchUpTimeout`) when the
-        slave diverges, plus ``done`` either way.
+        slave diverges, plus ``done`` either way.  ``options`` defaults
+        to the profile's transfer rates; an explicit options object
+        without rates inherits them too.
         """
+        if options is None:
+            options = MigrationOptions(rates=self.profile.rates)
+        elif options.rates is None:
+            options = replace(options, rates=self.profile.rates)
         outcome: Dict[str, Any] = {}
 
         def runner() -> Generator:
             try:
                 report = yield from self.middleware.migrate(
-                    tenant, destination, self.profile.rates)
+                    tenant, destination, options)
                 outcome["report"] = report
             except CatchUpTimeout as exc:
                 outcome["timeout"] = exc
@@ -155,7 +195,8 @@ def build_testbed(profile: Profile,
                   nodes: Optional[List[str]] = None,
                   checkpoints: bool = False,
                   validate_lsir: bool = False,
-                  verify_consistency: bool = True) -> Testbed:
+                  verify_consistency: bool = True,
+                  trace_dir: Optional[str] = None) -> Testbed:
     """Assemble nodes, middleware, tenant databases, and EB load."""
     env = Environment()
     cluster = Cluster(env)
@@ -173,7 +214,8 @@ def build_testbed(profile: Profile,
         catchup_deadline=profile.catchup_deadline))
     for node_name in (nodes or ["node0", "node1"]):
         cluster.node(node_name).instance.bind_obs(middleware.metrics)
-    testbed = Testbed(env, cluster, middleware, profile)
+    testbed = Testbed(env, cluster, middleware, profile,
+                      trace_dir=trace_dir)
     streams = StreamFactory(profile.seed)
     for setup in tenants:
         params = PopulationParams(items=setup.items,

@@ -18,6 +18,10 @@ inequalities the algebra predicts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from .common import Report, seeded
+from .profiles import Profile, get_profile
 
 
 @dataclass(frozen=True)
@@ -121,18 +125,35 @@ def parameters_from_run(total_txns: int, reads_per_txn: float,
         total_txns=total_txns, group_commits=group_commits)
 
 
-def main() -> None:
-    """Print the model for a representative heavy-workload run."""
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None) -> Report:
+    """Uniform entry point for the analytic cost model.
+
+    The model is closed-form (no simulation), so ``seed`` only stamps
+    the report and ``trace_dir`` is accepted for uniformity.
+    """
+    del trace_dir
+    profile = seeded(profile or get_profile(), seed)
     params = CostParameters(
         read_cost=0.003, write_cost=0.004, commit_cost=0.004,
         group_commit_cost=0.0008, reads_per_txn=2.2, writes_per_txn=2.4,
         total_txns=4400, group_commits=3000)
-    print("Section 4.5.2 cost model (heavy workload, 800 MB run):")
-    print("  C_madeus = %.1f s" % cost_madeus(params))
-    print("  C_ALL    = %.1f s" % cost_all(params))
-    print("  gap (Eq 4) = %.1f s" % cost_gap(params))
-    print("  identity holds: %s" % gap_identity_holds(params))
-    print("  monotone in load: %s" % gap_is_monotone_in_load(params))
+    lines = [
+        "Section 4.5.2 cost model (heavy workload, 800 MB run):",
+        "  C_madeus = %.1f s" % cost_madeus(params),
+        "  C_ALL    = %.1f s" % cost_all(params),
+        "  gap (Eq 4) = %.1f s" % cost_gap(params),
+        "  identity holds: %s" % gap_identity_holds(params),
+        "  monotone in load: %s" % gap_is_monotone_in_load(params),
+    ]
+    return Report(experiment="costmodel", profile=profile.name,
+                  seed=profile.seed, text="\n".join(lines), data=params)
+
+
+def main() -> None:
+    """Print the model for a representative heavy-workload run."""
+    print(run().text)
 
 
 if __name__ == "__main__":

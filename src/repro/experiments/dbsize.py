@@ -15,13 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..core.middleware import MigrationOptions
 from ..metrics.report import format_table
 from ..workload.tpcw import (
     PAPER_TABLE3,
     PopulationParams,
     nominal_database_size_mb,
 )
-from .common import TenantSetup, build_testbed
+from .common import Report, TenantSetup, build_testbed, seeded
 from .profiles import Profile, get_profile
 
 #: Paper Figure 9: (items, population EBs, migration seconds).
@@ -49,17 +50,22 @@ class SizeResult:
 
 def run_one_size(items: int, population_ebs: int,
                  profile: Optional[Profile] = None,
-                 paper_ebs: int = 700) -> SizeResult:
+                 paper_ebs: int = 700,
+                 trace_dir: Optional[str] = None) -> SizeResult:
     """Migrate one database of the given scale under heavy workload."""
     profile = profile or get_profile()
     testbed = build_testbed(
         profile,
         [TenantSetup("A", "node0", paper_ebs=paper_ebs, items=items,
-                     population_ebs=population_ebs)])
+                     population_ebs=population_ebs)],
+        trace_dir=trace_dir)
     size_mb = testbed.node("node0").instance.tenant("A").size_mb()
     warmup = max(2.0, profile.duration(30.0))
     testbed.run(until=warmup)
-    outcome = testbed.migrate_async("A", "node1")
+    # Figure 9's superlinearity comes from the serial restore's index
+    # builds, so the streamed snapshot path is pinned off here.
+    outcome = testbed.migrate_async(
+        "A", "node1", options=MigrationOptions(pipeline=False))
     # Large databases legitimately take long; the patience budget is
     # several times the closed-form dump+restore estimate (the size is
     # already profile-scaled, so no further time scaling applies).
@@ -79,11 +85,24 @@ def run_one_size(items: int, population_ebs: int,
 
 
 def run_figure9(profile: Optional[Profile] = None,
-                scales: Sequence = PAPER_FIG9) -> List[SizeResult]:
+                scales: Sequence = PAPER_FIG9,
+                trace_dir: Optional[str] = None) -> List[SizeResult]:
     """The Figure-9 sweep over database sizes."""
     profile = profile or get_profile()
-    return [run_one_size(items, ebs, profile)
+    return [run_one_size(items, ebs, profile, trace_dir=trace_dir)
             for items, ebs, _paper in scales]
+
+
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None) -> Report:
+    """Uniform entry point: Table 3 plus the Figure-9 sweep."""
+    profile = seeded(profile or get_profile(), seed)
+    results = run_figure9(profile, trace_dir=trace_dir)
+    text = "%s\n\n%s" % (report_table3(profile),
+                         report_fig9(results, profile))
+    return Report(experiment="dbsize", profile=profile.name,
+                  seed=profile.seed, text=text, data=results)
 
 
 def report_fig9(results: List[SizeResult], profile: Profile) -> str:

@@ -24,9 +24,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..core.middleware import MigrationOptions
 from ..core.policy import ALL_POLICIES, PropagationPolicy, feature_matrix
 from ..metrics.report import format_table
-from .common import TenantSetup, build_testbed
+from .common import Report, TenantSetup, build_testbed, seeded
 from .profiles import Profile, get_profile
 
 #: Paper-reported migration times in seconds (math.nan = N/A).
@@ -58,15 +59,19 @@ class MigrationResult:
 
 
 def run_one(policy: PropagationPolicy, paper_ebs: int,
-            profile: Optional[Profile] = None) -> MigrationResult:
+            profile: Optional[Profile] = None,
+            trace_dir: Optional[str] = None) -> MigrationResult:
     """Run one migration under ``policy`` at ``paper_ebs`` workload."""
     profile = profile or get_profile()
     testbed = build_testbed(
         profile, [TenantSetup("A", "node0", paper_ebs=paper_ebs)],
-        policy=policy)
+        policy=policy, trace_dir=trace_dir)
     warmup = max(2.0, WARMUP_SECONDS * profile.time_scale * 8)
     testbed.run(until=warmup)
-    outcome = testbed.migrate_async("A", "node1")
+    # Figure 6 reproduces the paper's serial dump -> ship -> restore
+    # timings, so the streamed snapshot path is pinned off here.
+    outcome = testbed.migrate_async(
+        "A", "node1", options=MigrationOptions(pipeline=False))
     cap = warmup + profile.catchup_deadline + profile.duration(300.0)
     testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
     if "report" in outcome:
@@ -88,15 +93,28 @@ def run_one(policy: PropagationPolicy, paper_ebs: int,
 
 def run_figure6(profile: Optional[Profile] = None,
                 eb_counts: Sequence[int] = (100, 400, 700),
-                policies: Sequence[PropagationPolicy] = ALL_POLICIES
+                policies: Sequence[PropagationPolicy] = ALL_POLICIES,
+                trace_dir: Optional[str] = None
                 ) -> List[MigrationResult]:
     """The full Figure-6 grid."""
     profile = profile or get_profile()
     results: List[MigrationResult] = []
     for policy in policies:
         for paper_ebs in eb_counts:
-            results.append(run_one(policy, paper_ebs, profile))
+            results.append(run_one(policy, paper_ebs, profile,
+                                   trace_dir=trace_dir))
     return results
+
+
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None) -> Report:
+    """Uniform entry point: Table 2 plus the Figure-6 grid."""
+    profile = seeded(profile or get_profile(), seed)
+    results = run_figure6(profile, trace_dir=trace_dir)
+    text = "%s\n\n%s" % (report_table2(), report(results, profile))
+    return Report(experiment="migration_time", profile=profile.name,
+                  seed=profile.seed, text=text, data=results)
 
 
 def report(results: List[MigrationResult], profile: Profile) -> str:

@@ -22,9 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..core.middleware import MigrationReport
+from ..core.middleware import MigrationOptions, MigrationReport
 from ..metrics.report import format_table, sparkline
-from .common import TenantSetup, build_testbed
+from .common import Report, TenantSetup, build_testbed, seeded
 from .profiles import Profile, get_profile
 
 #: Paper timings: migration order at ~500 s; B takes ~100 s, C ~130 s.
@@ -71,7 +71,8 @@ class CaseResult:
 
 
 def run_case(migrate_tenant: str,
-             profile: Optional[Profile] = None) -> CaseResult:
+             profile: Optional[Profile] = None,
+             trace_dir: Optional[str] = None) -> CaseResult:
     """Run one multi-tenant case (migrate ``migrate_tenant``)."""
     profile = profile or get_profile()
     testbed = build_testbed(
@@ -79,10 +80,12 @@ def run_case(migrate_tenant: str,
         [TenantSetup("A", "node0", paper_ebs=LIGHT_EBS),
          TenantSetup("B", "node0", paper_ebs=HEAVY_EBS),
          TenantSetup("C", "node0", paper_ebs=LIGHT_EBS)],
-        checkpoints=True)
+        checkpoints=True, trace_dir=trace_dir)
     order_at = max(3.0, profile.duration(PAPER_MIGRATION_ORDER_AT) * 0.3)
     testbed.run(until=order_at)
-    outcome = testbed.migrate_async(migrate_tenant, "node1")
+    # Paper-faithful case timings: serial dump -> ship -> restore.
+    outcome = testbed.migrate_async(
+        migrate_tenant, "node1", options=MigrationOptions(pipeline=False))
     cap = order_at + profile.catchup_deadline + profile.duration(600.0)
     testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
     report = outcome.get("report")
@@ -111,6 +114,25 @@ def run_case(migrate_tenant: str,
             tput_series=metrics.completions.bucketed_rate(bucket, 0.0,
                                                           final))
     return case
+
+
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None) -> Report:
+    """Uniform entry point: both cases plus the Section 5.6 answer."""
+    profile = seeded(profile or get_profile(), seed)
+    case1 = run_case("B", profile, trace_dir=trace_dir)
+    case2 = run_case("C", profile, trace_dir=trace_dir)
+    answer, reasons = which_migration_is_better(case1, case2)
+    lines = [report_case(case1, profile, "Figures 10-13 (Case 1)"), "",
+             report_case(case2, profile, "Figures 14-19 (Case 2)"), "",
+             "Section 5.6 - which tenant should be migrated? -> the "
+             "%s one" % answer]
+    lines.extend("  - %s" % reason for reason in reasons)
+    return Report(experiment="multitenant", profile=profile.name,
+                  seed=profile.seed, text="\n".join(lines),
+                  data={"case1": case1, "case2": case2,
+                        "answer": answer})
 
 
 def report_case(case: CaseResult, profile: Profile,

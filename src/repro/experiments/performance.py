@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..core.middleware import MigrationReport
+from ..core.middleware import MigrationOptions, MigrationReport
 from ..metrics.report import format_series, format_table, sparkline
-from .common import TenantSetup, build_testbed
+from .common import Report, TenantSetup, build_testbed, seeded
 from .profiles import Profile, get_profile
 
 #: Paper timeline: migration runs roughly [150 s, 250 s] of a ~350 s run.
@@ -48,7 +48,8 @@ class TimelineResult:
 
 def run_timeline(profile: Optional[Profile] = None,
                  paper_ebs: int = 700,
-                 checkpoints: bool = True) -> TimelineResult:
+                 checkpoints: bool = True,
+                 trace_dir: Optional[str] = None) -> TimelineResult:
     """Run the Figure 7/8 experiment and bucket both series."""
     profile = profile or get_profile()
     start = profile.duration(PAPER_MIGRATION_START)
@@ -56,9 +57,11 @@ def run_timeline(profile: Optional[Profile] = None,
     bucket = max(0.5, profile.duration(5.0))
     testbed = build_testbed(
         profile, [TenantSetup("A", "node0", paper_ebs=paper_ebs)],
-        checkpoints=checkpoints)
+        checkpoints=checkpoints, trace_dir=trace_dir)
     testbed.run(until=start)
-    outcome = testbed.migrate_async("A", "node1")
+    # Paper-faithful timeline: serial dump -> ship -> restore.
+    outcome = testbed.migrate_async(
+        "A", "node1", options=MigrationOptions(pipeline=False))
     cap = start + profile.catchup_deadline + profile.duration(400.0)
     testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
     report = outcome.get("report")
@@ -87,6 +90,18 @@ def run_timeline(profile: Optional[Profile] = None,
     if node0.checkpointer is not None:
         result.checkpoints = node0.checkpointer.checkpoints
     return result
+
+
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None) -> Report:
+    """Uniform entry point: Figures 7 and 8 from one timeline run."""
+    profile = seeded(profile or get_profile(), seed)
+    result = run_timeline(profile, trace_dir=trace_dir)
+    text = "%s\n\n%s" % (report_fig7(result, profile),
+                         report_fig8(result, profile))
+    return Report(experiment="performance", profile=profile.name,
+                  seed=profile.seed, text=text, data=result)
 
 
 def report_fig7(result: TimelineResult, profile: Profile) -> str:

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..metrics.report import format_table
-from .common import TenantSetup, build_testbed
+from .common import Report, TenantSetup, build_testbed, seeded
 from .profiles import Profile, get_profile
 
 #: Paper band thresholds (seconds, at paper scale).
@@ -85,6 +85,22 @@ def run_preliminary(profile: Optional[Profile] = None,
             throughput=tput,
             band=classify(rt, profile.eb_scale)))
     return points
+
+
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None) -> Report:
+    """Uniform entry point for the Figure-5 sweep.
+
+    ``trace_dir`` is accepted for interface uniformity; the sweep runs
+    no migration, so it exports no trace.
+    """
+    del trace_dir
+    profile = seeded(profile or get_profile(), seed)
+    points = run_preliminary(profile)
+    return Report(experiment="preliminary", profile=profile.name,
+                  seed=profile.seed, text=report(points, profile),
+                  data=points)
 
 
 def report(points: List[PreliminaryPoint], profile: Profile) -> str:

@@ -18,8 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from ..errors import NetworkDown
+from ..errors import NetworkDown, NodeCrashed
+from ..sim.events import Interrupt
 from ..sim.resources import Resource
+from ..sim.sync import CLOSED
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import MetricsRegistry
@@ -137,6 +139,44 @@ class Network:
         """A request hop followed by a response hop."""
         yield from self.message(request_mb)
         yield from self.message(response_mb)
+
+    def pump_chunks(self, reader: Any, sink: Any
+                    ) -> Generator[Any, Any, int]:
+        """Bounded-buffer shipper for the pipelined snapshot path.
+
+        Moves :class:`~repro.engine.dump.SnapshotChunk` objects from a
+        :class:`~repro.core.pipeline.ChunkReader` across the link into a
+        destination-side :class:`~repro.sim.Channel`, one bulk transfer
+        per chunk, while later chunks are still being dumped.  The sink's
+        bounded capacity is the back-pressure: a slow destination disk
+        blocks :meth:`Channel.put`, which stops this pump from reading
+        the feed, which in turn stalls the dump.
+
+        Failure handling is link-shaped: a :class:`NetworkDown` (outage
+        mid-transfer) or :class:`NodeCrashed` (stream torn down at
+        either end) is *delivered into the sink* via ``fail`` so the
+        consumer observes it at its next ``get``, and the pump exits
+        quietly — the migration orchestrator owns retries.  Returns the
+        number of chunks shipped.
+        """
+        shipped = 0
+        try:
+            while True:
+                chunk = yield from reader.get()
+                if chunk is CLOSED:
+                    sink.close()
+                    return shipped
+                yield from self.message(chunk.size_mb)
+                yield from sink.put(chunk)
+                shipped += 1
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "%s.chunks_shipped" % self._metrics_prefix).inc()
+        except Interrupt:
+            return shipped
+        except (NetworkDown, NodeCrashed) as exc:
+            sink.fail(exc)
+            return shipped
 
     # ------------------------------------------------------------------
     # observability

@@ -222,6 +222,11 @@ def check_phase_order(spans: List[Span]) -> List[str]:
     appear in :data:`PHASE_ORDER`, each phase must be finished with a
     non-negative duration, and each phase must start no earlier than its
     predecessor ended.  An empty return value means the trace is clean.
+
+    Pipelined exception: consecutive phases that both carry a truthy
+    ``pipelined`` attribute (dump/restore on the streamed snapshot path)
+    are *expected* to overlap — start order is still enforced, the
+    no-overlap rule is waived for exactly that pair.
     """
     problems: List[str] = []
     groups: Dict[Optional[int], List[Span]] = {}
@@ -255,8 +260,11 @@ def check_phase_order(spans: List[Span]) -> List[str]:
                         "%s: phase %r started after %r (expected order: "
                         "%s)" % (label, previous.name, phase.name,
                                  " -> ".join(PHASE_ORDER)))
+                overlap_ok = (phase.attrs.get("pipelined")
+                              and previous.attrs.get("pipelined"))
                 if (previous.end is not None
-                        and phase.start < previous.end):
+                        and phase.start < previous.end
+                        and not overlap_ok):
                     problems.append(
                         "%s: phase %r started at %g before %r ended "
                         "at %g" % (label, phase.name, phase.start,

@@ -11,11 +11,13 @@ from .events import AllOf, AnyOf, Event, Interrupt, Timeout
 from .monitor import CounterSeries, SampleSeries
 from .rand import RandomStream, StreamFactory
 from .resources import Request, Resource, Store
-from .sync import CountdownLatch, Gate, Mutex, Semaphore
+from .sync import CLOSED, Channel, CountdownLatch, Gate, Mutex, Semaphore
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CLOSED",
+    "Channel",
     "CountdownLatch",
     "CounterSeries",
     "Environment",

@@ -145,6 +145,123 @@ class Gate:
             event.succeed()
 
 
+#: Sentinel returned by :meth:`Channel.get` once the channel is closed
+#: and drained.  Compare with ``is``.
+CLOSED = object()
+
+
+class Channel:
+    """A bounded FIFO pipe between producer and consumer processes.
+
+    The pipelined snapshot path (dump → ship → restore) uses channels as
+    its back-pressure mechanism: a producer blocked in :meth:`put` models
+    the dumper stalling because the shipper (or the destination's disk)
+    has not kept up, so buffering stays bounded by ``capacity`` chunks.
+
+    ``close()`` signals normal end-of-stream — consumers drain whatever
+    is buffered and then receive :data:`CLOSED`.  ``fail(exc)`` tears the
+    stream down: buffered items are discarded and both ends observe
+    ``exc``, which is how a mid-stream crash or network outage propagates
+    to every stage at once.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1,
+                 name: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._buffer: Deque[object] = deque()
+        self._putters: Deque[Event] = deque()
+        self._getters: Deque[Event] = deque()
+        self._closed = False
+        self._exc: Optional[BaseException] = None
+        # statistics
+        self.put_count = 0
+        self.put_wait_time = 0.0
+        self.get_wait_time = 0.0
+
+    @property
+    def closed(self) -> bool:
+        """Whether end-of-stream (or failure) has been signalled."""
+        return self._closed or self._exc is not None
+
+    def put(self, item: object) -> Generator[Event, None, None]:
+        """Process-style blocking put: ``yield from channel.put(item)``.
+
+        Blocks while the buffer is full; raises the failure exception if
+        the channel has been torn down, and :class:`RuntimeError` on a
+        put after a normal close.
+        """
+        while True:
+            if self._exc is not None:
+                raise self._exc
+            if self._closed:
+                raise RuntimeError("put on closed channel %r" % self.name)
+            if len(self._buffer) < self.capacity:
+                break
+            waiter = Event(self.env)
+            enqueued = self.env.now
+            self._putters.append(waiter)
+            yield waiter
+            self.put_wait_time += self.env.now - enqueued
+        self._buffer.append(item)
+        self.put_count += 1
+        if self._getters:
+            self._getters.popleft().succeed()
+
+    def get(self) -> Generator[Event, None, object]:
+        """Process-style blocking get: ``item = yield from channel.get()``.
+
+        Returns the oldest buffered item, or :data:`CLOSED` once the
+        channel is closed and drained.  Re-raises the teardown exception
+        if the channel failed (buffered items are discarded).
+        """
+        while True:
+            if self._exc is not None:
+                raise self._exc
+            if self._buffer:
+                item = self._buffer.popleft()
+                if self._putters:
+                    self._putters.popleft().succeed()
+                return item
+            if self._closed:
+                return CLOSED
+            waiter = Event(self.env)
+            enqueued = self.env.now
+            self._getters.append(waiter)
+            yield waiter
+            self.get_wait_time += self.env.now - enqueued
+
+    def close(self) -> None:
+        """Signal normal end-of-stream; buffered items remain readable."""
+        if self.closed:
+            return
+        self._closed = True
+        self._wake_all()
+
+    def fail(self, exc: BaseException) -> None:
+        """Tear the stream down: discard the buffer, raise ``exc`` at
+        both ends.  Idempotent; a later ``fail`` keeps the first cause.
+        """
+        if self._exc is not None:
+            return
+        self._exc = exc
+        self._buffer.clear()
+        self._wake_all()
+
+    def _wake_all(self) -> None:
+        # Waiters re-check state on wakeup, so succeed (not fail) them;
+        # abandoned events from interrupted processes trigger harmlessly.
+        for waiter in self._putters:
+            waiter.succeed()
+        for waiter in self._getters:
+            waiter.succeed()
+        self._putters.clear()
+        self._getters.clear()
+
+
 class Semaphore:
     """A counting semaphore with FIFO wakeup order."""
 

@@ -115,8 +115,7 @@ def populate(instance: "DbmsInstance", tenant_name: str,
     for schema in all_schemas().values():
         tenant.create_table(schema)
     counts = params.scaled_cardinalities()
-    csn = instance.current_csn() + 1
-    instance._csn = csn
+    csn = instance.next_csn()
     _load_country(tenant, csn)
     _load_items(tenant, csn, counts["item"], counts["author"], rng)
     _load_authors(tenant, csn, counts["author"], rng)

@@ -1,0 +1,139 @@
+"""Tests for the redesigned public API surface: the ``repro.api``
+facade, MigrationOptions resolution, and the deprecation shim that
+keeps the old ``migrate(tenant, dst, rates)`` call sites working."""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+from repro.cluster import Cluster
+from repro.core import MADEUS, Middleware, MiddlewareConfig, \
+    MigrationOptions
+from repro.engine import TransferRates
+from repro.sim import Environment
+from repro.workload.simplekv import setup_kv_tenant
+
+RATES = TransferRates(dump_mb_s=8.0, restore_mb_s=4.0, base_mb=16.0)
+
+FACADE_NAMES = ("Middleware", "MiddlewareConfig", "MigrationOptions",
+                "MigrationReport", "TransferRates", "policy_by_name",
+                "run_benchmark")
+
+
+class TestFacade:
+    def test_facade_exports_every_documented_name(self):
+        for name in FACADE_NAMES:
+            assert hasattr(repro.api, name), name
+        assert sorted(repro.api.__all__) == sorted(FACADE_NAMES)
+
+    def test_facade_names_are_the_canonical_objects(self):
+        from repro.core.middleware import Middleware as canonical
+        assert repro.api.Middleware is canonical
+        assert repro.api.MigrationOptions is MigrationOptions
+        assert repro.api.TransferRates is TransferRates
+
+    def test_top_level_package_reexports_options(self):
+        assert repro.MigrationOptions is MigrationOptions
+        assert "MigrationOptions" in repro.__all__
+
+    def test_policy_by_name_resolves_madeus(self):
+        assert repro.api.policy_by_name("Madeus") is MADEUS
+
+
+class TestMigrationOptions:
+    def test_defaults_are_all_inherit(self):
+        options = MigrationOptions()
+        assert options.rates is None
+        assert options.pipeline is None
+        assert options.standbys is None
+
+    def test_resolve_fills_from_config(self):
+        config = MiddlewareConfig(policy=MADEUS, pipeline_snapshot=False,
+                                  pipeline_depth=7)
+        resolved = MigrationOptions().resolve(config)
+        assert resolved.pipeline is False
+        assert resolved.pipeline_depth == 7
+        assert isinstance(resolved.rates, TransferRates)
+        assert resolved.standbys == ()
+
+    def test_resolve_keeps_explicit_overrides(self):
+        config = MiddlewareConfig(policy=MADEUS, pipeline_snapshot=False)
+        resolved = MigrationOptions(
+            pipeline=True, rates=RATES,
+            standbys=["node2"]).resolve(config)
+        assert resolved.pipeline is True
+        assert resolved.rates is RATES
+        assert resolved.standbys == ("node2",)
+
+    def test_options_are_immutable(self):
+        with pytest.raises(Exception):
+            MigrationOptions().pipeline = True
+
+
+def _build():
+    env = Environment()
+    cluster = Cluster(env)
+    cluster.add_node("node0")
+    cluster.add_node("node1")
+    middleware = Middleware(env, cluster, MiddlewareConfig(
+        policy=MADEUS, verify_consistency=True))
+    return env, cluster, middleware
+
+
+def _drive_migration(env, cluster, middleware, migrate_call):
+    holder = {}
+
+    def main(env):
+        yield from setup_kv_tenant(
+            cluster.node("node0").instance, "A", 10)
+        middleware.register_tenant("A", "node0")
+        holder["report"] = yield from migrate_call()
+    env.process(main(env))
+    env.run()
+    return holder["report"]
+
+
+class TestDeprecationShim:
+    def test_positional_rates_warns_and_still_works(self):
+        env, cluster, middleware = _build()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = _drive_migration(
+                env, cluster, middleware,
+                lambda: middleware.migrate("A", "node1", RATES))
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert deprecations, "positional TransferRates must warn"
+        assert "MigrationOptions(rates=...)" in str(
+            deprecations[0].message)
+        assert report.consistent is True
+
+    def test_keyword_rates_and_standbys_warn_and_still_work(self):
+        env, cluster, middleware = _build()
+        cluster.add_node("node2")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = _drive_migration(
+                env, cluster, middleware,
+                lambda: middleware.migrate("A", "node1", rates=RATES,
+                                           standbys=["node2"]))
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert deprecations, "rates=/standbys= kwargs must warn"
+        assert report.consistent is True
+        assert cluster.node("node2").instance.has_tenant("A")
+
+    def test_options_path_does_not_warn(self):
+        env, cluster, middleware = _build()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = _drive_migration(
+                env, cluster, middleware,
+                lambda: middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES)))
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
+        assert report.consistent is True
