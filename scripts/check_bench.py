@@ -7,7 +7,10 @@ are non-negative and consistent with the wall clock, pipelined cases
 report chunks, and — for the ``pipeline`` scenario — the streamed path
 beats the serial path at every size by at least ``--min-improvement``
 (a *relative* ordering; per ROADMAP.md's tolerance policy the gate
-never asserts absolute timings).
+never asserts absolute timings).  For the ``multitenant_parallel``
+scenario, every scheduled run must beat (or at worst match) the
+serialized baseline, and ``--min-parallel-improvement`` gates the
+headline (fifo, uncapped) comparison — again relative only.
 
 Like ``check_trace.py`` this script is deliberately stdlib-only and
 does not import :mod:`repro`, so a bug that breaks the bench harness
@@ -16,7 +19,8 @@ fails the gate instead of hiding it.
 Usage::
 
     python scripts/check_bench.py BENCH_pipeline.json \
-        BENCH_policies.json --min-improvement 0.25
+        BENCH_policies.json BENCH_multitenant_parallel.json \
+        --min-improvement 0.25 --min-parallel-improvement 0.1
 """
 
 import argparse
@@ -113,6 +117,62 @@ def check_pipeline_comparisons(data, min_improvement):
     return failures
 
 
+PARALLEL_COMPARISON_FIELDS = ("policy", "max_concurrent",
+                              "serialized_wall_clock",
+                              "concurrent_wall_clock", "improvement",
+                              "max_in_flight", "total_queue_wait")
+
+
+def check_parallel_comparisons(data, min_improvement):
+    """Relative-ordering failures for multitenant_parallel."""
+    failures = []
+    modes = {case.get("mode") for case in data.get("cases", [])}
+    if not any(m == "serialized" for m in modes if m):
+        failures.append("no serialized baseline cases")
+    if not any(m and m.startswith("concurrent:") for m in modes):
+        failures.append("no concurrent (scheduled) cases")
+    comparisons = data.get("comparisons") or []
+    if not comparisons:
+        failures.append("multitenant_parallel artifact has no "
+                        "comparisons")
+        return failures
+    for comparison in comparisons:
+        for field in PARALLEL_COMPARISON_FIELDS:
+            if field not in comparison:
+                failures.append("comparison missing field %r" % field)
+                return failures
+        label = "schedule %s" % comparison["policy"]
+        if comparison["max_concurrent"]:
+            label += " (cap %d)" % comparison["max_concurrent"]
+        # Non-regression for every policy/cap point; the strict bar
+        # (--min-parallel-improvement) applies to the headline only.
+        if (comparison["concurrent_wall_clock"]
+                > comparison["serialized_wall_clock"] * 1.0001):
+            failures.append(
+                "%s: concurrent (%.3f s) is slower than serialized "
+                "(%.3f s)"
+                % (label, comparison["concurrent_wall_clock"],
+                   comparison["serialized_wall_clock"]))
+        if comparison["max_in_flight"] < 1:
+            failures.append("%s: max_in_flight < 1" % label)
+        if (comparison["max_concurrent"]
+                and comparison["max_in_flight"]
+                > comparison["max_concurrent"]):
+            failures.append(
+                "%s: max_in_flight %d exceeds the admission cap"
+                % (label, comparison["max_in_flight"]))
+        if comparison["total_queue_wait"] < 0:
+            failures.append("%s: negative total_queue_wait" % label)
+    headline = data.get("headline_improvement")
+    if headline is None:
+        failures.append("headline_improvement missing")
+    elif min_improvement is not None and headline < min_improvement:
+        failures.append(
+            "headline parallel improvement %.1f%% < required %.1f%%"
+            % (100.0 * headline, 100.0 * min_improvement))
+    return failures
+
+
 def check_file(path, args):
     """Return a list of failures for one BENCH_*.json artifact."""
     failures = []
@@ -129,6 +189,10 @@ def check_file(path, args):
     if data["bench"] == "pipeline":
         failures.extend(
             check_pipeline_comparisons(data, args.min_improvement))
+    elif data["bench"] == "multitenant_parallel":
+        failures.extend(
+            check_parallel_comparisons(data,
+                                       args.min_parallel_improvement))
     return failures
 
 
@@ -140,6 +204,11 @@ def main(argv=None):
     parser.add_argument("--min-improvement", type=float, default=None,
                         help="minimum relative headline improvement of "
                              "pipelined over serial (e.g. 0.25)")
+    parser.add_argument("--min-parallel-improvement", type=float,
+                        default=None,
+                        help="minimum relative headline improvement of "
+                             "scheduler-concurrent over serialized "
+                             "multi-tenant migration (e.g. 0.1)")
     args = parser.parse_args(argv)
 
     exit_code = 0

@@ -42,7 +42,10 @@ from .core import (
     MiddlewareConfig,
     MigrationOptions,
     MigrationReport,
+    MigrationScheduler,
     PropagationPolicy,
+    ScheduleOptions,
+    ScheduleReport,
 )
 from .engine import DbmsInstance, Session, TenantDatabase, TransferRates, parse
 from .errors import (
@@ -81,6 +84,7 @@ __all__ = [
     "MigrationError",
     "MigrationOptions",
     "MigrationReport",
+    "MigrationScheduler",
     "NetworkDown",
     "Node",
     "NodeCrashed",
@@ -88,6 +92,8 @@ __all__ = [
     "PropagationPolicy",
     "ReproError",
     "RoutingError",
+    "ScheduleOptions",
+    "ScheduleReport",
     "SchemaError",
     "Session",
     "SqlError",

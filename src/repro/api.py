@@ -12,6 +12,10 @@ The surface is deliberately small:
 * :class:`MigrationOptions` — per-migration knobs for
   :meth:`Middleware.migrate` (rates, standbys, pipelining, retries);
 * :class:`MigrationReport` — what a finished migration reports;
+* :class:`MigrationScheduler` / :class:`ScheduleOptions` /
+  :class:`ScheduleReport` — run N tenant migrations concurrently under
+  an admission policy (``fifo`` / ``round-robin`` / ``smallest-first``)
+  with honest per-link bandwidth contention;
 * :class:`TransferRates` — the dump/restore rate model;
 * :func:`policy_by_name` — resolve ``"Madeus"`` / ``"B-ALL"`` / ... to a
   propagation policy;
@@ -25,6 +29,11 @@ from .core.middleware import (
     MigrationReport,
 )
 from .core.policy import policy_by_name
+from .core.scheduler import (
+    MigrationScheduler,
+    ScheduleOptions,
+    ScheduleReport,
+)
 from .engine.dump import TransferRates
 from .experiments.bench import run_benchmark
 
@@ -33,6 +42,9 @@ __all__ = [
     "MiddlewareConfig",
     "MigrationOptions",
     "MigrationReport",
+    "MigrationScheduler",
+    "ScheduleOptions",
+    "ScheduleReport",
     "TransferRates",
     "policy_by_name",
     "run_benchmark",

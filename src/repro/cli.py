@@ -71,7 +71,8 @@ DESCRIPTIONS: Dict[str, str] = {
     "fig9": "migration time vs database size + Table 3",
     "table2": "the middleware feature matrix",
     "table3": "database size vs TPC-W scale parameters",
-    "multitenant": "the hot-spot cases (Figures 10-19, Section 5.6)",
+    "multitenant": "the hot-spot cases (Figures 10-19, Section 5.6) "
+                   "plus the parallel light-tenant evacuation",
     "costmodel": "the analytic LSIR cost model (Section 4.5.2)",
 }
 
@@ -86,8 +87,9 @@ def bench_main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench",
         description="Benchmark the migration middleware: pipelined vs "
-                    "serial snapshot shipping, and a per-policy sweep. "
-                    "Writes BENCH_<scenario>.json artifacts.")
+                    "serial snapshot shipping, a per-policy sweep, and "
+                    "serialized vs scheduler-concurrent multi-tenant "
+                    "migration. Writes BENCH_<scenario>.json artifacts.")
     parser.add_argument("--scenario", default="all",
                         choices=sorted(bench.SCENARIOS) + ["all"],
                         help="bench scenario to run (default: all)")
@@ -246,7 +248,8 @@ def main(argv=None) -> int:
                             "outage, degradation, stall)"))
         print("%-12s %s" % ("bench",
                             "perf harness: pipelined vs serial "
-                            "snapshots, BENCH_*.json artifacts"))
+                            "snapshots, parallel multi-tenant "
+                            "schedules, BENCH_*.json artifacts"))
         return 0
     profile = get_profile(args.profile)
     if args.command == "all":

@@ -27,6 +27,13 @@ from .policy import (
     policy_by_name,
 )
 from .propagation import Conductor, PropagationStats, SerialReplayer
+from .scheduler import (
+    SCHEDULE_POLICIES,
+    JobOutcome,
+    MigrationScheduler,
+    ScheduleOptions,
+    ScheduleReport,
+)
 from .region import (
     COMMIT_CLASS,
     EXCLUSIVE_CLASS,
@@ -60,9 +67,11 @@ __all__ = [
     "EXCLUSIVE_CLASS",
     "FIRST_READ_CLASS",
     "HistoryRecorder",
+    "JobOutcome",
     "LsirValidator",
     "MADEUS",
     "Middleware",
+    "MigrationScheduler",
     "MiddlewareConfig",
     "MigrationOptions",
     "MigrationReport",
@@ -72,6 +81,9 @@ __all__ = [
     "PropagationPolicy",
     "PropagationStats",
     "ReplayEvent",
+    "SCHEDULE_POLICIES",
+    "ScheduleOptions",
+    "ScheduleReport",
     "SerialReplayer",
     "SyncsetBuffer",
     "SyncsetList",

@@ -13,7 +13,6 @@ any of the Table-2 baselines.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
@@ -296,6 +295,7 @@ class Middleware:
         #: Structured counters/gauges/histograms for the whole stack.
         self.metrics = (metrics if metrics is not None
                         else MetricsRegistry())
+        self.cluster.network.bind_obs(self.metrics)
         self._tenants: Dict[str, TenantState] = {}
         self._routes: Dict[str, str] = {}
         self.validator: Optional[LsirValidator] = (
@@ -548,36 +548,8 @@ class Middleware:
     # ------------------------------------------------------------------
     # the manager (Algorithm 3): four-step live migration
     # ------------------------------------------------------------------
-    @staticmethod
-    def _coerce_options(options: Any,
-                        rates: Optional[TransferRates],
-                        standbys: Optional[List[str]]
-                        ) -> MigrationOptions:
-        """Fold the deprecated ``migrate`` kwargs into MigrationOptions."""
-        if isinstance(options, TransferRates):
-            warnings.warn(
-                "passing TransferRates positionally to migrate() is "
-                "deprecated; use MigrationOptions(rates=...)",
-                DeprecationWarning, stacklevel=3)
-            options = MigrationOptions(rates=options)
-        if rates is not None or standbys is not None:
-            warnings.warn(
-                "the rates=/standbys= keyword arguments of migrate() are "
-                "deprecated; use MigrationOptions(rates=..., "
-                "standbys=...)",
-                DeprecationWarning, stacklevel=3)
-            base = options or MigrationOptions()
-            options = replace(
-                base,
-                rates=rates if rates is not None else base.rates,
-                standbys=(standbys if standbys is not None
-                          else base.standbys))
-        return options or MigrationOptions()
-
     def migrate(self, tenant: str, destination: str,
-                options: Optional[MigrationOptions] = None, *,
-                rates: Optional[TransferRates] = None,
-                standbys: Optional[List[str]] = None
+                options: Optional[MigrationOptions] = None
                 ) -> Generator[Any, Any, MigrationReport]:
         """Live-migrate ``tenant`` to node ``destination``.
 
@@ -595,14 +567,19 @@ class Middleware:
         — they end up as consistent warm replicas, and a standby that
         fails mid-migration is dropped without stopping the migration.
 
-        .. deprecated::
-           Passing ``rates`` positionally or the ``rates=`` /
-           ``standbys=`` keyword arguments; use
-           ``MigrationOptions(rates=..., standbys=...)``.  The shim is
-           kept for one release.
+        .. versionchanged::
+           The deprecated positional-``TransferRates`` and ``rates=`` /
+           ``standbys=`` call shapes were removed after one release
+           cycle; :class:`MigrationOptions` is the only way to pass
+           per-migration knobs.
         """
-        options = self._coerce_options(options, rates, standbys)
-        opts = options.resolve(self.config)
+        if options is not None and not isinstance(options,
+                                                  MigrationOptions):
+            raise TypeError(
+                "migrate() takes a MigrationOptions instance, got %r; "
+                "the old rates/standbys call shapes were removed"
+                % (type(options).__name__,))
+        opts = (options or MigrationOptions()).resolve(self.config)
         rates = opts.rates
         standbys = list(opts.standbys)
         state = self.tenant_state(tenant)
@@ -994,7 +971,9 @@ class Middleware:
                                   capacity=opts.pipeline_depth,
                                   name="ship.%s.%s" % (tenant, node_name))
                 pump = self.env.process(
-                    self.cluster.network.pump_chunks(reader, channel),
+                    self.cluster.network.pump_chunks(
+                        reader, channel,
+                        route=(report.source, node_name)),
                     name="pump.%s.%s" % (tenant, node_name))
                 try:
                     yield from restore_stream(instance, channel, rates,

@@ -1,0 +1,308 @@
+"""Parallel multi-tenant migration scheduling.
+
+The paper's Section 5.5 experiment migrates tenants one at a time; a
+consolidation or evacuation event in a real fleet rarely has that
+luxury.  :class:`MigrationScheduler` runs N tenant migrations as
+concurrent sim-clock players over one :class:`Middleware`:
+
+* each submitted job is a full four-step :meth:`Middleware.migrate`;
+* jobs admitted together contend honestly for the network — their
+  snapshot streams split per-link bandwidth via the shared-link model
+  (:meth:`~repro.net.Network.bulk_transfer`) instead of each seeing the
+  full rate;
+* restores interleave chunk-by-chunk on a shared destination: order
+  within one tenant stays sequential (the restore stream), but
+  independent tenants overlap, bounded by the admission cap;
+* the admission order is a policy knob — ``fifo`` (submission order),
+  ``round-robin`` (interleave by source node, spreading load across
+  egress links), or ``smallest-first`` (shortest-job-first on tenant
+  size, minimising mean wait).
+
+All knobs live on :class:`ScheduleOptions`, which mirrors the
+:class:`MigrationOptions` shape: every field defaults to ``None`` =
+"use the default", and :meth:`ScheduleOptions.resolve` fills them in.
+
+One failed job never stops the schedule: per-job errors are captured on
+the :class:`JobOutcome` and the remaining jobs keep running — mirroring
+how the fault-tolerant single-migration path degrades (drop a standby,
+keep going) rather than cancelling everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..errors import (
+    CatchUpTimeout,
+    MigrationError,
+    NetworkDown,
+    NodeCrashed,
+)
+from ..obs.trace import SPAN
+from ..sim.sync import Semaphore
+from .middleware import Middleware, MigrationOptions, MigrationReport
+
+#: Admission-order policies understood by :class:`ScheduleOptions`.
+SCHEDULE_POLICIES = ("fifo", "round-robin", "smallest-first")
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Per-schedule knobs for :class:`MigrationScheduler`.
+
+    Mirrors :class:`MigrationOptions`: every field defaults to ``None``
+    meaning "use the default", so callers only name what they change::
+
+        ScheduleOptions(policy="smallest-first", max_concurrent=2)
+    """
+
+    #: Admission order: one of :data:`SCHEDULE_POLICIES` (default fifo).
+    policy: Optional[str] = None
+    #: Cap on migrations in flight at once; ``0`` means unlimited.
+    max_concurrent: Optional[int] = None
+    #: Default per-job knobs; a job's own options override this.
+    migration: Optional[MigrationOptions] = None
+
+    def resolve(self) -> "ScheduleOptions":
+        """A copy with every ``None`` replaced by its default."""
+        policy = self.policy if self.policy is not None else "fifo"
+        if policy not in SCHEDULE_POLICIES:
+            raise ValueError("unknown schedule policy %r; expected one "
+                             "of %s" % (policy,
+                                        ", ".join(SCHEDULE_POLICIES)))
+        max_concurrent = (self.max_concurrent
+                          if self.max_concurrent is not None else 0)
+        if max_concurrent < 0:
+            raise ValueError("max_concurrent must be >= 0")
+        return replace(self, policy=policy,
+                       max_concurrent=max_concurrent,
+                       migration=self.migration or MigrationOptions())
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one submitted migration."""
+
+    tenant: str
+    source: str
+    destination: str
+    submitted_at: float
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    #: "ok", "aborted" (clean abort, tenant stays on source), or
+    #: "failed" (rejected or torn down by an unrecovered fault).
+    outcome: str = "pending"
+    error: Optional[str] = None
+    report: Optional[MigrationReport] = None
+
+    @property
+    def queue_wait(self) -> float:
+        """Sim time spent waiting for admission."""
+        return self.started_at - self.submitted_at
+
+    @property
+    def duration(self) -> float:
+        """Sim time from admission to completion."""
+        return self.ended_at - self.started_at
+
+
+@dataclass
+class ScheduleReport:
+    """Everything one scheduler run reports."""
+
+    policy: str
+    max_concurrent: int
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    #: Jobs in admission order (the order the policy chose).
+    jobs: List[JobOutcome] = field(default_factory=list)
+    #: High-water mark of migrations in flight at once.
+    max_in_flight: int = 0
+    #: Per-port busy fraction over the schedule window, keyed by port
+    #: name (``node0.egress`` ...); only ports that carried bytes.
+    link_utilisation: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wall_clock(self) -> float:
+        """Sim time from first admission to last completion."""
+        return self.ended_at - self.started_at
+
+    @property
+    def ok_count(self) -> int:
+        """Jobs that finished with outcome ``ok``."""
+        return sum(1 for job in self.jobs if job.outcome == "ok")
+
+    @property
+    def total_queue_wait(self) -> float:
+        """Summed admission wait across all jobs."""
+        return sum(job.queue_wait for job in self.jobs)
+
+    def job(self, tenant: str) -> JobOutcome:
+        """The outcome for ``tenant``'s migration."""
+        for outcome in self.jobs:
+            if outcome.tenant == tenant:
+                return outcome
+        raise KeyError("no job for tenant %r" % tenant)
+
+
+class MigrationScheduler:
+    """Run several tenant migrations concurrently over one middleware.
+
+    Usage is submit-then-run::
+
+        scheduler = MigrationScheduler(mw, ScheduleOptions(
+            policy="smallest-first", max_concurrent=2))
+        scheduler.submit("A", "node1")
+        scheduler.submit("B", "node1")
+        report = yield from scheduler.run()      # inside a process
+        # or: proc = scheduler.start(); env.run(); proc.value
+
+    ``run`` admits jobs in the order the policy dictates, bounded by
+    ``max_concurrent``, and returns a :class:`ScheduleReport` once every
+    job has finished one way or another.
+    """
+
+    def __init__(self, middleware: Middleware,
+                 options: Optional[ScheduleOptions] = None):
+        self.middleware = middleware
+        self.env = middleware.env
+        self.options = (options or ScheduleOptions()).resolve()
+        self._pending: List[Tuple[str, str,
+                                  Optional[MigrationOptions]]] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, destination: str,
+               options: Optional[MigrationOptions] = None) -> None:
+        """Queue one migration; runs when :meth:`run` admits it."""
+        if self._running:
+            raise MigrationError(
+                "cannot submit to a schedule that is already running")
+        if options is not None and not isinstance(options,
+                                                  MigrationOptions):
+            raise TypeError("submit() takes a MigrationOptions "
+                            "instance, got %r"
+                            % (type(options).__name__,))
+        self._pending.append((tenant, destination, options))
+
+    # ------------------------------------------------------------------
+    def _ordered_jobs(self) -> List[Tuple[str, str,
+                                          Optional[MigrationOptions]]]:
+        """Pending jobs in the admission order the policy dictates."""
+        jobs = list(self._pending)
+        policy = self.options.policy
+        if policy == "fifo":
+            return jobs
+        if policy == "smallest-first":
+            def tenant_size(job: Tuple) -> float:
+                tenant = job[0]
+                source = self.middleware.route(tenant)
+                instance = self.middleware.cluster.node(source).instance
+                return instance.tenant(tenant).size_mb()
+            return sorted(jobs, key=tenant_size)
+        # round-robin: one job per source node per cycle, so concurrent
+        # admissions spread across egress links instead of piling onto
+        # one node's port.
+        buckets: Dict[str, List[Tuple]] = {}
+        for job in jobs:
+            buckets.setdefault(self.middleware.route(job[0]),
+                               []).append(job)
+        ordered: List[Tuple] = []
+        queues = list(buckets.values())
+        while queues:
+            queues = [queue for queue in queues if queue]
+            for queue in queues:
+                if queue:
+                    ordered.append(queue.pop(0))
+        return ordered
+
+    def run(self) -> Generator[Any, Any, ScheduleReport]:
+        """Process body: admit, migrate, collect, report."""
+        if self._running:
+            raise MigrationError("schedule is already running")
+        self._running = True
+        opts = self.options
+        metrics = self.middleware.metrics
+        tracer = self.middleware.tracer
+        report = ScheduleReport(policy=opts.policy,
+                                max_concurrent=opts.max_concurrent,
+                                started_at=self.env.now)
+        schedule_span = tracer.start(
+            "schedule", kind=SPAN, policy=opts.policy,
+            max_concurrent=opts.max_concurrent,
+            jobs=len(self._pending))
+        gate: Optional[Semaphore] = None
+        if opts.max_concurrent > 0:
+            gate = Semaphore(self.env, value=opts.max_concurrent)
+        in_flight = [0]
+        concurrent_gauge = metrics.gauge("scheduler.concurrent")
+
+        def job_player(outcome: JobOutcome,
+                       options: Optional[MigrationOptions]
+                       ) -> Generator:
+            if gate is not None:
+                yield from gate.acquire()
+            outcome.started_at = self.env.now
+            metrics.histogram("scheduler.queue_wait").observe(
+                outcome.queue_wait)
+            in_flight[0] += 1
+            report.max_in_flight = max(report.max_in_flight,
+                                       in_flight[0])
+            concurrent_gauge.set(in_flight[0])
+            job_span = tracer.start(
+                "schedule.job", kind=SPAN, parent=schedule_span,
+                tenant=outcome.tenant, destination=outcome.destination,
+                queue_wait=outcome.queue_wait)
+            try:
+                outcome.report = yield from self.middleware.migrate(
+                    outcome.tenant, outcome.destination,
+                    options or opts.migration)
+                outcome.outcome = "ok"
+            except CatchUpTimeout as exc:
+                outcome.outcome = "aborted"
+                outcome.error = str(exc)
+            except (MigrationError, NetworkDown, NodeCrashed) as exc:
+                outcome.outcome = "failed"
+                outcome.error = str(exc)
+            finally:
+                outcome.ended_at = self.env.now
+                in_flight[0] -= 1
+                concurrent_gauge.set(in_flight[0])
+                tracer.finish(job_span, outcome=outcome.outcome)
+                metrics.counter("scheduler.jobs_%s"
+                                % outcome.outcome).inc()
+                if gate is not None:
+                    gate.release()
+
+        players = []
+        for tenant, destination, options in self._ordered_jobs():
+            outcome = JobOutcome(tenant=tenant,
+                                 source=self.middleware.route(tenant),
+                                 destination=destination,
+                                 submitted_at=self.env.now)
+            report.jobs.append(outcome)
+            players.append(self.env.process(
+                job_player(outcome, options),
+                name="schedule.%s" % tenant))
+        if players:
+            yield self.env.all_of(players)
+        report.ended_at = self.env.now
+        network = self.middleware.cluster.network
+        for name, port in sorted(network.link_ports().items()):
+            if port.bytes_mb <= 0:
+                continue
+            utilisation = port.utilisation(since=report.started_at)
+            report.link_utilisation[name] = utilisation
+            metrics.gauge("scheduler.link.%s.utilisation"
+                          % name).set(utilisation)
+        tracer.finish(schedule_span, ok=report.ok_count,
+                      max_in_flight=report.max_in_flight,
+                      wall_clock=report.wall_clock)
+        self._running = False
+        self._pending = []
+        return report
+
+    def start(self, name: str = "scheduler") -> Any:
+        """Spawn :meth:`run` as a process; its ``value`` is the report."""
+        return self.env.process(self.run(), name=name)

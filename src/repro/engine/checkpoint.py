@@ -11,11 +11,12 @@ so commits (WAL fsyncs) queue behind it and response times spike.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from .disk import Disk
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import MetricsRegistry, Tracer
     from ..sim.core import Environment
 
 
@@ -50,11 +51,39 @@ class Checkpointer:
         # statistics
         self.checkpoints = 0
         self.total_flushed_mb = 0.0
+        # observability (see bind_obs)
+        self._metrics: Optional["MetricsRegistry"] = None
+        self._tracer: Optional["Tracer"] = None
+        self._m_count = None
+        self._m_flushed = None
+        self._m_dirty = None
+        self._m_burst = None
         env.process(self._loop(), name=name)
+
+    def bind_obs(self, metrics: "MetricsRegistry",
+                 prefix: str = "checkpoint",
+                 tracer: Optional["Tracer"] = None) -> None:
+        """Mirror checkpoint activity into a metrics registry.
+
+        Creates ``<prefix>.count`` / ``.flushed_mb`` counters, a
+        ``.dirty_mb`` gauge (high-water = worst backlog), and a
+        ``.burst_s`` histogram of flush-burst durations — the bursts
+        stretch when concurrent tenant restores contend for the same
+        disk, which is exactly what the scheduler experiments need to
+        see.  With a ``tracer``, every burst also becomes a span.
+        """
+        self._metrics = metrics
+        self._tracer = tracer
+        self._m_count = metrics.counter("%s.count" % prefix)
+        self._m_flushed = metrics.counter("%s.flushed_mb" % prefix)
+        self._m_dirty = metrics.gauge("%s.dirty_mb" % prefix)
+        self._m_burst = metrics.histogram("%s.burst_s" % prefix)
 
     def note_commit(self, count: int = 1) -> None:
         """Record dirty pages produced by ``count`` committed updates."""
         self._dirty_mb += self.spec.dirty_mb_per_commit * count
+        if self._m_dirty is not None:
+            self._m_dirty.set(self._dirty_mb)
 
     def stop(self) -> None:
         """Stop scheduling further checkpoints."""
@@ -69,8 +98,20 @@ class Checkpointer:
             self._dirty_mb = 0.0
             self.checkpoints += 1
             self.total_flushed_mb += burst
+            span = None
+            if self._tracer is not None:
+                span = self._tracer.start("checkpoint", node=self.name,
+                                          flush_mb=burst)
+            started = self.env.now
             remaining = burst
             while remaining > 0:
                 chunk = min(self.spec.chunk_mb, remaining)
                 yield from self.disk.write(chunk)
                 remaining -= chunk
+            if self._m_count is not None:
+                self._m_count.inc()
+                self._m_flushed.inc(burst)
+                self._m_dirty.set(self._dirty_mb)
+                self._m_burst.observe(self.env.now - started)
+            if span is not None:
+                self._tracer.finish(span)

@@ -107,12 +107,15 @@ class DbmsInstance:
         self._m_recoveries = None
 
     def bind_obs(self, metrics: MetricsRegistry,
-                 prefix: Optional[str] = None) -> None:
+                 prefix: Optional[str] = None,
+                 tracer: Optional[Any] = None) -> None:
         """Mirror executor-path counters into a metrics registry.
 
         Creates ``<prefix>.statements`` / ``.commits`` / ``.aborts``
         counters (prefix defaults to the instance name) and also binds
-        the instance's WAL under ``<prefix>.wal``.
+        the instance's WAL under ``<prefix>.wal`` and, when present,
+        its checkpointer under ``<prefix>.checkpoint`` (with burst
+        spans if a ``tracer`` is given).
         """
         base = prefix if prefix is not None else self.name
         self._m_statements = metrics.counter("%s.statements" % base)
@@ -121,6 +124,10 @@ class DbmsInstance:
         self._m_crashes = metrics.counter("%s.crashes" % base)
         self._m_recoveries = metrics.counter("%s.recoveries" % base)
         self.wal.bind_obs(metrics, "%s.wal" % base)
+        if self.checkpointer is not None:
+            self.checkpointer.bind_obs(metrics,
+                                       "%s.checkpoint" % base,
+                                       tracer=tracer)
 
     # ------------------------------------------------------------------
     # crash / recovery (see repro.faults)

@@ -1,7 +1,7 @@
 """``repro bench``: the performance harness behind ``BENCH_*.json``.
 
 Not a paper figure — a regression harness for the middleware itself.
-Two scenarios:
+Three scenarios:
 
 ``pipeline``
     Migrates the same tenant twice per database size — once with the
@@ -16,6 +16,16 @@ Two scenarios:
     One migration per propagation policy (Table 2) on the default
     streamed path, so policy-level regressions show up in the same
     artifact schema.
+
+``multitenant_parallel``
+    Four tenants of descending size evacuate node0 -> node1, once
+    serialized (one migration at a time, the paper's Section 5.5
+    shape) and once per :class:`~repro.core.scheduler.ScheduleOptions`
+    policy under the :class:`~repro.core.scheduler.MigrationScheduler`
+    — concurrent streams honestly split the shared link's bandwidth,
+    and the win comes from overlapping the restore-side work across
+    tenants.  The fifo-policy improvement over serialized is the
+    headline number.
 
 Each scenario writes one ``BENCH_<scenario>.json`` file (see
 EXPERIMENTS.md for the schema).  Values are *simulated* seconds from a
@@ -33,9 +43,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.middleware import MigrationOptions, MigrationReport
 from ..core.policy import ALL_POLICIES, MADEUS, PropagationPolicy
+from ..core.scheduler import ScheduleOptions
 from ..engine.dump import restore_duration
 from ..metrics.report import format_table
-from .common import Report, TenantSetup, build_testbed, seeded
+from .common import Report, TenantSetup, Testbed, build_testbed, seeded
 from .profiles import Profile, get_profile
 
 #: When set, ``run_benchmark`` writes its ``BENCH_*.json`` files here
@@ -54,7 +65,21 @@ PIPELINE_SIZE_FACTORS = (0.5, 4.0)
 #: Workload applied while the benchmark migrations run.
 BENCH_PAPER_EBS = 100
 
-SCENARIOS = ("pipeline", "policies")
+#: The multitenant_parallel scenario: tenant sizes as multiples of the
+#: rate model's ``base_mb``, in submission order.  Descending, so the
+#: smallest-first policy visibly reorders the queue.
+PARALLEL_SIZE_FACTORS = (1.0, 0.75, 0.5, 0.25)
+
+#: Per-tenant workload for the parallel scenario — light, so four
+#: concurrent catch-ups stay well inside the divergence deadline.
+PARALLEL_PAPER_EBS = 25
+
+#: Scheduler configurations benched: every admission policy unlimited,
+#: plus one capped run so admission queueing shows up in the artifact.
+PARALLEL_SCHEDULES = (("fifo", 0), ("round-robin", 0),
+                      ("smallest-first", 0), ("smallest-first", 2))
+
+SCENARIOS = ("pipeline", "policies", "multitenant_parallel")
 
 
 @dataclass
@@ -72,9 +97,13 @@ class BenchCase:
     chunks: int
     ship_retries: int
     consistent: Optional[bool]
+    #: multitenant_parallel only: which tenant this row migrated and
+    #: under which mode ("serialized" or "concurrent:<policy>").
+    tenant: Optional[str] = None
+    mode: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record = {
             "scenario": self.scenario,
             "policy": self.policy,
             "size_mb": self.size_mb,
@@ -87,6 +116,11 @@ class BenchCase:
             "ship_retries": self.ship_retries,
             "consistent": self.consistent,
         }
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
+        if self.mode is not None:
+            record["mode"] = self.mode
+        return record
 
 
 @dataclass
@@ -228,6 +262,104 @@ def run_policies_scenario(profile: Profile,
     return result
 
 
+def _build_parallel_testbed(profile: Profile,
+                            trace_dir: Optional[str]
+                            ) -> Tuple[Testbed, List[str]]:
+    """Four tenants of descending size on node0, ready to evacuate."""
+    setups = [TenantSetup("T%d" % (index + 1), "node0",
+                          paper_ebs=PARALLEL_PAPER_EBS)
+              for index in range(len(PARALLEL_SIZE_FACTORS))]
+    testbed = build_testbed(profile, setups, trace_dir=trace_dir)
+    for setup, factor in zip(setups, PARALLEL_SIZE_FACTORS):
+        tenant = testbed.node("node0").instance.tenant(setup.name)
+        # Same size-model rescale as _run_migration: identical seeded
+        # rows across modes, only the rate model sees the target size.
+        scale = (profile.rates.base_mb * factor) / tenant.size_mb()
+        tenant.fixed_overhead_mb *= scale
+        tenant.size_multiplier *= scale
+    return testbed, [setup.name for setup in setups]
+
+
+def _parallel_run_cap(profile: Profile, warmup: float) -> float:
+    """Generous sim-time budget for one evacuation run."""
+    total_mb = profile.rates.base_mb * sum(PARALLEL_SIZE_FACTORS)
+    transfer = (total_mb / profile.rates.dump_mb_s
+                + restore_duration(total_mb, profile.rates))
+    return (warmup + profile.catchup_deadline + profile.duration(60.0)
+            + 3.0 * transfer)
+
+
+def run_multitenant_parallel_scenario(profile: Profile,
+                                      trace_dir: Optional[str] = None
+                                      ) -> BenchScenarioResult:
+    """Serialized vs scheduler-concurrent evacuation of four tenants."""
+    result = BenchScenarioResult(scenario="multitenant_parallel",
+                                 profile=profile.name,
+                                 seed=profile.seed)
+
+    def finished_reports(mode: str,
+                         reports: List[MigrationReport]) -> None:
+        for report in reports:
+            case = _case_from_report("multitenant_parallel", report,
+                                     report.snapshot_size_mb)
+            case.tenant = report.tenant
+            case.mode = mode
+            result.cases.append(case)
+
+    # --- serialized baseline: one migration at a time ----------------
+    testbed, names = _build_parallel_testbed(profile, trace_dir)
+    warmup = max(2.0, profile.duration(30.0))
+    cap = _parallel_run_cap(profile, warmup)
+    testbed.run(until=warmup)
+    serial_start = testbed.env.now
+    reports: List[MigrationReport] = []
+    for name in names:
+        outcome = testbed.migrate_async(name, "node1")
+        testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
+        report = outcome.get("report")
+        if report is None:
+            raise RuntimeError(
+                "serialized evacuation stalled on tenant %s: %s"
+                % (name, outcome.get("timeout")))
+        reports.append(report)
+    serial_wall = testbed.env.now - serial_start
+    finished_reports("serialized", reports)
+
+    # --- concurrent: the scheduler, per admission configuration ------
+    for policy, max_concurrent in PARALLEL_SCHEDULES:
+        testbed, names = _build_parallel_testbed(profile, trace_dir)
+        testbed.run(until=warmup)
+        outcome = testbed.schedule_async(
+            [(name, "node1") for name in names],
+            ScheduleOptions(policy=policy,
+                            max_concurrent=max_concurrent))
+        testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
+        schedule = outcome.get("report")
+        if schedule is None or schedule.ok_count != len(names):
+            raise RuntimeError(
+                "concurrent evacuation (%s) did not finish cleanly: %r"
+                % (policy, schedule and [(job.tenant, job.outcome,
+                                          job.error)
+                                         for job in schedule.jobs]))
+        mode = "concurrent:%s" % policy
+        if max_concurrent:
+            mode += ":cap%d" % max_concurrent
+        finished_reports(mode, [job.report for job in schedule.jobs])
+        improvement = (serial_wall - schedule.wall_clock) / serial_wall
+        result.comparisons.append({
+            "policy": policy,
+            "max_concurrent": max_concurrent,
+            "serialized_wall_clock": serial_wall,
+            "concurrent_wall_clock": schedule.wall_clock,
+            "improvement": improvement,
+            "max_in_flight": schedule.max_in_flight,
+            "total_queue_wait": schedule.total_queue_wait,
+        })
+        if policy == "fifo" and not max_concurrent:
+            result.headline_improvement = improvement
+    return result
+
+
 def _write_artifact(result: BenchScenarioResult,
                     bench_dir: str) -> str:
     os.makedirs(bench_dir, exist_ok=True)
@@ -258,6 +390,9 @@ def run_benchmark(profile: Optional[Profile] = None, *,
             result = run_pipeline_scenario(profile, trace_dir=trace_dir)
         elif scenario == "policies":
             result = run_policies_scenario(profile, trace_dir=trace_dir)
+        elif scenario == "multitenant_parallel":
+            result = run_multitenant_parallel_scenario(
+                profile, trace_dir=trace_dir)
         else:
             raise ValueError("unknown bench scenario %r (one of %s)"
                              % (scenario, ", ".join(SCENARIOS)))
@@ -272,7 +407,10 @@ def report(results: List[BenchScenarioResult],
     rows = []
     for result in results:
         for case in result.cases:
-            rows.append([case.scenario, case.policy, case.size_mb,
+            label = case.scenario
+            if case.mode is not None:
+                label = "%s %s" % (case.mode, case.tenant)
+            rows.append([label, case.policy, case.size_mb,
                          "yes" if case.pipelined else "-",
                          case.wall_clock, case.phases["dump"],
                          case.phases["restore"],
@@ -287,13 +425,25 @@ def report(results: List[BenchScenarioResult],
               % (profile.name, profile.seed))]
     for result in results:
         for comparison in result.comparisons:
-            lines.append(
-                "pipeline @ %.0f MB: serial %.1f s -> pipelined %.1f s "
-                "(%.0f%% faster)"
-                % (comparison["size_mb"],
-                   comparison["serial_wall_clock"],
-                   comparison["pipelined_wall_clock"],
-                   100.0 * comparison["improvement"]))
+            if "size_mb" in comparison:
+                lines.append(
+                    "pipeline @ %.0f MB: serial %.1f s -> pipelined "
+                    "%.1f s (%.0f%% faster)"
+                    % (comparison["size_mb"],
+                       comparison["serial_wall_clock"],
+                       comparison["pipelined_wall_clock"],
+                       100.0 * comparison["improvement"]))
+            else:
+                lines.append(
+                    "evacuation (%s): serialized %.1f s -> concurrent "
+                    "%.1f s (%.0f%% faster, %d in flight, queue wait "
+                    "%.1f s)"
+                    % (comparison["policy"],
+                       comparison["serialized_wall_clock"],
+                       comparison["concurrent_wall_clock"],
+                       100.0 * comparison["improvement"],
+                       comparison["max_in_flight"],
+                       comparison["total_queue_wait"]))
         if result.path is not None:
             lines.append("artifact: %s" % result.path)
     return "\n".join(lines)

@@ -23,6 +23,7 @@ from ..core.middleware import (
     MigrationReport,
 )
 from ..core.policy import MADEUS, PropagationPolicy
+from ..core.scheduler import MigrationScheduler, ScheduleOptions
 from ..engine.checkpoint import CheckpointSpec
 from ..errors import CatchUpTimeout
 from ..obs.export import write_trace
@@ -188,6 +189,41 @@ class Testbed:
         self.env.process(runner(), name="migrate-%s" % tenant)
         return outcome
 
+    def schedule_async(self, jobs: List[Any],
+                       options: Optional[ScheduleOptions] = None
+                       ) -> Dict[str, Any]:
+        """Launch several migrations under a :class:`MigrationScheduler`.
+
+        ``jobs`` is a list of ``(tenant, destination)`` pairs.  Mirrors
+        :meth:`migrate_async`: the returned dict gains ``report`` (a
+        :class:`~repro.core.scheduler.ScheduleReport`) and ``done``
+        when the whole schedule has finished; per-job errors live on
+        the report's job outcomes, they never surface here.  The
+        schedule's default migration options inherit the profile's
+        transfer rates unless overridden.
+        """
+        options = options or ScheduleOptions()
+        migration = options.migration
+        if migration is None:
+            migration = MigrationOptions(rates=self.profile.rates)
+        elif migration.rates is None:
+            migration = replace(migration, rates=self.profile.rates)
+        options = replace(options, migration=migration)
+        scheduler = MigrationScheduler(self.middleware, options)
+        for tenant, destination in jobs:
+            scheduler.submit(tenant, destination)
+        outcome: Dict[str, Any] = {}
+
+        def runner() -> Generator:
+            report = yield from scheduler.run()
+            outcome["report"] = report
+            outcome["done"] = True
+            trace_path = self._maybe_export_trace("schedule")
+            if trace_path is not None:
+                outcome["trace_path"] = trace_path
+        self.env.process(runner(), name="schedule")
+        return outcome
+
 
 def build_testbed(profile: Profile,
                   tenants: List[TenantSetup],
@@ -213,7 +249,8 @@ def build_testbed(profile: Profile,
         verify_consistency=verify_consistency,
         catchup_deadline=profile.catchup_deadline))
     for node_name in (nodes or ["node0", "node1"]):
-        cluster.node(node_name).instance.bind_obs(middleware.metrics)
+        cluster.node(node_name).instance.bind_obs(
+            middleware.metrics, tracer=middleware.tracer)
     testbed = Testbed(env, cluster, middleware, profile,
                       trace_dir=trace_dir)
     streams = StreamFactory(profile.seed)

@@ -5,6 +5,24 @@ operations, syncset propagation, and the snapshot transfer all cross this
 network; only the snapshot transfer is large enough for bandwidth to
 matter, but modelling it keeps Step 2 honest on big databases.
 
+Two bandwidth models coexist:
+
+* :meth:`Network.message` — the original model: one cluster-wide bulk
+  channel that serialises large transfers.  The paper-figure
+  experiments run exactly one migration at a time, so this is all they
+  need, and the path is kept untouched so their timings stay stable.
+* :meth:`Network.bulk_transfer` — the per-link model behind the
+  multi-tenant migration scheduler: every node has an egress and an
+  ingress :class:`LinkPort`, and concurrent streams crossing the same
+  port *split its bandwidth* (processor sharing) instead of each
+  getting the full rate.  A stream's instantaneous rate is the minimum
+  of its share on the source's egress and the destination's ingress
+  port, re-evaluated whenever a stream joins or leaves either port —
+  so two tenants migrating over the same source→destination pair each
+  see half the link, while migrations between disjoint node pairs do
+  not contend at all.  :meth:`Network.pump_chunks` uses this model
+  when given a ``route``.
+
 The link can also degrade (see :mod:`repro.faults`): latency spikes and
 bandwidth collapse multiply the effective cost of every hop, and a
 transient outage (:meth:`Network.fail_link`) surfaces a
@@ -16,16 +34,20 @@ caller finds out mid-flight, not at its next send.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
 
 from ..errors import NetworkDown, NodeCrashed
-from ..sim.events import Interrupt
+from ..sim.events import Event, Interrupt
 from ..sim.resources import Resource
 from ..sim.sync import CLOSED
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import MetricsRegistry
     from ..sim.core import Environment
+
+#: Residual megabytes below which a shared-link transfer is complete
+#: (one thousandth of a byte; guards float accumulation).
+_STREAM_EPS = 1e-9
 
 
 @dataclass
@@ -38,6 +60,90 @@ class NetworkSpec:
     bandwidth_mb_s: float = 125.0
     #: Transfers larger than this are serialised on the shared link.
     bulk_threshold_mb: float = 1.0
+
+
+class _Stream:
+    """One in-flight bulk transfer on the shared-link model."""
+
+    __slots__ = ("size_mb", "remaining_mb", "changed")
+
+    def __init__(self, size_mb: float):
+        self.size_mb = size_mb
+        self.remaining_mb = size_mb
+        #: Event the ports trigger when membership changes; replaced by
+        #: the transfer loop on every pacing iteration.
+        self.changed: Optional[Event] = None
+
+
+class LinkPort:
+    """One direction of a node's network interface (egress or ingress).
+
+    Concurrent bulk streams crossing the same port split its bandwidth
+    equally (processor sharing).  The port does no pacing itself — it
+    tracks membership, answers :meth:`share`, and pokes every member's
+    ``changed`` event when the population shifts so in-flight transfers
+    re-derive their rate.
+    """
+
+    def __init__(self, env: "Environment", name: str,
+                 bandwidth_mb_s: float):
+        self.env = env
+        self.name = name
+        self.bandwidth_mb_s = bandwidth_mb_s
+        self._streams: List[_Stream] = []
+        # statistics
+        self.transfers = 0
+        self.bytes_mb = 0.0
+        self.max_streams = 0
+        self._busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        self._gauge: Any = None
+
+    @property
+    def active_streams(self) -> int:
+        """Number of bulk streams currently crossing this port."""
+        return len(self._streams)
+
+    def share(self) -> float:
+        """Instantaneous per-stream bandwidth under equal sharing."""
+        return self.bandwidth_mb_s / max(1, len(self._streams))
+
+    def utilisation(self, since: float = 0.0) -> float:
+        """Fraction of sim time since ``since`` the port moved bytes."""
+        busy = self._busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        horizon = self.env.now - since
+        return busy / horizon if horizon > 0 else 0.0
+
+    def join(self, stream: _Stream) -> None:
+        if not self._streams:
+            self._busy_since = self.env.now
+        self._streams.append(stream)
+        self.transfers += 1
+        self.max_streams = max(self.max_streams, len(self._streams))
+        if self._gauge is not None:
+            self._gauge.set(len(self._streams))
+        self.notify(exclude=stream)
+
+    def leave(self, stream: _Stream) -> None:
+        self._streams.remove(stream)
+        self.bytes_mb += stream.size_mb - stream.remaining_mb
+        if not self._streams and self._busy_since is not None:
+            self._busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        if self._gauge is not None:
+            self._gauge.set(len(self._streams))
+        self.notify(exclude=stream)
+
+    def notify(self, exclude: Optional[_Stream] = None) -> None:
+        """Wake every paced transfer so it recomputes its rate."""
+        for member in self._streams:
+            if member is exclude:
+                continue
+            event = member.changed
+            if event is not None and not event.triggered:
+                event.succeed()
 
 
 class Network:
@@ -57,6 +163,9 @@ class Network:
         self.messages_failed = 0
         self.bytes_moved = 0.0
         self.outages = 0
+        #: Per-node directional ports for the shared-link model, keyed
+        #: by ``(node, "egress"|"ingress")`` and created on first use.
+        self._ports: Dict[Tuple[str, str], LinkPort] = {}
         self._metrics: Optional["MetricsRegistry"] = None
         self._metrics_prefix = "net"
 
@@ -91,11 +200,18 @@ class Network:
         """
         self.latency_factor *= latency_scale
         self.bandwidth_factor *= bandwidth_scale
+        self._reprice_streams()
 
     def restore_quality(self) -> None:
         """Reset latency/bandwidth degradation to the healthy baseline."""
         self.latency_factor = 1.0
         self.bandwidth_factor = 1.0
+        self._reprice_streams()
+
+    def _reprice_streams(self) -> None:
+        """Make in-flight shared-link transfers re-derive their rate."""
+        for port in self._ports.values():
+            port.notify()
 
     def _check_link(self) -> None:
         if self._down_count > 0:
@@ -140,7 +256,88 @@ class Network:
         yield from self.message(request_mb)
         yield from self.message(response_mb)
 
-    def pump_chunks(self, reader: Any, sink: Any
+    # ------------------------------------------------------------------
+    # shared-link (per-port processor-sharing) model
+    # ------------------------------------------------------------------
+
+    def port(self, node: str, direction: str) -> LinkPort:
+        """The named node's :class:`LinkPort` (``egress``/``ingress``).
+
+        Ports are created lazily with the cluster link bandwidth, so a
+        node that never takes part in a bulk transfer costs nothing.
+        """
+        if direction not in ("egress", "ingress"):
+            raise ValueError("direction must be egress or ingress, got "
+                             "%r" % (direction,))
+        key = (node, direction)
+        port = self._ports.get(key)
+        if port is None:
+            port = LinkPort(self.env, "%s.%s" % (node, direction),
+                            self.spec.bandwidth_mb_s)
+            if self._metrics is not None:
+                port._gauge = self._metrics.gauge(
+                    "%s.link.%s.streams" % (self._metrics_prefix,
+                                            port.name))
+            self._ports[key] = port
+        return port
+
+    def link_ports(self) -> Dict[str, LinkPort]:
+        """Snapshot of all materialised ports, keyed by port name."""
+        return {port.name: port for port in self._ports.values()}
+
+    def bulk_transfer(self, source: str, destination: str,
+                      size_mb: float) -> Generator[Any, Any, None]:
+        """Ship ``size_mb`` from ``source`` to ``destination``.
+
+        Unlike :meth:`message`, which serialises every large transfer on
+        one cluster-wide channel, this shares bandwidth per *port*: the
+        stream's instantaneous rate is the smaller of its equal share on
+        the source's egress port and on the destination's ingress port,
+        re-evaluated whenever another stream joins or leaves either port
+        (or the link degrades).  Remaining bytes are carried across rate
+        changes, so a stream never pays for bandwidth it did not get —
+        and never double-pays after an interrupt, because membership is
+        torn down in a ``finally``.
+
+        Raises :class:`NetworkDown` under the same outage windows as
+        :meth:`message`: at the start, after the latency hop, and at
+        completion.
+        """
+        self._check_link()
+        self.messages += 1
+        self.bytes_moved += size_mb * 1e6
+        yield self.env.timeout(self.spec.latency * self.latency_factor)
+        self._check_link()
+        if size_mb > 0:
+            egress = self.port(source, "egress")
+            ingress = self.port(destination, "ingress")
+            stream = _Stream(size_mb)
+            egress.join(stream)
+            ingress.join(stream)
+            try:
+                while stream.remaining_mb > _STREAM_EPS:
+                    rate = (min(egress.share(), ingress.share())
+                            / self.bandwidth_factor)
+                    stream.changed = Event(self.env)
+                    started = self.env.now
+                    done = self.env.timeout(stream.remaining_mb / rate)
+                    try:
+                        yield self.env.any_of([done, stream.changed])
+                    finally:
+                        # also runs on Interrupt/close, so a torn-down
+                        # stream is still credited for the bytes it
+                        # moved in its final partial interval
+                        elapsed = self.env.now - started
+                        stream.remaining_mb = max(
+                            0.0, stream.remaining_mb - elapsed * rate)
+            finally:
+                stream.changed = None
+                egress.leave(stream)
+                ingress.leave(stream)
+        self._check_link()
+
+    def pump_chunks(self, reader: Any, sink: Any,
+                    route: Optional[Tuple[str, str]] = None
                     ) -> Generator[Any, Any, int]:
         """Bounded-buffer shipper for the pipelined snapshot path.
 
@@ -158,6 +355,11 @@ class Network:
         consumer observes it at its next ``get``, and the pump exits
         quietly — the migration orchestrator owns retries.  Returns the
         number of chunks shipped.
+
+        With ``route=(source, destination)`` each chunk crosses the
+        shared-link model (:meth:`bulk_transfer`) and contends with
+        other streams on those ports; without it, chunks use the legacy
+        cluster-wide channel of :meth:`message`.
         """
         shipped = 0
         try:
@@ -166,7 +368,11 @@ class Network:
                 if chunk is CLOSED:
                     sink.close()
                     return shipped
-                yield from self.message(chunk.size_mb)
+                if route is not None:
+                    yield from self.bulk_transfer(
+                        route[0], route[1], chunk.size_mb)
+                else:
+                    yield from self.message(chunk.size_mb)
                 yield from sink.put(chunk)
                 shipped += 1
                 if self._metrics is not None:
@@ -187,3 +393,6 @@ class Network:
         """Mirror outage/failure counters into a metrics registry."""
         self._metrics = metrics
         self._metrics_prefix = prefix
+        for port in self._ports.values():
+            port._gauge = metrics.gauge(
+                "%s.link.%s.streams" % (prefix, port.name))

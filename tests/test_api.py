@@ -1,6 +1,6 @@
 """Tests for the redesigned public API surface: the ``repro.api``
-facade, MigrationOptions resolution, and the deprecation shim that
-keeps the old ``migrate(tenant, dst, rates)`` call sites working."""
+facade, MigrationOptions resolution, the retired ``migrate(tenant,
+dst, rates)`` shim, and the scheduler's facade exports."""
 
 import warnings
 
@@ -18,8 +18,9 @@ from repro.workload.simplekv import setup_kv_tenant
 RATES = TransferRates(dump_mb_s=8.0, restore_mb_s=4.0, base_mb=16.0)
 
 FACADE_NAMES = ("Middleware", "MiddlewareConfig", "MigrationOptions",
-                "MigrationReport", "TransferRates", "policy_by_name",
-                "run_benchmark")
+                "MigrationReport", "MigrationScheduler",
+                "ScheduleOptions", "ScheduleReport", "TransferRates",
+                "policy_by_name", "run_benchmark")
 
 
 class TestFacade:
@@ -34,9 +35,17 @@ class TestFacade:
         assert repro.api.MigrationOptions is MigrationOptions
         assert repro.api.TransferRates is TransferRates
 
+    def test_facade_scheduler_names_are_the_canonical_objects(self):
+        from repro.core.scheduler import MigrationScheduler as canonical
+        assert repro.api.MigrationScheduler is canonical
+        assert repro.api.ScheduleOptions is repro.ScheduleOptions
+        assert repro.api.ScheduleReport is repro.ScheduleReport
+
     def test_top_level_package_reexports_options(self):
         assert repro.MigrationOptions is MigrationOptions
         assert "MigrationOptions" in repro.__all__
+        assert "MigrationScheduler" in repro.__all__
+        assert "ScheduleOptions" in repro.__all__
 
     def test_policy_by_name_resolves_madeus(self):
         assert repro.api.policy_by_name("Madeus") is MADEUS
@@ -72,6 +81,30 @@ class TestMigrationOptions:
             MigrationOptions().pipeline = True
 
 
+class TestScheduleOptions:
+    def test_defaults_resolve_to_fifo_unlimited(self):
+        from repro.api import ScheduleOptions
+        resolved = ScheduleOptions().resolve()
+        assert resolved.policy == "fifo"
+        assert resolved.max_concurrent == 0
+        assert isinstance(resolved.migration, MigrationOptions)
+
+    def test_unknown_policy_rejected(self):
+        from repro.api import ScheduleOptions
+        with pytest.raises(ValueError):
+            ScheduleOptions(policy="magic").resolve()
+
+    def test_negative_cap_rejected(self):
+        from repro.api import ScheduleOptions
+        with pytest.raises(ValueError):
+            ScheduleOptions(max_concurrent=-1).resolve()
+
+    def test_options_are_immutable(self):
+        from repro.api import ScheduleOptions
+        with pytest.raises(Exception):
+            ScheduleOptions().policy = "fifo"
+
+
 def _build():
     env = Environment()
     cluster = Cluster(env)
@@ -95,35 +128,24 @@ def _drive_migration(env, cluster, middleware, migrate_call):
     return holder["report"]
 
 
-class TestDeprecationShim:
-    def test_positional_rates_warns_and_still_works(self):
+class TestShimRetired:
+    """The one-release DeprecationWarning shim is gone (ROADMAP)."""
+
+    def test_positional_rates_now_raises_type_error(self):
         env, cluster, middleware = _build()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            report = _drive_migration(
+        with pytest.raises(TypeError, match="MigrationOptions"):
+            _drive_migration(
                 env, cluster, middleware,
                 lambda: middleware.migrate("A", "node1", RATES))
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert deprecations, "positional TransferRates must warn"
-        assert "MigrationOptions(rates=...)" in str(
-            deprecations[0].message)
-        assert report.consistent is True
 
-    def test_keyword_rates_and_standbys_warn_and_still_work(self):
+    def test_keyword_rates_and_standbys_now_raise(self):
         env, cluster, middleware = _build()
         cluster.add_node("node2")
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            report = _drive_migration(
+        with pytest.raises(TypeError):
+            _drive_migration(
                 env, cluster, middleware,
                 lambda: middleware.migrate("A", "node1", rates=RATES,
                                            standbys=["node2"]))
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert deprecations, "rates=/standbys= kwargs must warn"
-        assert report.consistent is True
-        assert cluster.node("node2").instance.has_tenant("A")
 
     def test_options_path_does_not_warn(self):
         env, cluster, middleware = _build()

@@ -140,6 +140,43 @@ class TestGroupCommit:
         assert wal.mean_group_size == 0.0
 
 
+class TestCheckpointerObs:
+    def test_bound_metrics_mirror_checkpoint_activity(self, env):
+        from repro.obs import MetricsRegistry, Tracer
+        disk = Disk(env)
+        spec = CheckpointSpec(interval=10.0, dirty_mb_per_commit=1.0,
+                              min_burst_mb=2.0)
+        ckpt = Checkpointer(env, disk, spec)
+        metrics = MetricsRegistry()
+        tracer = Tracer(env)
+        ckpt.bind_obs(metrics, "node0.checkpoint", tracer=tracer)
+        ckpt.note_commit(count=8)
+        assert metrics.gauge("node0.checkpoint.dirty_mb").value == \
+            pytest.approx(8.0)
+        env.run(until=25)
+        ckpt.stop()
+        env.run()
+        assert metrics.counter("node0.checkpoint.count").value == 2
+        assert metrics.counter(
+            "node0.checkpoint.flushed_mb").value == pytest.approx(10.0)
+        burst = metrics.histogram("node0.checkpoint.burst_s")
+        assert burst.count == 2
+        assert burst.max > 0
+        spans = [s for s in tracer.spans if s.name == "checkpoint"]
+        assert len(spans) == 2
+        assert all(s.end is not None for s in spans)
+        assert spans[0].attrs["flush_mb"] == pytest.approx(8.0)
+
+    def test_unbound_checkpointer_stays_silent(self, env):
+        disk = Disk(env)
+        ckpt = Checkpointer(env, disk, CheckpointSpec(interval=5.0))
+        ckpt.note_commit()
+        env.run(until=6)
+        ckpt.stop()
+        env.run()
+        assert ckpt.checkpoints == 1
+
+
 class TestCheckpointer:
     def test_checkpoints_fire_on_interval(self, env):
         disk = Disk(env)

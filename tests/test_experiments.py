@@ -149,6 +149,17 @@ class TestMultitenant:
         assert answer in ("heavy", "light")
         assert isinstance(reasons, list)
 
+    def test_parallel_evacuation_beats_serialized(self):
+        result = multitenant.run_parallel_evacuation(SMOKE)
+        assert result.schedule.ok_count == 2
+        assert result.schedule.max_in_flight == 2
+        assert result.concurrent_wall_clock < \
+            result.serialized_wall_clock
+        assert 0.0 < result.improvement < 1.0
+        text = multitenant.report_parallel(result)
+        assert "Parallel evacuation" in text
+        assert "tenant A" in text and "tenant C" in text
+
 
 class TestCostModelCli:
     def test_main_prints(self, capsys):

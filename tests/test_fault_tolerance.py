@@ -15,7 +15,7 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.core import (B_CON, MADEUS, Middleware, MiddlewareConfig,
-                        states_equal)
+                        MigrationOptions, states_equal)
 from repro.engine.dump import TransferRates
 from repro.errors import CatchUpTimeout, MigrationError
 from repro.faults import FaultInjector, FaultPlan
@@ -82,7 +82,8 @@ class TestStandbyCrash:
 
         def main(env):
             holder["report"] = yield from middleware.migrate(
-                "A", "node1", RATES, standbys=["node2"])
+                "A", "node1",
+                MigrationOptions(rates=RATES, standbys=["node2"]))
         env.process(main(env))
         env.run()
         report = holder["report"]
@@ -112,7 +113,8 @@ class TestStandbyCrash:
 
         def main(env):
             holder["report"] = yield from middleware.migrate(
-                "A", "node1", RATES, standbys=["node2"])
+                "A", "node1",
+                MigrationOptions(rates=RATES, standbys=["node2"]))
         env.process(main(env))
         env.run()
         report = holder["report"]
@@ -132,7 +134,8 @@ class TestDestinationCrash:
 
         def main(env):
             holder["report"] = yield from middleware.migrate(
-                "A", "node1", RATES, standbys=["node2"])
+                "A", "node1",
+                MigrationOptions(rates=RATES, standbys=["node2"]))
         env.process(main(env))
         env.run()
         report = holder["report"]
@@ -158,7 +161,8 @@ class TestDestinationCrash:
 
         def main(env):
             try:
-                yield from middleware.migrate("A", "node1", RATES)
+                yield from middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES))
             except MigrationError as exc:
                 holder["error"] = exc
             # the tenant must still be fully usable on the source
@@ -192,7 +196,8 @@ class TestDestinationCrash:
 
         def main(env):
             try:
-                yield from middleware.migrate("A", "node1", RATES)
+                yield from middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES))
             except MigrationError as exc:
                 holder["error"] = exc
             # wind down, repair the node, retry the same move
@@ -201,7 +206,7 @@ class TestDestinationCrash:
             if dest.has_tenant("A"):
                 dest.drop_tenant("A")
             holder["report"] = yield from middleware.migrate(
-                "A", "node1", RATES)
+                "A", "node1", MigrationOptions(rates=RATES))
         env.process(main(env))
         env.run()
         assert "error" in holder
@@ -227,7 +232,7 @@ class TestShipRetries:
 
         def main(env):
             holder["report"] = yield from middleware.migrate(
-                "A", "node1", RATES)
+                "A", "node1", MigrationOptions(rates=RATES))
         env.process(main(env))
         env.run()
         report = holder["report"]
@@ -250,7 +255,8 @@ class TestShipRetries:
 
         def main(env):
             try:
-                yield from middleware.migrate("A", "node1", RATES)
+                yield from middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES))
             except MigrationError as exc:
                 holder["error"] = exc
         env.process(main(env))
@@ -276,7 +282,8 @@ class TestDivergenceWatchdog:
 
         def main(env):
             try:
-                yield from middleware.migrate("A", "node1", RATES)
+                yield from middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES))
             except CatchUpTimeout as exc:
                 holder["timeout"] = exc
                 holder["at"] = env.now
@@ -304,8 +311,9 @@ class TestAbortCleanup:
 
         def main(env):
             try:
-                yield from middleware.migrate("A", "node1", RATES,
-                                              standbys=["node2"])
+                yield from middleware.migrate(
+                "A", "node1",
+                MigrationOptions(rates=RATES, standbys=["node2"]))
             except CatchUpTimeout as exc:
                 holder["timeout"] = exc
         env.process(main(env))
@@ -328,7 +336,8 @@ class TestAbortCleanup:
 
         def main(env):
             try:
-                yield from middleware.migrate("A", "node1", RATES)
+                yield from middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES))
             except CatchUpTimeout as exc:
                 holder["timeout"] = exc
         env.process(main(env))
@@ -361,7 +370,8 @@ class TestInjectorDrivenMigration:
 
         def main(env):
             holder["report"] = yield from middleware.migrate(
-                "A", "node1", RATES, standbys=["node2"])
+                "A", "node1",
+                MigrationOptions(rates=RATES, standbys=["node2"]))
         env.process(main(env))
         env.run()
         report = holder["report"]

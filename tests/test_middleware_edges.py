@@ -4,7 +4,8 @@ autocommit statements, and the suspension gate."""
 import pytest
 
 from repro.cluster import Cluster
-from repro.core import MADEUS, Middleware, MiddlewareConfig
+from repro.core import (MADEUS, Middleware, MiddlewareConfig,
+                        MigrationOptions)
 from repro.engine.dump import TransferRates
 from repro.errors import RoutingError
 from repro.sim import Environment
@@ -146,8 +147,9 @@ class TestConnectionStats:
                 conn, "SELECT v FROM kv WHERE k = 0")
             first = conn.session().instance.name
             yield from middleware.migrate(
-                "A", "node1", TransferRates(dump_mb_s=50.0,
-                                            restore_mb_s=20.0))
+                "A", "node1", MigrationOptions(
+                    rates=TransferRates(dump_mb_s=50.0,
+                                        restore_mb_s=20.0)))
             yield from middleware.submit(
                 conn, "SELECT v FROM kv WHERE k = 0")
             return first, conn.session().instance.name

@@ -10,7 +10,8 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.core import (ALL_POLICIES, B_ALL, B_CON, B_MIN, MADEUS,
-                        Middleware, MiddlewareConfig)
+                        Middleware, MiddlewareConfig,
+                        MigrationOptions)
 from repro.engine.dump import TransferRates
 from repro.errors import CatchUpTimeout, MigrationError, RoutingError
 from repro.sim import Environment, StreamFactory
@@ -46,7 +47,8 @@ def run_migration(env, policy, *, clients=6, txns=60, read_ratio=0.4,
                                   think_time=0.02)
         workload = run_kv_clients(env, middleware, "A", config, seed=seed)
         yield env.timeout(migrate_after)
-        report = yield from middleware.migrate("A", "node1", RATES)
+        report = yield from middleware.migrate(
+            "A", "node1", MigrationOptions(rates=RATES))
         holder["report"] = report
         holder["workload"] = workload
     env.process(main(env))
@@ -85,7 +87,8 @@ class TestMigrationConsistency:
             yield from setup_kv_tenant(cluster.node("node0").instance,
                                        "A", 10)
             middleware.register_tenant("A", "node0")
-            report = yield from middleware.migrate("A", "node1", RATES)
+            report = yield from middleware.migrate(
+                "A", "node1", MigrationOptions(rates=RATES))
             conn = middleware.connect("A")
             yield from middleware.submit(conn, "BEGIN")
             yield from middleware.submit(conn,
@@ -175,7 +178,8 @@ class TestMigrationErrors:
 
         def proc(env):
             try:
-                yield from middleware.migrate("ghost", "node1", RATES)
+                yield from middleware.migrate(
+                    "ghost", "node1", MigrationOptions(rates=RATES))
             except RoutingError as exc:
                 return str(exc)
         assert "ghost" in drive(env, proc(env))
@@ -188,7 +192,8 @@ class TestMigrationErrors:
                                        "A", 5)
             middleware.register_tenant("A", "node0")
             try:
-                yield from middleware.migrate("A", "node0", RATES)
+                yield from middleware.migrate(
+                    "A", "node0", MigrationOptions(rates=RATES))
             except MigrationError as exc:
                 return str(exc)
         assert "already on" in drive(env, proc(env))
@@ -208,11 +213,13 @@ class TestMigrationErrors:
             def second(env):
                 yield env.timeout(0.5)
                 try:
-                    yield from middleware.migrate("A", "node1", RATES)
+                    yield from middleware.migrate(
+                        "A", "node1", MigrationOptions(rates=RATES))
                 except MigrationError as exc:
                     errors.append(str(exc))
             env.process(second(env))
-            yield from middleware.migrate("A", "node1", RATES)
+            yield from middleware.migrate(
+                "A", "node1", MigrationOptions(rates=RATES))
         env.process(main(env))
         env.run()
         assert errors and "already migrating" in errors[0]
@@ -237,7 +244,8 @@ class TestMigrationErrors:
             run_kv_clients(env, middleware, "A", config, seed=3)
             yield env.timeout(0.05)
             try:
-                yield from middleware.migrate("A", "node1", RATES)
+                yield from middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES))
             except CatchUpTimeout as exc:
                 outcome["timeout"] = exc
         env.process(main(env))
@@ -262,7 +270,8 @@ class TestMigrationErrors:
             run_kv_clients(env, middleware, "A", config, seed=9)
             yield env.timeout(0.02)
             try:
-                yield from middleware.migrate("A", "node1", RATES)
+                yield from middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES))
             except CatchUpTimeout as exc:
                 outcome["first"] = exc
             # allow the orphaned propagation to wind down, then retry
@@ -270,7 +279,8 @@ class TestMigrationErrors:
             yield env.timeout(2.0)
             middleware.config.catchup_deadline = None
             cluster.node("node1").instance.drop_tenant("A")
-            report = yield from middleware.migrate("A", "node1", RATES)
+            report = yield from middleware.migrate(
+                "A", "node1", MigrationOptions(rates=RATES))
             outcome["second"] = report
         env.process(main(env))
         env.run()

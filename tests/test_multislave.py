@@ -4,7 +4,8 @@ several slaves, and surviving a standby failure mid-migration."""
 import pytest
 
 from repro.cluster import Cluster
-from repro.core import MADEUS, Middleware, MiddlewareConfig, states_equal
+from repro.core import (MADEUS, Middleware, MiddlewareConfig,
+                        MigrationOptions, states_equal)
 from repro.engine.dump import TransferRates
 from repro.errors import MigrationError
 from repro.sim import Environment
@@ -49,8 +50,9 @@ def run_multislave(env, *, fail_standby_at=None, keys=30, clients=5,
                 if state.standby_propagators:
                     middleware.fail_standby("A", "node2")
             env.process(failer(env))
-        report = yield from middleware.migrate("A", "node1", RATES,
-                                               standbys=["node2"])
+        report = yield from middleware.migrate(
+                "A", "node1",
+                MigrationOptions(rates=RATES, standbys=["node2"]))
         holder["report"] = report
         holder["workload"] = workload
     env.process(main(env))
@@ -110,8 +112,9 @@ class TestMultiSlave:
                                        "A", 5)
             middleware.register_tenant("A", "node0")
             try:
-                yield from middleware.migrate("A", "node1", RATES,
-                                              standbys=["node1"])
+                yield from middleware.migrate(
+                "A", "node1",
+                MigrationOptions(rates=RATES, standbys=["node1"]))
             except MigrationError as exc:
                 return str(exc)
         result = env.process(main(env))
@@ -126,8 +129,9 @@ class TestMultiSlave:
                                        "A", 5)
             middleware.register_tenant("A", "node0")
             try:
-                yield from middleware.migrate("A", "node1", RATES,
-                                              standbys=["node0"])
+                yield from middleware.migrate(
+                "A", "node1",
+                MigrationOptions(rates=RATES, standbys=["node0"]))
             except MigrationError as exc:
                 return str(exc)
         result = env.process(main(env))

@@ -4,7 +4,8 @@ import pytest
 
 from repro.cli import main as cli_main
 from repro.cluster import Cluster
-from repro.core import MADEUS, Middleware, MiddlewareConfig
+from repro.core import (MADEUS, Middleware, MiddlewareConfig,
+                        MigrationOptions)
 from repro.engine.dump import TransferRates
 from repro.errors import CatchUpTimeout
 from repro.obs import check_phase_order, read_trace, write_trace
@@ -39,7 +40,7 @@ def run_small_migration(env, policy=MADEUS, deadline=None,
         yield env.timeout(migrate_after)
         try:
             holder["report"] = yield from middleware.migrate(
-                "A", "node1", RATES)
+                "A", "node1", MigrationOptions(rates=RATES))
         except CatchUpTimeout as exc:
             holder["timeout"] = exc
     env.process(main(env))

@@ -10,7 +10,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Cluster
 from repro.core import (ALL_POLICIES, MADEUS, Middleware,
-                        MiddlewareConfig, mapping_function_output)
+                        MiddlewareConfig, MigrationOptions,
+                        mapping_function_output)
 from repro.engine.dump import TransferRates
 from repro.sim import Environment
 from repro.workload.simplekv import (KvWorkloadConfig, run_kv_clients,
@@ -100,7 +101,8 @@ def test_migration_preserves_state_for_any_policy(scenario):
         workload = run_kv_clients(env, middleware, "A", config,
                                   seed=scenario["seed"])
         yield env.timeout(scenario["migrate_after"])
-        report = yield from middleware.migrate("A", "node1", RATES)
+        report = yield from middleware.migrate(
+            "A", "node1", MigrationOptions(rates=RATES))
         holder["report"] = report
         holder["workload"] = workload
     env.process(main(env))
@@ -142,7 +144,8 @@ def test_group_commit_flushes_never_exceed_commits(seed):
                                   read_only_ratio=0.2, think_time=0.005)
         run_kv_clients(env, middleware, "A", config, seed=seed)
         yield env.timeout(0.05)
-        yield from middleware.migrate("A", "node1", RATES)
+        yield from middleware.migrate(
+            "A", "node1", MigrationOptions(rates=RATES))
     env.process(main(env))
     env.run()
     wal = node1.instance.wal

@@ -1,0 +1,314 @@
+"""Tests for the shared-link bandwidth model and the multi-tenant
+migration scheduler.
+
+Timing assertions are *relative* only (stream A vs stream B, concurrent
+vs serialized) per the ROADMAP tolerance policy — never absolute
+seconds."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (
+    MADEUS,
+    Middleware,
+    MiddlewareConfig,
+    MigrationOptions,
+    MigrationScheduler,
+    ScheduleOptions,
+)
+from repro.engine import TransferRates
+from repro.errors import MigrationError
+from repro.net import Network, NetworkSpec
+from repro.sim import Environment, Interrupt
+from repro.workload.simplekv import setup_kv_tenant
+
+from _helpers import drive
+
+RATES = TransferRates(dump_mb_s=8.0, restore_mb_s=4.0, base_mb=64.0,
+                      chunk_mb=8.0)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def _transfer(env, net, done, name, src, dst, mb, delay=0.0):
+    def player(env):
+        if delay:
+            yield env.timeout(delay)
+        try:
+            yield from net.bulk_transfer(src, dst, mb)
+        except Interrupt:
+            return
+        done[name] = env.now
+    return env.process(player(env), name=name)
+
+
+class TestLinkContention:
+    def test_two_streams_on_one_link_take_twice_as_long(self, env):
+        net = Network(env, NetworkSpec(latency=0.0,
+                                       bandwidth_mb_s=100.0))
+        done = {}
+        _transfer(env, net, done, "solo", "n0", "n1", 100)
+        env.run()
+        solo = done["solo"]
+        env2 = Environment()
+        net2 = Network(env2, NetworkSpec(latency=0.0,
+                                        bandwidth_mb_s=100.0))
+        done2 = {}
+        _transfer(env2, net2, done2, "a", "n0", "n1", 100)
+        _transfer(env2, net2, done2, "b", "n0", "n1", 100)
+        env2.run()
+        # equal halves of the link: both finish together at ~2x solo
+        assert done2["a"] == pytest.approx(done2["b"])
+        assert done2["a"] == pytest.approx(2.0 * solo, rel=0.01)
+
+    def test_disjoint_links_do_not_contend(self, env):
+        net = Network(env, NetworkSpec(latency=0.0,
+                                       bandwidth_mb_s=100.0))
+        done = {}
+        _transfer(env, net, done, "a", "n0", "n1", 100)
+        _transfer(env, net, done, "b", "n2", "n3", 100)
+        env.run()
+        assert done["a"] == pytest.approx(done["b"])
+        solo_env = Environment()
+        solo_net = Network(solo_env, NetworkSpec(latency=0.0,
+                                                 bandwidth_mb_s=100.0))
+        solo_done = {}
+        _transfer(solo_env, solo_net, solo_done, "solo",
+                  "n0", "n1", 100)
+        solo_env.run()
+        assert done["a"] == pytest.approx(solo_done["solo"])
+
+    def test_late_joiner_slows_then_leaves_and_speeds_up(self, env):
+        net = Network(env, NetworkSpec(latency=0.0,
+                                       bandwidth_mb_s=100.0))
+        done = {}
+        _transfer(env, net, done, "long", "n0", "n1", 100)
+        _transfer(env, net, done, "short", "n0", "n1", 50, delay=0.5)
+        env.run()
+        # long runs alone 0.5 s (50 MB), shares 1.0 s (50 MB each),
+        # and both finish together at 1.5 s — remaining-byte carrying
+        # across rate changes, no lost or double-counted bandwidth.
+        assert done["short"] == pytest.approx(1.5)
+        assert done["long"] == pytest.approx(1.5)
+
+    def test_ports_account_bytes_and_quiesce(self, env):
+        net = Network(env, NetworkSpec(latency=0.0,
+                                       bandwidth_mb_s=100.0))
+        done = {}
+        _transfer(env, net, done, "a", "n0", "n1", 60)
+        _transfer(env, net, done, "b", "n0", "n2", 40)
+        env.run()
+        egress = net.port("n0", "egress")
+        assert egress.active_streams == 0
+        assert egress.transfers == 2
+        assert egress.bytes_mb == pytest.approx(100.0)
+        assert egress.max_streams == 2
+        assert net.port("n1", "ingress").bytes_mb == pytest.approx(60.0)
+        assert 0.0 < egress.utilisation() <= 1.0
+
+    def test_interrupted_stream_frees_its_share(self, env):
+        net = Network(env, NetworkSpec(latency=0.0,
+                                       bandwidth_mb_s=100.0))
+        done = {}
+        _transfer(env, net, done, "keeper", "n0", "n1", 100)
+        victim = _transfer(env, net, done, "victim", "n0", "n1", 100)
+
+        def killer(env):
+            yield env.timeout(0.5)
+            victim.interrupt("cancelled")
+        env.process(killer(env))
+        env.run()
+        # 0.5 s shared (25 MB each), then keeper alone: 75 MB at full
+        # rate -> finishes at 1.25 s, not the 2.0 s of two full streams
+        assert "victim" not in done
+        assert done["keeper"] == pytest.approx(1.25)
+        egress = net.port("n0", "egress")
+        assert egress.active_streams == 0
+        # the victim is charged only for the bytes it actually moved
+        assert egress.bytes_mb == pytest.approx(125.0)
+
+    def test_degrade_repricing_applies_mid_stream(self, env):
+        net = Network(env, NetworkSpec(latency=0.0,
+                                       bandwidth_mb_s=100.0))
+        done = {}
+        _transfer(env, net, done, "a", "n0", "n1", 100)
+
+        def degrader(env):
+            yield env.timeout(0.5)
+            net.degrade(bandwidth_scale=2.0)
+        env.process(degrader(env))
+        env.run()
+        # 50 MB at 100 MB/s, then 50 MB at 50 MB/s -> 1.5 s
+        assert done["a"] == pytest.approx(1.5)
+
+
+def _build_kv_testbed(env, tenants, nodes=("node0", "node1"),
+                      keys=12, network_spec=None):
+    cluster = Cluster(env, network_spec)
+    for name in nodes:
+        cluster.add_node(name)
+    middleware = Middleware(env, cluster, MiddlewareConfig(
+        policy=MADEUS, verify_consistency=True))
+
+    def setup(env):
+        for tenant, node, size_mb in tenants:
+            yield from setup_kv_tenant(
+                cluster.node(node).instance, tenant, keys)
+            db = cluster.node(node).instance.tenant(tenant)
+            db.size_multiplier = 0.0
+            db.fixed_overhead_mb = size_mb
+            middleware.register_tenant(tenant, node)
+    drive(env, setup(env))
+    return cluster, middleware
+
+
+def _run_schedule(env, middleware, jobs, options=None):
+    scheduler = MigrationScheduler(middleware, options)
+    for tenant, destination in jobs:
+        scheduler.submit(tenant, destination,
+                         MigrationOptions(rates=RATES))
+    proc = scheduler.start()
+    env.run()
+    return proc.value
+
+
+class TestMigrationScheduler:
+    def test_concurrent_beats_serialized_wall_clock(self):
+        tenants = [("T1", "node0", 32.0), ("T2", "node0", 32.0),
+                   ("T3", "node0", 32.0)]
+        # serialized: one at a time
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(env, tenants)
+
+        def serial(env):
+            for tenant, _, _ in tenants:
+                yield from middleware.migrate(
+                    tenant, "node1", MigrationOptions(rates=RATES))
+            return env.now
+        start = env.now
+        serial_wall = drive(env, serial(env)) - start
+        # concurrent: same three under the scheduler
+        env2 = Environment()
+        cluster2, middleware2 = _build_kv_testbed(env2, tenants)
+        report = _run_schedule(env2, middleware2,
+                               [(t, "node1") for t, _, _ in tenants])
+        assert report.ok_count == 3
+        assert report.max_in_flight == 3
+        assert report.wall_clock < serial_wall * 0.9
+        for job in report.jobs:
+            assert job.report.consistent is True
+            assert middleware2.route(job.tenant) == "node1"
+
+    def test_admission_cap_bounds_in_flight_and_queues(self):
+        tenants = [("T1", "node0", 24.0), ("T2", "node0", 24.0),
+                   ("T3", "node0", 24.0)]
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(env, tenants)
+        report = _run_schedule(
+            env, middleware, [(t, "node1") for t, _, _ in tenants],
+            ScheduleOptions(max_concurrent=1))
+        assert report.ok_count == 3
+        assert report.max_in_flight == 1
+        waits = sorted(job.queue_wait for job in report.jobs)
+        assert waits[0] == pytest.approx(0.0)
+        assert waits[-1] > 0.0
+        assert report.total_queue_wait == pytest.approx(sum(waits))
+        hist = middleware.metrics.histogram("scheduler.queue_wait")
+        assert hist.count == 3
+
+    def test_smallest_first_admits_by_size(self):
+        tenants = [("BIG", "node0", 48.0), ("MID", "node0", 24.0),
+                   ("TINY", "node0", 8.0)]
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(env, tenants)
+        report = _run_schedule(
+            env, middleware, [(t, "node1") for t, _, _ in tenants],
+            ScheduleOptions(policy="smallest-first", max_concurrent=1))
+        assert [job.tenant for job in report.jobs] == \
+            ["TINY", "MID", "BIG"]
+        starts = [job.started_at for job in report.jobs]
+        assert starts == sorted(starts)
+
+    def test_round_robin_interleaves_sources(self):
+        tenants = [("A1", "node0", 8.0), ("A2", "node0", 8.0),
+                   ("B1", "node2", 8.0), ("B2", "node2", 8.0)]
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(
+            env, tenants, nodes=("node0", "node1", "node2"))
+        report = _run_schedule(
+            env, middleware, [(t, "node1") for t, _, _ in tenants],
+            ScheduleOptions(policy="round-robin"))
+        assert [job.tenant for job in report.jobs] == \
+            ["A1", "B1", "A2", "B2"]
+        assert report.ok_count == 4
+
+    def test_one_failed_job_does_not_stop_the_schedule(self):
+        tenants = [("T1", "node0", 16.0), ("T2", "node0", 16.0)]
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(env, tenants)
+        scheduler = MigrationScheduler(middleware)
+        # T1's "migration" to its own node is rejected up front
+        scheduler.submit("T1", "node0",
+                         MigrationOptions(rates=RATES))
+        scheduler.submit("T2", "node1",
+                         MigrationOptions(rates=RATES))
+        proc = scheduler.start()
+        env.run()
+        report = proc.value
+        bad = report.job("T1")
+        assert bad.outcome == "failed"
+        assert "already on" in bad.error
+        good = report.job("T2")
+        assert good.outcome == "ok"
+        assert middleware.route("T2") == "node1"
+
+    def test_schedule_observability(self):
+        tenants = [("T1", "node0", 16.0), ("T2", "node0", 16.0)]
+        env = Environment()
+        # wire slower than the dumps, so both snapshot streams are
+        # guaranteed to overlap on node0's egress port
+        cluster, middleware = _build_kv_testbed(
+            env, tenants,
+            network_spec=NetworkSpec(latency=0.0001,
+                                     bandwidth_mb_s=4.0))
+        report = _run_schedule(env, middleware,
+                               [(t, "node1") for t, _, _ in tenants])
+        gauge = middleware.metrics.gauge("scheduler.concurrent")
+        assert gauge.max_value == 2
+        assert gauge.value == 0
+        assert middleware.metrics.counter(
+            "scheduler.jobs_ok").value == 2
+        spans = [s for s in middleware.tracer.spans
+                 if s.name == "schedule"]
+        assert len(spans) == 1 and spans[0].end is not None
+        jobs = [s for s in middleware.tracer.spans
+                if s.name == "schedule.job"]
+        assert len(jobs) == 2
+        # the shared link carried both snapshot streams
+        assert report.link_utilisation
+        assert "node0.egress" in report.link_utilisation
+        streams = middleware.metrics.gauge(
+            "net.link.node0.egress.streams")
+        assert streams.max_value >= 2
+
+    def test_submit_while_running_rejected(self):
+        tenants = [("T1", "node0", 16.0)]
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(env, tenants)
+        scheduler = MigrationScheduler(middleware)
+        scheduler.submit("T1", "node1", MigrationOptions(rates=RATES))
+        scheduler.start()
+        env.run(until=env.now + 0.001)
+        with pytest.raises(MigrationError):
+            scheduler.submit("T1", "node1")
+        env.run()
+
+    def test_empty_schedule_reports_cleanly(self, env):
+        cluster, middleware = _build_kv_testbed(env, [])
+        report = _run_schedule(env, middleware, [])
+        assert report.jobs == []
+        assert report.ok_count == 0
+        assert report.wall_clock == 0.0
