@@ -72,7 +72,10 @@ def check_phase_order(spans):
     for span in spans:
         if span.get("kind") != "phase":
             continue
-        by_migration.setdefault(span.get("parent_id"), []).append(span)
+        # the exporter writes the parent link as "parent"; accept the
+        # older "parent_id" spelling too
+        parent = span.get("parent", span.get("parent_id"))
+        by_migration.setdefault(parent, []).append(span)
     if not by_migration:
         return ["no phase spans found"]
     for parent, phases in sorted(by_migration.items(),
@@ -161,6 +164,69 @@ def check_outcome(expected, spans, events):
     return failures
 
 
+def check_owner_count(expected, spans, events):
+    """Failures for ``--expect-owner-count``.
+
+    Two structural facts, both read straight from the trace: every
+    migration span names exactly ``expected`` owner(s) of the tenant
+    (the two-step handover guarantees exactly one — never zero, never
+    two), and the handover journal balances: every ``handover.prepare``
+    is resolved by exactly one ``handover.commit`` or
+    ``handover.rollback``.
+    """
+    failures = []
+    migrations = [s for s in spans if s.get("kind") == "migration"]
+    if not migrations:
+        return ["no migration span found for --expect-owner-count"]
+    for span in migrations:
+        owner = span.get("attrs", {}).get("owner")
+        owners = 1 if owner else 0
+        if owners != expected:
+            failures.append(
+                "migration %s names %d owner(s) (%r), expected %d"
+                % (span.get("id"), owners, owner, expected))
+    prepares = count_events(events, "handover.prepare")
+    resolutions = (count_events(events, "handover.commit")
+                   + count_events(events, "handover.rollback"))
+    if prepares != resolutions:
+        failures.append(
+            "handover journal unbalanced: %d prepare(s) but %d "
+            "commit/rollback resolution(s)" % (prepares, resolutions))
+    return failures
+
+
+def max_overlapping_faults(spans, events):
+    """Largest number of fault windows active at one instant.
+
+    Fault windows are the ``fault``-kind spans the injector records; an
+    open end (a fault that never healed) extends to the end of the
+    trace.  Windows that merely touch (one ends exactly when the next
+    starts) do not count as overlapping.
+    """
+    fault_spans = [s for s in spans if s.get("kind") == "fault"]
+    if not fault_spans:
+        return 0
+    horizon = 0.0
+    for span in spans:
+        horizon = max(horizon, span.get("start") or 0.0,
+                      span.get("end") or 0.0)
+    for event in events:
+        horizon = max(horizon, event.get("time") or 0.0)
+    deltas = []
+    for span in fault_spans:
+        end = span.get("end")
+        deltas.append((span.get("start", 0.0), 1))
+        deltas.append((horizon if end is None else end, -1))
+    # close windows before opening new ones at the same instant, so
+    # back-to-back faults are not miscounted as concurrent
+    deltas.sort(key=lambda item: (item[0], item[1]))
+    active = peak = 0
+    for _time, delta in deltas:
+        active += delta
+        peak = max(peak, active)
+    return peak
+
+
 def check_file(path, args):
     """Return a list of failures for one trace file."""
     failures = []
@@ -175,6 +241,17 @@ def check_file(path, args):
         if injected < args.min_fault_events:
             failures.append("fault.injected events = %d < required %d"
                             % (injected, args.min_fault_events))
+
+    if args.expect_owner_count is not None:
+        failures.extend(check_owner_count(args.expect_owner_count,
+                                          spans, events))
+
+    if args.min_overlapping_faults is not None:
+        overlap = max_overlapping_faults(spans, events)
+        if overlap < args.min_overlapping_faults:
+            failures.append(
+                "max overlapping fault windows = %d < required %d"
+                % (overlap, args.min_overlapping_faults))
 
     if args.expect_standby_dropped is not None:
         dropped = metric_value(metrics, "migration.standby_dropped")
@@ -251,6 +328,16 @@ def main(argv=None):
     parser.add_argument("--expect-standby-dropped", type=int,
                         default=None,
                         help="exact migration.standby_dropped count")
+    parser.add_argument("--expect-owner-count", type=int, default=None,
+                        help="owners each migration span must name "
+                             "(the two-step handover guarantees 1), "
+                             "and require the handover journal to "
+                             "balance prepares against resolutions")
+    parser.add_argument("--min-overlapping-faults", type=int,
+                        default=None,
+                        help="minimum number of fault windows that "
+                             "must be active at one instant (multi-"
+                             "fault chaos runs)")
     args = parser.parse_args(argv)
 
     exit_code = 0

@@ -41,6 +41,7 @@ from ..errors import (
     NetworkDown,
     NodeCrashed,
     RoutingError,
+    SourceCrashed,
 )
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import MIGRATION, Tracer
@@ -93,6 +94,11 @@ class MiddlewareConfig:
     #: Chunks the dump may run ahead of the slowest destination (also
     #: the per-destination in-flight channel capacity).
     pipeline_depth: int = 4
+    #: Durable-write latency of the handover journal's ``ready`` record
+    #: (the commit point of the two-step ownership switch).  The switch
+    #: is only crash-atomic because this record hits stable storage
+    #: before the routing entry flips, so the write costs real time.
+    handover_journal_sync: float = 0.002
 
 
 @dataclass(frozen=True)
@@ -227,6 +233,11 @@ class MigrationReport:
     pipelined: bool = False
     #: Chunks the streamed dump emitted (0 on the serial path).
     chunks: int = 0
+    #: The master (source) node crashed at some point mid-migration.
+    source_crashed: bool = False
+    #: Node owning the tenant when the migration ended — the (possibly
+    #: failed-over) destination on success, the source on any abort.
+    owner: str = ""
 
     @property
     def migration_time(self) -> float:
@@ -252,6 +263,42 @@ class MigrationReport:
     def switch_time(self) -> float:
         """Step 4 duration (suspend, drain, switch-over, resume)."""
         return self.ended_at - self.caught_up_at
+
+
+#: HandoverRecord lifecycle states.
+HANDOVER_PREPARED = "prepared"
+HANDOVER_READY = "ready"
+HANDOVER_COMMITTED = "committed"
+HANDOVER_ROLLED_BACK = "rolled-back"
+
+
+@dataclass
+class HandoverRecord:
+    """Journal entry for the two-step atomic ownership switch (Step 4).
+
+    The routing flip at the end of the handover phase is the only moment
+    ownership changes, so a crash racing it must resolve to exactly one
+    owner — never zero, never two.  The manager journals the switch:
+
+    * ``prepared`` — handover entered; the source still owns the tenant.
+    * ``ready`` — every active transaction and every propagator drained;
+      the destination holds all remotely-committed state (commits link
+      their SSBs into the SSL at commit time, and the drain delivered
+      them), so from here the switch can only *roll forward*.
+    * ``committed`` / ``rolled-back`` — resolved: routing points at the
+      destination / source respectively and the record is inert.
+
+    :meth:`Middleware.recover_routing` applies the recovery rule to an
+    in-doubt record; :meth:`Middleware.owners` reads the same rule
+    without mutating anything.
+    """
+
+    tenant: str
+    source: str
+    destination: str
+    prepared_at: float
+    state: str = HANDOVER_PREPARED
+    resolved_at: Optional[float] = None
 
 
 class Connection:
@@ -298,6 +345,9 @@ class Middleware:
         self.cluster.network.bind_obs(self.metrics)
         self._tenants: Dict[str, TenantState] = {}
         self._routes: Dict[str, str] = {}
+        #: Two-step ownership-switch journal, one record per tenant for
+        #: the most recent handover (see :class:`HandoverRecord`).
+        self._handovers: Dict[str, HandoverRecord] = {}
         self.validator: Optional[LsirValidator] = (
             LsirValidator() if self.config.validate_lsir else None)
         self.reports: List[MigrationReport] = []
@@ -323,6 +373,56 @@ class Middleware:
         if node is None:
             raise RoutingError("tenant %r is not registered" % tenant)
         return node
+
+    def owners(self, tenant: str) -> List[str]:
+        """The node(s) that own ``tenant`` — by design exactly one.
+
+        Outside a handover (or once the journal record resolved) this is
+        the routing entry.  With an in-doubt :class:`HandoverRecord` the
+        recovery rule applies without mutating anything: ``prepared``
+        rolls back (source owns), ``ready`` rolls forward (destination
+        owns — it already holds every remotely-committed transaction).
+        A list so tests can assert ``len(owners(t)) == 1`` as the
+        exactly-one-owner invariant rather than trusting the type.
+        """
+        route = self.route(tenant)
+        record = self._handovers.get(tenant)
+        if record is None or record.state in (HANDOVER_COMMITTED,
+                                              HANDOVER_ROLLED_BACK):
+            return [route]
+        if record.state == HANDOVER_READY:
+            return [record.destination]
+        return [record.source]
+
+    def recover_routing(self, tenant: str) -> str:
+        """Resolve an in-doubt handover after a crash; return the owner.
+
+        Applies the :class:`HandoverRecord` recovery rule *with* side
+        effects: a ``ready`` record commits (the destination drained
+        every remotely-committed transaction before the record was
+        marked ready, so rolling forward loses nothing), a ``prepared``
+        record rolls back to the source.  Either way the tenant's
+        migration scaffolding is torn down and the gate reopens, so the
+        single surviving owner serves reads and writes again.
+        """
+        state = self.tenant_state(tenant)
+        record = self._handovers.get(tenant)
+        if record is not None and record.state == HANDOVER_READY:
+            self._commit_handover(record, recovered=True)
+        elif record is not None and record.state == HANDOVER_PREPARED:
+            self._rollback_handover(record, reason="crash_recovery")
+        if state.migrating or state.propagator is not None:
+            state.migrating = False
+            if state.propagator is not None:
+                state.propagator.request_stop()
+                state.propagator = None
+            state.ssl.take_all()
+            for name in sorted(state.standby_propagators):
+                self._drop_standby(state, name, phase="recovery",
+                                   reason="handover recovery")
+        if not state.gate.is_open:
+            state.gate.open()
+        return self.owners(tenant)[0]
 
     def tenant_state(self, tenant: str) -> TenantState:
         """Middleware-side state of a tenant."""
@@ -596,6 +696,11 @@ class Middleware:
         dest_instance = self.cluster.node(destination).instance
         standby_instances = {name: self.cluster.node(name).instance
                              for name in standbys}
+        # Supervise the master for the whole migration: a source crash
+        # must abort (Section 4.2) even in phases where nothing else
+        # would notice — the middleware buffers the syncsets, so replay
+        # could quietly finish against a dead master.
+        source_down = source_instance.wait_crashed()
         report = MigrationReport(tenant, source, destination,
                                  self.config.policy.name,
                                  started_at=self.env.now,
@@ -631,18 +736,19 @@ class Middleware:
                 report, migration_span, phase_span, restore_errors,
                 retry_backoff)
             if isinstance(dump_error, NodeCrashed):
-                # The *source* died mid-dump: nothing restored anywhere,
-                # mirror the serial path where dump() raises out of the
-                # manager — but tear down cleanly first.
-                self._abort_migration(state, dest_instance, tenant)
-                self.tracer.finish(phase_span, outcome="failed")
-                self.tracer.finish(migration_span, outcome="aborted",
-                                   reason="source_crashed")
-                self._finalize_abort(state, report)
-                raise dump_error
+                # The *source* died mid-dump: nothing useful restored
+                # anywhere; abort and keep source ownership.
+                self._abort_source_crash(state, dest_instance, tenant,
+                                         report, migration_span,
+                                         phase_span, phase="dump")
         else:
-            snapshot = yield from dump(source_instance, tenant,
-                                       snapshot_csn, rates)
+            try:
+                snapshot = yield from dump(source_instance, tenant,
+                                           snapshot_csn, rates)
+            except NodeCrashed:
+                self._abort_source_crash(state, dest_instance, tenant,
+                                         report, migration_span,
+                                         phase_span, phase="dump")
             report.snapshot_at = self.env.now
             report.snapshot_size_mb = snapshot.size_mb
             self.tracer.finish(phase_span, mts=report.mts,
@@ -688,6 +794,13 @@ class Middleware:
             restores += [self.env.process(ship_and_restore(name, instance))
                          for name, instance in standby_instances.items()]
             yield self.env.all_of(restores)
+        if source_instance.crashed:
+            # The master died while the slaves restored (the serial path
+            # restores from an already-materialised snapshot, so nothing
+            # in the pipeline notices).  Whatever landed is abandoned.
+            self._abort_source_crash(state, dest_instance, tenant,
+                                     report, migration_span, phase_span,
+                                     phase="restore")
         # A standby that failed to restore is discarded (Section 4.2); a
         # dead destination promotes a restored standby or aborts.
         for name in sorted(standby_instances):
@@ -703,7 +816,7 @@ class Middleware:
                 self._abort_migration(state, dest_instance, tenant)
                 self.tracer.finish(phase_span, outcome="failed")
                 self.tracer.finish(migration_span, outcome="aborted",
-                                   reason="restore_failed")
+                                   reason="restore_failed", owner=source)
                 self._finalize_abort(state, report)
                 raise MigrationError(
                     "restore on destination %s failed (%s) and no "
@@ -763,7 +876,7 @@ class Middleware:
             standby_failed = {
                 name: prop.wait_failed()
                 for name, prop in state.standby_propagators.items()}
-            waits = [caught_up, primary_failed]
+            waits = [caught_up, source_down, primary_failed]
             waits.extend(standby_failed.values())
             if deadline_event is not None:
                 waits.append(deadline_event)
@@ -772,6 +885,11 @@ class Middleware:
             fired = yield self.env.any_of(waits)
             if fired is caught_up:
                 break
+            if fired is source_down:
+                watchdog_control["stop"] = True
+                self._abort_source_crash(state, dest_instance, tenant,
+                                         report, migration_span,
+                                         phase_span, phase="catch-up")
             dropped = None
             for name, event in standby_failed.items():
                 if fired is event:
@@ -805,7 +923,7 @@ class Middleware:
             self.tracer.finish(phase_span, outcome=abort_reason,
                                backlog_at_timeout=backlog)
             self.tracer.finish(migration_span, outcome="aborted",
-                               reason=abort_reason)
+                               reason=abort_reason, owner=source)
             self._finalize_abort(state, report)
             if abort_reason == "destination_failed":
                 raise MigrationError(
@@ -833,8 +951,16 @@ class Middleware:
                            rounds=propagator.stats.rounds,
                            syncsets=propagator.stats.syncsets_replayed)
         # --- Step 4: suspend, drain, switch over, resume ---------------
+        # The ownership switch is journalled as a two-step prepare /
+        # commit (see HandoverRecord): a crash racing this phase — the
+        # source dying mid-drain, or the manager itself dying before the
+        # routing flip — always recovers to exactly one owner.  Once the
+        # record is ``ready`` the destination holds every remotely-
+        # committed transaction, so even a source crash from here on
+        # rolls *forward* instead of aborting.
         phase_span = self.tracer.phase("handover",
                                        parent=migration_span)
+        record = self._prepare_handover(tenant, source, destination)
         state.gate.close()
         if state.active_txns > 0:
             drained = Event(self.env)
@@ -845,6 +971,11 @@ class Middleware:
             engine.request_stop()
             drain_events.append(engine.wait_fully_drained())
         yield self.env.all_of(drain_events)
+        self._mark_handover_ready(record)
+        # Persist the ready record before flipping the route: this is
+        # the commit point, and the window it opens (a crash here rolls
+        # *forward*) is exactly what the recovery rule resolves.
+        yield self.env.timeout(self.config.handover_journal_sync)
         report.switched_at = self.env.now
         self.tracer.event("migration.switched", tenant=tenant,
                           destination=destination)
@@ -859,7 +990,7 @@ class Middleware:
                     source_instance.tenant(tenant),
                     standby_instances[name].tenant(tenant))
                 report.standby_consistency[name] = standby_equal
-        self._routes[tenant] = destination
+        self._commit_handover(record)
         state.migrating = False
         state.propagator = None
         state.standby_ssls.clear()
@@ -885,9 +1016,12 @@ class Middleware:
             report.lsir_violations = self.validator.violations()
         report.failed_standbys = list(state.failed_standbys)
         state.failed_standbys.clear()
+        report.owner = destination
+        report.source_crashed = source_instance.crashed
         self.tracer.finish(phase_span)
         self.tracer.finish(
-            migration_span, outcome="ok",
+            migration_span, outcome="ok", owner=destination,
+            source_crashed=report.source_crashed,
             rounds=report.rounds,
             max_concurrent_players=report.max_concurrent_players,
             syncsets=report.syncsets_propagated,
@@ -1101,6 +1235,69 @@ class Middleware:
                           reason=reason)
         return promoted, instance
 
+    # ------------------------------------------------------------------
+    # two-step ownership switch (handover journal)
+    # ------------------------------------------------------------------
+    def _prepare_handover(self, tenant: str, source: str,
+                          destination: str) -> HandoverRecord:
+        """Journal the intent to switch ownership (step one of two)."""
+        record = HandoverRecord(tenant, source, destination,
+                                prepared_at=self.env.now)
+        self._handovers[tenant] = record
+        self.metrics.counter("migration.handover_prepared").inc()
+        self.tracer.event("handover.prepare", tenant=tenant,
+                          source=source, destination=destination)
+        return record
+
+    def _mark_handover_ready(self, record: HandoverRecord) -> None:
+        """Point of no return: drains done, destination is complete."""
+        record.state = HANDOVER_READY
+        self.tracer.event("handover.ready", tenant=record.tenant,
+                          destination=record.destination)
+
+    def _commit_handover(self, record: HandoverRecord,
+                         recovered: bool = False) -> None:
+        """Step two: flip the routing entry to the destination."""
+        record.state = HANDOVER_COMMITTED
+        record.resolved_at = self.env.now
+        self._routes[record.tenant] = record.destination
+        self.metrics.counter("migration.handover_committed").inc()
+        self.tracer.event("handover.commit", tenant=record.tenant,
+                          owner=record.destination, recovered=recovered)
+
+    def _rollback_handover(self, record: HandoverRecord,
+                           reason: str) -> None:
+        """Resolve an unfinished switch back to the source."""
+        record.state = HANDOVER_ROLLED_BACK
+        record.resolved_at = self.env.now
+        self._routes[record.tenant] = record.source
+        self.metrics.counter("migration.handover_rolled_back").inc()
+        self.tracer.event("handover.rollback", tenant=record.tenant,
+                          owner=record.source, reason=reason)
+
+    def _abort_source_crash(self, state: TenantState, dest_instance: Any,
+                            tenant: str, report: MigrationReport,
+                            migration_span: Any, phase_span: Any,
+                            phase: str) -> None:
+        """Abort because the master crashed; raises :class:`SourceCrashed`.
+
+        Section 4.2: "if the master fails, Madeus aborts the migration."
+        The tenant keeps routing to the source, and nothing committed
+        remotely is lost — the commit protocol installs versions only
+        after the WAL flush, so every transaction the customer saw
+        commit survives the crash and WAL-replay recovery on the source.
+        """
+        report.source_crashed = True
+        self.metrics.counter("migration.source_crashed").inc()
+        self.tracer.event("migration.source_crashed", tenant=tenant,
+                          source=report.source, phase=phase)
+        self._abort_migration(state, dest_instance, tenant)
+        self.tracer.finish(phase_span, outcome="source_crashed")
+        self.tracer.finish(migration_span, outcome="aborted",
+                           reason="source_crashed", owner=report.source)
+        self._finalize_abort(state, report)
+        raise SourceCrashed(report.source, phase)
+
     def _finalize_abort(self, state: TenantState,
                         report: MigrationReport) -> None:
         """Stamp and record a report for a migration that aborted.
@@ -1108,12 +1305,19 @@ class Middleware:
         Aborted migrations are reported too: ``ended_at`` is set (so
         ``migration_time`` is meaningful), ``outcome`` says why it is
         not "ok", and the report joins :attr:`reports` and the metrics
-        registry like any completed migration.
+        registry like any completed migration.  The source keeps (or
+        recovers) ownership, and any handover record left in doubt by
+        the abort rolls back so the journal resolves to one owner.
         """
         report.outcome = "aborted"
         report.ended_at = self.env.now
+        report.owner = report.source
         report.failed_standbys = list(state.failed_standbys)
         state.failed_standbys.clear()
+        record = self._handovers.get(report.tenant)
+        if record is not None and record.state in (HANDOVER_PREPARED,
+                                                   HANDOVER_READY):
+            self._rollback_handover(record, reason="migration aborted")
         self.metrics.counter("migration.aborted").inc()
         self.metrics.absorb("migration.last", {
             "migration_time": report.migration_time,

@@ -26,20 +26,34 @@ One failed job never stops the schedule: per-job errors are captured on
 the :class:`JobOutcome` and the remaining jobs keep running — mirroring
 how the fault-tolerant single-migration path degrades (drop a standby,
 keep going) rather than cancelling everything.
+
+Scheduler-level recovery: with ``retry_limit > 0`` a failed or aborted
+job requeues with capped exponential backoff instead of giving up.  The
+scheduler remembers destinations that died under the job
+(*excluded-destination memory*) and retries into the next alternate
+named at :meth:`MigrationScheduler.submit` time, so one faulted
+migration neither wedges the schedule nor keeps retrying into the same
+dead node.  A :class:`~repro.errors.SourceCrashed` abort is final — the
+tenant's master must recover first, and the paper's rule is to abort
+and keep serving from the source — so the scheduler never retries it.
+Non-ok outcomes are stamped with the fault windows that overlapped the
+job (:attr:`JobOutcome.fault_events`), so an injected-fault abort is
+distinguishable from a logic error straight from the report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..errors import (
     CatchUpTimeout,
     MigrationError,
     NetworkDown,
     NodeCrashed,
+    SourceCrashed,
 )
-from ..obs.trace import SPAN
+from ..obs.trace import FAULT, SPAN
 from ..sim.sync import Semaphore
 from .middleware import Middleware, MigrationOptions, MigrationReport
 
@@ -63,6 +77,13 @@ class ScheduleOptions:
     max_concurrent: Optional[int] = None
     #: Default per-job knobs; a job's own options override this.
     migration: Optional[MigrationOptions] = None
+    #: Re-attempts per job after a failed/aborted migration (default 0 =
+    #: give up immediately, the pre-retry behaviour).
+    retry_limit: Optional[int] = None
+    #: Capped exponential backoff between attempts, in sim seconds:
+    #: ``min(retry_cap, retry_base * 2**(attempt-1))``.
+    retry_base: Optional[float] = None
+    retry_cap: Optional[float] = None
 
     def resolve(self) -> "ScheduleOptions":
         """A copy with every ``None`` replaced by its default."""
@@ -75,9 +96,21 @@ class ScheduleOptions:
                           if self.max_concurrent is not None else 0)
         if max_concurrent < 0:
             raise ValueError("max_concurrent must be >= 0")
+        retry_limit = (self.retry_limit
+                       if self.retry_limit is not None else 0)
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        retry_base = (self.retry_base
+                      if self.retry_base is not None else 0.5)
+        retry_cap = (self.retry_cap
+                     if self.retry_cap is not None else 5.0)
+        if retry_base < 0 or retry_cap < 0:
+            raise ValueError("retry backoff must be >= 0")
         return replace(self, policy=policy,
                        max_concurrent=max_concurrent,
-                       migration=self.migration or MigrationOptions())
+                       migration=self.migration or MigrationOptions(),
+                       retry_limit=retry_limit, retry_base=retry_base,
+                       retry_cap=retry_cap)
 
 
 @dataclass
@@ -95,6 +128,17 @@ class JobOutcome:
     outcome: str = "pending"
     error: Optional[str] = None
     report: Optional[MigrationReport] = None
+    #: Migration attempts made (1 = no retry was needed).
+    attempts: int = 0
+    #: Destinations this job gave up on (the node died under the
+    #: attempt); retries skip them.
+    excluded_destinations: List[str] = field(default_factory=list)
+    #: Fault windows (``fault``-kind trace spans) overlapping the job,
+    #: stamped on every non-ok outcome: ``{"fault", "kind", "target",
+    #: "start", "end"}`` records, ``end`` ``None`` while unrecovered.
+    #: Empty on a non-ok outcome means no injected fault overlapped —
+    #: the failure is the migration's own doing.
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def queue_wait(self) -> float:
@@ -134,6 +178,11 @@ class ScheduleReport:
         return sum(1 for job in self.jobs if job.outcome == "ok")
 
     @property
+    def retry_count(self) -> int:
+        """Total re-attempts across all jobs."""
+        return sum(max(0, job.attempts - 1) for job in self.jobs)
+
+    @property
     def total_queue_wait(self) -> float:
         """Summed admission wait across all jobs."""
         return sum(job.queue_wait for job in self.jobs)
@@ -168,14 +217,21 @@ class MigrationScheduler:
         self.middleware = middleware
         self.env = middleware.env
         self.options = (options or ScheduleOptions()).resolve()
-        self._pending: List[Tuple[str, str,
-                                  Optional[MigrationOptions]]] = []
+        self._pending: List[Tuple[str, str, Optional[MigrationOptions],
+                                  Tuple[str, ...]]] = []
         self._running = False
 
     # ------------------------------------------------------------------
     def submit(self, tenant: str, destination: str,
-               options: Optional[MigrationOptions] = None) -> None:
-        """Queue one migration; runs when :meth:`run` admits it."""
+               options: Optional[MigrationOptions] = None,
+               alternates: Sequence[str] = ()) -> None:
+        """Queue one migration; runs when :meth:`run` admits it.
+
+        ``alternates`` names fallback destinations for the retry policy:
+        when an attempt's destination dies, the excluded-destination
+        memory skips it and the next alternate is tried instead.  With
+        ``retry_limit == 0`` (the default) they are never consulted.
+        """
         if self._running:
             raise MigrationError(
                 "cannot submit to a schedule that is already running")
@@ -184,11 +240,13 @@ class MigrationScheduler:
             raise TypeError("submit() takes a MigrationOptions "
                             "instance, got %r"
                             % (type(options).__name__,))
-        self._pending.append((tenant, destination, options))
+        self._pending.append((tenant, destination, options,
+                              tuple(alternates)))
 
     # ------------------------------------------------------------------
     def _ordered_jobs(self) -> List[Tuple[str, str,
-                                          Optional[MigrationOptions]]]:
+                                          Optional[MigrationOptions],
+                                          Tuple[str, ...]]]:
         """Pending jobs in the admission order the policy dictates."""
         jobs = list(self._pending)
         policy = self.options.policy
@@ -238,9 +296,54 @@ class MigrationScheduler:
         in_flight = [0]
         concurrent_gauge = metrics.gauge("scheduler.concurrent")
 
+        def next_destination(outcome: JobOutcome,
+                             candidates: List[str]) -> Optional[str]:
+            """First candidate not yet excluded by a dead-node retry."""
+            for name in candidates:
+                if name not in outcome.excluded_destinations:
+                    return name
+            return None
+
+        def clear_orphan_copy(outcome: JobOutcome,
+                              destination: str) -> None:
+            """Drop a partial tenant copy an aborted attempt left behind.
+
+            Aborts intentionally leave the slave copy in place (players
+            may still be draining against it); a retry into the same
+            live node must clear it or the restore would collide.
+            """
+            instance = self.middleware.cluster.node(destination).instance
+            if (not instance.crashed
+                    and self.middleware.route(outcome.tenant)
+                    != destination
+                    and instance.has_tenant(outcome.tenant)):
+                instance.drop_tenant(outcome.tenant)
+
+        def stamp_fault_events(outcome: JobOutcome) -> None:
+            """Record fault windows overlapping the job on its outcome.
+
+            Aborted/failed jobs become auditable from the report alone:
+            an empty list on a non-ok outcome means no injected fault
+            overlapped the job, i.e. the failure was the migration's
+            own doing rather than chaos.
+            """
+            for span in tracer.find(kind=FAULT):
+                if span.start > outcome.ended_at:
+                    continue
+                if (span.end is not None
+                        and span.end < outcome.submitted_at):
+                    continue
+                outcome.fault_events.append({
+                    "fault": span.name,
+                    "kind": span.attrs.get("fault_kind"),
+                    "target": span.attrs.get("target"),
+                    "start": span.start,
+                    "end": span.end,
+                })
+
         def job_player(outcome: JobOutcome,
-                       options: Optional[MigrationOptions]
-                       ) -> Generator:
+                       options: Optional[MigrationOptions],
+                       alternates: Tuple[str, ...]) -> Generator:
             if gate is not None:
                 yield from gate.acquire()
             outcome.started_at = self.env.now
@@ -254,36 +357,88 @@ class MigrationScheduler:
                 "schedule.job", kind=SPAN, parent=schedule_span,
                 tenant=outcome.tenant, destination=outcome.destination,
                 queue_wait=outcome.queue_wait)
+            candidates = [outcome.destination] + [
+                name for name in alternates
+                if name != outcome.destination]
             try:
-                outcome.report = yield from self.middleware.migrate(
-                    outcome.tenant, outcome.destination,
-                    options or opts.migration)
-                outcome.outcome = "ok"
-            except CatchUpTimeout as exc:
-                outcome.outcome = "aborted"
-                outcome.error = str(exc)
-            except (MigrationError, NetworkDown, NodeCrashed) as exc:
-                outcome.outcome = "failed"
-                outcome.error = str(exc)
+                while True:
+                    destination = next_destination(outcome, candidates)
+                    if destination is None:
+                        # Every candidate died under an attempt; the
+                        # last error already describes the failure.
+                        break
+                    outcome.destination = destination
+                    outcome.attempts += 1
+                    retriable = False
+                    try:
+                        outcome.report = \
+                            yield from self.middleware.migrate(
+                                outcome.tenant, destination,
+                                options or opts.migration)
+                        outcome.outcome = "ok"
+                        break
+                    except SourceCrashed as exc:
+                        # Final by design: the master must recover, and
+                        # the paper's rule is abort + keep the source.
+                        outcome.outcome = "aborted"
+                        outcome.error = str(exc)
+                        break
+                    except CatchUpTimeout as exc:
+                        outcome.outcome = "aborted"
+                        outcome.error = str(exc)
+                        retriable = True
+                    except (MigrationError, NetworkDown,
+                            NodeCrashed) as exc:
+                        outcome.outcome = "failed"
+                        outcome.error = str(exc)
+                        retriable = True
+                    if (not retriable
+                            or outcome.attempts > opts.retry_limit):
+                        break
+                    dest_instance = self.middleware.cluster.node(
+                        destination).instance
+                    if dest_instance.crashed:
+                        # Excluded-destination memory: never retry into
+                        # the node that just died under this job.
+                        outcome.excluded_destinations.append(destination)
+                    if next_destination(outcome, candidates) is None:
+                        break
+                    delay = min(opts.retry_cap,
+                                opts.retry_base
+                                * (2 ** (outcome.attempts - 1)))
+                    metrics.counter("scheduler.retries").inc()
+                    tracer.event("schedule.retry", tenant=outcome.tenant,
+                                 attempt=outcome.attempts, delay=delay,
+                                 excluded=list(
+                                     outcome.excluded_destinations))
+                    yield self.env.timeout(delay)
+                    retry_into = next_destination(outcome, candidates)
+                    if retry_into is not None:
+                        clear_orphan_copy(outcome, retry_into)
             finally:
                 outcome.ended_at = self.env.now
+                if outcome.outcome != "ok":
+                    stamp_fault_events(outcome)
                 in_flight[0] -= 1
                 concurrent_gauge.set(in_flight[0])
-                tracer.finish(job_span, outcome=outcome.outcome)
+                tracer.finish(job_span, outcome=outcome.outcome,
+                              attempts=outcome.attempts,
+                              destination=outcome.destination)
                 metrics.counter("scheduler.jobs_%s"
                                 % outcome.outcome).inc()
                 if gate is not None:
                     gate.release()
 
         players = []
-        for tenant, destination, options in self._ordered_jobs():
+        for tenant, destination, options, alternates in \
+                self._ordered_jobs():
             outcome = JobOutcome(tenant=tenant,
                                  source=self.middleware.route(tenant),
                                  destination=destination,
                                  submitted_at=self.env.now)
             report.jobs.append(outcome)
             players.append(self.env.process(
-                job_player(outcome, options),
+                job_player(outcome, options, alternates),
                 name="schedule.%s" % tenant))
         if players:
             yield self.env.all_of(players)

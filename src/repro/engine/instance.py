@@ -11,10 +11,11 @@ primitives sessions are built on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from ..errors import NodeCrashed, SchemaError
 from ..obs.metrics import MetricsRegistry
+from ..sim.events import Event
 from ..sim.resources import Resource
 from .checkpoint import Checkpointer, CheckpointSpec
 from .database import TenantDatabase
@@ -93,6 +94,7 @@ class DbmsInstance:
         # crash/recovery state (see crash()/restart())
         self.crashed = False
         self._replayed_commits = 0
+        self._crash_waiters: List[Event] = []
         # statistics
         self.statements_executed = 0
         self.commits = 0
@@ -153,6 +155,26 @@ class DbmsInstance:
         if self._m_crashes is not None:
             self._m_crashes.inc()
         self.wal.crash(NodeCrashed(self.name, "crashed before WAL flush"))
+        waiters, self._crash_waiters = self._crash_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    def wait_crashed(self) -> Event:
+        """An event that fires when (or if) this instance crashes.
+
+        Fires immediately for an already-crashed instance.  Used by the
+        migration manager to supervise the *source* node: a master crash
+        must abort the migration (Section 4.2) even though nothing in
+        the snapshot/propagation pipeline would otherwise notice — the
+        middleware buffers the syncsets, so replay could quietly finish.
+        """
+        event = Event(self.env, name="%s.crashed" % self.name)
+        if self.crashed:
+            event.succeed()
+        else:
+            self._crash_waiters.append(event)
+        return event
 
     def restart(self) -> Generator[Any, Any, None]:
         """WAL-replay recovery: redo the log tail, then accept traffic.

@@ -67,6 +67,27 @@ class MigrationError(ReproError):
     """Live-migration orchestration failed (e.g. slave cannot catch up)."""
 
 
+class SourceCrashed(MigrationError):
+    """The master (source) node crashed mid-migration.
+
+    Section 4.2: "if the master fails, Madeus aborts the migration" —
+    the migration tears down cleanly and the tenant keeps its source
+    ownership.  Nothing committed remotely is lost: the commit protocol
+    installs versions only after the WAL flush, so every transaction the
+    customer saw commit survives the crash and WAL-replay recovery.
+    A crash that races the *handover* phase does not raise this — the
+    two-step ownership switch rolls forward to the destination instead.
+    """
+
+    def __init__(self, node: str, phase: str):
+        super().__init__(
+            "source node %s crashed during %s; migration aborted "
+            "(committed state is preserved on the source)"
+            % (node, phase))
+        self.node = node
+        self.phase = phase
+
+
 class CatchUpTimeout(MigrationError):
     """The slave failed to catch up with the master within the deadline.
 

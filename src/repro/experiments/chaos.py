@@ -80,6 +80,97 @@ def _plan_disk_stall(profile: Profile) -> Tuple[FaultPlan, List[str]]:
     return plan, []
 
 
+def _source_downtime(profile: Profile) -> float:
+    """How long a crashed source stays down before WAL-replay restart."""
+    return max(0.5, profile.duration(10.0))
+
+
+def _plan_source_crash_dump(profile: Profile) -> Tuple[FaultPlan, List[str]]:
+    """Crash the master while it is dumping; Madeus must abort (4.2)."""
+    plan = FaultPlan()
+    plan.add("source-dies", "crash", target="node0", phase="dump",
+             duration=_source_downtime(profile))
+    return plan, []
+
+
+def _plan_source_crash_catchup(profile: Profile,
+                               ) -> Tuple[FaultPlan, List[str]]:
+    """Crash the master mid-catch-up; abort, nothing committed is lost."""
+    plan = FaultPlan()
+    plan.add("source-dies", "crash", target="node0", phase="catch-up",
+             duration=_source_downtime(profile))
+    return plan, []
+
+
+def _plan_source_crash_handover(profile: Profile,
+                                ) -> Tuple[FaultPlan, List[str]]:
+    """Crash the master inside the handover window.
+
+    The two-step ownership switch makes this safe either way: before
+    the routing entry is marked ready the abort rolls back to the
+    source; at or after ready the handover rolls forward and the
+    destination owns the tenant.  The injector's phase poll may also
+    land the crash just after commit — every resolution leaves exactly
+    one owner, which is what the trace gate checks.
+    """
+    plan = FaultPlan()
+    plan.add("source-dies", "crash", target="node0", phase="handover",
+             duration=_source_downtime(profile))
+    return plan, []
+
+
+def _plan_storm_ship(profile: Profile) -> Tuple[FaultPlan, List[str]]:
+    """Link outage on the ship route *while* the standby crashes.
+
+    Two overlapping faults: the snapshot retry loop must absorb the
+    outage while the (permanently) dead standby is dropped, and the
+    migration still completes on the destination.
+    """
+    outage = min(0.4, profile.duration(10.0))
+    plan = FaultPlan()
+    plan.add("link-flaps", "link_down", phase="restore", duration=outage)
+    plan.add("standby-dies", "crash", target="node2",
+             after="link-flaps", at=outage / 2)
+    return plan, ["node2"]
+
+
+def _plan_crash_on_recovery(profile: Profile,
+                            ) -> Tuple[FaultPlan, List[str]]:
+    """Destination dies the instant a network outage heals.
+
+    A slow-network window spans a link outage (two concurrent faults);
+    the destination crash chains on the outage's *recovery*, so the
+    retry that would have succeeded hits a dead node instead and the
+    standby must take over.
+    """
+    outage = min(0.4, profile.duration(10.0))
+    plan = FaultPlan()
+    plan.add("slow-net", "latency", factor=3.0, phase="restore",
+             duration=max(1.0, 4 * outage))
+    plan.add("link-flaps", "link_down", phase="restore", at=outage / 4,
+             duration=outage)
+    plan.add("destination-dies", "crash", target="node1",
+             after="link-flaps", after_event="recovered")
+    return plan, ["node2"]
+
+
+def _plan_degrade_storm(profile: Profile) -> Tuple[FaultPlan, List[str]]:
+    """Latency and bandwidth collapse together, then the standby dies.
+
+    Three overlapping fault windows during catch-up; the migration
+    must ride out the degradation, drop the dead standby, and finish.
+    """
+    window = max(0.5, profile.duration(12.0))
+    plan = FaultPlan()
+    plan.add("slow-latency", "latency", factor=4.0, phase="catch-up",
+             duration=window)
+    plan.add("slow-bandwidth", "bandwidth", factor=4.0,
+             after="slow-latency", duration=window)
+    plan.add("standby-dies", "crash", target="node2",
+             after="slow-bandwidth", at=window / 4)
+    return plan, ["node2"]
+
+
 def _plan_baseline(profile: Profile) -> Tuple[FaultPlan, List[str]]:
     """No faults: the control run."""
     del profile
@@ -92,6 +183,12 @@ SCENARIOS = {
     "destination-crash": _plan_destination_crash,
     "flaky-network": _plan_flaky_network,
     "disk-stall": _plan_disk_stall,
+    "source-crash-dump": _plan_source_crash_dump,
+    "source-crash-catchup": _plan_source_crash_catchup,
+    "source-crash-handover": _plan_source_crash_handover,
+    "storm-ship": _plan_storm_ship,
+    "crash-on-recovery": _plan_crash_on_recovery,
+    "degrade-storm": _plan_degrade_storm,
 }
 
 DESCRIPTIONS = {
@@ -100,6 +197,15 @@ DESCRIPTIONS = {
     "destination-crash": "destination crashes mid-catch-up -> failover",
     "flaky-network": "link outage during snapshot ship -> retries",
     "disk-stall": "destination disk stalls during catch-up -> slowdown",
+    "source-crash-dump": "master crashes while dumping -> abort (4.2)",
+    "source-crash-catchup": "master crashes mid-catch-up -> abort (4.2)",
+    "source-crash-handover":
+        "master crashes inside handover -> one owner either way",
+    "storm-ship": "link outage + standby crash overlap -> ok, dropped",
+    "crash-on-recovery":
+        "destination dies as the outage heals -> failover",
+    "degrade-storm":
+        "latency+bandwidth collapse + standby crash -> ok, dropped",
 }
 
 
@@ -137,7 +243,8 @@ def run_chaos(scenario: str,
         nodes=["node0", "node1", "node2"], trace_dir=trace_dir)
     injector = FaultInjector(testbed.env, testbed.cluster, plan,
                              tracer=testbed.tracer,
-                             metrics=testbed.observability)
+                             metrics=testbed.observability,
+                             seed=profile.seed)
     warmup = max(2.0, WARMUP_SECONDS * profile.time_scale * 8)
     testbed.run(until=warmup)
     injector.start()

@@ -8,6 +8,7 @@ the fault vocabulary and :mod:`repro.faults.injector` for scheduling.
 
 from .injector import FaultInjector
 from .plan import (
+    AFTER_EVENTS,
     BANDWIDTH,
     CRASH,
     DISK_STALL,
@@ -19,6 +20,7 @@ from .plan import (
 )
 
 __all__ = [
+    "AFTER_EVENTS",
     "BANDWIDTH",
     "CRASH",
     "DISK_STALL",

@@ -7,18 +7,29 @@ a named migration phase opening plus an offset), injects the fault
 against the live cluster, and — for bounded faults — heals it after
 ``duration`` seconds.
 
-Every injection emits a ``fault.injected`` trace event and bumps the
-``faults.injected`` (and ``faults.injected.<kind>``) counters; recoveries
-mirror that with ``fault.recovered`` / ``faults.recovered``.  That makes
-chaos runs auditable purely from the exported trace, which is what
-``scripts/check_trace.py`` gates on in CI.
+Every injection emits a ``fault.injected`` trace event, opens a
+``fault``-kind span named after the spec (closed again on recovery, so
+overlapping faults show up as overlapping spans — permanent faults leave
+theirs open), and bumps the ``faults.injected`` (and
+``faults.injected.<kind>``) counters plus the ``faults.active`` gauge;
+recoveries mirror that with ``fault.recovered`` / ``faults.recovered``.
+That makes chaos runs auditable purely from the exported trace, which is
+what ``scripts/check_trace.py`` gates on in CI.
+
+Multi-fault plans: specs arm independently (overlap is the norm), and a
+spec with ``after=<name>`` waits on a trigger event the named fault
+succeeds when it injects (or, with ``after_event="recovered"``, heals).
+Arming order is deterministic — plan order, or a seeded shuffle with
+``seed=`` — so chains and ties replay identically for a fixed seed.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, List, Optional
+import random
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
-from ..obs.trace import PHASE
+from ..obs.trace import FAULT, PHASE
+from ..sim.events import Event
 from .plan import (
     BANDWIDTH,
     CRASH,
@@ -46,16 +57,27 @@ class FaultInjector:
     def __init__(self, env: "Environment", cluster: "Cluster",
                  plan: FaultPlan,
                  tracer: Optional["Tracer"] = None,
-                 metrics: Optional["MetricsRegistry"] = None):
+                 metrics: Optional["MetricsRegistry"] = None,
+                 seed: Optional[int] = None):
         self.env = env
         self.cluster = cluster
         self.plan = plan
         self.tracer = tracer
         self.metrics = metrics
+        #: Shuffle the arming order deterministically (None = plan
+        #: order).  Arming order breaks simultaneous-trigger ties, so a
+        #: seed explores different interleavings while every individual
+        #: run stays exactly reproducible.
+        self.seed = seed
         #: (sim time, spec) pairs, in injection order.
         self.injected: List[tuple] = []
         self.recovered: List[tuple] = []
         self._started = False
+        #: Per-fault lifecycle triggers for ``after`` chains:
+        #: (fault name, "injected" | "recovered") -> Event.
+        self._triggers: Dict[tuple, Event] = {}
+        #: Open ``fault``-kind span per injected fault name.
+        self._spans: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -67,14 +89,39 @@ class FaultInjector:
                 and self.tracer is None:
             raise ValueError("phase-anchored faults need a tracer")
         self._started = True
-        for spec in self.plan:
+        specs = list(self.plan)
+        if self.seed is not None:
+            random.Random(self.seed).shuffle(specs)
+        for spec in specs:
             self.env.process(self._arm(spec), name="fault.%s" % spec.name)
+
+    def trigger(self, name: str, moment: str = "injected") -> Event:
+        """The simulation event that fires when fault ``name`` reaches
+        ``moment`` (``"injected"`` or ``"recovered"``).
+
+        Already-passed moments return an already-triggered event, so
+        late subscribers (and ``after`` chains armed in any order) never
+        miss their trigger.
+        """
+        key = (name, moment)
+        event = self._triggers.get(key)
+        if event is None:
+            event = Event(self.env, name="fault.%s.%s" % (name, moment))
+            self._triggers[key] = event
+        return event
+
+    def _fire_trigger(self, name: str, moment: str) -> None:
+        event = self.trigger(name, moment)
+        if not event.triggered:
+            event.succeed()
 
     # ------------------------------------------------------------------
     def _arm(self, spec: FaultSpec) -> Generator[Any, Any, None]:
         if spec.phase is not None:
             while not self._phase_open(spec.phase):
                 yield self.env.timeout(self.POLL_INTERVAL)
+        if spec.after is not None:
+            yield self.trigger(spec.after, spec.after_event)
         if spec.at > 0:
             yield self.env.timeout(spec.at)
         yield from self._inject(spec)
@@ -89,9 +136,16 @@ class FaultInjector:
     def _inject(self, spec: FaultSpec) -> Generator[Any, Any, None]:
         self.injected.append((self.env.now, spec))
         self._record("fault.injected", spec)
+        if self.tracer is not None:
+            self._spans[spec.name] = self.tracer.start(
+                spec.name, kind=FAULT, fault_kind=spec.kind,
+                target=spec.target, duration=spec.duration,
+                after=spec.after or "")
         if self.metrics is not None:
             self.metrics.counter("faults.injected").inc()
             self.metrics.counter("faults.injected.%s" % spec.kind).inc()
+            self.metrics.gauge("faults.active").inc()
+        self._fire_trigger(spec.name, "injected")
         if spec.kind == CRASH:
             yield from self._run_crash(spec)
         elif spec.kind == LINK_DOWN:
@@ -111,8 +165,13 @@ class FaultInjector:
     def _heal(self, spec: FaultSpec) -> None:
         self.recovered.append((self.env.now, spec))
         self._record("fault.recovered", spec)
+        span = self._spans.pop(spec.name, None)
+        if span is not None:
+            self.tracer.finish(span, outcome="recovered")
         if self.metrics is not None:
             self.metrics.counter("faults.recovered").inc()
+            self.metrics.gauge("faults.active").dec()
+        self._fire_trigger(spec.name, "recovered")
 
     # -- kind handlers -------------------------------------------------
     def _run_crash(self, spec: FaultSpec) -> Generator[Any, Any, None]:

@@ -28,6 +28,23 @@ Fault kinds
 ``at`` is an offset in simulated seconds — from injector start when
 ``phase`` is ``None``, otherwise from the moment the named migration
 phase (``dump`` / ``restore`` / ``catch-up`` / ``handover``) first opens.
+
+Overlapping and chained faults
+------------------------------
+
+A plan may compose any number of concurrent faults; each spec arms
+independently, so two specs with overlapping windows simply overlap
+(e.g. a ``link_down`` on the ship route *while* a standby crashes).
+``after`` chains a spec to another fault in the same plan: the spec
+waits until the named fault is *injected* — or, with
+``after_event="recovered"``, until it has *healed* — before its own
+``at`` offset starts counting.  That expresses fault-during-recovery
+races ("crash the destination the moment the network outage ends")
+declaratively, and :class:`FaultPlan.validate` rejects unknown
+references, cycles, and waits on a recovery that can never happen
+(a permanent fault).  Trigger ordering stays deterministic: the
+injector arms specs in a seedable order and every trigger is a
+simulation event, so the same plan + seed replays identically.
 """
 
 from __future__ import annotations
@@ -50,6 +67,9 @@ NODE_KINDS = (CRASH, DISK_STALL)
 #: The phase names a spec may anchor to (repro.obs.trace.PHASE_ORDER).
 PHASES = ("dump", "restore", "catch-up", "handover")
 
+#: Lifecycle moments of another fault a spec may chain to via ``after``.
+AFTER_EVENTS = ("injected", "recovered")
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -68,6 +88,21 @@ class FaultSpec:
     factor: float = 10.0
     #: Arm when this migration phase opens instead of at absolute time.
     phase: Optional[str] = None
+    #: Chain to another fault in the plan: wait until that fault fires
+    #: (or heals, with ``after_event="recovered"``) before ``at`` runs.
+    after: Optional[str] = None
+    #: Which lifecycle moment of ``after`` to wait for.
+    after_event: str = "injected"
+
+    @property
+    def permanent(self) -> bool:
+        """Whether this fault never heals within the run.
+
+        Disk stalls always end (their validation requires a positive
+        duration); every other kind with ``duration == 0`` holds for
+        the rest of the run and never emits ``fault.recovered``.
+        """
+        return self.kind != DISK_STALL and self.duration == 0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on a malformed spec."""
@@ -94,6 +129,13 @@ class FaultSpec:
         if self.phase is not None and self.phase not in PHASES:
             raise ValueError("fault %r: unknown phase %r (one of %s)"
                              % (self.name, self.phase, ", ".join(PHASES)))
+        if self.after_event not in AFTER_EVENTS:
+            raise ValueError(
+                "fault %r: unknown after_event %r (one of %s)"
+                % (self.name, self.after_event, ", ".join(AFTER_EVENTS)))
+        if self.after is not None and self.after == self.name:
+            raise ValueError("fault %r cannot chain to itself"
+                             % self.name)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable record."""
@@ -114,13 +156,42 @@ class FaultPlan:
         return spec
 
     def validate(self) -> None:
-        """Validate every spec and reject duplicate fault names."""
-        seen = set()
+        """Validate every spec and the ``after`` dependency graph.
+
+        Beyond per-spec validation and duplicate names, this rejects
+        chains that can never fire: references to unknown faults,
+        dependency cycles, and ``after_event="recovered"`` waits on a
+        permanent fault (one that never heals).
+        """
+        by_name: Dict[str, FaultSpec] = {}
         for spec in self.faults:
             spec.validate()
-            if spec.name in seen:
+            if spec.name in by_name:
                 raise ValueError("duplicate fault name %r" % spec.name)
-            seen.add(spec.name)
+            by_name[spec.name] = spec
+        for spec in self.faults:
+            if spec.after is None:
+                continue
+            upstream = by_name.get(spec.after)
+            if upstream is None:
+                raise ValueError(
+                    "fault %r chains after unknown fault %r"
+                    % (spec.name, spec.after))
+            if spec.after_event == "recovered" and upstream.permanent:
+                raise ValueError(
+                    "fault %r waits for recovery of %r, which is "
+                    "permanent and never recovers"
+                    % (spec.name, spec.after))
+        # Cycle check: follow the (single-parent) ``after`` links.
+        for spec in self.faults:
+            slow = spec
+            visited = {spec.name}
+            while slow.after is not None:
+                slow = by_name[slow.after]
+                if slow.name in visited:
+                    raise ValueError(
+                        "fault dependency cycle through %r" % slow.name)
+                visited.add(slow.name)
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         """The plan as plain records (for JSON export / logging)."""

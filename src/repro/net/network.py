@@ -305,7 +305,6 @@ class Network:
         """
         self._check_link()
         self.messages += 1
-        self.bytes_moved += size_mb * 1e6
         yield self.env.timeout(self.spec.latency * self.latency_factor)
         self._check_link()
         if size_mb > 0:
@@ -330,7 +329,17 @@ class Network:
                         elapsed = self.env.now - started
                         stream.remaining_mb = max(
                             0.0, stream.remaining_mb - elapsed * rate)
+                stream.remaining_mb = 0.0  # absorb the epsilon tail
             finally:
+                # The single accounting path, crash/interrupt included:
+                # the network-wide byte counter moves with the actual
+                # bytes the stream carried, never the advertised size —
+                # a stream torn down mid-flight (caller interrupt or a
+                # node crash unwinding the pump) credits only its
+                # partial progress, exactly like the per-port counters
+                # credited in leave().
+                self.bytes_moved += (stream.size_mb
+                                     - stream.remaining_mb) * 1e6
                 stream.changed = None
                 egress.leave(stream)
                 ingress.leave(stream)

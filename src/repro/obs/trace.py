@@ -14,6 +14,9 @@ Spans come in kinds:
     ``handover`` — always a child of a ``migration`` span;
 ``round``
     one conductor propagation round (Algorithm 4);
+``fault``
+    one injected fault's active window, from injection to recovery (an
+    open end means the fault never healed within the run);
 ``span``
     anything else.
 
@@ -31,6 +34,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 MIGRATION = "migration"
 PHASE = "phase"
 ROUND = "round"
+#: One injected fault's active window (open end = never recovered).
+FAULT = "fault"
 SPAN = "span"
 
 #: The canonical migration phase names, in lifecycle order.

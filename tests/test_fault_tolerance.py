@@ -17,7 +17,7 @@ from repro.cluster import Cluster
 from repro.core import (B_CON, MADEUS, Middleware, MiddlewareConfig,
                         MigrationOptions, states_equal)
 from repro.engine.dump import TransferRates
-from repro.errors import CatchUpTimeout, MigrationError
+from repro.errors import CatchUpTimeout, MigrationError, SourceCrashed
 from repro.faults import FaultInjector, FaultPlan
 from repro.workload.simplekv import (KvWorkloadConfig, run_kv_clients,
                                      setup_kv_tenant)
@@ -70,6 +70,156 @@ def crash_when_catching_up(env, middleware, instance, extra_delay=0.0):
             yield env.timeout(extra_delay)
         instance.crash()
     env.process(crasher(env))
+
+
+def crash_when_phase_opens(env, middleware, instance, phase,
+                           after_phases=()):
+    """Crash ``instance`` once ``phase`` opens (and ``after_phases``
+    have closed, to pin the crash inside overlapping pipeline steps)."""
+    from repro.obs.trace import PHASE
+
+    def span_for(name):
+        for span in middleware.tracer.spans:
+            if span.kind == PHASE and span.name == name:
+                return span
+        return None
+
+    def crasher(env):
+        while True:
+            target = span_for(phase)
+            if target is not None and target.end is None and all(
+                    span_for(name) is not None
+                    and span_for(name).end is not None
+                    for name in after_phases):
+                break
+            yield env.timeout(0.01)
+        instance.crash()
+    env.process(crasher(env))
+
+
+class TestSourceCrash:
+    """Section 4.2: "if the master fails, Madeus aborts the migration".
+
+    A source crash in any phase must abort with the source keeping
+    ownership, and nothing that committed remotely may be lost — the
+    WAL-replayed source still holds every acknowledged increment.
+    """
+
+    def _run(self, env, cluster, middleware, standbys=(), **options):
+        holder = {}
+
+        def main(env):
+            try:
+                holder["report"] = yield from middleware.migrate(
+                    "A", "node1",
+                    MigrationOptions(rates=RATES,
+                                     standbys=tuple(standbys),
+                                     **options))
+            except SourceCrashed as exc:
+                holder["error"] = exc
+        env.process(main(env))
+        env.run()
+        return holder
+
+    def _assert_aborted_to_source(self, middleware, holder, phase):
+        error = holder["error"]
+        assert error.node == "node0"
+        assert error.phase == phase
+        assert "committed state is preserved" in str(error)
+        assert middleware.route("A") == "node0"
+        assert middleware.owners("A") == ["node0"]
+        state = middleware.tenant_state("A")
+        assert state.gate.is_open
+        assert not state.migrating
+        assert state.propagator is None
+        report = middleware.reports[0]
+        assert report.outcome == "aborted"
+        assert report.source_crashed is True
+        assert report.owner == "node0"
+        assert report.ended_at is not None
+        assert middleware.metrics.counter(
+            "migration.source_crashed").value == 1
+        events = [e for e in middleware.tracer.events
+                  if e.name == "migration.source_crashed"]
+        assert len(events) == 1
+        assert events[0].attrs["phase"] == phase
+
+    def _assert_commits_survive_restart(self, env, cluster, workload):
+        source = cluster.node("node0").instance
+        restarted = {}
+
+        def restart(env):
+            yield from source.restart()
+            restarted["done"] = True
+        env.process(restart(env))
+        env.run()
+        assert restarted.get("done")
+        table = source.tenant("A").table("kv")
+        for key, increments in workload.committed_increments.items():
+            assert table.chain(key).latest()["v"] == increments, \
+                "key %d lost committed increments" % key
+
+    def test_crash_during_dump_aborts(self, env):
+        cluster, middleware = build(env)
+        workload = seed_tenant(env, cluster, middleware, overhead_mb=2.0)
+        crash_when_phase_opens(env, middleware,
+                               cluster.node("node0").instance, "dump")
+        # small chunks so the dump is still streaming when the crash
+        # lands (a 2 MB tenant is a single default-size chunk)
+        holder = self._run(env, cluster, middleware, chunk_mb=0.25)
+        self._assert_aborted_to_source(middleware, holder, "dump")
+        self._assert_commits_survive_restart(env, cluster, workload)
+
+    def test_crash_during_restore_aborts(self, env):
+        cluster, middleware = build(env)
+        workload = seed_tenant(env, cluster, middleware, overhead_mb=2.0)
+        crash_when_phase_opens(env, middleware,
+                               cluster.node("node0").instance,
+                               "restore", after_phases=("dump",))
+        holder = self._run(env, cluster, middleware)
+        self._assert_aborted_to_source(middleware, holder, "restore")
+        self._assert_commits_survive_restart(env, cluster, workload)
+
+    def test_crash_during_catchup_aborts(self, env):
+        cluster, middleware = build(env)
+        workload = seed_tenant(env, cluster, middleware)
+        crash_when_catching_up(env, middleware,
+                               cluster.node("node0").instance)
+        holder = self._run(env, cluster, middleware, standbys=["node2"])
+        self._assert_aborted_to_source(middleware, holder, "catch-up")
+        # standby scaffolding wound down with the abort
+        state = middleware.tenant_state("A")
+        assert state.standby_propagators == {}
+        assert state.standby_ssls == {}
+        self._assert_commits_survive_restart(env, cluster, workload)
+
+    def test_source_stays_writable_after_restart(self, env):
+        cluster, middleware = build(env)
+        seed_tenant(env, cluster, middleware)
+        crash_when_catching_up(env, middleware,
+                               cluster.node("node0").instance)
+        holder = {}
+
+        def main(env):
+            try:
+                yield from middleware.migrate(
+                    "A", "node1", MigrationOptions(rates=RATES))
+            except SourceCrashed as exc:
+                holder["error"] = exc
+            yield env.timeout(1.0)
+            yield from cluster.node("node0").instance.restart()
+            conn = middleware.connect("A")
+            yield from middleware.submit(conn, "BEGIN")
+            result = yield from middleware.submit(
+                conn, "UPDATE kv SET v = v + 1 WHERE k = 0")
+            holder["update_ok"] = result.ok
+            result = yield from middleware.submit(conn, "COMMIT")
+            holder["commit_ok"] = result.ok
+        env.process(main(env))
+        env.run()
+        assert "error" in holder
+        assert holder["update_ok"] and holder["commit_ok"]
+        assert middleware.route("A") == "node0"
 
 
 class TestStandbyCrash:
@@ -398,7 +548,8 @@ def _load_check_trace():
 def _gate_args(**overrides):
     base = dict(policy=None, min_rounds=None, min_players=None,
                 require_phase_order=False, expect_outcome=None,
-                min_fault_events=None, expect_standby_dropped=None)
+                min_fault_events=None, expect_standby_dropped=None,
+                expect_owner_count=None, min_overlapping_faults=None)
     base.update(overrides)
     return argparse.Namespace(**base)
 

@@ -343,3 +343,111 @@ class TestFaultInjector:
         time, spec = injector.injected[0]
         assert spec.name == "mid"
         assert 6.0 <= time <= 6.0 + 3 * FaultInjector.POLL_INTERVAL
+
+
+class TestChainedFaults:
+    def _build(self, env, plan, tracer=None, seed=None):
+        cluster = Cluster(env)
+        cluster.add_node("node0")
+        cluster.add_node("node1")
+        metrics = MetricsRegistry()
+        injector = FaultInjector(env, cluster, plan, tracer=tracer,
+                                 metrics=metrics, seed=seed)
+        return cluster, metrics, injector
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda p: p.add("b", "link_down", after="ghost"),
+         "unknown fault"),
+        (lambda p: p.add("b", "link_down", after="a",
+                         after_event="recovered"),
+         "never recovers"),
+        (lambda p: p.faults.extend([
+            FaultSpec(name="b", kind="link_down", after="c"),
+            FaultSpec(name="c", kind="link_down", after="b")]),
+         "cycle"),
+    ])
+    def test_plan_validation_rejects_broken_chains(self, mutate, message):
+        plan = FaultPlan()
+        plan.add("a", "link_down")           # permanent (duration 0)
+        mutate(plan)
+        with pytest.raises(ValueError, match=message):
+            plan.validate()
+
+    def test_spec_validation_rejects_bad_chain_fields(self):
+        with pytest.raises(ValueError, match="unknown after_event"):
+            FaultSpec(name="x", kind="link_down", after="y",
+                      after_event="exploded").validate()
+        with pytest.raises(ValueError, match="chain to itself"):
+            FaultSpec(name="x", kind="link_down", after="x").validate()
+
+    def test_after_injected_offsets_from_upstream_injection(self, env):
+        plan = FaultPlan()
+        plan.add("first", "link_down", at=1.0, duration=0.5)
+        plan.add("second", "crash", target="node0", after="first",
+                 at=0.2, duration=0.1)
+        _cluster, _metrics, injector = self._build(env, plan)
+        injector.start()
+        env.run()
+        times = {spec.name: time for time, spec in injector.injected}
+        assert times["first"] == pytest.approx(1.0)
+        assert times["second"] == pytest.approx(1.2)
+
+    def test_after_recovered_fires_when_upstream_heals(self, env):
+        plan = FaultPlan()
+        plan.add("first", "link_down", at=0.5, duration=0.5)
+        plan.add("second", "crash", target="node0", after="first",
+                 after_event="recovered")
+        cluster, _metrics, injector = self._build(env, plan)
+        injector.start()
+        env.run(until=0.9)
+        assert not cluster.node("node0").instance.crashed
+        env.run()
+        times = {spec.name: time for time, spec in injector.injected}
+        assert times["second"] == pytest.approx(1.0)
+        assert cluster.node("node0").instance.crashed   # permanent
+
+    def test_fault_spans_overlap_and_permanent_stays_open(self, env):
+        from repro.obs.trace import FAULT
+        tracer = Tracer(env)
+        plan = FaultPlan()
+        plan.add("flap", "link_down", at=0.0, duration=1.0)
+        plan.add("dead", "crash", target="node1", at=0.5)  # permanent
+        _cluster, metrics, injector = self._build(env, plan,
+                                                  tracer=tracer)
+        injector.start()
+        env.run(until=2.0)
+        spans = {s.name: s for s in tracer.spans if s.kind == FAULT}
+        assert spans["flap"].end == pytest.approx(1.0)
+        assert spans["flap"].attrs["outcome"] == "recovered"
+        assert spans["dead"].end is None            # never healed
+        # both were active together inside [0.5, 1.0)
+        assert spans["dead"].start < spans["flap"].end
+        assert metrics.gauge("faults.active").value == 1
+
+    def test_trigger_after_the_fact_is_already_fired(self, env):
+        plan = FaultPlan()
+        plan.add("early", "link_down", at=0.1, duration=0.1)
+        _cluster, _metrics, injector = self._build(env, plan)
+        injector.start()
+        env.run()
+        assert injector.trigger("early", "injected").triggered
+        assert injector.trigger("early", "recovered").triggered
+
+    def test_seeded_arming_order_replays_identically(self):
+        from repro.sim import Environment
+
+        def run_once(seed):
+            env = Environment()
+            plan = FaultPlan()
+            # three same-instant faults: arming order breaks the tie
+            plan.add("a", "link_down", at=0.2, duration=0.1)
+            plan.add("b", "latency", at=0.2, duration=0.1, factor=2.0)
+            plan.add("c", "bandwidth", at=0.2, duration=0.1, factor=2.0)
+            _cluster, _metrics, injector = self._build(env, plan,
+                                                       seed=seed)
+            injector.start()
+            env.run()
+            return [spec.name for _t, spec in injector.injected]
+
+        assert run_once(11) == run_once(11)
+        assert run_once(12) == run_once(12)

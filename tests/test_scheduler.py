@@ -144,6 +144,76 @@ class TestLinkContention:
         # 50 MB at 100 MB/s, then 50 MB at 50 MB/s -> 1.5 s
         assert done["a"] == pytest.approx(1.5)
 
+    def test_interrupted_stream_credits_partial_network_bytes(self, env):
+        # Regression: bytes_moved used to charge the full advertised
+        # size up front, so a torn-down stream over-counted.
+        net = Network(env, NetworkSpec(latency=0.0,
+                                       bandwidth_mb_s=100.0))
+        done = {}
+        _transfer(env, net, done, "keeper", "n0", "n1", 100)
+        victim = _transfer(env, net, done, "victim", "n0", "n1", 100)
+
+        def killer(env):
+            yield env.timeout(0.5)
+            victim.interrupt("cancelled")
+        env.process(killer(env))
+        env.run()
+        # keeper's full 100 MB + the 25 MB the victim moved in its
+        # shared half-rate window — not 200 MB
+        assert net.bytes_moved == pytest.approx(125.0 * 1e6)
+        egress = net.port("n0", "egress")
+        assert net.bytes_moved == pytest.approx(egress.bytes_mb * 1e6)
+
+    def test_crash_unwound_stream_credits_partial_bytes(self, env):
+        # The node-crash path: the migration manager unwinds the ship
+        # pump (interrupt cause "restore failed") while it is inside
+        # bulk_transfer.  The stream must credit its partial bytes
+        # through the same finally teardown as a caller interrupt.
+        net = Network(env, NetworkSpec(latency=0.0,
+                                       bandwidth_mb_s=100.0))
+
+        def pump(env):
+            try:
+                yield from net.bulk_transfer("n0", "n1", 100)
+            except Interrupt:
+                return
+        shipper = env.process(pump(env), name="pump")
+
+        def crasher(env):
+            yield env.timeout(0.25)
+            shipper.interrupt("restore failed")
+        env.process(crasher(env))
+        env.run()
+        assert net.bytes_moved == pytest.approx(25.0 * 1e6)
+        egress = net.port("n0", "egress")
+        ingress = net.port("n1", "ingress")
+        assert egress.active_streams == 0 and ingress.active_streams == 0
+        assert net.bytes_moved == pytest.approx(egress.bytes_mb * 1e6)
+        assert net.bytes_moved == pytest.approx(ingress.bytes_mb * 1e6)
+
+    def test_outage_before_stream_charges_no_bytes(self, env):
+        from repro.errors import NetworkDown
+        net = Network(env, NetworkSpec(latency=0.1,
+                                       bandwidth_mb_s=100.0))
+        failed = {}
+
+        def player(env):
+            try:
+                yield from net.bulk_transfer("n0", "n1", 100)
+            except NetworkDown:
+                failed["seen"] = env.now
+        env.process(player(env))
+
+        def outage(env):
+            yield env.timeout(0.05)
+            net.fail_link()
+        env.process(outage(env))
+        env.run()
+        # the outage hit during the latency hop: no stream ever moved,
+        # so nothing is charged anywhere
+        assert "seen" in failed
+        assert net.bytes_moved == 0.0
+
 
 def _build_kv_testbed(env, tenants, nodes=("node0", "node1"),
                       keys=12, network_spec=None):
@@ -312,3 +382,177 @@ class TestMigrationScheduler:
         assert report.jobs == []
         assert report.ok_count == 0
         assert report.wall_clock == 0.0
+
+
+def _start_load(env, middleware, tenant, txns=300, clients=4):
+    """Live kv load so catch-up has a real backlog to replay (a quiet
+    tenant catches up faster than a 0.02 s poll can observe)."""
+    from repro.workload.simplekv import KvWorkloadConfig, run_kv_clients
+    config = KvWorkloadConfig(keys=12, clients=clients,
+                              transactions_per_client=txns,
+                              read_only_ratio=0.2, think_time=0.01)
+    return run_kv_clients(env, middleware, tenant, config, seed=5)
+
+
+def _crash_when_catching_up(env, middleware, tenant, instance,
+                            give_up_at=120.0):
+    """Crash ``instance`` once catch-up is under way for ``tenant``.
+
+    Bounded poll: if catch-up never shows (the scenario went sideways),
+    the crasher gives up so ``env.run()`` still terminates and the
+    test fails on its assertions instead of hanging.
+    """
+    def crasher(env):
+        state = middleware.tenant_state(tenant)
+        while state.propagator is None:
+            if env.now > give_up_at:
+                return
+            yield env.timeout(0.02)
+        instance.crash()
+    env.process(crasher(env))
+
+
+class TestSchedulerRecovery:
+    def test_transient_failure_retries_into_same_destination(self):
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(
+            env, [("T1", "node0", 8.0)])
+        cluster.network.fail_link()
+
+        def healer(env):
+            # outlive the ~1 s dump and the first attempt's capped ship
+            # retries, so the first whole-job attempt fails before the
+            # link comes back
+            yield env.timeout(2.5)
+            cluster.network.restore_link()
+        env.process(healer(env))
+        scheduler = MigrationScheduler(
+            middleware, ScheduleOptions(retry_limit=5, retry_base=0.2,
+                                        retry_cap=1.0))
+        # tight ship-retry budget: a single attempt cannot sit out the
+        # outage on its own, so recovery must come from the scheduler
+        scheduler.submit("T1", "node1", MigrationOptions(
+            rates=RATES, ship_retry_limit=1, ship_retry_base=0.01,
+            ship_retry_cap=0.02))
+        proc = scheduler.start()
+        env.run()
+        report = proc.value
+        job = report.job("T1")
+        assert job.outcome == "ok"
+        assert job.attempts >= 2
+        assert job.excluded_destinations == []
+        assert report.retry_count == job.attempts - 1
+        assert middleware.route("T1") == "node1"
+        assert job.report.consistent is True
+        assert middleware.metrics.counter(
+            "scheduler.retries").value == job.attempts - 1
+        assert any(e.name == "schedule.retry"
+                   for e in middleware.tracer.events)
+
+    def test_crashed_destination_excluded_and_alternate_used(self):
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(
+            env, [("T1", "node0", 8.0)],
+            nodes=("node0", "node1", "node2"))
+        _start_load(env, middleware, "T1")
+        _crash_when_catching_up(env, middleware, "T1",
+                                cluster.node("node1").instance)
+        scheduler = MigrationScheduler(
+            middleware, ScheduleOptions(retry_limit=2, retry_base=0.1,
+                                        retry_cap=0.5))
+        scheduler.submit("T1", "node1", MigrationOptions(rates=RATES),
+                         alternates=("node2",))
+        proc = scheduler.start()
+        env.run()
+        report = proc.value
+        job = report.job("T1")
+        assert job.outcome == "ok"
+        assert job.attempts == 2
+        assert job.excluded_destinations == ["node1"]
+        assert job.destination == "node2"
+        assert middleware.route("T1") == "node2"
+        assert job.report.consistent is True
+
+    def test_all_candidates_dead_gives_up_with_memory(self):
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(
+            env, [("T1", "node0", 8.0)],
+            nodes=("node0", "node1", "node2"))
+        _start_load(env, middleware, "T1")
+        # both candidate destinations die as soon as they catch up
+        _crash_when_catching_up(env, middleware, "T1",
+                                cluster.node("node1").instance)
+
+        def second_crasher(env):
+            while not cluster.node("node1").instance.crashed:
+                if env.now > 120.0:
+                    return
+                yield env.timeout(0.02)
+            state = middleware.tenant_state("T1")
+            while state.propagator is None:
+                if env.now > 120.0:
+                    return
+                yield env.timeout(0.02)
+            cluster.node("node2").instance.crash()
+        env.process(second_crasher(env))
+        scheduler = MigrationScheduler(
+            middleware, ScheduleOptions(retry_limit=5, retry_base=0.05,
+                                        retry_cap=0.1))
+        scheduler.submit("T1", "node1", MigrationOptions(rates=RATES),
+                         alternates=("node2",))
+        proc = scheduler.start()
+        env.run()
+        job = proc.value.job("T1")
+        assert job.outcome == "failed"
+        assert job.excluded_destinations == ["node1", "node2"]
+        assert job.attempts == 2          # one try per live candidate
+        assert middleware.route("T1") == "node0"
+        assert middleware.tenant_state("T1").gate.is_open
+
+    def test_source_crash_is_final_and_never_retried(self):
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(
+            env, [("T1", "node0", 8.0)],
+            nodes=("node0", "node1", "node2"))
+        _start_load(env, middleware, "T1")
+        _crash_when_catching_up(env, middleware, "T1",
+                                cluster.node("node0").instance)
+        scheduler = MigrationScheduler(
+            middleware, ScheduleOptions(retry_limit=5, retry_base=0.05,
+                                        retry_cap=0.1))
+        scheduler.submit("T1", "node1", MigrationOptions(rates=RATES),
+                         alternates=("node2",))
+        proc = scheduler.start()
+        env.run()
+        job = proc.value.job("T1")
+        assert job.outcome == "aborted"
+        assert job.attempts == 1          # final: no retry, no alternate
+        assert "source node node0 crashed" in job.error
+        assert middleware.route("T1") == "node0"
+        assert middleware.metrics.counter(
+            "scheduler.retries").value == 0
+
+    def test_aborted_job_is_stamped_with_overlapping_faults(self):
+        from repro.faults import FaultInjector, FaultPlan
+        env = Environment()
+        cluster, middleware = _build_kv_testbed(
+            env, [("T1", "node0", 8.0)])
+        plan = FaultPlan()
+        plan.add("dest-dies", "crash", target="node1",
+                 phase="catch-up")
+        injector = FaultInjector(env, cluster, plan,
+                                 tracer=middleware.tracer,
+                                 metrics=middleware.metrics, seed=3)
+        injector.start()
+        _start_load(env, middleware, "T1")
+        report = _run_schedule(env, middleware, [("T1", "node1")])
+        job = report.job("T1")
+        assert job.outcome == "failed"
+        assert job.attempts == 1          # retry_limit defaults to 0
+        faults = {record["fault"]: record for record in job.fault_events}
+        assert "dest-dies" in faults
+        assert faults["dest-dies"]["kind"] == "crash"
+        assert faults["dest-dies"]["target"] == "node1"
+        assert faults["dest-dies"]["end"] is None      # never healed
+        # an ok job carries no fault stamp
+        assert all(record["fault"] for record in job.fault_events)
