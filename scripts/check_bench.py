@@ -16,11 +16,22 @@ Like ``check_trace.py`` this script is deliberately stdlib-only and
 does not import :mod:`repro`, so a bug that breaks the bench harness
 fails the gate instead of hiding it.
 
+For ``BENCH_simthroughput.json`` (real wall-clock substrate rates) the
+structural checks apply to its own schema, and ``--baseline`` enables
+the perf gate: every case's throughput in the checked artifact must be
+at least ``(1 - --max-throughput-regression)`` times the same case's
+throughput in the baseline artifact — a relative comparison of two runs
+on the same runner, never an absolute bar.
+
 Usage::
 
     python scripts/check_bench.py BENCH_pipeline.json \
         BENCH_policies.json BENCH_multitenant_parallel.json \
         --min-improvement 0.25 --min-parallel-improvement 0.1
+
+    python scripts/check_bench.py BENCH_simthroughput.json \
+        --baseline base/BENCH_simthroughput.json \
+        --max-throughput-regression 0.3
 """
 
 import argparse
@@ -173,6 +184,71 @@ def check_parallel_comparisons(data, min_improvement):
     return failures
 
 
+SIMTHROUGHPUT_CASE_FIELDS = ("case", "metric", "operations",
+                             "wall_seconds", "throughput")
+SIMTHROUGHPUT_REQUIRED_CASES = ("kernel_ping_pong", "parser_replay",
+                                "mvcc_read", "engine_point_select",
+                                "migration_e2e")
+
+
+def check_simthroughput(data, args):
+    """Structural + relative-regression failures for simthroughput."""
+    failures = []
+    cases = {}
+    for index, case in enumerate(data.get("cases", [])):
+        label = "case %d" % index
+        missing = [f for f in SIMTHROUGHPUT_CASE_FIELDS if f not in case]
+        if missing:
+            failures.append("%s: missing fields %s"
+                            % (label, ", ".join(missing)))
+            continue
+        label = "case %s" % case["case"]
+        if case["operations"] <= 0:
+            failures.append("%s: operations must be positive" % label)
+        if case["wall_seconds"] <= 0:
+            failures.append("%s: wall_seconds must be positive" % label)
+        if case["throughput"] <= 0:
+            failures.append("%s: throughput must be positive" % label)
+        cases[case["case"]] = case
+    for name in SIMTHROUGHPUT_REQUIRED_CASES:
+        if name not in cases:
+            failures.append("missing required case %r" % name)
+    smoke = data.get("paper_smoke")
+    if smoke is not None:
+        for field in ("wall_seconds", "budget_seconds", "within_budget",
+                      "events_processed"):
+            if field not in smoke:
+                failures.append("paper_smoke missing field %r" % field)
+        if smoke.get("within_budget") is False:
+            failures.append(
+                "paper-profile migration took %.1f s, over the %.0f s "
+                "budget" % (smoke.get("wall_seconds", float("nan")),
+                            smoke.get("budget_seconds", float("nan"))))
+    if args.baseline is not None:
+        base = load(args.baseline)
+        if base.get("bench") != "simthroughput":
+            failures.append("--baseline %s is not a simthroughput "
+                            "artifact" % args.baseline)
+            return failures
+        tolerance = args.max_throughput_regression
+        base_cases = {case.get("case"): case
+                      for case in base.get("cases", [])}
+        for name, case in sorted(cases.items()):
+            base_case = base_cases.get(name)
+            if base_case is None:
+                # New case with no baseline counterpart: nothing to
+                # compare against (happens when a PR adds a case).
+                continue
+            floor = base_case["throughput"] * (1.0 - tolerance)
+            if case["throughput"] < floor:
+                failures.append(
+                    "case %s: throughput %.0f/s regressed more than "
+                    "%.0f%% vs baseline %.0f/s"
+                    % (name, case["throughput"], 100.0 * tolerance,
+                       base_case["throughput"]))
+    return failures
+
+
 def check_file(path, args):
     """Return a list of failures for one BENCH_*.json artifact."""
     failures = []
@@ -184,6 +260,10 @@ def check_file(path, args):
         return failures
     if not data["cases"]:
         failures.append("artifact has no cases")
+    if data["bench"] == "simthroughput":
+        # Its own schema: skip the migration-case validation entirely.
+        failures.extend(check_simthroughput(data, args))
+        return failures
     for index, case in enumerate(data["cases"]):
         failures.extend(check_case(index, case))
     if data["bench"] == "pipeline":
@@ -209,6 +289,15 @@ def main(argv=None):
                         help="minimum relative headline improvement of "
                              "scheduler-concurrent over serialized "
                              "multi-tenant migration (e.g. 0.1)")
+    parser.add_argument("--baseline", default=None, metavar="BENCH",
+                        help="baseline BENCH_simthroughput.json to "
+                             "compare throughputs against (the perf "
+                             "gate's base-commit run)")
+    parser.add_argument("--max-throughput-regression", type=float,
+                        default=0.3,
+                        help="maximum tolerated relative throughput "
+                             "drop per case vs --baseline "
+                             "(default: 0.3)")
     args = parser.parse_args(argv)
 
     exit_code = 0

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Profile a seeded experiment and print the hottest call sites.
+
+A thin cProfile/pstats wrapper around the repro experiments, for
+answering "where does the simulation actually spend its time?" before
+touching the kernel.  Prints the top cumulative-time entries (default
+20) and can dump the raw stats for ``snakeviz``/``pstats`` follow-up.
+
+Usage::
+
+    python scripts/profile_sim.py                       # fig6 @ smoke
+    python scripts/profile_sim.py --experiment fig5 --profile quick
+    python scripts/profile_sim.py --sort tottime --top 40
+    python scripts/profile_sim.py --out /tmp/fig6.pstats
+
+Run from the repository root (the script puts ``src/`` on ``sys.path``
+itself, so no ``PYTHONPATH`` needed).
+"""
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+#: Experiments worth profiling, mapped to their runner modules.
+EXPERIMENTS = ("fig5", "fig6", "fig7", "fig8", "fig9", "bench",
+               "multitenant", "pingpong")
+
+
+def _runner(experiment, profile_name, seed):
+    """Build a zero-argument callable executing the chosen experiment."""
+    from repro.experiments import get_profile
+
+    if experiment == "pingpong":
+        # The pure-kernel microbench: no engine, no middleware — the
+        # profile to read before touching repro.sim.core itself.
+        from repro.sim.core import Environment
+
+        def run():
+            env = Environment()
+
+            def ping(env):
+                for _i in range(200_000):
+                    yield env.timeout(1)
+            env.process(ping(env))
+            env.process(ping(env))
+            env.run()
+        return run
+
+    profile = get_profile(profile_name)
+    if experiment == "bench":
+        from repro.experiments import bench
+
+        def run():
+            bench.run(profile, seed=seed,
+                      bench_dir=os.path.join("benchmarks", "results",
+                                             "profile-bench"))
+        return run
+
+    from repro.experiments import (dbsize, migration_time, multitenant,
+                                   performance, preliminary)
+    modules = {
+        "fig5": preliminary,
+        "fig6": migration_time,
+        "fig7": performance,
+        "fig8": performance,
+        "fig9": dbsize,
+        "multitenant": multitenant,
+    }
+    module = modules[experiment]
+
+    def run():
+        module.run(profile, seed=seed)
+    return run
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="cProfile one experiment and print the hotspots.")
+    parser.add_argument("--experiment", default="fig6",
+                        choices=EXPERIMENTS,
+                        help="what to profile (default: fig6; "
+                             "'pingpong' is the bare kernel loop)")
+    parser.add_argument("--profile", default="smoke",
+                        choices=["paper", "quick", "smoke"],
+                        help="experiment scale (default: smoke)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the profile's root random seed")
+    parser.add_argument("--top", type=int, default=20,
+                        help="number of entries to print (default: 20)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort order (default: cumulative)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also dump raw cProfile stats here")
+    args = parser.parse_args(argv)
+
+    run = _runner(args.experiment, args.profile, args.seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run()
+    finally:
+        profiler.disable()
+
+    if args.out is not None:
+        profiler.dump_stats(args.out)
+        print("raw stats written to %s" % args.out)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from .experiments import (
     multitenant,
     performance,
     preliminary,
+    simthroughput,
 )
 
 
@@ -106,13 +107,28 @@ def bench_main(argv=None) -> int:
                              "(default: $REPRO_TRACE_DIR, or none)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the profile's root random seed")
+    parser.add_argument("--paper-smoke", action="store_true",
+                        help="simthroughput only: additionally time one "
+                             "paper-profile migration and fail unless it "
+                             "finishes within the CI budget (%.0f s)"
+                             % simthroughput.PAPER_SMOKE_BUDGET_S)
     args = parser.parse_args(argv)
     profile = get_profile(args.profile)
     scenarios = None if args.scenario == "all" else [args.scenario]
+    if args.paper_smoke and "simthroughput" not in (scenarios
+                                                    or bench.SCENARIOS):
+        parser.error("--paper-smoke requires the simthroughput scenario")
     result = bench.run(profile, seed=args.seed,
                        trace_dir=args.trace_dir,
-                       bench_dir=args.bench_dir, scenarios=scenarios)
+                       bench_dir=args.bench_dir, scenarios=scenarios,
+                       paper_smoke=args.paper_smoke)
     print(result.text)
+    for scenario_result in result.data:
+        ok = getattr(scenario_result, "paper_smoke_ok", True)
+        if not ok:
+            print("FAIL: paper-profile migration exceeded the "
+                  "%.0f s CI budget" % simthroughput.PAPER_SMOKE_BUDGET_S)
+            return 1
     return 0
 
 

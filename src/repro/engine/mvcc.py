@@ -41,7 +41,14 @@ class VersionChain:
 
     def read(self, snapshot_csn: int) -> Optional[Row]:
         """Newest version visible at ``snapshot_csn`` (None if absent)."""
-        index = bisect.bisect_right(self.csns, snapshot_csn) - 1
+        csns = self.csns
+        if not csns:
+            return None
+        # Read-latest fast path: most reads run at a snapshot at or past
+        # the newest committed version, so skip the binary search.
+        if snapshot_csn >= csns[-1]:
+            return self.rows[-1]
+        index = bisect.bisect_right(csns, snapshot_csn) - 1
         if index < 0:
             return None
         return self.rows[index]

@@ -1,7 +1,7 @@
 """``repro bench``: the performance harness behind ``BENCH_*.json``.
 
 Not a paper figure — a regression harness for the middleware itself.
-Three scenarios:
+Four scenarios:
 
 ``pipeline``
     Migrates the same tenant twice per database size — once with the
@@ -27,10 +27,18 @@ Three scenarios:
     tenants.  The fifo-policy improvement over serialized is the
     headline number.
 
+``simthroughput``
+    Real wall-clock substrate rates (kernel events/sec, parses/sec,
+    MVCC reads/sec, point selects/sec, and a whole migration's
+    events/sec) — see :mod:`repro.experiments.simthroughput`.  CI's
+    perf gate compares this artifact between a PR and its base commit
+    on the same runner.
+
 Each scenario writes one ``BENCH_<scenario>.json`` file (see
-EXPERIMENTS.md for the schema).  Values are *simulated* seconds from a
-seeded run, so the artifacts are exactly reproducible and safe to gate
-in CI — ``scripts/check_bench.py`` checks structure and relative
+EXPERIMENTS.md for the schema).  Except for ``simthroughput`` (which
+honestly measures the host clock), values are *simulated* seconds from
+a seeded run, so the artifacts are exactly reproducible and safe to
+gate in CI — ``scripts/check_bench.py`` checks structure and relative
 ordering, never absolute timings.
 """
 
@@ -48,6 +56,11 @@ from ..engine.dump import restore_duration
 from ..metrics.report import format_table
 from .common import Report, TenantSetup, Testbed, build_testbed, seeded
 from .profiles import Profile, get_profile
+from .simthroughput import (
+    SimThroughputResult,
+    render as render_simthroughput,
+    run_scenario as run_simthroughput_scenario,
+)
 
 #: When set, ``run_benchmark`` writes its ``BENCH_*.json`` files here
 #: (mirrors the ``REPRO_TRACE_DIR`` convention for traces).
@@ -79,7 +92,8 @@ PARALLEL_PAPER_EBS = 25
 PARALLEL_SCHEDULES = (("fifo", 0), ("round-robin", 0),
                       ("smallest-first", 0), ("smallest-first", 2))
 
-SCENARIOS = ("pipeline", "policies", "multitenant_parallel")
+SCENARIOS = ("pipeline", "policies", "multitenant_parallel",
+             "simthroughput")
 
 
 @dataclass
@@ -360,8 +374,7 @@ def run_multitenant_parallel_scenario(profile: Profile,
     return result
 
 
-def _write_artifact(result: BenchScenarioResult,
-                    bench_dir: str) -> str:
+def _write_artifact(result: Any, bench_dir: str) -> str:
     os.makedirs(bench_dir, exist_ok=True)
     path = os.path.join(bench_dir, "BENCH_%s.json" % result.scenario)
     with open(path, "w") as handle:
@@ -374,17 +387,20 @@ def run_benchmark(profile: Optional[Profile] = None, *,
                   scenarios: Optional[Sequence[str]] = None,
                   seed: Optional[int] = None,
                   bench_dir: Optional[str] = None,
-                  trace_dir: Optional[str] = None
-                  ) -> List[BenchScenarioResult]:
+                  trace_dir: Optional[str] = None,
+                  paper_smoke: bool = False
+                  ) -> List[Any]:
     """Run the selected bench scenarios and write ``BENCH_*.json``.
 
     ``bench_dir`` falls back to ``$REPRO_BENCH_DIR``, then to
-    ``benchmarks/results/bench``.
+    ``benchmarks/results/bench``.  ``paper_smoke`` only affects the
+    ``simthroughput`` scenario (it adds the timed paper-profile
+    migration).
     """
     profile = seeded(profile or get_profile(), seed)
     directory = (bench_dir or os.environ.get(BENCH_DIR_ENV_VAR)
                  or DEFAULT_BENCH_DIR)
-    results: List[BenchScenarioResult] = []
+    results: List[Any] = []
     for scenario in (scenarios or SCENARIOS):
         if scenario == "pipeline":
             result = run_pipeline_scenario(profile, trace_dir=trace_dir)
@@ -393,6 +409,9 @@ def run_benchmark(profile: Optional[Profile] = None, *,
         elif scenario == "multitenant_parallel":
             result = run_multitenant_parallel_scenario(
                 profile, trace_dir=trace_dir)
+        elif scenario == "simthroughput":
+            result = run_simthroughput_scenario(profile,
+                                                paper_smoke=paper_smoke)
         else:
             raise ValueError("unknown bench scenario %r (one of %s)"
                              % (scenario, ", ".join(SCENARIOS)))
@@ -401,11 +420,16 @@ def run_benchmark(profile: Optional[Profile] = None, *,
     return results
 
 
-def report(results: List[BenchScenarioResult],
-           profile: Profile) -> str:
+def report(results: List[Any], profile: Profile) -> str:
     """The bench cases as a table, plus the headline comparisons."""
     rows = []
+    throughput_lines: List[str] = []
     for result in results:
+        if isinstance(result, SimThroughputResult):
+            throughput_lines.extend(render_simthroughput(result))
+            if result.path is not None:
+                throughput_lines.append("artifact: %s" % result.path)
+            continue
         for case in result.cases:
             label = case.scenario
             if case.mode is not None:
@@ -416,14 +440,18 @@ def report(results: List[BenchScenarioResult],
                          case.phases["restore"],
                          case.phases["catch-up"], case.chunks,
                          case.group_commit["mean_group_size"]])
-    lines = [format_table(
-        ["scenario", "policy", "size [MB]", "piped", "wall [s]",
-         "dump [s]", "restore [s]", "catchup [s]", "chunks",
-         "group size"],
-        rows,
-        title="repro bench (profile=%s, seed=%d)"
-              % (profile.name, profile.seed))]
+    lines = []
+    if rows:
+        lines.append(format_table(
+            ["scenario", "policy", "size [MB]", "piped", "wall [s]",
+             "dump [s]", "restore [s]", "catchup [s]", "chunks",
+             "group size"],
+            rows,
+            title="repro bench (profile=%s, seed=%d)"
+                  % (profile.name, profile.seed)))
     for result in results:
+        if isinstance(result, SimThroughputResult):
+            continue
         for comparison in result.comparisons:
             if "size_mb" in comparison:
                 lines.append(
@@ -446,6 +474,7 @@ def report(results: List[BenchScenarioResult],
                        comparison["total_queue_wait"]))
         if result.path is not None:
             lines.append("artifact: %s" % result.path)
+    lines.extend(throughput_lines)
     return "\n".join(lines)
 
 
@@ -453,11 +482,13 @@ def run(profile: Optional[Profile] = None, *,
         seed: Optional[int] = None,
         trace_dir: Optional[str] = None,
         bench_dir: Optional[str] = None,
-        scenarios: Optional[Sequence[str]] = None) -> Report:
+        scenarios: Optional[Sequence[str]] = None,
+        paper_smoke: bool = False) -> Report:
     """Uniform entry point: run the bench, return the rendered table."""
     profile = seeded(profile or get_profile(), seed)
     results = run_benchmark(profile, scenarios=scenarios,
-                            bench_dir=bench_dir, trace_dir=trace_dir)
+                            bench_dir=bench_dir, trace_dir=trace_dir,
+                            paper_smoke=paper_smoke)
     artifacts = [r.path for r in results if r.path is not None]
     return Report(experiment="bench", profile=profile.name,
                   seed=profile.seed, text=report(results, profile),

