@@ -195,6 +195,33 @@ def check_owner_count(expected, spans, events):
     return failures
 
 
+def count_resumed_ok(spans):
+    """Migrations that *completed* via journalled resume.
+
+    A resumed attempt opens its own migration span tagged
+    ``resumed=True``; only the ones that finished with outcome "ok"
+    count -- a resume that parked again (or abandoned its journal)
+    does not satisfy ``--expect-resumed``.
+    """
+    count = 0
+    for span in spans:
+        if span.get("kind") != "migration":
+            continue
+        attrs = span.get("attrs", {})
+        if attrs.get("resumed") and attrs.get("outcome") == "ok":
+            count += 1
+    return count
+
+
+def latest_event_attr(events, name, key):
+    """The attribute of the last event named ``name`` (None if absent)."""
+    value = None
+    for event in events:
+        if event.get("name") == name:
+            value = event.get("attrs", {}).get(key)
+    return value
+
+
 def max_overlapping_faults(spans, events):
     """Largest number of fault windows active at one instant.
 
@@ -253,6 +280,22 @@ def check_file(path, args):
                 "max overlapping fault windows = %d < required %d"
                 % (overlap, args.min_overlapping_faults))
 
+    if args.expect_resumed is not None:
+        resumed = count_resumed_ok(spans)
+        if resumed < args.expect_resumed:
+            failures.append(
+                "migrations completed via resume = %d < required %d"
+                % (resumed, args.expect_resumed))
+
+    if args.max_lost_commits is not None:
+        lost = latest_event_attr(events, "soak.summary", "lost_commits")
+        if lost is None:
+            failures.append("no soak.summary event found for "
+                            "--max-lost-commits")
+        elif lost > args.max_lost_commits:
+            failures.append("soak lost_commits = %s > allowed %d"
+                            % (lost, args.max_lost_commits))
+
     if args.expect_standby_dropped is not None:
         dropped = metric_value(metrics, "migration.standby_dropped")
         if dropped is None:
@@ -269,7 +312,10 @@ def check_file(path, args):
 
     if args.expect_outcome is not None:
         failures.extend(check_outcome(args.expect_outcome, spans, events))
-    else:
+    elif args.expect_resumed is None and args.max_lost_commits is None:
+        # Soak traces legitimately record suspended / abandoned
+        # attempts alongside the migrations that finished, so the
+        # soak flags disable the single-migration default gate.
         outcome = migration_attr(spans, "outcome")
         if outcome not in (None, "ok"):
             failures.append("migration outcome is %r, expected 'ok'"
@@ -333,6 +379,17 @@ def main(argv=None):
                              "(the two-step handover guarantees 1), "
                              "and require the handover journal to "
                              "balance prepares against resolutions")
+    parser.add_argument("--expect-resumed", type=int, default=None,
+                        help="minimum number of migrations that "
+                             "completed via journalled resume "
+                             "(migration spans tagged resumed=true "
+                             "with outcome ok); also disables the "
+                             "default first-migration outcome gate")
+    parser.add_argument("--max-lost-commits", type=int, default=None,
+                        help="maximum lost_commits the trace's final "
+                             "soak.summary event may report (soak "
+                             "runs; 0 = none); also disables the "
+                             "default first-migration outcome gate")
     parser.add_argument("--min-overlapping-faults", type=int,
                         default=None,
                         help="minimum number of fault windows that "

@@ -31,6 +31,7 @@ from .experiments import (
     performance,
     preliminary,
     simthroughput,
+    soak,
 )
 
 
@@ -140,11 +141,19 @@ def chaos_main(argv=None) -> int:
     ``$REPRO_TRACE_DIR`` set, each scenario exports its trace as
     ``trace_chaos_<scenario>.jsonl`` for offline gating with
     ``scripts/check_trace.py``.
+
+    With ``--soak`` it instead runs the long-horizon chaos soak from
+    :mod:`repro.experiments.soak`: a multi-tenant fleet migrating in
+    waves for ``--hours`` simulated hours under a fault scenario drawn
+    from a failure model, with restart-and-resume enabled.  The trace
+    lands as ``trace_chaos_soak.jsonl`` and the deterministic JSON soak
+    report in ``--soak-dir``.
     """
     parser = argparse.ArgumentParser(
         prog="repro chaos",
         description="Run a TPC-W live migration under a seeded fault "
-                    "plan (crashes, outages, degradation, disk stalls).")
+                    "plan (crashes, outages, degradation, disk stalls), "
+                    "or a long multi-tenant soak with --soak.")
     parser.add_argument("--scenario", default="all",
                         choices=sorted(chaos.SCENARIOS) + ["all"],
                         help="fault plan to run (default: all)")
@@ -157,8 +166,31 @@ def chaos_main(argv=None) -> int:
                              "(default: $REPRO_TRACE_DIR, or none)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the profile's root random seed")
+    parser.add_argument("--soak", action="store_true",
+                        help="run the failure-model chaos soak instead "
+                             "of the single-migration scenarios")
+    parser.add_argument("--hours", type=float, default=2.0,
+                        help="soak horizon in simulated hours "
+                             "(default: 2.0)")
+    parser.add_argument("--tenants", type=int, default=3,
+                        help="soak tenant count (default: 3)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="soak cluster size (default: 4)")
+    parser.add_argument("--soak-dir", default=None,
+                        help="write the deterministic SOAK_seed<N>.json "
+                             "report here (soak only)")
     args = parser.parse_args(argv)
     profile = get_profile(args.profile)
+    if args.soak:
+        result = soak.run_soak(profile, seed=args.seed,
+                               hours=args.hours, tenants=args.tenants,
+                               nodes=args.nodes,
+                               trace_dir=args.trace_dir,
+                               soak_dir=args.soak_dir)
+        print(result.text)
+        for path in result.artifacts:
+            print("artifact: %s" % path)
+        return 0 if result.data.ok else 1
     if args.seed is not None:
         from .experiments.common import seeded
         profile = seeded(profile, args.seed)
@@ -261,7 +293,8 @@ def main(argv=None) -> int:
                             "spans, metrics)"))
         print("%-12s %s" % ("chaos",
                             "migration under injected faults (crash, "
-                            "outage, degradation, stall)"))
+                            "outage, degradation, stall); --soak runs "
+                            "the failure-model soak"))
         print("%-12s %s" % ("bench",
                             "perf harness: pipelined vs serial "
                             "snapshots, parallel multi-tenant "

@@ -26,10 +26,12 @@ from typing import (
 
 from ..cluster.cluster import Cluster
 from ..engine.dump import (
+    SchemaSpec,
     SnapshotTruncated,
     TransferRates,
     dump,
     dump_stream,
+    plan_chunks,
     restore,
     restore_stream,
 )
@@ -45,7 +47,7 @@ from ..errors import (
 )
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import MIGRATION, Tracer
-from ..sim.events import Event
+from ..sim.events import Event, Interrupt
 from ..sim.sync import Channel, Gate
 from .operations import Operation, OpKind, TxnTracker
 from .pipeline import ChunkFeed
@@ -99,6 +101,13 @@ class MiddlewareConfig:
     #: is only crash-atomic because this record hits stable storage
     #: before the routing entry flips, so the write costs real time.
     handover_journal_sync: float = 0.002
+    #: Journal per-migration progress (frozen chunk plan, snapshot CSN,
+    #: per-node installed chunks, catch-up low-water mark) so a source
+    #: crash *suspends* the migration instead of aborting it, and
+    #: :meth:`Middleware.resume_migration` can re-enter from the journal
+    #: after the source recovers — without re-dumping what already
+    #: landed.  Per-migration override: :attr:`MigrationOptions.resumable`.
+    resumable: bool = False
 
 
 @dataclass(frozen=True)
@@ -129,6 +138,8 @@ class MigrationOptions:
     divergence_interval: Optional[float] = None
     divergence_window: Optional[int] = None
     divergence_min_growth: Optional[int] = None
+    #: Journal progress for restart-and-resume (None -> config).
+    resumable: Optional[bool] = None
 
     def resolve(self, config: MiddlewareConfig) -> "MigrationOptions":
         """Fill every ``None`` from ``config`` / library defaults."""
@@ -153,6 +164,7 @@ class MigrationOptions:
                                    config.divergence_window),
             divergence_min_growth=pick(self.divergence_min_growth,
                                        config.divergence_min_growth),
+            resumable=pick(self.resumable, config.resumable),
         )
 
 
@@ -223,7 +235,8 @@ class MigrationReport:
     standby_consistency: Dict[str, bool] = field(default_factory=dict)
     #: Standby nodes dropped mid-migration (injected failures).
     failed_standbys: List[str] = field(default_factory=list)
-    #: "ok" or "aborted"; aborted migrations are reported too.
+    #: "ok", "aborted", or "suspended" (resumable migration parked by a
+    #: source crash); non-ok migrations are reported too.
     outcome: str = "ok"
     #: Times a crashed destination was replaced by a promoted standby.
     failovers: int = 0
@@ -238,6 +251,12 @@ class MigrationReport:
     #: Node owning the tenant when the migration ended — the (possibly
     #: failed-over) destination on success, the source on any abort.
     owner: str = ""
+    #: This report covers a journalled re-entry of an interrupted
+    #: migration (see :meth:`Middleware.resume_migration`).
+    resumed: bool = False
+    #: Chunks the journal let this attempt skip because every
+    #: destination had already installed them (0 on a fresh migration).
+    chunks_skipped: int = 0
 
     @property
     def migration_time(self) -> float:
@@ -301,6 +320,96 @@ class HandoverRecord:
     resolved_at: Optional[float] = None
 
 
+#: MigrationJournal lifecycle states.
+JOURNAL_ACTIVE = "active"
+JOURNAL_SUSPENDED = "suspended"
+JOURNAL_COMPLETED = "completed"
+JOURNAL_ABANDONED = "abandoned"
+
+
+@dataclass
+class MigrationJournal:
+    """Durable per-migration progress record (the resume journal).
+
+    Extends the two-step handover journal idea to the whole migration:
+    everything :meth:`Middleware.resume_migration` needs to re-enter an
+    interrupted migration without re-dumping is recorded as it happens —
+    the chunk plan and snapshot CSN frozen at dump start (Step 1),
+    per-node installed-chunk high-water marks (Step 2), and the catch-up
+    low-water mark (syncsets replayed by stopped engines; the SSL itself
+    *is* the remaining backlog).  In a real deployment this record lives
+    in the middleware's stable storage next to the handover journal;
+    here it is the in-memory stand-in, exactly like
+    :class:`HandoverRecord`.
+    """
+
+    tenant: str
+    source: str
+    destination: str
+    mts: int
+    snapshot_csn: int
+    #: Chunk plan frozen at dump start: the tenant keeps growing under
+    #: load, so a resumed dump must not re-derive it — under MVCC the
+    #: versions visible at ``snapshot_csn`` survive the source's
+    #: crash-and-recovery, so the frozen slices stay byte-identical.
+    size_mb: float
+    total_chunks: int
+    pipelined: bool
+    schemas: List[SchemaSpec] = field(default_factory=list)
+    state: str = JOURNAL_ACTIVE
+    #: Current phase: "dump", "catch-up", "handover", or "done".
+    phase: str = "dump"
+    #: Per-node installed-chunk high-water marks (counts, not indexes).
+    chunks_restored: Dict[str, int] = field(default_factory=dict)
+    #: Per-node install log of absolute chunk indexes — the audit trail
+    #: tests use to prove a resume never double-ships a chunk.  (A ship
+    #: *retry* inside one attempt may legitimately repeat an index;
+    #: keyed re-installs are value-idempotent.)
+    chunk_log: Dict[str, List[int]] = field(default_factory=dict)
+    #: Syncsets replayed by engines retired at quiesce time — the
+    #: catch-up low-water mark.  An SSB is taken off the SSL when an
+    #: engine claims it, so a successor engine starts strictly after
+    #: these and never replays one twice.
+    replayed_syncsets: int = 0
+    suspended_at: Optional[float] = None
+    suspend_phase: Optional[str] = None
+    resumes: int = 0
+    #: Live dump/ship/restore processes of the current attempt; a
+    #: re-entry after a manager death interrupts any still alive so an
+    #: orphaned stream cannot keep mutating the destination.
+    snapshot_procs: List[Any] = field(default_factory=list)
+    #: The manager process of the current attempt (None when parked).
+    manager: Any = None
+
+
+@dataclass
+class _MigrationRun:
+    """Mutable context threaded through the migration phase helpers.
+
+    :meth:`Middleware.migrate` and :meth:`Middleware.resume_migration`
+    build one and hand it through :meth:`Middleware._snapshot_phase` ->
+    :meth:`Middleware._catchup_phase` ->
+    :meth:`Middleware._handover_phase`; a destination failover mutates
+    ``destination`` / ``dest_instance`` in place.
+    """
+
+    tenant: str
+    state: TenantState
+    opts: MigrationOptions
+    report: MigrationReport
+    migration_span: Any
+    source_instance: Any
+    dest_instance: Any
+    destination: str
+    standby_instances: Dict[str, Any]
+    source_down: Event
+    snapshot_csn: int
+    journal: Optional[MigrationJournal] = None
+    resume: bool = False
+    #: Per-slave WAL baselines captured at catch-up start.
+    wal_before: Dict[str, Any] = field(default_factory=dict)
+
+
 class Connection:
     """One customer connection proxied by the middleware."""
 
@@ -348,6 +457,9 @@ class Middleware:
         #: Two-step ownership-switch journal, one record per tenant for
         #: the most recent handover (see :class:`HandoverRecord`).
         self._handovers: Dict[str, HandoverRecord] = {}
+        #: Per-migration resume journal, one record per tenant for the
+        #: most recent resumable migration (see :class:`MigrationJournal`).
+        self._journals: Dict[str, MigrationJournal] = {}
         self.validator: Optional[LsirValidator] = (
             LsirValidator() if self.config.validate_lsir else None)
         self.reports: List[MigrationReport] = []
@@ -411,6 +523,22 @@ class Middleware:
             self._commit_handover(record, recovered=True)
         elif record is not None and record.state == HANDOVER_PREPARED:
             self._rollback_handover(record, reason="crash_recovery")
+        journal = self._journals.get(tenant)
+        if journal is not None and journal.state in (JOURNAL_ACTIVE,
+                                                     JOURNAL_SUSPENDED):
+            # Recovery forfeits the resume: a rolled-forward handover
+            # completes the journal, anything else abandons it.  Orphan
+            # dump/restore streams are silenced either way.
+            if self.route(tenant) == journal.destination:
+                journal.state = JOURNAL_COMPLETED
+                journal.phase = "done"
+            else:
+                journal.state = JOURNAL_ABANDONED
+            journal.manager = None
+            for proc in journal.snapshot_procs:
+                if proc.is_alive:
+                    proc.interrupt("routing recovered")
+            journal.snapshot_procs = []
         if state.migrating or state.propagator is not None:
             state.migrating = False
             if state.propagator is not None:
@@ -423,6 +551,10 @@ class Middleware:
         if not state.gate.is_open:
             state.gate.open()
         return self.owners(tenant)[0]
+
+    def migration_journal(self, tenant: str) -> Optional[MigrationJournal]:
+        """The most recent resume journal of ``tenant`` (or ``None``)."""
+        return self._journals.get(tenant)
 
     def tenant_state(self, tenant: str) -> TenantState:
         """Middleware-side state of a tenant."""
@@ -717,6 +849,56 @@ class Middleware:
         snapshot_csn = source_instance.current_csn()
         state.migrating = True  # commits from here on link their SSBs
         state.region.leave()
+        del rates  # phases read opts.rates
+        run = _MigrationRun(
+            tenant=tenant, state=state, opts=opts, report=report,
+            migration_span=migration_span,
+            source_instance=source_instance, dest_instance=dest_instance,
+            destination=destination, standby_instances=standby_instances,
+            source_down=source_down, snapshot_csn=snapshot_csn)
+        if opts.resumable:
+            run.journal = self._open_journal(run)
+        yield from self._snapshot_phase(run, phase_span)
+        yield from self._catchup_phase(run)
+        return (yield from self._handover_phase(run))
+
+    def _open_journal(self, run: _MigrationRun) -> MigrationJournal:
+        """Journal a fresh migration's immutable facts and chunk plan."""
+        opts = run.opts
+        tenant_db = run.source_instance.tenant(run.tenant)
+        size_mb = tenant_db.size_mb()
+        chunk_cap = (opts.chunk_mb if opts.chunk_mb is not None
+                     else opts.rates.chunk_mb)
+        specs = []
+        for table_name in tenant_db.catalog.table_names():
+            table = tenant_db.table(table_name)
+            specs.append(SchemaSpec(table_name, table.schema.columns,
+                                    dict(table.schema.indexes)))
+        journal = MigrationJournal(
+            tenant=run.tenant, source=run.report.source,
+            destination=run.destination, mts=run.report.mts,
+            snapshot_csn=run.snapshot_csn, size_mb=size_mb,
+            total_chunks=plan_chunks(size_mb, chunk_cap),
+            pipelined=bool(opts.pipeline), schemas=specs)
+        journal.manager = self.env.active_process
+        self._journals[run.tenant] = journal
+        return journal
+
+    # ------------------------------------------------------------------
+    # migration phases (shared by migrate() and resume_migration())
+    # ------------------------------------------------------------------
+    def _snapshot_phase(self, run: _MigrationRun,
+                        phase_span: Any) -> Generator[Any, Any, None]:
+        """Steps 1 (dump) + 2 (restore) against every destination node.
+
+        ``phase_span`` is the already-open ``dump`` span.  On return the
+        (possibly failed-over) destination holds the full snapshot and
+        ``report.restored_at`` is stamped; a source crash raises
+        :class:`SourceCrashed` (suspending first when journalled).
+        """
+        state, opts, report = run.state, run.opts, run.report
+        tenant = run.tenant
+        rates = opts.rates
         restore_errors: Dict[str, Optional[str]] = {}
 
         def retry_backoff(node_name: str, attempt: int) -> Generator:
@@ -729,33 +911,32 @@ class Middleware:
                               delay=delay)
             yield self.env.timeout(delay)
 
-        if opts.pipeline:
+        if opts.pipeline or run.resume:
             dump_error, phase_span = yield from self._pipelined_snapshot(
-                state, tenant, source_instance, dest_instance,
-                destination, standby_instances, snapshot_csn, opts,
-                report, migration_span, phase_span, restore_errors,
-                retry_backoff)
+                run, phase_span, restore_errors, retry_backoff)
             if isinstance(dump_error, NodeCrashed):
                 # The *source* died mid-dump: nothing useful restored
                 # anywhere; abort and keep source ownership.
-                self._abort_source_crash(state, dest_instance, tenant,
-                                         report, migration_span,
-                                         phase_span, phase="dump")
+                self._abort_source_crash(state, run.dest_instance,
+                                         tenant, report,
+                                         run.migration_span, phase_span,
+                                         phase="dump")
         else:
             try:
-                snapshot = yield from dump(source_instance, tenant,
-                                           snapshot_csn, rates)
+                snapshot = yield from dump(run.source_instance, tenant,
+                                           run.snapshot_csn, rates)
             except NodeCrashed:
-                self._abort_source_crash(state, dest_instance, tenant,
-                                         report, migration_span,
-                                         phase_span, phase="dump")
+                self._abort_source_crash(state, run.dest_instance,
+                                         tenant, report,
+                                         run.migration_span, phase_span,
+                                         phase="dump")
             report.snapshot_at = self.env.now
             report.snapshot_size_mb = snapshot.size_mb
             self.tracer.finish(phase_span, mts=report.mts,
                                size_mb=snapshot.size_mb)
             # --- Step 2: create the slave(s) ---------------------------
             phase_span = self.tracer.phase("restore",
-                                           parent=migration_span,
+                                           parent=run.migration_span,
                                            size_mb=snapshot.size_mb)
 
             def ship_and_restore(node_name: str,
@@ -775,12 +956,19 @@ class Middleware:
                         yield from restore(instance, snapshot, rates,
                                            tenant_name=tenant)
                         restore_errors[node_name] = None
+                        if run.journal is not None:
+                            # The serial restore lands whole: journal
+                            # the entire chunk plan as installed.
+                            run.journal.chunks_restored[node_name] = (
+                                run.journal.total_chunks)
                         return
                     except NetworkDown as exc:
                         attempt += 1
                         if instance.has_tenant(tenant):
                             # Discard the partial copy before resending.
                             instance.drop_tenant(tenant)
+                        if run.journal is not None:
+                            run.journal.chunks_restored[node_name] = 0
                         if attempt > opts.ship_retry_limit:
                             restore_errors[node_name] = str(exc)
                             return
@@ -788,55 +976,85 @@ class Middleware:
                     except NodeCrashed as exc:
                         restore_errors[node_name] = str(exc)
                         return
+                    except Interrupt:
+                        # Quiesced by a journalled re-entry.
+                        restore_errors[node_name] = "interrupted"
+                        return
 
             restores = [self.env.process(
-                ship_and_restore(destination, dest_instance))]
+                ship_and_restore(run.destination, run.dest_instance))]
             restores += [self.env.process(ship_and_restore(name, instance))
-                         for name, instance in standby_instances.items()]
+                         for name, instance
+                         in run.standby_instances.items()]
+            if run.journal is not None:
+                run.journal.snapshot_procs = list(restores)
             yield self.env.all_of(restores)
-        if source_instance.crashed:
+        if run.source_instance.crashed:
             # The master died while the slaves restored (the serial path
             # restores from an already-materialised snapshot, so nothing
             # in the pipeline notices).  Whatever landed is abandoned.
-            self._abort_source_crash(state, dest_instance, tenant,
-                                     report, migration_span, phase_span,
-                                     phase="restore")
+            self._abort_source_crash(state, run.dest_instance, tenant,
+                                     report, run.migration_span,
+                                     phase_span, phase="restore")
         # A standby that failed to restore is discarded (Section 4.2); a
         # dead destination promotes a restored standby or aborts.
-        for name in sorted(standby_instances):
+        for name in sorted(run.standby_instances):
             error = restore_errors.get(name)
             if error is not None:
-                standby_instances.pop(name)
+                run.standby_instances.pop(name)
                 self._drop_standby(state, name, phase="restore",
                                    reason=error)
-        dest_error = restore_errors.get(destination)
+        dest_error = restore_errors.get(run.destination)
         if dest_error is not None:
-            survivors = sorted(standby_instances)
+            survivors = sorted(run.standby_instances)
             if not survivors:
-                self._abort_migration(state, dest_instance, tenant)
+                self._abort_migration(state, run.dest_instance, tenant)
                 self.tracer.finish(phase_span, outcome="failed")
-                self.tracer.finish(migration_span, outcome="aborted",
-                                   reason="restore_failed", owner=source)
+                self.tracer.finish(run.migration_span, outcome="aborted",
+                                   reason="restore_failed",
+                                   owner=report.source)
                 self._finalize_abort(state, report)
                 raise MigrationError(
                     "restore on destination %s failed (%s) and no "
                     "standby survives to take over"
-                    % (destination, dest_error))
-            destination, dest_instance = self._promote_standby(
-                state, standby_instances, report, tenant,
-                failed=destination, phase="restore", reason=dest_error)
+                    % (run.destination, dest_error))
+            run.destination, run.dest_instance = self._promote_standby(
+                state, run.standby_instances, report, tenant,
+                failed=run.destination, phase="restore",
+                reason=dest_error)
+            if run.journal is not None:
+                run.journal.destination = run.destination
+        if run.journal is not None:
+            run.journal.snapshot_procs = []
         report.restored_at = self.env.now
         self.tracer.finish(phase_span, retries=report.ship_retries)
-        # --- Step 3: concurrent syncset propagation --------------------
-        phase_span = self.tracer.phase("catch-up", parent=migration_span,
+
+    def _catchup_phase(self, run: _MigrationRun
+                       ) -> Generator[Any, Any, None]:
+        """Step 3: concurrent syncset propagation until caught up."""
+        state, opts, report = run.state, run.opts, run.report
+        tenant = run.tenant
+        if run.journal is not None:
+            run.journal.phase = "catch-up"
+        phase_span = self.tracer.phase("catch-up",
+                                       parent=run.migration_span,
                                        backlog=state.ssl.pending_count())
-        propagator = make_propagator(self.env, state.ssl, dest_instance,
-                                     tenant, self.cluster.network,
-                                     self.config.policy, self.validator,
-                                     tracer=self.tracer,
-                                     metrics=self.metrics)
-        state.propagator = propagator
-        for name, instance in standby_instances.items():
+        adopted = (run.resume and state.propagator is not None)
+        if adopted:
+            # The engine of the interrupted attempt kept replaying to
+            # the destination while the migration was parked; adopt it
+            # rather than racing a successor against its claimed SSBs.
+            propagator = state.propagator
+        else:
+            propagator = make_propagator(self.env, state.ssl,
+                                         run.dest_instance, tenant,
+                                         self.cluster.network,
+                                         self.config.policy,
+                                         self.validator,
+                                         tracer=self.tracer,
+                                         metrics=self.metrics)
+            state.propagator = propagator
+        for name, instance in run.standby_instances.items():
             standby_ssl = SyncsetList()
             standby_ssl.adopt_opens(state.ssl)
             standby_ssl.adopt_backlog(state.ssl)
@@ -850,12 +1068,14 @@ class Middleware:
             standby_prop.start()
         # Per-slave WAL baselines, recorded up front so a standby
         # promoted mid-catch-up still reports correct deltas.
-        wal_before = {destination: (dest_instance.wal.flush_count,
-                                    dest_instance.wal.commit_count)}
-        for name, instance in standby_instances.items():
-            wal_before[name] = (instance.wal.flush_count,
-                                instance.wal.commit_count)
-        propagator.start()
+        run.wal_before = {
+            run.destination: (run.dest_instance.wal.flush_count,
+                              run.dest_instance.wal.commit_count)}
+        for name, instance in run.standby_instances.items():
+            run.wal_before[name] = (instance.wal.flush_count,
+                                    instance.wal.commit_count)
+        if not adopted:
+            propagator.start()
         deadline_event = None
         diverging: Optional[Event] = None
         watchdog_control = {"stop": False}
@@ -876,7 +1096,7 @@ class Middleware:
             standby_failed = {
                 name: prop.wait_failed()
                 for name, prop in state.standby_propagators.items()}
-            waits = [caught_up, source_down, primary_failed]
+            waits = [caught_up, run.source_down, primary_failed]
             waits.extend(standby_failed.values())
             if deadline_event is not None:
                 waits.append(deadline_event)
@@ -885,11 +1105,12 @@ class Middleware:
             fired = yield self.env.any_of(waits)
             if fired is caught_up:
                 break
-            if fired is source_down:
+            if fired is run.source_down:
                 watchdog_control["stop"] = True
-                self._abort_source_crash(state, dest_instance, tenant,
-                                         report, migration_span,
-                                         phase_span, phase="catch-up")
+                self._abort_source_crash(state, run.dest_instance,
+                                         tenant, report,
+                                         run.migration_span, phase_span,
+                                         phase="catch-up")
             dropped = None
             for name, event in standby_failed.items():
                 if fired is event:
@@ -900,15 +1121,18 @@ class Middleware:
                           or "replay failed")
                 self._drop_standby(state, dropped, phase="catch-up",
                                    reason=reason)
-                standby_instances.pop(dropped, None)
+                run.standby_instances.pop(dropped, None)
                 continue
             if fired is primary_failed:
                 reason = state.propagator.failed or "replay failed"
-                if standby_instances:
-                    destination, dest_instance = self._promote_standby(
-                        state, standby_instances, report, tenant,
-                        failed=destination, phase="catch-up",
-                        reason=reason)
+                if run.standby_instances:
+                    run.destination, run.dest_instance = (
+                        self._promote_standby(
+                            state, run.standby_instances, report, tenant,
+                            failed=run.destination, phase="catch-up",
+                            reason=reason))
+                    if run.journal is not None:
+                        run.journal.destination = run.destination
                     continue
                 abort_reason = "destination_failed"
             elif diverging is not None and fired is diverging:
@@ -919,17 +1143,17 @@ class Middleware:
             watchdog_control["stop"] = True
             backlog = state.ssl.pending_count()
             elapsed = self.env.now - report.restored_at
-            self._abort_migration(state, dest_instance, tenant)
+            self._abort_migration(state, run.dest_instance, tenant)
             self.tracer.finish(phase_span, outcome=abort_reason,
                                backlog_at_timeout=backlog)
-            self.tracer.finish(migration_span, outcome="aborted",
-                               reason=abort_reason, owner=source)
+            self.tracer.finish(run.migration_span, outcome="aborted",
+                               reason=abort_reason, owner=report.source)
             self._finalize_abort(state, report)
             if abort_reason == "destination_failed":
                 raise MigrationError(
                     "destination %s failed during catch-up (%s) and no "
                     "standby survives to take over"
-                    % (destination, reason))
+                    % (run.destination, reason))
             if abort_reason == "diverging":
                 raise CatchUpTimeout(
                     "%s: slave backlog is diverging (%d syncsets and "
@@ -945,22 +1169,31 @@ class Middleware:
                    self.config.catchup_deadline, backlog),
                 backlog=backlog, elapsed=elapsed)
         watchdog_control["stop"] = True
-        propagator = state.propagator
         report.caught_up_at = self.env.now
-        self.tracer.finish(phase_span,
-                           rounds=propagator.stats.rounds,
-                           syncsets=propagator.stats.syncsets_replayed)
-        # --- Step 4: suspend, drain, switch over, resume ---------------
-        # The ownership switch is journalled as a two-step prepare /
-        # commit (see HandoverRecord): a crash racing this phase — the
-        # source dying mid-drain, or the manager itself dying before the
-        # routing flip — always recovers to exactly one owner.  Once the
-        # record is ``ready`` the destination holds every remotely-
-        # committed transaction, so even a source crash from here on
-        # rolls *forward* instead of aborting.
+        self.tracer.finish(
+            phase_span, rounds=state.propagator.stats.rounds,
+            syncsets=state.propagator.stats.syncsets_replayed)
+
+    def _handover_phase(self, run: _MigrationRun
+                        ) -> Generator[Any, Any, MigrationReport]:
+        """Step 4: suspend, drain, switch over, resume.
+
+        The ownership switch is journalled as a two-step prepare /
+        commit (see :class:`HandoverRecord`): a crash racing this phase
+        — the source dying mid-drain, or the manager itself dying
+        before the routing flip — always recovers to exactly one owner.
+        Once the record is ``ready`` the destination holds every
+        remotely-committed transaction, so even a source crash from
+        here on rolls *forward* instead of aborting.
+        """
+        state, report = run.state, run.report
+        tenant = run.tenant
+        if run.journal is not None:
+            run.journal.phase = "handover"
         phase_span = self.tracer.phase("handover",
-                                       parent=migration_span)
-        record = self._prepare_handover(tenant, source, destination)
+                                       parent=run.migration_span)
+        record = self._prepare_handover(tenant, report.source,
+                                        run.destination)
         state.gate.close()
         if state.active_txns > 0:
             drained = Event(self.env)
@@ -978,25 +1211,26 @@ class Middleware:
         yield self.env.timeout(self.config.handover_journal_sync)
         report.switched_at = self.env.now
         self.tracer.event("migration.switched", tenant=tenant,
-                          destination=destination)
+                          destination=run.destination)
         if self.config.verify_consistency:
             equal, differences = states_equal(
-                source_instance.tenant(tenant),
-                dest_instance.tenant(tenant))
+                run.source_instance.tenant(tenant),
+                run.dest_instance.tenant(tenant))
             report.consistent = equal
             report.inconsistencies = differences
             for name in list(state.standby_propagators):
                 standby_equal, _diffs = states_equal(
-                    source_instance.tenant(tenant),
-                    standby_instances[name].tenant(tenant))
+                    run.source_instance.tenant(tenant),
+                    run.standby_instances[name].tenant(tenant))
                 report.standby_consistency[name] = standby_equal
         self._commit_handover(record)
         state.migrating = False
+        propagator = state.propagator
         state.propagator = None
         state.standby_ssls.clear()
         state.standby_propagators.clear()
         if self.config.drop_source_copy:
-            source_instance.drop_tenant(tenant)
+            run.source_instance.drop_tenant(tenant)
         state.gate.open()
         report.ended_at = self.env.now
         stats = propagator.stats
@@ -1004,10 +1238,10 @@ class Middleware:
         report.operations_propagated = stats.operations_replayed
         report.max_concurrent_players = stats.max_concurrent_players
         report.rounds = stats.rounds
-        flushes_before, commits_before = wal_before[destination]
-        report.slave_commit_count = (dest_instance.wal.commit_count
+        flushes_before, commits_before = run.wal_before[run.destination]
+        report.slave_commit_count = (run.dest_instance.wal.commit_count
                                      - commits_before)
-        report.slave_flush_count = (dest_instance.wal.flush_count
+        report.slave_flush_count = (run.dest_instance.wal.flush_count
                                     - flushes_before)
         if report.slave_flush_count:
             report.slave_mean_group_size = (report.slave_commit_count
@@ -1016,11 +1250,15 @@ class Middleware:
             report.lsir_violations = self.validator.violations()
         report.failed_standbys = list(state.failed_standbys)
         state.failed_standbys.clear()
-        report.owner = destination
-        report.source_crashed = source_instance.crashed
+        report.owner = run.destination
+        report.source_crashed = run.source_instance.crashed
+        if run.journal is not None:
+            run.journal.state = JOURNAL_COMPLETED
+            run.journal.phase = "done"
+            run.journal.manager = None
         self.tracer.finish(phase_span)
         self.tracer.finish(
-            migration_span, outcome="ok", owner=destination,
+            run.migration_span, outcome="ok", owner=run.destination,
             source_crashed=report.source_crashed,
             rounds=report.rounds,
             max_concurrent_players=report.max_concurrent_players,
@@ -1029,18 +1267,303 @@ class Middleware:
             slave_flush_count=report.slave_flush_count,
             consistent=report.consistent,
             failovers=report.failovers,
-            standby_dropped=len(report.failed_standbys))
+            standby_dropped=len(report.failed_standbys),
+            resumed=report.resumed)
         self._publish_report_metrics(report, stats)
         self.reports.append(report)
         return report
 
-    def _pipelined_snapshot(self, state: TenantState, tenant: str,
-                            source_instance: Any, dest_instance: Any,
-                            destination: str,
-                            standby_instances: Dict[str, Any],
-                            snapshot_csn: int, opts: MigrationOptions,
-                            report: MigrationReport, migration_span: Any,
-                            dump_span: Any,
+    # ------------------------------------------------------------------
+    # suspend / resume (journalled re-entry after a source crash)
+    # ------------------------------------------------------------------
+    def _suspend_migration(self, state: TenantState,
+                           journal: MigrationJournal,
+                           report: MigrationReport, phase: str) -> None:
+        """Park a journalled migration instead of aborting it.
+
+        The destination keeps its partial copy and the SSL keeps the
+        backlog — ``state.migrating`` stays True so commits on the
+        recovered source keep linking their SSBs, which is exactly what
+        lets :meth:`resume_migration` catch up instead of re-dumping.
+        The primary propagation engine is deliberately left attached
+        and running: the *source* crashed, not the middleware, so the
+        engine keeps draining the backlog toward the destination while
+        the migration is parked, and the resume adopts it.  (Standbys
+        are discarded — the resumed attempt re-runs without them.)
+        """
+        journal.state = JOURNAL_SUSPENDED
+        journal.suspend_phase = phase
+        journal.suspended_at = self.env.now
+        journal.manager = None
+        for proc in journal.snapshot_procs:
+            if proc.is_alive:
+                proc.interrupt("migration suspended")
+        journal.snapshot_procs = []
+        for name in sorted(state.standby_propagators):
+            self._drop_standby(state, name, phase=phase,
+                               reason="migration suspended")
+        record = self._handovers.get(state.name)
+        if record is not None and record.state == HANDOVER_PREPARED:
+            self._rollback_handover(record, reason="migration suspended")
+        if not state.gate.is_open:
+            state.gate.open()
+        report.outcome = "suspended"
+        report.ended_at = self.env.now
+        report.owner = report.source
+        report.failed_standbys = list(state.failed_standbys)
+        state.failed_standbys.clear()
+        self.metrics.counter("migration.suspended").inc()
+        self.tracer.event("migration.suspended", tenant=state.name,
+                          phase=phase, resumes=journal.resumes,
+                          chunks_restored=dict(journal.chunks_restored))
+        self.reports.append(report)
+
+    def _quiesce_for_resume(self, state: TenantState,
+                            journal: MigrationJournal
+                            ) -> Generator[Any, Any, None]:
+        """Silence every leftover of the interrupted attempt.
+
+        Idempotent from any journal offset: orphan dump/restore streams
+        are interrupted and leftover standbys are dropped.  A healthy
+        primary engine is *kept* — it holds SSBs it already claimed off
+        the SSL, so the safe continuations are exactly two: adopt it
+        (catch-up reuses it) or wait out its drain.  An engine caught
+        mid-stop (the previous attempt died inside the handover drain)
+        is drained here and retired into the journal's catch-up
+        low-water mark; a *failed* engine makes the journal unsafe —
+        its claimed SSBs died unreplayed, so the destination is
+        incomplete in a way no journal offset records — and the resume
+        abandons instead.
+        """
+        for proc in journal.snapshot_procs:
+            if proc.is_alive:
+                proc.interrupt("migration resumed")
+        journal.snapshot_procs = []
+        for name in sorted(state.standby_propagators):
+            self._drop_standby(state, name, phase="resume",
+                               reason="migration resumed")
+        engine = state.propagator
+        if engine is not None:
+            if engine.failed is not None:
+                journal.state = JOURNAL_ABANDONED
+                journal.manager = None
+                state.propagator = None
+                state.migrating = False
+                state.ssl.take_all()
+                if not state.gate.is_open:
+                    state.gate.open()
+                raise MigrationError(
+                    "cannot resume tenant %r: propagation failed while "
+                    "the migration was parked (%s); the destination "
+                    "copy is unrecoverable — re-migrate from scratch"
+                    % (state.name, engine.failed))
+            if engine._stop_requested:
+                # The previous attempt died inside the handover drain.
+                # Wait the drain out (the gate is still closed, so the
+                # backlog is bounded) and retire the engine.
+                if engine.process is not None and engine.process.is_alive:
+                    yield engine.wait_fully_drained()
+                journal.replayed_syncsets += (
+                    engine.stats.syncsets_replayed)
+                state.propagator = None
+            # else: healthy and running — catch-up adopts it.
+        if not state.gate.is_open:
+            state.gate.open()
+        state.migrating = True
+
+    def resume_migration(self, tenant: str,
+                         options: Optional[MigrationOptions] = None
+                         ) -> Generator[Any, Any, MigrationReport]:
+        """Re-enter an interrupted migration from its journal.
+
+        The counterpart of :meth:`recover_routing` for whole
+        migrations: where recovery resolves the in-doubt *handover* and
+        keeps the surviving owner, resume picks the journalled
+        migration back up after the crashed master recovered — skipping
+        every chunk all destinations already installed and replaying
+        only the SSL backlog that accumulated since, instead of
+        re-dumping from scratch.
+
+        Invariants (asserted by the race sweep in
+        ``tests/test_resume_race.py``): exactly one owner at every
+        re-entry offset, no remotely-committed transaction lost, and no
+        chunk double-shipped.  Raises :class:`MigrationError` when
+        there is nothing to resume and :class:`SourceCrashed` when the
+        journalled source is still down.
+        """
+        state = self.tenant_state(tenant)
+        journal = self._journals.get(tenant)
+        if journal is None:
+            raise MigrationError(
+                "tenant %r has no migration journal to resume" % tenant)
+        if journal.state in (JOURNAL_COMPLETED, JOURNAL_ABANDONED):
+            raise MigrationError(
+                "migration journal for tenant %r is %s; nothing to "
+                "resume" % (tenant, journal.state))
+        if (journal.state == JOURNAL_ACTIVE
+                and journal.manager is not None
+                and journal.manager.is_alive):
+            raise MigrationError(
+                "tenant %r migration is still being managed" % tenant)
+        record = self._handovers.get(tenant)
+        if record is not None and record.state == HANDOVER_READY:
+            # The interrupted attempt got past the point of no return:
+            # roll forward exactly as recover_routing() would.
+            self._commit_handover(record, recovered=True)
+        if self.route(tenant) == journal.destination:
+            return self._settle_resumed_handover(state, journal)
+        if record is not None and record.state == HANDOVER_PREPARED:
+            self._rollback_handover(record, reason="resume")
+        source_instance = self.cluster.node(journal.source).instance
+        if source_instance.crashed:
+            raise SourceCrashed(journal.source, "resume")
+        opts = (options or MigrationOptions()).resolve(self.config)
+        journal.state = JOURNAL_ACTIVE
+        journal.resumes += 1
+        journal.manager = self.env.active_process
+        dest_instance = self.cluster.node(journal.destination).instance
+        report = MigrationReport(tenant, journal.source,
+                                 journal.destination,
+                                 self.config.policy.name,
+                                 started_at=self.env.now,
+                                 pipelined=True)
+        report.mts = journal.mts
+        report.resumed = True
+        self.metrics.counter("migration.resumed").inc()
+        self.tracer.event(
+            "migration.resumed", tenant=tenant,
+            phase=journal.suspend_phase or journal.phase,
+            resumes=journal.resumes,
+            chunks_restored=dict(journal.chunks_restored),
+            total_chunks=journal.total_chunks,
+            backlog=state.ssl.pending_count())
+        migration_span = self.tracer.start(
+            "migration", kind=MIGRATION, tenant=tenant,
+            source=journal.source, destination=journal.destination,
+            policy=self.config.policy.name, standbys=0, pipelined=True,
+            resumed=True, resumes=journal.resumes)
+        run = _MigrationRun(
+            tenant=tenant, state=state, opts=opts, report=report,
+            migration_span=migration_span,
+            source_instance=source_instance,
+            dest_instance=dest_instance,
+            destination=journal.destination, standby_instances={},
+            source_down=source_instance.wait_crashed(),
+            snapshot_csn=journal.snapshot_csn, journal=journal,
+            resume=True)
+        try:
+            yield from self._quiesce_for_resume(state, journal)
+        except MigrationError:
+            self.tracer.finish(migration_span, outcome="abandoned",
+                               reason="unresumable",
+                               owner=journal.source)
+            raise
+        restored = journal.chunks_restored.get(run.destination, 0)
+        if restored and not run.dest_instance.has_tenant(tenant):
+            # The destination lost its partial copy while the journal
+            # was parked.  Chunks can be re-shipped from the frozen
+            # plan, but a syncset already replayed into the lost copy
+            # is gone for good — only a dump-phase journal (no replay
+            # yet) may start the ship over.
+            if (state.propagator is not None or journal.replayed_syncsets
+                    or journal.phase != "dump"):
+                journal.state = JOURNAL_ABANDONED
+                journal.manager = None
+                if state.propagator is not None:
+                    state.propagator.request_stop()
+                    state.propagator = None
+                state.migrating = False
+                state.ssl.take_all()
+                self.tracer.finish(migration_span, outcome="abandoned",
+                                   reason="destination_lost_copy",
+                                   owner=journal.source)
+                raise MigrationError(
+                    "cannot resume tenant %r: destination %s lost its "
+                    "copy after catch-up began — re-migrate from "
+                    "scratch" % (tenant, run.destination))
+            journal.chunks_restored[run.destination] = 0
+            journal.chunk_log.pop(run.destination, None)
+            restored = 0
+        if restored >= journal.total_chunks:
+            # Snapshot fully installed before the interruption: skip
+            # straight to catch-up.
+            report.snapshot_at = self.env.now
+            report.restored_at = self.env.now
+            report.snapshot_size_mb = journal.size_mb
+            report.chunks_skipped = journal.total_chunks
+        else:
+            journal.phase = "dump"
+            phase_span = self.tracer.phase("dump",
+                                           parent=migration_span,
+                                           pipelined=True, resumed=True)
+            yield from self._snapshot_phase(run, phase_span)
+        yield from self._catchup_phase(run)
+        return (yield from self._handover_phase(run))
+
+    def _settle_resumed_handover(self, state: TenantState,
+                                 journal: MigrationJournal
+                                 ) -> MigrationReport:
+        """Finish a resume whose handover already rolled forward.
+
+        The interrupted attempt crashed after its ready record (or even
+        after the routing flip): the destination owns the tenant and
+        holds every remotely-committed transaction, so the only work
+        left is tearing down the source-side migration scaffolding and
+        reporting the migration as complete.
+        """
+        tenant = state.name
+        for proc in journal.snapshot_procs:
+            if proc.is_alive:
+                proc.interrupt("handover rolled forward")
+        journal.snapshot_procs = []
+        state.migrating = False
+        if state.propagator is not None:
+            state.propagator.request_stop()
+            state.propagator = None
+        state.ssl.take_all()
+        for name in sorted(state.standby_propagators):
+            self._drop_standby(state, name, phase="resume",
+                               reason="handover rolled forward")
+        if not state.gate.is_open:
+            state.gate.open()
+        journal.state = JOURNAL_COMPLETED
+        journal.phase = "done"
+        journal.resumes += 1
+        journal.manager = None
+        report = MigrationReport(tenant, journal.source,
+                                 journal.destination,
+                                 self.config.policy.name,
+                                 started_at=self.env.now,
+                                 pipelined=journal.pipelined)
+        report.mts = journal.mts
+        report.resumed = True
+        report.snapshot_at = self.env.now
+        report.restored_at = self.env.now
+        report.caught_up_at = self.env.now
+        report.switched_at = self.env.now
+        report.ended_at = self.env.now
+        report.snapshot_size_mb = journal.size_mb
+        report.chunks_skipped = journal.total_chunks
+        report.owner = journal.destination
+        report.failed_standbys = list(state.failed_standbys)
+        state.failed_standbys.clear()
+        self.metrics.counter("migration.resumed").inc()
+        self.metrics.counter("migration.completed").inc()
+        self.tracer.event("migration.resumed", tenant=tenant,
+                          phase="handover", resumes=journal.resumes,
+                          settled=True)
+        span = self.tracer.start(
+            "migration", kind=MIGRATION, tenant=tenant,
+            source=journal.source, destination=journal.destination,
+            policy=self.config.policy.name, standbys=0,
+            pipelined=journal.pipelined, resumed=True, settled=True)
+        self.tracer.finish(span, outcome="ok",
+                           owner=journal.destination, resumed=True,
+                           settled=True)
+        self.reports.append(report)
+        return report
+
+    def _pipelined_snapshot(self, run: _MigrationRun, dump_span: Any,
                             restore_errors: Dict[str, Optional[str]],
                             retry_backoff: Any) -> Generator:
         """Steps 1+2, streamed: dump, ship, and restore overlap.
@@ -1052,29 +1575,59 @@ class Middleware:
         full channel -> idle pump -> stalled feed reader -> paused dump.
 
         Per-node failure semantics match the serial path: transient
-        outages rewind the reader and resend from chunk 0 (the feed
-        retains emitted chunks exactly as the serial path retains its
-        materialised snapshot), crashes mark the node failed.  Returns
-        ``(dump_error, restore_span)`` with the restore span left open
-        — the caller owns standby discard / failover and closes it.
+        outages rewind the reader and resend from the feed base (the
+        feed retains emitted chunks exactly as the serial path retains
+        its materialised snapshot), crashes mark the node failed.
+
+        On a resumed run the journal's frozen chunk plan governs the
+        stream: the producer re-slices from the lowest chunk any node
+        still needs and each node's restore re-enters at its own
+        journalled offset.  Returns ``(dump_error, restore_span)`` with
+        the restore span left open — the caller owns standby discard /
+        failover and closes it.
         """
-        del state  # symmetry with the serial branch; not needed here
+        tenant, opts, report = run.tenant, run.opts, run.report
+        journal = run.journal
         rates = opts.rates
-        size_mb = source_instance.tenant(tenant).size_mb()
+        nodes = [run.destination, *run.standby_instances]
+        if run.resume:
+            assert journal is not None
+            size_mb = journal.size_mb
+            total: Optional[int] = journal.total_chunks
+            offsets = {name: min(journal.chunks_restored.get(name, 0),
+                                 journal.total_chunks)
+                       for name in nodes}
+            base = min(offsets.values())
+        else:
+            size_mb = run.source_instance.tenant(tenant).size_mb()
+            total = None
+            offsets = {name: 0 for name in nodes}
+            base = 0
         report.snapshot_size_mb = size_mb
+        report.chunks_skipped = base
         started = self.env.now
         feed = ChunkFeed(self.env, depth=opts.pipeline_depth,
                          name="feed.%s" % tenant)
-        readers = {destination: feed.reader(destination)}
-        for name in standby_instances:
-            readers[name] = feed.reader(name)
+        readers = {name: feed.reader(name, start=offsets[name] - base)
+                   for name in nodes}
         dump_result: Dict[str, Any] = {}
+
+        def journal_progress(node_name: str) -> Any:
+            def on_chunk(chunk: Any) -> None:
+                done = journal.chunks_restored.get(node_name, 0)
+                journal.chunks_restored[node_name] = max(
+                    done, chunk.index + 1)
+                journal.chunk_log.setdefault(node_name,
+                                             []).append(chunk.index)
+            return on_chunk
 
         def producer() -> Generator:
             try:
                 chunks = yield from dump_stream(
-                    source_instance, tenant, snapshot_csn, rates, feed,
-                    chunk_mb=opts.chunk_mb)
+                    run.source_instance, tenant, run.snapshot_csn,
+                    rates, feed, chunk_mb=opts.chunk_mb,
+                    start_index=base, total_chunks=total,
+                    total_size_mb=size_mb if run.resume else None)
             except NodeCrashed as exc:
                 dump_result["error"] = exc
                 feed.fail(exc)
@@ -1084,21 +1637,27 @@ class Middleware:
                 # in ``restore_errors`` tell the real story.
                 dump_result["error"] = exc
                 self.tracer.finish(dump_span, outcome="abandoned")
+            except Interrupt:
+                # Quiesced by a journalled re-entry; the resume's own
+                # producer takes over from the journalled offsets.
+                return
             else:
                 report.chunks = chunks
                 report.snapshot_at = self.env.now
                 self.tracer.finish(dump_span, mts=report.mts,
-                                   size_mb=size_mb, chunks=chunks)
+                                   size_mb=size_mb, chunks=chunks,
+                                   chunks_skipped=base)
 
         producer_proc = self.env.process(producer(),
                                          name="dump.%s" % tenant)
         restore_span = self.tracer.phase("restore",
-                                         parent=migration_span,
+                                         parent=run.migration_span,
                                          size_mb=size_mb, pipelined=True)
 
         def node_stream(node_name: str, instance: Any) -> Generator:
             """Pump + streaming restore for one node; never raises."""
             reader = readers[node_name]
+            resume_from = offsets[node_name]
             attempt = 0
             while True:
                 channel = Channel(self.env,
@@ -1110,17 +1669,33 @@ class Middleware:
                         route=(report.source, node_name)),
                     name="pump.%s.%s" % (tenant, node_name))
                 try:
-                    yield from restore_stream(instance, channel, rates,
-                                              tenant_name=tenant)
+                    yield from restore_stream(
+                        instance, channel, rates, tenant_name=tenant,
+                        resume_from=resume_from,
+                        schemas=(journal.schemas if journal is not None
+                                 else None),
+                        expected_total=total,
+                        on_chunk=(journal_progress(node_name)
+                                  if journal is not None else None))
                     restore_errors[node_name] = None
                     return
                 except NetworkDown as exc:
                     attempt += 1
                     if pump.is_alive:
                         pump.interrupt("ship retry")
-                    if instance.has_tenant(tenant):
-                        # Discard the partial copy before resending.
-                        instance.drop_tenant(tenant)
+                    if base > 0:
+                        # Chunks below the feed base can never be
+                        # re-shipped on this stream; keep the copy and
+                        # re-enter at the base after the retry.
+                        resume_from = base
+                    else:
+                        if instance.has_tenant(tenant):
+                            # Discard the partial copy before resending.
+                            instance.drop_tenant(tenant)
+                        resume_from = 0
+                        if journal is not None:
+                            journal.chunks_restored[node_name] = 0
+                            journal.chunk_log.pop(node_name, None)
                     if attempt > opts.ship_retry_limit:
                         restore_errors[node_name] = str(exc)
                         reader.close()
@@ -1133,14 +1708,22 @@ class Middleware:
                     restore_errors[node_name] = str(exc)
                     reader.close()
                     return
+                except Interrupt:
+                    # Quiesced by a journalled re-entry.
+                    if pump.is_alive:
+                        pump.interrupt("migration suspended")
+                    restore_errors[node_name] = "interrupted"
+                    return
 
         runners = [self.env.process(
-            node_stream(destination, dest_instance),
-            name="restore.%s.%s" % (tenant, destination))]
+            node_stream(run.destination, run.dest_instance),
+            name="restore.%s.%s" % (tenant, run.destination))]
         runners += [self.env.process(
             node_stream(name, instance),
             name="restore.%s.%s" % (tenant, name))
-            for name, instance in standby_instances.items()]
+            for name, instance in run.standby_instances.items()]
+        if journal is not None:
+            journal.snapshot_procs = [producer_proc] + list(runners)
         yield self.env.all_of(runners)
         yield producer_proc  # the dump span is closed either way
         window = self.env.now - started
@@ -1286,11 +1869,24 @@ class Middleware:
         remotely is lost — the commit protocol installs versions only
         after the WAL flush, so every transaction the customer saw
         commit survives the crash and WAL-replay recovery on the source.
+
+        Under a journalled (``resumable=True``) migration the abort is
+        *suspension* instead: progress stays in the journal so
+        :meth:`resume_migration` can re-enter after the master recovers.
+        Either way :class:`SourceCrashed` propagates to the caller.
         """
         report.source_crashed = True
         self.metrics.counter("migration.source_crashed").inc()
         self.tracer.event("migration.source_crashed", tenant=tenant,
                           source=report.source, phase=phase)
+        journal = self._journals.get(tenant)
+        if journal is not None and journal.state == JOURNAL_ACTIVE:
+            self._suspend_migration(state, journal, report, phase)
+            self.tracer.finish(phase_span, outcome="source_crashed")
+            self.tracer.finish(migration_span, outcome="suspended",
+                               reason="source_crashed",
+                               owner=report.source)
+            raise SourceCrashed(report.source, phase)
         self._abort_migration(state, dest_instance, tenant)
         self.tracer.finish(phase_span, outcome="source_crashed")
         self.tracer.finish(migration_span, outcome="aborted",
@@ -1318,6 +1914,10 @@ class Middleware:
         if record is not None and record.state in (HANDOVER_PREPARED,
                                                    HANDOVER_READY):
             self._rollback_handover(record, reason="migration aborted")
+        journal = self._journals.get(report.tenant)
+        if journal is not None and journal.state == JOURNAL_ACTIVE:
+            journal.state = JOURNAL_ABANDONED
+            journal.manager = None
         self.metrics.counter("migration.aborted").inc()
         self.metrics.absorb("migration.last", {
             "migration_time": report.migration_time,

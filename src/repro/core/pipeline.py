@@ -64,9 +64,21 @@ class ChunkFeed:
     # wiring
     # ------------------------------------------------------------------
 
-    def reader(self, name: Optional[str] = None) -> "ChunkReader":
-        """Attach a new consumer starting at chunk 0."""
+    def reader(self, name: Optional[str] = None,
+               start: int = 0) -> "ChunkReader":
+        """Attach a new consumer starting at feed position ``start``.
+
+        ``start > 0`` serves the resumed-snapshot path: the feed then
+        carries chunks from a common base offset, and a destination
+        that already installed more than the base skips ahead to the
+        first feed position it still needs.  :meth:`ChunkReader.rewind`
+        returns to position 0 — the feed base, not absolute chunk 0.
+        """
+        if start < 0:
+            raise ValueError("reader start must be >= 0")
         reader = ChunkReader(self, name)
+        reader.index = start
+        reader.high_water = start
         self._readers.append(reader)
         return reader
 

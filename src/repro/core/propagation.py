@@ -108,6 +108,12 @@ class _BasePropagator:
         """Event firing next time the backlog is momentarily empty."""
         event = Event(self.env)
         self._caught_up_waiters.append(event)
+        # Nudge an idle engine so it re-evaluates its lag: an adopted
+        # engine that drained while the migration was parked sits in
+        # _wait_for_work(), and without a wake-up a waiter registered
+        # by the resuming manager would only fire when fresh workload
+        # happens to arrive.
+        self.notify_linked()
         return event
 
     def wait_fully_drained(self) -> Event:

@@ -33,9 +33,16 @@ scheduler remembers destinations that died under the job
 (*excluded-destination memory*) and retries into the next alternate
 named at :meth:`MigrationScheduler.submit` time, so one faulted
 migration neither wedges the schedule nor keeps retrying into the same
-dead node.  A :class:`~repro.errors.SourceCrashed` abort is final — the
-tenant's master must recover first, and the paper's rule is to abort
-and keep serving from the source — so the scheduler never retries it.
+dead node.  A :class:`~repro.errors.SourceCrashed` abort is final by
+default — the tenant's master must recover first, and the paper's rule
+is to abort and keep serving from the source.  With
+``ScheduleOptions(resume=True)`` and a journalled
+(:attr:`MigrationOptions.resumable`) migration, the scheduler instead
+waits for the crashed master's recovery
+(:meth:`~repro.engine.instance.DbmsInstance.wait_recovered`) and
+re-enters the parked migration via
+:meth:`Middleware.resume_migration` — skipping every chunk the
+destination already installed instead of re-dumping from scratch.
 Non-ok outcomes are stamped with the fault windows that overlapped the
 job (:attr:`JobOutcome.fault_events`), so an injected-fault abort is
 distinguishable from a logic error straight from the report.
@@ -55,7 +62,12 @@ from ..errors import (
 )
 from ..obs.trace import FAULT, SPAN
 from ..sim.sync import Semaphore
-from .middleware import Middleware, MigrationOptions, MigrationReport
+from .middleware import (
+    JOURNAL_SUSPENDED,
+    Middleware,
+    MigrationOptions,
+    MigrationReport,
+)
 
 #: Admission-order policies understood by :class:`ScheduleOptions`.
 SCHEDULE_POLICIES = ("fifo", "round-robin", "smallest-first")
@@ -84,6 +96,12 @@ class ScheduleOptions:
     #: ``min(retry_cap, retry_base * 2**(attempt-1))``.
     retry_base: Optional[float] = None
     retry_cap: Optional[float] = None
+    #: Treat a ``SourceCrashed`` suspension as retriable: wait for the
+    #: crashed master to recover, then re-enter the parked migration
+    #: with :meth:`Middleware.resume_migration` instead of giving up.
+    #: Resumes consume retry attempts like any other retry, so this
+    #: needs ``retry_limit >= 1`` to have any effect (default False).
+    resume: Optional[bool] = None
 
     def resolve(self) -> "ScheduleOptions":
         """A copy with every ``None`` replaced by its default."""
@@ -110,7 +128,8 @@ class ScheduleOptions:
                        max_concurrent=max_concurrent,
                        migration=self.migration or MigrationOptions(),
                        retry_limit=retry_limit, retry_base=retry_base,
-                       retry_cap=retry_cap)
+                       retry_cap=retry_cap,
+                       resume=bool(self.resume))
 
 
 @dataclass
@@ -123,13 +142,18 @@ class JobOutcome:
     submitted_at: float
     started_at: float = 0.0
     ended_at: float = 0.0
-    #: "ok", "aborted" (clean abort, tenant stays on source), or
-    #: "failed" (rejected or torn down by an unrecovered fault).
+    #: "ok", "aborted" (clean abort, tenant stays on source),
+    #: "suspended" (journalled migration parked by a source crash and
+    #: not resumed within the retry budget), or "failed" (rejected or
+    #: torn down by an unrecovered fault).
     outcome: str = "pending"
     error: Optional[str] = None
     report: Optional[MigrationReport] = None
     #: Migration attempts made (1 = no retry was needed).
     attempts: int = 0
+    #: Attempts that re-entered a parked migration from its journal
+    #: (``ScheduleOptions(resume=True)``) rather than starting over.
+    resumes: int = 0
     #: Destinations this job gave up on (the node died under the
     #: attempt); retries skip them.
     excluded_destinations: List[str] = field(default_factory=list)
@@ -360,29 +384,69 @@ class MigrationScheduler:
             candidates = [outcome.destination] + [
                 name for name in alternates
                 if name != outcome.destination]
+            resume_next = False
             try:
                 while True:
-                    destination = next_destination(outcome, candidates)
-                    if destination is None:
-                        # Every candidate died under an attempt; the
-                        # last error already describes the failure.
-                        break
-                    outcome.destination = destination
+                    if resume_next:
+                        destination = outcome.destination
+                    else:
+                        destination = next_destination(outcome,
+                                                       candidates)
+                        if destination is None:
+                            # Every candidate died under an attempt; the
+                            # last error already describes the failure.
+                            break
+                        outcome.destination = destination
                     outcome.attempts += 1
                     retriable = False
                     try:
-                        outcome.report = \
-                            yield from self.middleware.migrate(
-                                outcome.tenant, destination,
-                                options or opts.migration)
+                        if resume_next:
+                            resume_next = False
+                            outcome.resumes += 1
+                            outcome.report = yield from \
+                                self.middleware.resume_migration(
+                                    outcome.tenant,
+                                    options or opts.migration)
+                        else:
+                            outcome.report = \
+                                yield from self.middleware.migrate(
+                                    outcome.tenant, destination,
+                                    options or opts.migration)
                         outcome.outcome = "ok"
                         break
                     except SourceCrashed as exc:
-                        # Final by design: the master must recover, and
-                        # the paper's rule is abort + keep the source.
-                        outcome.outcome = "aborted"
+                        journal = self.middleware.migration_journal(
+                            outcome.tenant)
+                        suspended = (journal is not None
+                                     and journal.state
+                                     == JOURNAL_SUSPENDED)
+                        if (not opts.resume or not suspended
+                                or outcome.attempts > opts.retry_limit):
+                            # Final by design without the resume policy:
+                            # the master must recover, and the paper's
+                            # rule is abort + keep the source.
+                            outcome.outcome = ("suspended" if suspended
+                                               else "aborted")
+                            outcome.error = str(exc)
+                            break
+                        outcome.outcome = "suspended"
                         outcome.error = str(exc)
-                        break
+                        outcome.destination = journal.destination
+                        source_instance = self.middleware.cluster.node(
+                            journal.source).instance
+                        yield source_instance.wait_recovered()
+                        delay = min(opts.retry_cap,
+                                    opts.retry_base
+                                    * (2 ** (outcome.attempts - 1)))
+                        metrics.counter("scheduler.resumes").inc()
+                        tracer.event("schedule.resume",
+                                     tenant=outcome.tenant,
+                                     attempt=outcome.attempts,
+                                     delay=delay,
+                                     phase=journal.suspend_phase)
+                        yield self.env.timeout(delay)
+                        resume_next = True
+                        continue
                     except CatchUpTimeout as exc:
                         outcome.outcome = "aborted"
                         outcome.error = str(exc)
@@ -423,6 +487,7 @@ class MigrationScheduler:
                 concurrent_gauge.set(in_flight[0])
                 tracer.finish(job_span, outcome=outcome.outcome,
                               attempts=outcome.attempts,
+                              resumes=outcome.resumes,
                               destination=outcome.destination)
                 metrics.counter("scheduler.jobs_%s"
                                 % outcome.outcome).inc()

@@ -219,7 +219,10 @@ def plan_chunks(size_mb: float, chunk_mb: float) -> int:
 
 def dump_stream(instance: DbmsInstance, tenant_name: str,
                 snapshot_csn: int, rates: TransferRates, sink: Any,
-                chunk_mb: float | None = None
+                chunk_mb: float | None = None,
+                start_index: int = 0,
+                total_chunks: int | None = None,
+                total_size_mb: float | None = None
                 ) -> Generator[Any, Any, int]:
     """Dump ``tenant_name`` as a stream of :class:`SnapshotChunk`.
 
@@ -229,11 +232,24 @@ def dump_stream(instance: DbmsInstance, tenant_name: str,
     back-pressure on the dump itself.  The sink is closed on success;
     on failure the caller owns tearing the sink down.  Returns the
     number of chunks emitted.
+
+    Resume support: a journalled re-entry passes ``start_index`` (the
+    lowest chunk index any destination still needs) together with the
+    chunk plan frozen at the *original* dump start (``total_chunks``,
+    ``total_size_mb``) — the tenant keeps growing under load, so the
+    plan must not be re-derived.  Under MVCC the versions visible at
+    ``snapshot_csn`` survive even a crash-and-restart of the source, so
+    the resumed slices are byte-identical to the originals.
     """
     tenant = instance.tenant(tenant_name)
-    size_mb = tenant.size_mb()
+    size_mb = (total_size_mb if total_size_mb is not None
+               else tenant.size_mb())
     chunk_cap = chunk_mb if chunk_mb is not None else rates.chunk_mb
-    total = plan_chunks(size_mb, chunk_cap)
+    total = (total_chunks if total_chunks is not None
+             else plan_chunks(size_mb, chunk_cap))
+    if not 0 <= start_index <= total:
+        raise ValueError("start_index %d outside the %d-chunk plan"
+                         % (start_index, total))
     # Capture the row set at the snapshot CSN up front: under MVCC the
     # same versions stay visible for the whole dump transaction, so
     # slicing the capture across chunk emissions changes nothing.
@@ -246,7 +262,7 @@ def dump_stream(instance: DbmsInstance, tenant_name: str,
         for key, row in table.visible_rows(snapshot_csn):
             flat.append((table_name, key, dict(row)))
     read_bw = instance.disk.spec.read_bandwidth_mb_s
-    for index in range(total):
+    for index in range(start_index, total):
         if instance.crashed:
             raise NodeCrashed(instance.name, "crashed during dump")
         chunk_size = size_mb / total
@@ -266,12 +282,16 @@ def dump_stream(instance: DbmsInstance, tenant_name: str,
             tenant.fixed_overhead_mb, tenant.size_multiplier)
         yield from sink.put(chunk)
     sink.close()
-    return total
+    return total - start_index
 
 
 def restore_stream(instance: DbmsInstance, source: Any,
                    rates: TransferRates,
-                   tenant_name: str | None = None
+                   tenant_name: str | None = None,
+                   resume_from: int = 0,
+                   schemas: List[SchemaSpec] | None = None,
+                   expected_total: int | None = None,
+                   on_chunk: Any = None
                    ) -> Generator[Any, Any, str]:
     """Recreate a tenant on ``instance`` from a chunk stream.
 
@@ -283,13 +303,29 @@ def restore_stream(instance: DbmsInstance, source: Any,
     index-build that makes the serial restore superlinear.  Secondary
     indexes are finalised after the last chunk.  Returns the tenant
     name; raises :class:`SnapshotTruncated` if the stream closes early.
+
+    Resume support: a journalled re-entry passes ``resume_from`` (the
+    count of chunks already installed durably — they are never
+    re-shipped) and the ``schemas`` captured at dump start, since chunk
+    0 (which normally carries them) is exactly what a resume skips.
+    With ``resume_from > 0`` the existing partial tenant is reused; a
+    re-delivered chunk (a rewind inside a resumed stream) re-installs
+    identical rows at a fresh CSN, which is value-idempotent.
+    ``on_chunk(chunk)`` is called after each durable install, so the
+    caller can journal the per-node high-water mark.
     """
     from ..sim.sync import CLOSED
     name = tenant_name
     tenant = None
-    schemas: List[SchemaSpec] = []
-    received = 0
-    expected = 0
+    spec_schemas: List[SchemaSpec] = list(schemas) if schemas else []
+    if resume_from:
+        if tenant_name is None or not instance.has_tenant(tenant_name):
+            raise SnapshotTruncated(
+                "resume at chunk %d of %r but no partial copy exists"
+                % (resume_from, tenant_name))
+        tenant = instance.tenant(tenant_name)
+    received = resume_from
+    expected = expected_total if expected_total is not None else 0
     while True:
         chunk = yield from source.get()
         if chunk is CLOSED:
@@ -298,12 +334,18 @@ def restore_stream(instance: DbmsInstance, source: Any,
             raise NodeCrashed(instance.name, "crashed during restore")
         if tenant is None:
             name = tenant_name or chunk.tenant_name
-            tenant = instance.create_tenant(name)
-            tenant.fixed_overhead_mb = chunk.fixed_overhead_mb
-            tenant.size_multiplier = chunk.size_multiplier
-            schemas = list(chunk.schemas)
-            for spec in schemas:
-                tenant.create_table(spec.to_schema())
+            if instance.has_tenant(name):
+                # Re-entry from chunk 0 of a kept partial copy (a ship
+                # retry inside a resumed stream): reuse, re-install.
+                tenant = instance.tenant(name)
+            else:
+                tenant = instance.create_tenant(name)
+                tenant.fixed_overhead_mb = chunk.fixed_overhead_mb
+                tenant.size_multiplier = chunk.size_multiplier
+                for spec in (chunk.schemas or spec_schemas):
+                    tenant.create_table(spec.to_schema())
+        if chunk.schemas:
+            spec_schemas = list(chunk.schemas)
         expected = chunk.total
         if chunk.size_mb > 0:
             yield from instance.disk.write(chunk.size_mb)
@@ -320,7 +362,9 @@ def restore_stream(instance: DbmsInstance, source: Any,
             table = tenant.table(table_name)
             for key, row in table_rows.items():
                 table.install(key, csn, dict(row))
-        received += 1
+        received = max(received, chunk.index + 1)
+        if on_chunk is not None:
+            on_chunk(chunk)
     if tenant is None or received != expected:
         raise SnapshotTruncated(
             "stream for %r ended after %d of %d chunks"
@@ -328,9 +372,10 @@ def restore_stream(instance: DbmsInstance, source: Any,
     if instance.crashed:
         # The crash landed while we waited for end-of-stream.
         raise NodeCrashed(instance.name, "crashed during restore")
-    for spec in schemas:
+    for spec in spec_schemas:
         table = tenant.table(spec.name)
         for index_name, column in spec.indexes.items():
-            table.create_index(index_name, column)
+            if index_name not in table.indexes:
+                table.create_index(index_name, column)
     assert name is not None
     return name

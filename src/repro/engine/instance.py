@@ -95,6 +95,7 @@ class DbmsInstance:
         self.crashed = False
         self._replayed_commits = 0
         self._crash_waiters: List[Event] = []
+        self._recovery_waiters: List[Event] = []
         # statistics
         self.statements_executed = 0
         self.commits = 0
@@ -176,6 +177,22 @@ class DbmsInstance:
             self._crash_waiters.append(event)
         return event
 
+    def wait_recovered(self) -> Event:
+        """An event that fires when this instance is up again.
+
+        Fires immediately for a live instance, otherwise at the end of
+        the next :meth:`restart` (after WAL-replay recovery).  The
+        scheduler's ``resume`` retry policy subscribes here to wait out
+        a crashed master before re-entering its migration from the
+        journal.
+        """
+        event = Event(self.env, name="%s.recovered" % self.name)
+        if not self.crashed:
+            event.succeed()
+        else:
+            self._recovery_waiters.append(event)
+        return event
+
     def restart(self) -> Generator[Any, Any, None]:
         """WAL-replay recovery: redo the log tail, then accept traffic.
 
@@ -198,6 +215,10 @@ class DbmsInstance:
         self.recoveries += 1
         if self._m_recoveries is not None:
             self._m_recoveries.inc()
+        waiters, self._recovery_waiters = self._recovery_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
 
     def _require_up(self) -> None:
         if self.crashed:

@@ -10,6 +10,7 @@ module              reproduces
 ``multitenant``     Figures 10-19 and the Section 5.6 answer
 ``costmodel``       Section 4.5.2 (Equations 2-4)
 ``chaos``           robustness: migration under injected faults
+``soak``            robustness: failure-model chaos soak (days)
 ``bench``           perf harness: BENCH_*.json artifacts
 ==================  =============================================
 

@@ -1,0 +1,571 @@
+"""Chaos soak: simulated days of generated faults over a live fleet.
+
+The single-scenario chaos harness (:mod:`repro.experiments.chaos`)
+stages one hand-written fault plan against one migration.  The soak
+instead *draws* a whole failure scenario from a
+:class:`~repro.faults.generate.FailureModel` — per-node crash/recovery
+processes, link flaps, degradation windows, disk stalls, correlated
+bursts — and runs a multi-tenant key-value fleet through wave after
+wave of scheduled migrations for simulated hours or days, with
+restart-and-resume enabled (``MiddlewareConfig(resumable=True)`` plus
+the scheduler's ``resume`` retry policy).
+
+What the soak asserts, continuously and at the end:
+
+* **Exactly one owner** per tenant after every wave — the two-step
+  handover invariant, under arbitrary generated crash timings.
+* **Zero lost commits**: the key-value workload counts every
+  acknowledged increment; at the end of the run the owning node's
+  table must hold exactly that value for every key of every tenant.
+* **All tenants keep migrating**: every tenant completes at least one
+  successful migration, and parked (suspended) migrations are resumed
+  from their journal — never re-dumped — once the crashed master
+  recovers.
+
+Everything lands in the trace (``soak.wave`` / ``soak.summary`` events
+plus the usual migration and fault records) and in a deterministic
+JSON soak report: the artifact is byte-identical across two runs with
+the same seed, model, and dimensions (no wall-clock time is recorded).
+``scripts/check_trace.py --expect-resumed N --max-lost-commits 0``
+gates the exported trace in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from ..cluster.cluster import Cluster
+from ..core.middleware import (
+    JOURNAL_SUSPENDED,
+    Middleware,
+    MiddlewareConfig,
+    MigrationOptions,
+)
+from ..core.policy import MADEUS
+from ..core.scheduler import MigrationScheduler, ScheduleOptions
+from ..engine.dump import TransferRates
+from ..errors import CatchUpTimeout, MigrationError, SourceCrashed
+from ..faults import FailureModel, FaultInjector, generate_plan
+from ..metrics.report import format_table
+from ..obs.export import write_trace
+from ..obs.trace import MIGRATION
+from ..sim.core import Environment
+from ..sim.rand import StreamFactory
+from ..workload import simplekv
+from ..workload.simplekv import KvWorkloadConfig, KvWorkloadResult
+from .common import TRACE_DIR_ENV_VAR, Report, seeded
+from .profiles import Profile, get_profile
+
+#: Deliberately slow transfer rates: migrations take minutes of sim
+#: time, so generated faults actually land *inside* migration windows
+#: instead of between them.
+SOAK_RATES = TransferRates(dump_mb_s=2.0, restore_mb_s=1.0)
+
+#: Fixed per-tenant database footprint (MB); with :data:`SOAK_RATES`
+#: and 4 MB chunks this gives each migration a ~10-chunk snapshot plan.
+TENANT_MB = 40.0
+
+#: Key-value workload shape (per tenant, running the whole horizon).
+KV_KEYS = 24
+KV_CLIENTS = 3
+KV_THINK_TIME = 3.0
+
+#: Idle gap between migration waves, in simulated seconds.
+WAVE_GAP = 45.0
+
+#: Per-wave watchdog: a wave not finished this many simulated seconds
+#: after it started is recorded as wedged and the soak moves on (this
+#: firing means a bug — resume waits are bounded by fault MTTR).
+WAVE_CAP = 3600.0
+
+#: The default failure model: every stream enabled, tuned so a few
+#: simulated hours already see dozens of crashes, some of them
+#: correlated, with every fault healing on an MTTR timescale.
+DEFAULT_MODEL = FailureModel(
+    node_mtbf=900.0, node_mttr=45.0,
+    link_mtbf=1800.0, link_mttr=8.0,
+    degrade_mtbf=2700.0, degrade_mttr=120.0, degrade_factor=3.0,
+    disk_stall_mtbf=1200.0, disk_stall_mttr=2.0,
+    burst_probability=0.15, burst_spread=20.0,
+    max_faults=5000)
+
+
+@dataclass
+class SoakOutcome:
+    """Everything one soak run measured, JSON-serialisable."""
+
+    seed: int
+    hours: float
+    nodes: List[str]
+    tenants: List[str]
+    model: Dict[str, float]
+    planned_faults: int = 0
+    injected_faults: int = 0
+    recovered_faults: int = 0
+    unrecovered_faults: int = 0
+    waves: List[Dict[str, Any]] = field(default_factory=list)
+    migrations_ok: int = 0
+    resumed_ok: int = 0
+    suspended: int = 0
+    aborted: int = 0
+    failed: int = 0
+    resumes: int = 0
+    #: Tenants that never completed a single migration.
+    unmigrated_tenants: List[str] = field(default_factory=list)
+    #: Post-wave owner-count violations (must stay empty).
+    owner_violations: List[str] = field(default_factory=list)
+    #: Waves that hit the watchdog cap before finishing.
+    wedged_waves: int = 0
+    #: Acknowledged increments missing from the final owner copies.
+    lost_commits: int = 0
+    #: Keys whose final value differs from the acknowledged count in
+    #: either direction (lost *or* phantom increments).
+    value_mismatches: int = 0
+    committed_txns: int = 0
+    aborted_txns: int = 0
+    report_path: Optional[str] = None
+    trace_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Did every structural invariant hold for the whole soak?"""
+        return (not self.owner_violations
+                and self.lost_commits == 0
+                and self.value_mismatches == 0
+                and not self.unmigrated_tenants
+                and self.wedged_waves == 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The soak report record (see EXPERIMENTS.md for the schema)."""
+        return {
+            "experiment": "chaos-soak",
+            "seed": self.seed,
+            "hours": self.hours,
+            "nodes": self.nodes,
+            "tenants": self.tenants,
+            "model": self.model,
+            "faults": {
+                "planned": self.planned_faults,
+                "injected": self.injected_faults,
+                "recovered": self.recovered_faults,
+                "unrecovered": self.unrecovered_faults,
+            },
+            "waves": self.waves,
+            "migrations": {
+                "ok": self.migrations_ok,
+                "resumed_ok": self.resumed_ok,
+                "suspended": self.suspended,
+                "aborted": self.aborted,
+                "failed": self.failed,
+                "resumes": self.resumes,
+            },
+            "workload": {
+                "committed_txns": self.committed_txns,
+                "aborted_txns": self.aborted_txns,
+            },
+            "invariants": {
+                "owner_violations": self.owner_violations,
+                "lost_commits": self.lost_commits,
+                "value_mismatches": self.value_mismatches,
+                "unmigrated_tenants": self.unmigrated_tenants,
+                "wedged_waves": self.wedged_waves,
+            },
+            "ok": self.ok,
+        }
+
+
+def _kv_client(env: Environment, middleware: Middleware, tenant: str,
+               rng: Any, config: KvWorkloadConfig,
+               result: KvWorkloadResult,
+               deadline: float) -> Generator[Any, Any, None]:
+    """A kv client that stops issuing transactions at ``deadline``.
+
+    Unlike :func:`repro.workload.simplekv.kv_client` (fixed transaction
+    budget), the soak needs load across the whole horizon and a clean
+    quiesce afterwards, so the loop is bounded by the simulated clock —
+    the client always finishes shortly after the horizon closes, never
+    mid-transaction.
+    """
+    conn = middleware.connect(tenant)
+    while env.now < deadline:
+        yield env.timeout(rng.exponential(config.think_time))
+        if env.now >= deadline:
+            return
+        if rng.random() < config.read_only_ratio:
+            yield from simplekv._read_only_txn(middleware, conn, rng,
+                                               config, result)
+        else:
+            yield from simplekv._update_txn(middleware, conn, rng,
+                                            config, result)
+
+
+def _resume_parked(middleware: Middleware, cluster: Cluster, tenant: str,
+                   options: MigrationOptions,
+                   holder: Dict[str, Any]) -> Generator[Any, Any, None]:
+    """Wait out the crashed master, then re-enter a parked migration.
+
+    The scheduler's ``resume`` policy already loops resume attempts
+    *inside* a job; this runner covers the jobs that exhausted their
+    retry budget and ended ``suspended`` — the next wave picks their
+    journal up here instead of (illegally) starting a fresh migration
+    over a still-parked one.
+    """
+    journal = middleware.migration_journal(tenant)
+    try:
+        instance = cluster.node(journal.source).instance
+        if instance.crashed:
+            yield instance.wait_recovered()
+        holder["report"] = yield from middleware.resume_migration(
+            tenant, options)
+        holder["outcome"] = "ok"
+    except SourceCrashed as exc:
+        # Crashed again mid-resume: parked once more, next wave retries.
+        holder["outcome"] = "suspended"
+        holder["error"] = str(exc)
+    except (MigrationError, CatchUpTimeout) as exc:
+        # Abandoned (unresumable) or diverging: the journal is closed,
+        # so the next wave schedules an ordinary fresh migration.
+        holder["outcome"] = "failed"
+        holder["error"] = str(exc)
+    holder["done"] = True
+
+
+def _run_until(env: Environment, condition: Any, step: float,
+               cap: float) -> None:
+    while not condition() and env.now < cap:
+        env.run(until=env.now + step)
+
+
+def run_soak(profile: Optional[Profile] = None, *,
+             seed: Optional[int] = None,
+             hours: float = 2.0,
+             tenants: int = 3,
+             nodes: int = 4,
+             model: Optional[FailureModel] = None,
+             trace_dir: Optional[str] = None,
+             soak_dir: Optional[str] = None) -> Report:
+    """Run one chaos soak; deterministic under ``seed``.
+
+    ``hours`` is the *fault/load horizon* in simulated hours; waves of
+    migrations launch until the horizon closes (the last wave may run
+    past it), and every fault the generated plan schedules lands inside
+    it.  Returns the uniform experiment :class:`Report` whose ``data``
+    is a :class:`SoakOutcome`.
+    """
+    profile = seeded(profile or get_profile(), seed)
+    root_seed = profile.seed
+    model = model or DEFAULT_MODEL
+    horizon = hours * 3600.0
+    node_names = ["node%d" % index for index in range(nodes)]
+    tenant_names = ["T%d" % index for index in range(tenants)]
+    if tenants < 1 or nodes < 2:
+        raise ValueError("a soak needs >= 1 tenant and >= 2 nodes")
+
+    env = Environment()
+    cluster = Cluster(env)
+    for name in node_names:
+        cluster.add_node(name)
+    middleware = Middleware(env, cluster, MiddlewareConfig(
+        policy=MADEUS, validate_lsir=False, verify_consistency=True,
+        catchup_deadline=120.0, resumable=True))
+    for name in node_names:
+        cluster.node(name).instance.bind_obs(middleware.metrics,
+                                             tracer=middleware.tracer)
+
+    # -- tenants + load -------------------------------------------------
+    workloads: Dict[str, KvWorkloadResult] = {}
+    streams = StreamFactory(root_seed)
+    ready: Dict[str, bool] = {}
+
+    def setup(tenant: str, home: str) -> Generator[Any, Any, None]:
+        instance = cluster.node(home).instance
+        yield from simplekv.setup_kv_tenant(instance, tenant, KV_KEYS)
+        instance.tenant(tenant).fixed_overhead_mb = TENANT_MB
+        middleware.register_tenant(tenant, home)
+        ready[tenant] = True
+
+    for index, tenant in enumerate(tenant_names):
+        env.process(setup(tenant, node_names[index % nodes]),
+                    name="soak.setup.%s" % tenant)
+    _run_until(env, lambda: len(ready) == len(tenant_names), step=0.5,
+               cap=60.0)
+    kv_config = KvWorkloadConfig(keys=KV_KEYS, clients=KV_CLIENTS,
+                                 think_time=KV_THINK_TIME,
+                                 read_only_ratio=0.4)
+    client_procs = []
+    for tenant in tenant_names:
+        result = KvWorkloadResult()
+        workloads[tenant] = result
+        for client in range(KV_CLIENTS):
+            rng = streams.stream("soak-kv-%s-%d" % (tenant, client))
+            client_procs.append(env.process(
+                _kv_client(env, middleware, tenant, rng, kv_config,
+                           result, horizon),
+                name="soak.kv.%s.%d" % (tenant, client)))
+
+    # -- generated fault scenario ---------------------------------------
+    plan = generate_plan(model, node_names, horizon, seed=root_seed)
+    injector = FaultInjector(env, cluster, plan,
+                             tracer=middleware.tracer,
+                             metrics=middleware.metrics, seed=root_seed)
+    env.run(until=env.now + 2.0)    # let the load ramp up
+    injector.start()
+
+    outcome = SoakOutcome(seed=root_seed, hours=hours, nodes=node_names,
+                          tenants=tenant_names, model=model.to_dict(),
+                          planned_faults=len(plan))
+    migration_options = MigrationOptions(rates=SOAK_RATES, chunk_mb=4.0)
+    schedule_options = ScheduleOptions(
+        policy="fifo", max_concurrent=2, retry_limit=6,
+        retry_base=1.0, retry_cap=30.0, resume=True,
+        migration=migration_options)
+    ok_by_tenant = {tenant: 0 for tenant in tenant_names}
+
+    def parked(tenant: str) -> bool:
+        journal = middleware.migration_journal(tenant)
+        return (journal is not None
+                and journal.state == JOURNAL_SUSPENDED)
+
+    def check_owners(where: str) -> None:
+        for tenant in tenant_names:
+            owners = middleware.owners(tenant)
+            if len(owners) != 1:
+                outcome.owner_violations.append(
+                    "%s: tenant %s has owners %r" % (where, tenant,
+                                                     owners))
+
+    def run_wave(wave_index: int) -> Dict[str, Any]:
+        started = env.now
+        resumers: Dict[str, Dict[str, Any]] = {}
+        for tenant in tenant_names:
+            if parked(tenant):
+                holder: Dict[str, Any] = {}
+                resumers[tenant] = holder
+                env.process(
+                    _resume_parked(middleware, cluster, tenant,
+                                   migration_options, holder),
+                    name="soak.resume.%s" % tenant)
+        scheduler = MigrationScheduler(middleware, schedule_options)
+        movers = [tenant for tenant in tenant_names
+                  if tenant not in resumers]
+        for tenant in movers:
+            source = middleware.route(tenant)
+            source_index = node_names.index(source)
+            destination = node_names[(source_index + 1) % nodes]
+            alternates = [name for name in node_names
+                          if name not in (source, destination)]
+            scheduler.submit(tenant, destination,
+                             alternates=alternates)
+        schedule_holder: Dict[str, Any] = {}
+
+        def schedule_runner() -> Generator[Any, Any, None]:
+            schedule_holder["report"] = yield from scheduler.run()
+            schedule_holder["done"] = True
+
+        if movers:
+            env.process(schedule_runner(),
+                        name="soak.wave.%d" % wave_index)
+        else:
+            schedule_holder["done"] = True
+
+        def wave_done() -> bool:
+            return ("done" in schedule_holder
+                    and all("done" in holder
+                            for holder in resumers.values()))
+
+        _run_until(env, wave_done, step=5.0, cap=started + WAVE_CAP)
+        wedged = not wave_done()
+        if wedged:
+            outcome.wedged_waves += 1
+        jobs: List[Dict[str, Any]] = []
+        schedule_report = schedule_holder.get("report")
+        if schedule_report is not None:
+            for job in schedule_report.jobs:
+                jobs.append({"tenant": job.tenant,
+                             "outcome": job.outcome,
+                             "attempts": job.attempts,
+                             "resumes": job.resumes,
+                             "destination": job.destination,
+                             "error": job.error})
+                outcome.resumes += job.resumes
+                if job.outcome == "ok":
+                    ok_by_tenant[job.tenant] += 1
+                    outcome.migrations_ok += 1
+                elif job.outcome == "suspended":
+                    outcome.suspended += 1
+                elif job.outcome == "aborted":
+                    outcome.aborted += 1
+                else:
+                    outcome.failed += 1
+        for tenant, holder in sorted(resumers.items()):
+            resumed_outcome = holder.get("outcome", "wedged")
+            jobs.append({"tenant": tenant,
+                         "outcome": resumed_outcome,
+                         "attempts": 1, "resumes": 1,
+                         "destination": middleware.route(tenant),
+                         "error": holder.get("error")})
+            outcome.resumes += 1
+            if resumed_outcome == "ok":
+                ok_by_tenant[tenant] += 1
+                outcome.migrations_ok += 1
+            elif resumed_outcome == "suspended":
+                outcome.suspended += 1
+            else:
+                outcome.failed += 1
+        check_owners("wave %d" % wave_index)
+        record = {"wave": wave_index, "started": round(started, 6),
+                  "ended": round(env.now, 6), "wedged": wedged,
+                  "jobs": jobs}
+        middleware.tracer.event(
+            "soak.wave", wave=wave_index, jobs=len(jobs),
+            ok=sum(1 for job in jobs if job["outcome"] == "ok"),
+            resumes=sum(job["resumes"] for job in jobs),
+            wedged=wedged)
+        return record
+
+    # -- the soak loop --------------------------------------------------
+    wave_index = 0
+    while env.now < horizon:
+        wave_index += 1
+        outcome.waves.append(run_wave(wave_index))
+        env.run(until=env.now + WAVE_GAP)
+    # Final drain: resume anything still parked so no tenant ends the
+    # soak stuck mid-migration (bounded — crashes always heal).
+    for _attempt in range(3):
+        if not any(parked(tenant) for tenant in tenant_names):
+            break
+        wave_index += 1
+        outcome.waves.append(run_wave(wave_index))
+
+    # -- quiesce and verify ---------------------------------------------
+    _run_until(env, lambda: all(not proc.is_alive
+                                for proc in client_procs),
+               step=5.0, cap=env.now + 600.0)
+    _run_until(env, lambda: all(not cluster.node(name).instance.crashed
+                                for name in node_names),
+               step=5.0, cap=env.now + 600.0)
+    env.run(until=env.now + 5.0)
+    injector.close()
+    check_owners("final")
+    for tenant in tenant_names:
+        workload = workloads[tenant]
+        outcome.committed_txns += workload.committed_txns
+        outcome.aborted_txns += workload.aborted_txns
+        owner = middleware.route(tenant)
+        table = cluster.node(owner).instance.tenant(tenant).table("kv")
+        for key, increments in sorted(
+                workload.committed_increments.items()):
+            got = table.chain(key).latest()["v"]
+            if got != increments:
+                outcome.value_mismatches += 1
+                if got < increments:
+                    outcome.lost_commits += increments - got
+        if ok_by_tenant[tenant] == 0:
+            outcome.unmigrated_tenants.append(tenant)
+    registry = middleware.metrics
+    outcome.injected_faults = int(
+        registry.counter("faults.injected").value)
+    outcome.recovered_faults = int(
+        registry.counter("faults.recovered").value)
+    outcome.unrecovered_faults = int(
+        registry.counter("faults.unrecovered").value)
+    outcome.resumed_ok = sum(
+        1 for span in middleware.tracer.find(kind=MIGRATION)
+        if span.attrs.get("resumed")
+        and span.attrs.get("outcome") == "ok")
+    middleware.tracer.event(
+        "soak.summary", waves=len(outcome.waves),
+        migrations_ok=outcome.migrations_ok,
+        resumed_ok=outcome.resumed_ok, resumes=outcome.resumes,
+        suspended=outcome.suspended,
+        lost_commits=outcome.lost_commits,
+        value_mismatches=outcome.value_mismatches,
+        owner_violations=len(outcome.owner_violations),
+        unmigrated=len(outcome.unmigrated_tenants),
+        faults_injected=outcome.injected_faults, ok=outcome.ok)
+
+    # -- artifacts -------------------------------------------------------
+    artifacts: List[str] = []
+    directory = trace_dir or os.environ.get(TRACE_DIR_ENV_VAR)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+        outcome.trace_path = os.path.join(directory,
+                                          "trace_chaos_soak.jsonl")
+        write_trace(outcome.trace_path, middleware.tracer,
+                    middleware.metrics, {
+                        "experiment": "chaos-soak",
+                        "profile": profile.name,
+                        "policy": middleware.config.policy.name,
+                        "seed": root_seed,
+                        "hours": hours,
+                    })
+        artifacts.append(outcome.trace_path)
+    if soak_dir:
+        os.makedirs(soak_dir, exist_ok=True)
+        outcome.report_path = os.path.join(
+            soak_dir, "SOAK_seed%s.json" % root_seed)
+        with open(outcome.report_path, "w") as handle:
+            json.dump(outcome.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        artifacts.append(outcome.report_path)
+    return Report(experiment="chaos-soak", profile=profile.name,
+                  seed=root_seed, text=report(outcome),
+                  data=outcome, artifacts=artifacts)
+
+
+def report(outcome: SoakOutcome) -> str:
+    """The soak results as a table plus an invariant summary."""
+    rows = []
+    for wave in outcome.waves:
+        counts: Dict[str, int] = {}
+        resumes = 0
+        for job in wave["jobs"]:
+            counts[job["outcome"]] = counts.get(job["outcome"], 0) + 1
+            resumes += job["resumes"]
+        rows.append([wave["wave"], len(wave["jobs"]),
+                     counts.get("ok", 0), resumes,
+                     counts.get("suspended", 0),
+                     counts.get("aborted", 0) + counts.get("failed", 0),
+                     "%.0f" % wave["ended"]])
+    table = format_table(
+        ["wave", "jobs", "ok", "resumes", "suspended", "failed",
+         "end [s]"],
+        rows,
+        title="Chaos soak - %d tenants / %d nodes, %.1f simulated "
+              "hours (seed=%s)" % (len(outcome.tenants),
+                                   len(outcome.nodes), outcome.hours,
+                                   outcome.seed))
+    lines = [table, ""]
+    lines.append("faults: %d injected, %d recovered, %d unrecovered "
+                 "(%d planned)" % (outcome.injected_faults,
+                                   outcome.recovered_faults,
+                                   outcome.unrecovered_faults,
+                                   outcome.planned_faults))
+    lines.append("migrations: %d ok (%d finished via resume), "
+                 "%d resume re-entries, %d suspended, %d aborted, "
+                 "%d failed" % (outcome.migrations_ok,
+                                outcome.resumed_ok, outcome.resumes,
+                                outcome.suspended, outcome.aborted,
+                                outcome.failed))
+    lines.append("workload: %d committed txns, %d aborted"
+                 % (outcome.committed_txns, outcome.aborted_txns))
+    lines.append("invariants: %d lost commits, %d value mismatches, "
+                 "%d owner violations, %d unmigrated tenants, "
+                 "%d wedged waves -> %s"
+                 % (outcome.lost_commits, outcome.value_mismatches,
+                    len(outcome.owner_violations),
+                    len(outcome.unmigrated_tenants),
+                    outcome.wedged_waves,
+                    "OK" if outcome.ok else "FAIL"))
+    return "\n".join(lines)
+
+
+def run(profile: Optional[Profile] = None, *,
+        seed: Optional[int] = None,
+        trace_dir: Optional[str] = None) -> Report:
+    """Uniform entry point: a short soak at the profile's seed."""
+    return run_soak(profile, seed=seed, trace_dir=trace_dir)

@@ -3,9 +3,13 @@
 ``repro.faults`` schedules node crashes (with WAL-replay recovery),
 network degradation and outages, and disk stalls against a live cluster,
 driven by a seedable declarative plan.  See :mod:`repro.faults.plan` for
-the fault vocabulary and :mod:`repro.faults.injector` for scheduling.
+the fault vocabulary, :mod:`repro.faults.injector` for scheduling, and
+:mod:`repro.faults.generate` for drawing whole chaos scenarios from a
+:class:`FailureModel` distribution (MTBF/MTTR per node, link flaps,
+correlated bursts) instead of staging them by hand.
 """
 
+from .generate import FailureModel, generate_plan
 from .injector import FaultInjector
 from .plan import (
     AFTER_EVENTS,
@@ -27,7 +31,9 @@ __all__ = [
     "FAULT_KINDS",
     "LATENCY",
     "LINK_DOWN",
+    "FailureModel",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "generate_plan",
 ]

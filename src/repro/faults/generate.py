@@ -1,0 +1,218 @@
+"""Seeded fault-plan generation from a failure model.
+
+Hand-written :class:`~repro.faults.plan.FaultPlan`\\ s stage *one*
+scenario; a soak run needs *draws* from a failure-model distribution —
+per-node crash/recovery processes, link flaps, optional degradation and
+disk-stall streams, and correlated crash bursts — over a long horizon.
+:func:`generate_plan` turns a :class:`FailureModel` plus a seed into an
+ordinary declarative plan, so a generated scenario keeps every property
+hand-written plans have: JSON round-trippable, diffable, replayable,
+and validated up front.
+
+Determinism: the only randomness source is one ``random.Random`` seeded
+from the caller's seed, draws happen in a fixed order (nodes sorted,
+streams in a fixed sequence), and timestamps are rounded to microseconds
+— the same model + seed + node list always yields the byte-identical
+plan.
+
+Modelling choices, kept deliberately simple:
+
+* Inter-fault gaps and downtimes are exponential (the classic
+  MTBF/MTTR renewal model).  Gaps are measured *between* windows, so
+  two windows of the same stream never overlap — a node is not crashed
+  twice at once, and the (single, global) cluster link is not downed
+  twice at once.
+* Downtimes are floored at a small positive value: a zero duration
+  would mean *permanent* in the plan vocabulary, which is not what a
+  recovery-time draw of ~0 means.
+* A correlated burst rides on an existing crash: with probability
+  ``burst_probability`` per primary crash, one *other* node crashes
+  within ``burst_spread`` seconds of it — the rack-level correlated
+  failure the fault-tolerance literature warns about.  A burst draw
+  that would overlap the victim's own crash schedule is skipped, not
+  re-rolled, to keep draws aligned across model tweaks.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .plan import BANDWIDTH, CRASH, DISK_STALL, LATENCY, LINK_DOWN, FaultPlan
+
+#: Downtime floor: a draw below this becomes this, never 0 (permanent).
+MIN_DURATION = 0.5
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Failure-rate parameters a soak scenario is drawn from.
+
+    All times are simulated seconds; a rate of ``0`` disables that
+    fault stream entirely.  ``*_mtbf`` is the mean gap between
+    consecutive windows of one stream (per node for node faults),
+    ``*_mttr`` the mean length of each window.
+    """
+
+    #: Mean time between crashes, per node (0 = no crashes).
+    node_mtbf: float = 3600.0
+    #: Mean crash downtime (WAL-replay restart happens at window end).
+    node_mttr: float = 60.0
+    #: Mean time between cluster-link outages (0 = no link flaps).
+    link_mtbf: float = 0.0
+    #: Mean link outage length.
+    link_mttr: float = 10.0
+    #: Mean time between degradation windows (0 = none); windows
+    #: alternate latency inflation and bandwidth collapse.
+    degrade_mtbf: float = 0.0
+    #: Mean degradation window length.
+    degrade_mttr: float = 60.0
+    #: Severity of degradation windows (latency multiplier / bandwidth
+    #: divisor).
+    degrade_factor: float = 4.0
+    #: Mean time between disk stalls, per node (0 = none).
+    disk_stall_mtbf: float = 0.0
+    #: Mean disk stall length.
+    disk_stall_mttr: float = 2.0
+    #: Chance each primary crash drags one other node down with it.
+    burst_probability: float = 0.0
+    #: Correlated crash lands within this many seconds of its primary.
+    burst_spread: float = 30.0
+    #: Hard cap on generated faults (earliest kept), a runaway guard.
+    max_faults: int = 1000
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on a nonsensical model."""
+        for name in ("node_mtbf", "node_mttr", "link_mtbf", "link_mttr",
+                     "degrade_mtbf", "degrade_mttr", "disk_stall_mtbf",
+                     "disk_stall_mttr", "burst_spread"):
+            if getattr(self, name) < 0:
+                raise ValueError("FailureModel.%s must be >= 0" % name)
+        if not 0 <= self.burst_probability <= 1:
+            raise ValueError("burst_probability must be in [0, 1]")
+        if self.degrade_factor <= 1:
+            raise ValueError("degrade_factor must be > 1")
+        if self.max_faults < 1:
+            raise ValueError("max_faults must be >= 1")
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serialisable record (for the soak report artifact)."""
+        return {
+            "node_mtbf": self.node_mtbf, "node_mttr": self.node_mttr,
+            "link_mtbf": self.link_mtbf, "link_mttr": self.link_mttr,
+            "degrade_mtbf": self.degrade_mtbf,
+            "degrade_mttr": self.degrade_mttr,
+            "degrade_factor": self.degrade_factor,
+            "disk_stall_mtbf": self.disk_stall_mtbf,
+            "disk_stall_mttr": self.disk_stall_mttr,
+            "burst_probability": self.burst_probability,
+            "burst_spread": self.burst_spread,
+            "max_faults": self.max_faults,
+        }
+
+
+def _derive_rng(seed: Union[int, str], stream: str) -> random.Random:
+    """One independent, deterministic RNG per fault stream."""
+    return random.Random(zlib.crc32(
+        ("faultgen:%s:%s" % (seed, stream)).encode("utf-8")))
+
+
+def _windows(rng: random.Random, mtbf: float, mttr: float,
+             horizon: float) -> List[Tuple[float, float]]:
+    """Non-overlapping ``(start, duration)`` windows of one stream."""
+    out: List[Tuple[float, float]] = []
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(1.0 / mtbf)
+        if clock >= horizon:
+            return out
+        duration = max(MIN_DURATION, rng.expovariate(1.0 / mttr))
+        out.append((round(clock, 6), round(duration, 6)))
+        clock += duration
+
+
+def generate_plan(model: FailureModel, nodes: Sequence[str],
+                  horizon: float,
+                  seed: Union[int, str] = 0) -> FaultPlan:
+    """Draw one chaos scenario from ``model`` over ``horizon`` seconds.
+
+    ``nodes`` are the node names eligible for node faults (crashes,
+    disk stalls); link and degradation streams are cluster-global,
+    matching the single shared-link network model.  Returns a validated
+    :class:`FaultPlan`, deterministically — same arguments, same plan.
+    """
+    model.validate()
+    if not nodes:
+        raise ValueError("generate_plan needs at least one node")
+    if sorted(set(nodes)) != sorted(nodes):
+        raise ValueError("duplicate node names: %r" % (list(nodes),))
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    plan = FaultPlan()
+    busy: Dict[str, List[Tuple[float, float]]] = {name: []
+                                                 for name in nodes}
+    # Per-node crash streams (sorted node order keeps draws stable).
+    crashes: List[Tuple[float, float, str]] = []
+    if model.node_mtbf > 0:
+        for node in sorted(nodes):
+            rng = _derive_rng(seed, "crash:%s" % node)
+            for index, (at, duration) in enumerate(
+                    _windows(rng, model.node_mtbf, model.node_mttr,
+                             horizon)):
+                plan.add("crash.%s.%d" % (node, index), CRASH, at=at,
+                         target=node, duration=duration)
+                busy[node].append((at, at + duration))
+                crashes.append((at, duration, node))
+    # Correlated bursts: each primary crash may drag another node down.
+    if model.burst_probability > 0 and len(nodes) > 1:
+        rng = _derive_rng(seed, "burst")
+        for index, (at, _duration, node) in enumerate(sorted(crashes)):
+            if rng.random() >= model.burst_probability:
+                continue
+            victim = rng.choice(sorted(name for name in nodes
+                                       if name != node))
+            burst_at = round(at + rng.uniform(0.0, model.burst_spread),
+                             6)
+            burst_len = round(max(MIN_DURATION, rng.expovariate(
+                1.0 / model.node_mttr)), 6)
+            if burst_at + burst_len >= horizon:
+                continue
+            if any(burst_at < end and start < burst_at + burst_len
+                   for start, end in busy[victim]):
+                continue  # skip, don't re-roll: keeps draws aligned
+            plan.add("burst.%s.%d" % (victim, index), CRASH,
+                     at=burst_at, target=victim, duration=burst_len)
+            busy[victim].append((burst_at, burst_at + burst_len))
+    # Cluster-link flap stream (global: one link state to flip).
+    if model.link_mtbf > 0:
+        rng = _derive_rng(seed, "link")
+        for index, (at, duration) in enumerate(
+                _windows(rng, model.link_mtbf, model.link_mttr,
+                         horizon)):
+            plan.add("flap.link.%d" % index, LINK_DOWN, at=at,
+                     duration=duration)
+    # Degradation stream, alternating latency and bandwidth windows.
+    if model.degrade_mtbf > 0:
+        rng = _derive_rng(seed, "degrade")
+        for index, (at, duration) in enumerate(
+                _windows(rng, model.degrade_mtbf, model.degrade_mttr,
+                         horizon)):
+            kind = LATENCY if index % 2 == 0 else BANDWIDTH
+            plan.add("degrade.%s.%d" % (kind, index), kind, at=at,
+                     duration=duration, factor=model.degrade_factor)
+    # Per-node disk stall streams.
+    if model.disk_stall_mtbf > 0:
+        for node in sorted(nodes):
+            rng = _derive_rng(seed, "disk:%s" % node)
+            for index, (at, duration) in enumerate(
+                    _windows(rng, model.disk_stall_mtbf,
+                             model.disk_stall_mttr, horizon)):
+                plan.add("stall.%s.%d" % (node, index), DISK_STALL,
+                         at=at, target=node, duration=duration)
+    plan.faults.sort(key=lambda spec: (spec.at, spec.name))
+    if len(plan.faults) > model.max_faults:
+        del plan.faults[model.max_faults:]
+    plan.validate()
+    return plan

@@ -62,6 +62,9 @@ class FaultInjector:
         self.env = env
         self.cluster = cluster
         self.plan = plan
+        # Fail fast: a malformed plan is a construction error, not
+        # something to discover only when the run calls start().
+        plan.validate()
         self.tracer = tracer
         self.metrics = metrics
         #: Shuffle the arming order deterministically (None = plan
@@ -78,6 +81,10 @@ class FaultInjector:
         self._triggers: Dict[tuple, Event] = {}
         #: Open ``fault``-kind span per injected fault name.
         self._spans: Dict[str, Any] = {}
+        #: Injected-but-not-healed specs by name; what :meth:`close`
+        #: drains at run end.
+        self._active: Dict[str, FaultSpec] = {}
+        self._closed = False
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -141,6 +148,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _inject(self, spec: FaultSpec) -> Generator[Any, Any, None]:
         self.injected.append((self.env.now, spec))
+        self._active[spec.name] = spec
         self._record("fault.injected", spec)
         if self.tracer is not None:
             self._spans[spec.name] = self.tracer.start(
@@ -168,8 +176,34 @@ class FaultInjector:
             self.tracer.event(event_name, fault=spec.name, kind=spec.kind,
                               target=spec.target, duration=spec.duration)
 
+    def close(self) -> None:
+        """Retire faults still active at run end; idempotent.
+
+        Permanent faults (``duration == 0``) never heal, so without
+        this the ``faults.active`` gauge reports phantom active faults
+        after the horizon closes — a soak run's final metrics would
+        look like an outage in progress.  Each still-active fault gets
+        its span finished with ``outcome="unrecovered"``, one
+        ``fault.unrecovered`` event, a ``faults.unrecovered`` counter
+        bump, and a gauge decrement.  Chain triggers do *not* fire —
+        an unrecovered fault still never "recovered".
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for name in sorted(self._active):
+            spec = self._active.pop(name)
+            self._record("fault.unrecovered", spec)
+            span = self._spans.pop(spec.name, None)
+            if span is not None:
+                self.tracer.finish(span, outcome="unrecovered")
+            if self.metrics is not None:
+                self.metrics.counter("faults.unrecovered").inc()
+                self.metrics.gauge("faults.active").dec()
+
     def _heal(self, spec: FaultSpec) -> None:
         self.recovered.append((self.env.now, spec))
+        self._active.pop(spec.name, None)
         self._record("fault.recovered", spec)
         span = self._spans.pop(spec.name, None)
         if span is not None:

@@ -49,7 +49,7 @@ simulation event, so the same plan + seed replays identically.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Iterable, List, Optional
 
 CRASH = "crash"
@@ -199,8 +199,25 @@ class FaultPlan:
 
     @classmethod
     def from_dicts(cls, records: Iterable[Dict[str, Any]]) -> "FaultPlan":
-        """Rebuild a plan from :meth:`to_dicts` output."""
-        plan = cls([FaultSpec(**record) for record in records])
+        """Rebuild a plan from :meth:`to_dicts` output.
+
+        A record with keys :class:`FaultSpec` does not know raises a
+        named ``ValueError`` (not a bare dataclass ``TypeError``), so a
+        typo in a hand-written plan points at the offending fault.
+        """
+        known = {f.name for f in fields(FaultSpec)}
+        specs = []
+        for record in records:
+            unknown = sorted(set(record) - known)
+            if unknown:
+                raise ValueError(
+                    "fault %r has unknown key%s %s (known: %s)"
+                    % (record.get("name", "<unnamed>"),
+                       "s" if len(unknown) > 1 else "",
+                       ", ".join(repr(key) for key in unknown),
+                       ", ".join(sorted(known))))
+            specs.append(FaultSpec(**record))
+        plan = cls(specs)
         plan.validate()
         return plan
 

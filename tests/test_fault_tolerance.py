@@ -549,7 +549,8 @@ def _gate_args(**overrides):
     base = dict(policy=None, min_rounds=None, min_players=None,
                 require_phase_order=False, expect_outcome=None,
                 min_fault_events=None, expect_standby_dropped=None,
-                expect_owner_count=None, min_overlapping_faults=None)
+                expect_owner_count=None, min_overlapping_faults=None,
+                expect_resumed=None, max_lost_commits=None)
     base.update(overrides)
     return argparse.Namespace(**base)
 

@@ -7,7 +7,8 @@ import pytest
 from repro.cluster import Cluster
 from repro.engine.session import Session
 from repro.errors import NetworkDown
-from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.faults import (FailureModel, FaultInjector, FaultPlan,
+                          FaultSpec, generate_plan)
 from repro.obs import MetricsRegistry, Tracer
 
 
@@ -451,3 +452,186 @@ class TestChainedFaults:
 
         assert run_once(11) == run_once(11)
         assert run_once(12) == run_once(12)
+
+
+class TestFromDictsStrictness:
+    def test_unknown_key_names_the_fault_and_the_key(self):
+        records = [{"name": "boom", "kind": "crash", "target": "node0",
+                    "durration": 2.0}]
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.from_dicts(records)
+        message = str(excinfo.value)
+        assert "boom" in message
+        assert "durration" in message
+        # The error teaches the fix: it lists the accepted keys.
+        assert "duration" in message
+
+    def test_multiple_unknown_keys_all_reported(self):
+        records = [{"name": "x", "kind": "link_down", "strt": 1.0,
+                    "colour": "red"}]
+        with pytest.raises(ValueError, match="'colour', 'strt'"):
+            FaultPlan.from_dicts(records)
+
+    def test_known_keys_round_trip(self):
+        records = [{"name": "slow", "kind": "latency", "at": 1.0,
+                    "duration": 2.0, "factor": 3.0}]
+        plan = FaultPlan.from_dicts(records)
+        assert plan.to_dicts()[0]["factor"] == 3.0
+
+    def test_injector_constructor_validates_the_plan(self, env):
+        plan = FaultPlan()
+        plan.faults.append(FaultSpec(name="x", kind="crash"))
+        cluster = Cluster(env)
+        cluster.add_node("node0")
+        with pytest.raises(ValueError, match="needs a target"):
+            FaultInjector(env, cluster, plan,
+                          metrics=MetricsRegistry())
+
+
+class TestInjectorClose:
+    def _build(self, env, plan, tracer=None):
+        cluster = Cluster(env)
+        cluster.add_node("node0")
+        cluster.add_node("node1")
+        metrics = MetricsRegistry()
+        injector = FaultInjector(env, cluster, plan, tracer=tracer,
+                                 metrics=metrics)
+        return cluster, metrics, injector
+
+    def test_close_drains_the_active_gauge(self, env):
+        tracer = Tracer(env)
+        plan = FaultPlan()
+        plan.add("dead", "crash", target="node0", at=0.5)  # permanent
+        plan.add("flap", "link_down", at=0.2, duration=0.1)
+        _cluster, metrics, injector = self._build(env, plan,
+                                                  tracer=tracer)
+        injector.start()
+        env.run(until=2.0)
+        assert metrics.gauge("faults.active").value == 1
+        injector.close()
+        assert metrics.gauge("faults.active").value == 0
+        assert metrics.counter("faults.unrecovered").value == 1
+        # recovered stays honest: close() is not a recovery
+        assert metrics.counter("faults.recovered").value == 1
+        names = [event.name for event in tracer.events]
+        assert names.count("fault.unrecovered") == 1
+        unrecovered = [s for s in tracer.spans
+                       if s.attrs.get("outcome") == "unrecovered"]
+        assert [s.name for s in unrecovered] == ["dead"]
+        assert unrecovered[0].end == pytest.approx(2.0)
+
+    def test_close_is_idempotent(self, env):
+        plan = FaultPlan()
+        plan.add("dead", "crash", target="node0", at=0.5)
+        _cluster, metrics, injector = self._build(env, plan)
+        injector.start()
+        env.run(until=2.0)
+        injector.close()
+        injector.close()
+        assert metrics.counter("faults.unrecovered").value == 1
+        assert metrics.gauge("faults.active").value == 0
+
+    def test_close_with_everything_recovered_is_a_no_op(self, env):
+        plan = FaultPlan()
+        plan.add("flap", "link_down", at=0.2, duration=0.1)
+        _cluster, metrics, injector = self._build(env, plan)
+        injector.start()
+        env.run()
+        injector.close()
+        assert metrics.counter("faults.unrecovered").value == 0
+        assert metrics.gauge("faults.active").value == 0
+
+
+class TestGeneratePlan:
+    NODES = ("node0", "node1", "node2")
+    MODEL = FailureModel(node_mtbf=300.0, node_mttr=30.0,
+                         link_mtbf=600.0, link_mttr=5.0,
+                         degrade_mtbf=900.0, degrade_mttr=60.0,
+                         disk_stall_mtbf=450.0, disk_stall_mttr=2.0,
+                         burst_probability=0.5, burst_spread=10.0)
+
+    def test_same_arguments_same_plan(self):
+        first = generate_plan(self.MODEL, self.NODES, 3600.0, seed=42)
+        second = generate_plan(self.MODEL, self.NODES, 3600.0, seed=42)
+        assert first.to_dicts() == second.to_dicts()
+        assert len(first) > 0
+
+    def test_different_seed_different_plan(self):
+        first = generate_plan(self.MODEL, self.NODES, 3600.0, seed=1)
+        second = generate_plan(self.MODEL, self.NODES, 3600.0, seed=2)
+        assert first.to_dicts() != second.to_dicts()
+
+    def test_every_stream_is_represented(self):
+        plan = generate_plan(self.MODEL, self.NODES, 7200.0, seed=7)
+        kinds = {spec.kind for spec in plan}
+        assert {"crash", "link_down", "disk_stall"} <= kinds
+        assert kinds & {"latency", "bandwidth"}
+
+    def test_zero_rate_disables_a_stream(self):
+        model = FailureModel(node_mtbf=300.0, node_mttr=30.0,
+                             link_mtbf=0.0, degrade_mtbf=0.0,
+                             disk_stall_mtbf=0.0)
+        plan = generate_plan(model, self.NODES, 3600.0, seed=7)
+        assert {spec.kind for spec in plan} == {"crash"}
+
+    def test_durations_respect_the_floor(self):
+        plan = generate_plan(self.MODEL, self.NODES, 7200.0, seed=9)
+        from repro.faults.generate import MIN_DURATION
+        for spec in plan:
+            assert spec.duration is None \
+                or spec.duration >= MIN_DURATION
+
+    def test_same_node_crash_windows_never_overlap(self):
+        plan = generate_plan(self.MODEL, self.NODES, 7200.0, seed=5)
+        by_node = {}
+        for spec in plan:
+            if spec.kind == "crash":
+                by_node.setdefault(spec.target, []).append(
+                    (spec.at, spec.duration))
+        for windows in by_node.values():
+            windows.sort()
+            for (start_a, dur_a), (start_b, _dur_b) in zip(
+                    windows, windows[1:]):
+                assert start_a + dur_a <= start_b
+
+    def test_max_faults_caps_and_keeps_the_earliest(self):
+        import dataclasses
+        capped_model = dataclasses.replace(self.MODEL, max_faults=10)
+        capped = generate_plan(capped_model, self.NODES, 7200.0, seed=7)
+        full = generate_plan(self.MODEL, self.NODES, 7200.0, seed=7)
+        assert len(capped) == 10
+        assert len(full) > 10
+        assert max(spec.at for spec in capped) \
+            <= min(sorted(spec.at for spec in full)[10:])
+
+    def test_generated_plan_feeds_the_injector(self, env):
+        plan = generate_plan(self.MODEL, self.NODES, 600.0, seed=3)
+        cluster = Cluster(env)
+        for name in self.NODES:
+            cluster.add_node(name)
+        metrics = MetricsRegistry()
+        injector = FaultInjector(env, cluster, plan, metrics=metrics)
+        injector.start()
+        env.run(until=600.0)
+        assert metrics.counter("faults.injected").value > 0
+        injector.close()
+        assert metrics.gauge("faults.active").value == 0
+
+    @pytest.mark.parametrize("kwargs, message", [
+        (dict(node_mtbf=-1.0), "must be >= 0"),
+        (dict(burst_probability=1.5), "in \\[0, 1\\]"),
+        (dict(degrade_factor=1.0), "must be > 1"),
+        (dict(max_faults=0), "must be >= 1"),
+    ])
+    def test_model_validation(self, kwargs, message):
+        model = FailureModel(**kwargs)
+        with pytest.raises(ValueError, match=message):
+            model.validate()
+
+    def test_plan_arguments_validated(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            generate_plan(self.MODEL, (), 100.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            generate_plan(self.MODEL, ("a", "a"), 100.0)
+        with pytest.raises(ValueError, match="horizon"):
+            generate_plan(self.MODEL, self.NODES, 0.0)
