@@ -16,6 +16,12 @@ Like ``check_trace.py`` this script is deliberately stdlib-only and
 does not import :mod:`repro`, so a bug that breaks the bench harness
 fails the gate instead of hiding it.
 
+For ``BENCH_rebalance.json`` (the continuous control plane) the gate
+is structural and relative only: the imbalance coefficient must
+strictly decrease across every hotspot phase, at least one move must
+have been submitted, and every safety counter (lost commits, value
+mismatches, cooldown violations, owner violations) must be zero.
+
 For ``BENCH_simthroughput.json`` (real wall-clock substrate rates) the
 structural checks apply to its own schema, and ``--baseline`` enables
 the perf gate: every case's throughput in the checked artifact must be
@@ -249,6 +255,96 @@ def check_simthroughput(data, args):
     return failures
 
 
+REBALANCE_PHASE_FIELDS = ("phase", "hot_node", "started", "ended",
+                          "imbalance_before", "imbalance_after",
+                          "moves_submitted", "moves_ok")
+REBALANCE_MOVE_FIELDS = ("tenant", "source", "destination",
+                         "decided_at", "outcome", "attempts",
+                         "predicted_cost", "observed_cost")
+REBALANCE_SUMMARY_FIELDS = ("samples", "decisions", "moves_submitted",
+                            "moves_ok", "moves_failed",
+                            "mean_cost_error", "committed_txns",
+                            "lost_commits", "value_mismatches",
+                            "owner_violations", "cooldown_violations",
+                            "converged", "ok")
+
+
+def check_rebalance(data):
+    """Structural + relative failures for the rebalance scenario.
+
+    All relative per ROADMAP.md's tolerance policy: the imbalance
+    coefficient must strictly *decrease* across every hotspot phase
+    and every safety counter must be zero — no absolute timings or
+    absolute imbalance values are asserted.
+    """
+    failures = []
+    for index, phase in enumerate(data.get("cases", [])):
+        label = "phase %d" % index
+        missing = [f for f in REBALANCE_PHASE_FIELDS if f not in phase]
+        if missing:
+            failures.append("%s: missing fields %s"
+                            % (label, ", ".join(missing)))
+            continue
+        label = "phase %d (hot %s)" % (phase["phase"],
+                                       phase["hot_node"])
+        if phase["ended"] <= phase["started"]:
+            failures.append("%s: ended <= started" % label)
+        if phase["imbalance_after"] >= phase["imbalance_before"]:
+            failures.append(
+                "%s: imbalance did not decrease (%.3f -> %.3f)"
+                % (label, phase["imbalance_before"],
+                   phase["imbalance_after"]))
+        if phase["moves_ok"] > phase["moves_submitted"]:
+            failures.append("%s: moves_ok exceeds moves_submitted"
+                            % label)
+    moves = data.get("moves")
+    if moves is None:
+        failures.append("rebalance artifact has no moves list")
+        moves = []
+    for index, move in enumerate(moves):
+        missing = [f for f in REBALANCE_MOVE_FIELDS if f not in move]
+        if missing:
+            failures.append("move %d: missing fields %s"
+                            % (index, ", ".join(missing)))
+            continue
+        label = "move %d (%s)" % (index, move["tenant"])
+        if move["source"] == move["destination"]:
+            failures.append("%s: source == destination" % label)
+        if move["outcome"] == "ok" and move["observed_cost"] is None:
+            failures.append("%s: ok move has no observed_cost" % label)
+        if move["predicted_cost"] <= 0:
+            failures.append("%s: predicted_cost must be positive"
+                            % label)
+    summary = data.get("summary")
+    if summary is None:
+        failures.append("rebalance artifact has no summary")
+        return failures
+    missing = [f for f in REBALANCE_SUMMARY_FIELDS if f not in summary]
+    if missing:
+        failures.append("summary: missing fields %s"
+                        % ", ".join(missing))
+        return failures
+    if summary["moves_submitted"] < 1:
+        failures.append("the rebalancer submitted no moves")
+    if summary["moves_submitted"] != len(moves):
+        failures.append("summary.moves_submitted = %d but the moves "
+                        "list has %d entries"
+                        % (summary["moves_submitted"], len(moves)))
+    for counter in ("lost_commits", "value_mismatches",
+                    "cooldown_violations"):
+        if summary[counter] != 0:
+            failures.append("summary.%s = %s, expected 0"
+                            % (counter, summary[counter]))
+    if summary["owner_violations"]:
+        failures.append("owner violations: %s"
+                        % summary["owner_violations"])
+    if not summary["converged"]:
+        failures.append("run did not converge (summary.converged)")
+    if not summary["ok"]:
+        failures.append("summary.ok is false")
+    return failures
+
+
 def check_file(path, args):
     """Return a list of failures for one BENCH_*.json artifact."""
     failures = []
@@ -263,6 +359,10 @@ def check_file(path, args):
     if data["bench"] == "simthroughput":
         # Its own schema: skip the migration-case validation entirely.
         failures.extend(check_simthroughput(data, args))
+        return failures
+    if data["bench"] == "rebalance":
+        # Also its own schema (per-phase records, not migration cases).
+        failures.extend(check_rebalance(data))
         return failures
     for index, case in enumerate(data["cases"]):
         failures.extend(check_case(index, case))

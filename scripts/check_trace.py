@@ -254,6 +254,40 @@ def max_overlapping_faults(spans, events):
     return peak
 
 
+def parse_min_event(spec):
+    """Parse one ``--min-event NAME:COUNT`` spec (COUNT defaults 1)."""
+    name, sep, count = spec.partition(":")
+    if not name:
+        raise SystemExit("--min-event: empty event name in %r" % spec)
+    if not sep:
+        return name, 1
+    try:
+        return name, int(count)
+    except ValueError:
+        raise SystemExit("--min-event: bad count in %r" % spec)
+
+
+def check_all_migrations_ok(spans):
+    """Failures for ``--require-all-migrations-ok``.
+
+    Every migration span in the trace — original attempts and
+    journalled resumes alike — must have finished with outcome "ok".
+    """
+    failures = []
+    migrations = [s for s in spans if s.get("kind") == "migration"]
+    if not migrations:
+        return ["no migration spans found for "
+                "--require-all-migrations-ok"]
+    for span in migrations:
+        outcome = span.get("attrs", {}).get("outcome")
+        if outcome != "ok":
+            failures.append(
+                "migration %s (%s) outcome is %r, expected 'ok'"
+                % (span.get("id"),
+                   span.get("attrs", {}).get("tenant", "?"), outcome))
+    return failures
+
+
 def check_file(path, args):
     """Return a list of failures for one trace file."""
     failures = []
@@ -262,6 +296,20 @@ def check_file(path, args):
 
     if args.require_phase_order:
         failures.extend(check_phase_order(spans))
+
+    # The rebalance gate flags; getattr so hand-built Namespace
+    # objects (tests) without them keep working.  Both point events
+    # and spans count — rebalance.decide is a span, rebalance.submit
+    # an event.
+    for spec in getattr(args, "min_event", None) or []:
+        name, minimum = parse_min_event(spec)
+        count = (count_events(events, name)
+                 + sum(1 for s in spans if s.get("name") == name))
+        if count < minimum:
+            failures.append("%s records = %d < required %d"
+                            % (name, count, minimum))
+    if getattr(args, "require_all_migrations_ok", False):
+        failures.extend(check_all_migrations_ok(spans))
 
     if args.min_fault_events is not None:
         injected = count_events(events, "fault.injected")
@@ -390,6 +438,16 @@ def main(argv=None):
                              "soak.summary event may report (soak "
                              "runs; 0 = none); also disables the "
                              "default first-migration outcome gate")
+    parser.add_argument("--min-event", action="append", default=None,
+                        metavar="NAME[:COUNT]",
+                        help="require at least COUNT (default 1) "
+                             "trace records (events or spans) with "
+                             "this name; repeatable (e.g. --min-event "
+                             "rebalance.submit:1)")
+    parser.add_argument("--require-all-migrations-ok",
+                        action="store_true",
+                        help="every migration span in the trace must "
+                             "have outcome 'ok' (rebalance runs)")
     parser.add_argument("--min-overlapping-faults", type=int,
                         default=None,
                         help="minimum number of fault windows that "

@@ -13,6 +13,8 @@ on a deterministic discrete-event substrate:
 * :mod:`repro.core` — **Madeus itself**: the LSIR, syncset
   buffers/list, workers, manager, conductor, players, and the three
   baseline propagation policies of Table 2;
+* :mod:`repro.control` — the continuous control plane: load watching,
+  hotspot detection, and the cost-model-driven :class:`Rebalancer`;
 * :mod:`repro.workload` — TPC-W (schema, Table-3 population, the three
   mixes, emulated browsers) and a simple key-value workload;
 * :mod:`repro.experiments` — one module per paper table/figure.
@@ -32,6 +34,14 @@ Quickstart::
 """
 
 from .cluster import Cluster, Node, NodeSpec
+from .control import (
+    ClusterView,
+    HotspotDetector,
+    LoadWatcher,
+    RebalanceOptions,
+    RebalanceReport,
+    Rebalancer,
+)
 from .core import (
     ALL_POLICIES,
     B_ALL,
@@ -72,11 +82,14 @@ __all__ = [
     "B_MIN",
     "CatchUpTimeout",
     "Cluster",
+    "ClusterView",
     "DbmsInstance",
     "Environment",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "HotspotDetector",
+    "LoadWatcher",
     "MADEUS",
     "MetricsRegistry",
     "Middleware",
@@ -90,6 +103,9 @@ __all__ = [
     "NodeCrashed",
     "NodeSpec",
     "PropagationPolicy",
+    "RebalanceOptions",
+    "RebalanceReport",
+    "Rebalancer",
     "ReproError",
     "RoutingError",
     "ScheduleOptions",

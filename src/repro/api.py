@@ -6,22 +6,61 @@ breaking changes are preceded by one release of ``DeprecationWarning``
 shims.  Internal modules (``repro.core.middleware``, ``repro.engine``,
 ...) may reorganise without notice.
 
-The surface is deliberately small:
+The surface, by layer:
+
+**Mechanism** — migrate one tenant:
 
 * :class:`Middleware` / :class:`MiddlewareConfig` — the proxy itself;
 * :class:`MigrationOptions` — per-migration knobs for
-  :meth:`Middleware.migrate` (rates, standbys, pipelining, retries);
+  :meth:`Middleware.migrate` (rates, standbys, pipelining, and the
+  shared retry/resume knobs ``retry_limit`` / ``retry_base`` /
+  ``retry_cap`` / ``resume``);
 * :class:`MigrationReport` — what a finished migration reports;
+* :class:`TransferRates` — the dump/restore rate model;
+* :func:`policy_by_name` — resolve ``"Madeus"`` / ``"B-ALL"`` / ... to
+  a propagation policy.
+
+**Scheduling** — migrate N tenants:
+
 * :class:`MigrationScheduler` / :class:`ScheduleOptions` /
   :class:`ScheduleReport` — run N tenant migrations concurrently under
   an admission policy (``fifo`` / ``round-robin`` / ``smallest-first``)
-  with honest per-link bandwidth contention;
-* :class:`TransferRates` — the dump/restore rate model;
-* :func:`policy_by_name` — resolve ``"Madeus"`` / ``"B-ALL"`` / ... to a
-  propagation policy;
-* :func:`run_benchmark` — the ``repro bench`` harness, programmatically.
+  with honest per-link bandwidth contention, in batch (``run``) or
+  service (``start_service`` / ``submit`` / ``stop_service``) mode.
+
+**Control plane** — decide which tenant moves where, continuously:
+
+* :class:`Rebalancer` / :class:`RebalanceOptions` — the closed loop
+  (sense, detect, plan, act) that keeps a fleet balanced, ranking
+  moves by the Section 4.5.2 predicted migration cost;
+* :class:`RebalanceReport` — samples, decisions, and per-move records
+  (predicted vs observed cost) from a finished rebalancer;
+* :class:`ClusterView` — one frozen sample of per-tenant rates and
+  per-node loads, with the ``imbalance`` coefficient.
+
+**Observability** — read what the system measured:
+
+* :class:`MetricsRegistry` — counters and gauges, with the stable read
+  API ``snapshot()`` / ``gauge_value(name, default)``.
+
+**Harness**:
+
+* :func:`run_benchmark` — the ``repro bench`` harness,
+  programmatically.
+
+The three options classes (:class:`MigrationOptions`,
+:class:`ScheduleOptions`, :class:`RebalanceOptions`) spell their
+retry/backoff/resume knobs identically — ``retry_limit``,
+``retry_base``, ``retry_cap``, ``resume`` — so a knob learned once
+applies everywhere.
 """
 
+from .control import (
+    ClusterView,
+    RebalanceOptions,
+    RebalanceReport,
+    Rebalancer,
+)
 from .core.middleware import (
     Middleware,
     MiddlewareConfig,
@@ -36,13 +75,19 @@ from .core.scheduler import (
 )
 from .engine.dump import TransferRates
 from .experiments.bench import run_benchmark
+from .obs.metrics import MetricsRegistry
 
 __all__ = [
+    "ClusterView",
+    "MetricsRegistry",
     "Middleware",
     "MiddlewareConfig",
     "MigrationOptions",
     "MigrationReport",
     "MigrationScheduler",
+    "RebalanceOptions",
+    "RebalanceReport",
+    "Rebalancer",
     "ScheduleOptions",
     "ScheduleReport",
     "TransferRates",

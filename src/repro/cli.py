@@ -12,6 +12,8 @@ Examples::
     python -m repro trace benchmarks/results/traces/trace_001_*.jsonl
     python -m repro chaos --scenario standby-crash --profile smoke
     python -m repro bench --profile quick --bench-dir bench/
+    python -m repro bench --list-scenarios
+    python -m repro rebalance --profile quick --bench-dir bench/
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from .experiments import (
     multitenant,
     performance,
     preliminary,
+    rebalance,
     simthroughput,
     soak,
 )
@@ -95,6 +98,9 @@ def bench_main(argv=None) -> int:
     parser.add_argument("--scenario", default="all",
                         choices=sorted(bench.SCENARIOS) + ["all"],
                         help="bench scenario to run (default: all)")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="list the bench scenarios with their "
+                             "one-line descriptions and exit")
     parser.add_argument("--profile", default=None,
                         choices=["paper", "quick", "smoke"],
                         help="experiment scale (default: $REPRO_PROFILE "
@@ -114,6 +120,11 @@ def bench_main(argv=None) -> int:
                              "finishes within the CI budget (%.0f s)"
                              % simthroughput.PAPER_SMOKE_BUDGET_S)
     args = parser.parse_args(argv)
+    if args.list_scenarios:
+        for name in sorted(bench.SCENARIOS):
+            print("%-22s %s" % (name,
+                                bench.SCENARIO_DESCRIPTIONS[name]))
+        return 0
     profile = get_profile(args.profile)
     scenarios = None if args.scenario == "all" else [args.scenario]
     if args.paper_smoke and "simthroughput" not in (scenarios
@@ -157,6 +168,9 @@ def chaos_main(argv=None) -> int:
     parser.add_argument("--scenario", default="all",
                         choices=sorted(chaos.SCENARIOS) + ["all"],
                         help="fault plan to run (default: all)")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="list the fault scenarios with their "
+                             "one-line descriptions and exit")
     parser.add_argument("--profile", default=None,
                         choices=["paper", "quick", "smoke"],
                         help="experiment scale (default: $REPRO_PROFILE "
@@ -180,6 +194,10 @@ def chaos_main(argv=None) -> int:
                         help="write the deterministic SOAK_seed<N>.json "
                              "report here (soak only)")
     args = parser.parse_args(argv)
+    if args.list_scenarios:
+        for name in sorted(chaos.SCENARIOS):
+            print("%-22s %s" % (name, chaos.DESCRIPTIONS[name]))
+        return 0
     profile = get_profile(args.profile)
     if args.soak:
         result = soak.run_soak(profile, seed=args.seed,
@@ -202,6 +220,58 @@ def chaos_main(argv=None) -> int:
         if outcome.trace_path is not None:
             print("trace: %s" % outcome.trace_path)
     return 0
+
+
+def rebalance_main(argv=None) -> int:
+    """Entry point for ``python -m repro rebalance``.
+
+    Runs the continuous-rebalancer experiment from
+    :mod:`repro.experiments.rebalance`: a 100-tenant kv fleet under a
+    shifting-hotspot load schedule, kept balanced autonomously by the
+    :class:`repro.control.Rebalancer`.  Writes the deterministic
+    ``BENCH_rebalance.json`` (gated in CI by
+    ``scripts/check_bench.py``) and, with a trace directory, the
+    ``trace_rebalance.jsonl`` trace (gated by
+    ``scripts/check_trace.py``).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro rebalance",
+        description="Continuous cluster rebalancing: a large kv fleet "
+                    "under a shifting hotspot, balanced autonomously "
+                    "by the cost-model-driven control plane.")
+    parser.add_argument("--profile", default=None,
+                        choices=["paper", "quick", "smoke"],
+                        help="experiment scale (default: $REPRO_PROFILE "
+                             "or 'quick')")
+    parser.add_argument("--tenants", type=int, default=100,
+                        help="fleet size (default: 100)")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="cluster size (default: 8)")
+    parser.add_argument("--phases", type=int, default=3,
+                        help="hotspot phases (default: 3)")
+    parser.add_argument("--phase-seconds", type=float,
+                        default=rebalance.PHASE_SECONDS,
+                        help="simulated seconds per phase (default: "
+                             "%.0f)" % rebalance.PHASE_SECONDS)
+    parser.add_argument("--bench-dir", default=None,
+                        help="write BENCH_rebalance.json here "
+                             "(default: none)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="export the run's trace here "
+                             "(default: $REPRO_TRACE_DIR, or none)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the profile's root random seed")
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+    result = rebalance.run_rebalance(
+        profile, seed=args.seed, tenants=args.tenants,
+        nodes=args.nodes, phases=args.phases,
+        phase_seconds=args.phase_seconds,
+        trace_dir=args.trace_dir, bench_dir=args.bench_dir)
+    print(result.text)
+    for path in result.artifacts:
+        print("artifact: %s" % path)
+    return 0 if result.data.ok else 1
 
 
 def trace_main(argv=None) -> int:
@@ -264,6 +334,8 @@ def main(argv=None) -> int:
         return chaos_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "rebalance":
+        return rebalance_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Madeus (SIGMOD 2015) reproduction: run any paper "
@@ -273,8 +345,8 @@ def main(argv=None) -> int:
                         choices=sorted(COMMANDS) + ["list", "all"],
                         help="experiment to run ('list' to enumerate, "
                              "'all' for everything; see also the "
-                             "'trace', 'chaos', and 'bench' "
-                             "subcommands)")
+                             "'trace', 'chaos', 'bench', and "
+                             "'rebalance' subcommands)")
     parser.add_argument("--profile", default=None,
                         choices=["paper", "quick", "smoke"],
                         help="experiment scale (default: $REPRO_PROFILE "
@@ -299,6 +371,10 @@ def main(argv=None) -> int:
                             "perf harness: pipelined vs serial "
                             "snapshots, parallel multi-tenant "
                             "schedules, BENCH_*.json artifacts"))
+        print("%-12s %s" % ("rebalance",
+                            "continuous control plane: 100-tenant "
+                            "fleet under a shifting hotspot, balanced "
+                            "autonomously by the cost-model planner"))
         return 0
     profile = get_profile(args.profile)
     if args.command == "all":

@@ -1,0 +1,387 @@
+"""The continuous rebalancer: sense -> detect -> plan -> act.
+
+:class:`Rebalancer` closes the loop that ROADMAP item 1 left open: it
+wires the :class:`~repro.control.watcher.LoadWatcher` (sampling load
+from the obs gauges), the
+:class:`~repro.control.detector.HotspotDetector` (hysteresis, so a
+borderline node never ping-pongs), and the
+:class:`~repro.control.planner.Planner` (Section 4.5.2 cost-ranked
+moves) onto a service-mode
+:class:`~repro.core.scheduler.MigrationScheduler` — every chosen move
+is submitted live with the scheduler's full retry/resume machinery
+(``resume=True`` by default) and a max-concurrent-moves budget.
+
+The decision loop emits three trace markers per round, all under the
+``rebalance.`` prefix so gates can audit the control plane from the
+trace alone:
+
+* ``rebalance.decide`` (span) — one planning round: hot nodes seen,
+  moves chosen;
+* ``rebalance.submit`` (event) — one move handed to the scheduler,
+  with its predicted cost;
+* ``rebalance.settle`` (event) — that move's job finished: outcome and
+  observed cost, for the predicted-vs-observed error the report
+  carries.
+
+All knobs live on :class:`RebalanceOptions`, which follows the
+repo-wide option-dataclass convention (every field ``None`` = "use the
+default", :meth:`RebalanceOptions.resolve` fills them in) and shares
+the ``retry_limit`` / ``retry_base`` / ``retry_cap`` / ``resume`` knob
+names with :class:`~repro.core.scheduler.ScheduleOptions` and
+:class:`~repro.core.middleware.MigrationOptions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Generator, List, Optional, Set
+
+from ..core.middleware import Middleware, MigrationOptions
+from ..core.scheduler import (
+    MigrationScheduler,
+    ScheduleOptions,
+    ScheduleReport,
+)
+from ..engine.dump import TransferRates
+from ..errors import MigrationError
+from ..obs.trace import SPAN
+from .detector import HotspotDetector
+from .planner import PlannedMove, Planner
+from .watcher import ClusterView, LoadWatcher
+
+
+@dataclass(frozen=True)
+class RebalanceOptions:
+    """Per-rebalancer knobs, following the repo's options convention.
+
+    Every field defaults to ``None`` meaning "use the default";
+    :meth:`resolve` fills them in, so callers only name what they
+    change.  The retry/backoff/resume knobs use the same names as
+    :class:`~repro.core.scheduler.ScheduleOptions` and
+    :class:`~repro.core.middleware.MigrationOptions` and are passed
+    through to the underlying scheduler.
+    """
+
+    # -- sensing -------------------------------------------------------
+    #: Sim seconds between load samples (default 1.0).
+    sample_interval: Optional[float] = None
+    #: Samples in the rolling rate window (default 5).
+    window: Optional[int] = None
+    #: Planning cadence: decide every N samples (default 2).
+    decide_every: Optional[int] = None
+    # -- hotspot detection (hysteresis) --------------------------------
+    #: Hot when load > enter_ratio * cluster mean ... (default 1.5)
+    enter_ratio: Optional[float] = None
+    #: ... for sustain consecutive samples (default 2); cold again when
+    #: load < exit_ratio * mean (default 1.1; must be < enter_ratio).
+    exit_ratio: Optional[float] = None
+    sustain: Optional[int] = None
+    #: Sim seconds a node (after cooling) and a tenant (after moving)
+    #: are left alone (default 30.0) — the anti-ping-pong dwell.
+    cooldown: Optional[float] = None
+    #: Absolute load floor below which a node is never hot (default 0).
+    min_node_load: Optional[float] = None
+    # -- planning / actuation ------------------------------------------
+    #: Moves in flight at once (default 2).
+    max_concurrent_moves: Optional[int] = None
+    #: Sim seconds a failed destination stays barred (default 60.0).
+    exclusion_ttl: Optional[float] = None
+    #: Workload shape fed to the Section 4.5.2 cost model.
+    est_reads_per_txn: Optional[float] = None
+    est_writes_per_txn: Optional[float] = None
+    fsync_latency: Optional[float] = None
+    # -- shared retry/backoff/resume knobs -----------------------------
+    #: Scheduler re-attempts per move (default 2).
+    retry_limit: Optional[int] = None
+    #: Capped exponential backoff between attempts (defaults 0.5/5.0).
+    retry_base: Optional[float] = None
+    retry_cap: Optional[float] = None
+    #: Resume crash-parked migrations from their journal (default True
+    #: — the control plane always journals its moves).
+    resume: Optional[bool] = None
+    #: Per-move migration knobs (default resumable migrations).
+    migration: Optional[MigrationOptions] = None
+
+    def resolve(self) -> "RebalanceOptions":
+        """A copy with every ``None`` replaced by its default."""
+        sample_interval = (self.sample_interval
+                           if self.sample_interval is not None else 1.0)
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be > 0")
+        window = self.window if self.window is not None else 5
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        decide_every = (self.decide_every
+                        if self.decide_every is not None else 2)
+        if decide_every < 1:
+            raise ValueError("decide_every must be >= 1")
+        max_moves = (self.max_concurrent_moves
+                     if self.max_concurrent_moves is not None else 2)
+        if max_moves < 1:
+            raise ValueError("max_concurrent_moves must be >= 1")
+        retry_limit = (self.retry_limit
+                       if self.retry_limit is not None else 2)
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        resume = self.resume if self.resume is not None else True
+        migration = self.migration
+        if migration is None:
+            migration = MigrationOptions(resume=True)
+        return replace(
+            self, sample_interval=sample_interval, window=window,
+            decide_every=decide_every,
+            enter_ratio=(self.enter_ratio
+                         if self.enter_ratio is not None else 1.5),
+            exit_ratio=(self.exit_ratio
+                        if self.exit_ratio is not None else 1.1),
+            sustain=self.sustain if self.sustain is not None else 2,
+            cooldown=(self.cooldown
+                      if self.cooldown is not None else 30.0),
+            min_node_load=(self.min_node_load
+                           if self.min_node_load is not None else 0.0),
+            max_concurrent_moves=max_moves,
+            exclusion_ttl=(self.exclusion_ttl
+                           if self.exclusion_ttl is not None else 60.0),
+            est_reads_per_txn=(self.est_reads_per_txn
+                               if self.est_reads_per_txn is not None
+                               else 2.0),
+            est_writes_per_txn=(self.est_writes_per_txn
+                                if self.est_writes_per_txn is not None
+                                else 2.0),
+            fsync_latency=(self.fsync_latency
+                           if self.fsync_latency is not None
+                           else 0.005),
+            retry_limit=retry_limit,
+            retry_base=(self.retry_base
+                        if self.retry_base is not None else 0.5),
+            retry_cap=(self.retry_cap
+                       if self.retry_cap is not None else 5.0),
+            resume=resume, migration=migration)
+
+
+@dataclass
+class MoveRecord:
+    """One move through its whole life: decided -> submitted -> settled."""
+
+    tenant: str
+    source: str
+    destination: str
+    decided_at: float
+    #: Planner's Section 4.5.2 prediction, sim seconds.
+    predicted_cost: float
+    #: Windowed commit rate and size that drove the decision.
+    rate: float = 0.0
+    size_mb: float = 0.0
+    #: Scheduler outcome ("pending" until settled).
+    outcome: str = "pending"
+    attempts: int = 0
+    resumes: int = 0
+    settled_at: Optional[float] = None
+    #: Measured end-to-end migration time of the ok attempt.
+    observed_cost: Optional[float] = None
+
+    @property
+    def cost_error(self) -> Optional[float]:
+        """Relative |predicted - observed| / observed, once settled ok."""
+        if self.observed_cost is None or self.observed_cost <= 0:
+            return None
+        return (abs(self.predicted_cost - self.observed_cost)
+                / self.observed_cost)
+
+
+@dataclass
+class RebalanceReport:
+    """Everything one rebalancer run reports."""
+
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    #: Load samples taken and planning rounds run.
+    samples: int = 0
+    decisions: int = 0
+    #: Every move decided, in decision order.
+    moves: List[MoveRecord] = field(default_factory=list)
+    #: The underlying scheduler's report (set by :meth:`Rebalancer.stop`).
+    schedule: Optional[ScheduleReport] = None
+
+    @property
+    def moves_submitted(self) -> int:
+        """Moves handed to the scheduler."""
+        return len(self.moves)
+
+    @property
+    def moves_ok(self) -> int:
+        """Moves whose migration finished ok."""
+        return sum(1 for move in self.moves if move.outcome == "ok")
+
+    @property
+    def mean_cost_error(self) -> float:
+        """Mean relative predicted-vs-observed cost error (ok moves)."""
+        errors = [move.cost_error for move in self.moves
+                  if move.cost_error is not None]
+        if not errors:
+            return 0.0
+        return sum(errors) / len(errors)
+
+
+class Rebalancer:
+    """Keep a cluster balanced by migrating tenants off hot nodes.
+
+    Usage::
+
+        rebalancer = Rebalancer(middleware, RebalanceOptions(
+            cooldown=20.0, max_concurrent_moves=2))
+        rebalancer.start()                      # spawns the loop
+        env.run(until=300.0)
+        report = yield from rebalancer.stop()   # inside a process
+        # or: proc = env.process(rebalancer.stop()); env.run();
+        #     report = proc.value
+    """
+
+    def __init__(self, middleware: Middleware,
+                 options: Optional[RebalanceOptions] = None,
+                 nodes: Optional[List[str]] = None):
+        self.middleware = middleware
+        self.env = middleware.env
+        self.options = (options or RebalanceOptions()).resolve()
+        opts = self.options
+        self.watcher = LoadWatcher(middleware, nodes=nodes,
+                                   window=opts.window)
+        self.detector = HotspotDetector(
+            enter_ratio=opts.enter_ratio, exit_ratio=opts.exit_ratio,
+            sustain=opts.sustain, cooldown=opts.cooldown,
+            min_load=opts.min_node_load)
+        rates = (opts.migration.rates
+                 if opts.migration is not None
+                 and opts.migration.rates is not None
+                 else TransferRates())
+        self.planner = Planner(
+            middleware, cooldown=opts.cooldown,
+            exclusion_ttl=opts.exclusion_ttl,
+            est_reads_per_txn=opts.est_reads_per_txn,
+            est_writes_per_txn=opts.est_writes_per_txn,
+            fsync_latency=opts.fsync_latency,
+            dump_mb_s=rates.dump_mb_s, restore_mb_s=rates.restore_mb_s)
+        self.scheduler = MigrationScheduler(middleware, ScheduleOptions(
+            max_concurrent=opts.max_concurrent_moves,
+            migration=opts.migration, retry_limit=opts.retry_limit,
+            retry_base=opts.retry_base, retry_cap=opts.retry_cap,
+            resume=opts.resume))
+        self.report = RebalanceReport()
+        self._running = False
+        self._in_flight: Set[str] = set()
+        self._settlers: List[Any] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the control loop is live."""
+        return self._running
+
+    def in_flight(self) -> List[str]:
+        """Tenants with a move currently in flight, sorted."""
+        return sorted(self._in_flight)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator[Any, Any, None]:
+        """Process body: the sense/detect/plan/act loop.
+
+        Runs until :meth:`stop` clears the flag; usually spawned via
+        :meth:`start`.
+        """
+        if self._running:
+            raise MigrationError("rebalancer is already running")
+        self._running = True
+        self.scheduler.start_service()
+        self.report.started_at = self.env.now
+        opts = self.options
+        samples_since_decide = 0
+        while self._running:
+            yield self.env.timeout(opts.sample_interval)
+            if not self._running:
+                break
+            view = self.watcher.sample_once()
+            hot = self.detector.observe(view)
+            self.report.samples += 1
+            samples_since_decide += 1
+            if samples_since_decide >= opts.decide_every:
+                samples_since_decide = 0
+                self._decide(view, hot)
+
+    def start(self, name: str = "rebalancer") -> Any:
+        """Spawn :meth:`run` as a process."""
+        return self.env.process(self.run(), name=name)
+
+    def stop(self) -> Generator[Any, Any, RebalanceReport]:
+        """Process body: stop deciding, drain every move, and report."""
+        if not self._running:
+            raise MigrationError("rebalancer is not running")
+        self._running = False
+        schedule = yield from self.scheduler.stop_service()
+        live = [settler for settler in self._settlers
+                if not settler.triggered]
+        if live:
+            yield self.env.all_of(live)
+        self.report.schedule = schedule
+        self.report.ended_at = self.env.now
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _decide(self, view: ClusterView, hot: List[str]) -> None:
+        """One planning round: rank moves, submit within budget."""
+        tracer = self.middleware.tracer
+        span = tracer.start("rebalance.decide", kind=SPAN,
+                            hot=list(hot),
+                            imbalance=round(view.imbalance, 6),
+                            in_flight=len(self._in_flight))
+        budget = (self.options.max_concurrent_moves
+                  - len(self._in_flight))
+        moves = self.planner.plan(view, hot, now=self.env.now,
+                                  in_flight=self.in_flight(),
+                                  budget=budget)
+        for move in moves:
+            self._submit(move)
+        self.report.decisions += 1
+        tracer.finish(span, submitted=len(moves))
+
+    def _submit(self, move: PlannedMove) -> None:
+        """Hand one planned move to the scheduler and watch it settle."""
+        record = MoveRecord(
+            tenant=move.tenant, source=move.source,
+            destination=move.destination, decided_at=self.env.now,
+            predicted_cost=move.predicted_cost, rate=move.rate,
+            size_mb=move.size_mb)
+        self.report.moves.append(record)
+        self.planner.note_move(move.tenant, self.env.now)
+        self._in_flight.add(move.tenant)
+        self.middleware.tracer.event(
+            "rebalance.submit", tenant=move.tenant,
+            source=move.source, destination=move.destination,
+            predicted_cost=round(move.predicted_cost, 6))
+        player = self.scheduler.submit(move.tenant, move.destination)
+        self._settlers.append(self.env.process(
+            self._settle(record, player),
+            name="rebalance.settle.%s" % move.tenant))
+
+    def _settle(self, record: MoveRecord,
+                player: Any) -> Generator[Any, Any, None]:
+        """Wait for one move's job and fold the outcome back in."""
+        outcome = yield player
+        record.outcome = outcome.outcome
+        record.attempts = outcome.attempts
+        record.resumes = outcome.resumes
+        record.settled_at = self.env.now
+        if outcome.outcome == "ok" and outcome.report is not None:
+            record.observed_cost = outcome.report.migration_time
+        for node in outcome.excluded_destinations:
+            # Fleet-level excluded-destination memory: a node that died
+            # under one move is no target for the next rounds either.
+            self.planner.exclude_destination(node, self.env.now)
+        self._in_flight.discard(record.tenant)
+        self.middleware.tracer.event(
+            "rebalance.settle", tenant=record.tenant,
+            destination=record.destination, outcome=record.outcome,
+            attempts=record.attempts,
+            predicted_cost=round(record.predicted_cost, 6),
+            observed_cost=(round(record.observed_cost, 6)
+                           if record.observed_cost is not None
+                           else None))

@@ -1,0 +1,186 @@
+"""Sampling cluster load into rolling windows.
+
+The :class:`LoadWatcher` is the *sensing* leg of the control plane: it
+periodically asks the middleware to publish its per-tenant counters and
+per-link utilisation (:meth:`Middleware.publish_load_gauges`), reads
+them back exclusively through the stable
+:meth:`~repro.obs.metrics.MetricsRegistry.gauge_value` API, converts
+the cumulative counters into *rates* (commits per sim second over the
+sample interval), and smooths each rate over a rolling window.  The
+rest of the control plane never touches raw counters: the hotspot
+detector and planner consume the immutable :class:`ClusterView` the
+watcher produces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.middleware import Middleware
+
+
+def imbalance_coefficient(loads: Dict[str, float]) -> float:
+    """Coefficient of variation (std/mean) of per-node loads.
+
+    The gate metric of the rebalance experiment: 0 means perfectly
+    even, larger means one node carries disproportionate load.  Defined
+    as 0.0 when the cluster is idle (mean load <= 0) — an idle cluster
+    is trivially balanced.
+    """
+    values = list(loads.values())
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return variance ** 0.5 / mean
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """One immutable, point-in-time reading of cluster load.
+
+    Everything downstream decision code needs, so the detector and
+    planner are pure functions of a view instead of re-reading gauges
+    themselves (and possibly seeing a torn sample).
+    """
+
+    #: Sim time the sample was taken.
+    at: float
+    #: Samples in the rolling window (rates below are window means).
+    window: int
+    #: Tenant -> windowed mean commit rate (commits / sim second).
+    tenant_rates: Dict[str, float] = field(default_factory=dict)
+    #: Tenant -> master node at sample time.
+    tenant_nodes: Dict[str, str] = field(default_factory=dict)
+    #: Node -> summed windowed tenant rate (0.0 for idle nodes).
+    node_loads: Dict[str, float] = field(default_factory=dict)
+    #: Node -> windowed mean WAL flush rate (flushes / sim second).
+    node_flush_rates: Dict[str, float] = field(default_factory=dict)
+    #: Conductor concurrent-players gauge (propagation pressure).
+    players: float = 0.0
+    #: Link-port name -> busy fraction since the previous sample.
+    link_utilisation: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def imbalance(self) -> float:
+        """Load-imbalance coefficient across :attr:`node_loads`."""
+        return imbalance_coefficient(self.node_loads)
+
+    def tenants_on(self, node: str) -> List[str]:
+        """Tenants mastered on ``node``, heaviest first."""
+        names = [name for name, host in self.tenant_nodes.items()
+                 if host == node]
+        return sorted(names,
+                      key=lambda name: (-self.tenant_rates.get(name,
+                                                               0.0),
+                                        name))
+
+
+class LoadWatcher:
+    """Sample per-tenant/per-node load into rolling windows.
+
+    Passive: :meth:`sample_once` takes one reading and returns the
+    refreshed :class:`ClusterView`; the caller (the
+    :class:`~repro.control.rebalancer.Rebalancer` loop, or a test)
+    decides the cadence.  All iteration is over sorted names, so a
+    seeded run samples deterministically.
+    """
+
+    def __init__(self, middleware: "Middleware",
+                 nodes: Optional[List[str]] = None,
+                 window: int = 5):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.middleware = middleware
+        self.env = middleware.env
+        self.nodes = sorted(nodes if nodes is not None
+                            else middleware.cluster.nodes)
+        self.window = window
+        self._last_at: Optional[float] = None
+        self._last_commits: Dict[str, float] = {}
+        self._last_flushes: Dict[str, float] = {}
+        self._rates: Dict[str, Deque[float]] = {}
+        self._flush_rates: Dict[str, Deque[float]] = {}
+        self._view = ClusterView(at=self.env.now, window=window,
+                                 node_loads={name: 0.0
+                                             for name in self.nodes})
+
+    # ------------------------------------------------------------------
+    def _window_for(self, store: Dict[str, Deque[float]],
+                    key: str) -> Deque[float]:
+        bucket = store.get(key)
+        if bucket is None:
+            bucket = deque(maxlen=self.window)
+            store[key] = bucket
+        return bucket
+
+    @staticmethod
+    def _mean(bucket: Deque[float]) -> float:
+        if not bucket:
+            return 0.0
+        return sum(bucket) / len(bucket)
+
+    def sample_once(self) -> ClusterView:
+        """Take one reading and return the refreshed view.
+
+        The first sample only establishes the counter baselines (rates
+        need two points); it reports zero rates rather than guessing.
+        """
+        middleware = self.middleware
+        metrics = self.middleware.metrics
+        now = self.env.now
+        since = self._last_at if self._last_at is not None else 0.0
+        middleware.publish_load_gauges(since=since)
+        elapsed = now - since if self._last_at is not None else 0.0
+
+        tenant_rates: Dict[str, float] = {}
+        tenant_nodes: Dict[str, str] = {}
+        for tenant in middleware.tenants():
+            commits = metrics.gauge_value("tenant.%s.commits" % tenant)
+            last = self._last_commits.get(tenant)
+            bucket = self._window_for(self._rates, tenant)
+            if last is not None and elapsed > 0:
+                bucket.append(max(0.0, commits - last) / elapsed)
+            self._last_commits[tenant] = commits
+            tenant_rates[tenant] = self._mean(bucket)
+            tenant_nodes[tenant] = middleware.route(tenant)
+
+        node_loads = {name: 0.0 for name in self.nodes}
+        for tenant, rate in tenant_rates.items():
+            host = tenant_nodes[tenant]
+            if host in node_loads:
+                node_loads[host] += rate
+
+        node_flush_rates: Dict[str, float] = {}
+        for node in self.nodes:
+            flushes = metrics.gauge_value("%s.wal.flushes" % node)
+            last = self._last_flushes.get(node)
+            bucket = self._window_for(self._flush_rates, node)
+            if last is not None and elapsed > 0:
+                bucket.append(max(0.0, flushes - last) / elapsed)
+            self._last_flushes[node] = flushes
+            node_flush_rates[node] = self._mean(bucket)
+
+        link_utilisation: Dict[str, float] = {}
+        for name in sorted(
+                middleware.cluster.network.link_ports()):
+            link_utilisation[name] = metrics.gauge_value(
+                "net.link.%s.utilisation" % name)
+
+        self._last_at = now
+        self._view = ClusterView(
+            at=now, window=self.window, tenant_rates=tenant_rates,
+            tenant_nodes=tenant_nodes, node_loads=node_loads,
+            node_flush_rates=node_flush_rates,
+            players=metrics.gauge_value("propagation.players"),
+            link_utilisation=link_utilisation)
+        return self._view
+
+    def view(self) -> ClusterView:
+        """The most recent :class:`ClusterView` (empty before sampling)."""
+        return self._view

@@ -13,6 +13,7 @@ any of the Table-2 baselines.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
@@ -106,8 +107,20 @@ class MiddlewareConfig:
     #: crash *suspends* the migration instead of aborting it, and
     #: :meth:`Middleware.resume_migration` can re-enter from the journal
     #: after the source recovers — without re-dumping what already
-    #: landed.  Per-migration override: :attr:`MigrationOptions.resumable`.
+    #: landed.  Per-migration override: :attr:`MigrationOptions.resume`.
     resumable: bool = False
+
+
+#: Deprecated :class:`MigrationOptions` field spellings and the unified
+#: knob each maps to (shared with :class:`~repro.core.scheduler.
+#: ScheduleOptions` and ``RebalanceOptions``).  One shim cycle per the
+#: README "Public API" policy; the old names go away next release.
+_DEPRECATED_OPTION_FIELDS = (
+    ("ship_retry_limit", "retry_limit"),
+    ("ship_retry_base", "retry_base"),
+    ("ship_retry_cap", "retry_cap"),
+    ("resumable", "resume"),
+)
 
 
 @dataclass(frozen=True)
@@ -118,6 +131,13 @@ class MigrationOptions:
     it from the :class:`MiddlewareConfig` (or the library default), so a
     bare ``MigrationOptions()`` reproduces the configured behaviour and
     callers override only what they mean to change.
+
+    The retry/backoff/resume knobs share their names with
+    :class:`~repro.core.scheduler.ScheduleOptions` and
+    :class:`~repro.control.RebalanceOptions`: ``retry_limit`` /
+    ``retry_base`` / ``retry_cap`` bound the capped-exponential retry
+    loop at each layer (here: per-node snapshot ship/restore resends),
+    and ``resume`` opts into journalled restart-and-resume.
     """
 
     #: Dump/restore throughput model (None -> library defaults).
@@ -130,16 +150,38 @@ class MigrationOptions:
     pipeline_depth: Optional[int] = None
     #: Chunk size for the streamed dump (None -> ``rates.chunk_mb``).
     chunk_mb: Optional[float] = None
-    # ship-retry caps (None -> config)
-    ship_retry_limit: Optional[int] = None
-    ship_retry_base: Optional[float] = None
-    ship_retry_cap: Optional[float] = None
+    #: Snapshot ship/restore retry policy: resend attempts per node and
+    #: the capped exponential backoff between them (None -> config).
+    retry_limit: Optional[int] = None
+    retry_base: Optional[float] = None
+    retry_cap: Optional[float] = None
     # divergence-watchdog thresholds (None -> config)
     divergence_interval: Optional[float] = None
     divergence_window: Optional[int] = None
     divergence_min_growth: Optional[int] = None
     #: Journal progress for restart-and-resume (None -> config).
+    resume: Optional[bool] = None
+    # -- deprecated spellings (one DeprecationWarning shim cycle) ------
+    ship_retry_limit: Optional[int] = None
+    ship_retry_base: Optional[float] = None
+    ship_retry_cap: Optional[float] = None
     resumable: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        for old, new in _DEPRECATED_OPTION_FIELDS:
+            value = getattr(self, old)
+            if value is None:
+                continue
+            warnings.warn(
+                "MigrationOptions(%s=...) is deprecated; use the "
+                "unified knob name %r (shared with ScheduleOptions "
+                "and RebalanceOptions)" % (old, new),
+                DeprecationWarning, stacklevel=3)
+            if getattr(self, new) is None:
+                object.__setattr__(self, new, value)
+            # Clear the old field so dataclasses.replace() round-trips
+            # never re-trigger the warning.
+            object.__setattr__(self, old, None)
 
     def resolve(self, config: MiddlewareConfig) -> "MigrationOptions":
         """Fill every ``None`` from ``config`` / library defaults."""
@@ -153,18 +195,16 @@ class MigrationOptions:
             standbys=tuple(self.standbys or ()),
             pipeline=pick(self.pipeline, config.pipeline_snapshot),
             pipeline_depth=pick(self.pipeline_depth, config.pipeline_depth),
-            ship_retry_limit=pick(self.ship_retry_limit,
-                                  config.ship_retry_limit),
-            ship_retry_base=pick(self.ship_retry_base,
-                                 config.ship_retry_base),
-            ship_retry_cap=pick(self.ship_retry_cap, config.ship_retry_cap),
+            retry_limit=pick(self.retry_limit, config.ship_retry_limit),
+            retry_base=pick(self.retry_base, config.ship_retry_base),
+            retry_cap=pick(self.retry_cap, config.ship_retry_cap),
             divergence_interval=pick(self.divergence_interval,
                                      config.divergence_interval),
             divergence_window=pick(self.divergence_window,
                                    config.divergence_window),
             divergence_min_growth=pick(self.divergence_min_growth,
                                        config.divergence_min_growth),
-            resumable=pick(self.resumable, config.resumable),
+            resume=pick(self.resume, config.resumable),
         )
 
 
@@ -485,6 +525,40 @@ class Middleware:
         if node is None:
             raise RoutingError("tenant %r is not registered" % tenant)
         return node
+
+    def tenants(self) -> List[str]:
+        """Every registered tenant name, sorted."""
+        return sorted(self._tenants)
+
+    def publish_load_gauges(self, since: float = 0.0) -> None:
+        """Mirror per-tenant and per-link load into the registry.
+
+        The worker path keeps its counters as plain attributes on
+        :class:`TenantState` (the hot path must not pay a registry
+        lookup per statement); this publishes them as
+        ``tenant.<name>.operations`` / ``.commits`` / ``.aborts``
+        gauges, plus ``net.link.<port>.utilisation`` (the busy fraction
+        of every materialised :class:`~repro.net.network.LinkPort`
+        since ``since``), so the control plane and library users read
+        load exclusively through the stable
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` /
+        ``gauge_value`` API.  Sampling loops (the LoadWatcher) call
+        this once per tick, off the hot path.
+        """
+        for name in sorted(self._tenants):
+            state = self._tenants[name]
+            prefix = "tenant.%s" % name
+            self.metrics.gauge("%s.operations" % prefix).set(
+                state.operations_seen)
+            self.metrics.gauge("%s.commits" % prefix).set(
+                state.commits_seen)
+            self.metrics.gauge("%s.aborts" % prefix).set(
+                state.aborts_seen)
+        network = self.cluster.network
+        for port_name, port in sorted(network.link_ports().items()):
+            self.metrics.gauge("net.link.%s.utilisation"
+                               % port_name).set(
+                port.utilisation(since=since))
 
     def owners(self, tenant: str) -> List[str]:
         """The node(s) that own ``tenant`` — by design exactly one.
@@ -856,7 +930,7 @@ class Middleware:
             source_instance=source_instance, dest_instance=dest_instance,
             destination=destination, standby_instances=standby_instances,
             source_down=source_down, snapshot_csn=snapshot_csn)
-        if opts.resumable:
+        if opts.resume:
             run.journal = self._open_journal(run)
         yield from self._snapshot_phase(run, phase_span)
         yield from self._catchup_phase(run)
@@ -902,8 +976,8 @@ class Middleware:
         restore_errors: Dict[str, Optional[str]] = {}
 
         def retry_backoff(node_name: str, attempt: int) -> Generator:
-            delay = min(opts.ship_retry_cap,
-                        opts.ship_retry_base * (2 ** (attempt - 1)))
+            delay = min(opts.retry_cap,
+                        opts.retry_base * (2 ** (attempt - 1)))
             report.ship_retries += 1
             self.metrics.counter("migration.retries").inc()
             self.tracer.event("migration.retry", tenant=tenant,
@@ -969,7 +1043,7 @@ class Middleware:
                             instance.drop_tenant(tenant)
                         if run.journal is not None:
                             run.journal.chunks_restored[node_name] = 0
-                        if attempt > opts.ship_retry_limit:
+                        if attempt > opts.retry_limit:
                             restore_errors[node_name] = str(exc)
                             return
                         yield from retry_backoff(node_name, attempt)
@@ -1696,7 +1770,7 @@ class Middleware:
                         if journal is not None:
                             journal.chunks_restored[node_name] = 0
                             journal.chunk_log.pop(node_name, None)
-                    if attempt > opts.ship_retry_limit:
+                    if attempt > opts.retry_limit:
                         restore_errors[node_name] = str(exc)
                         reader.close()
                         return

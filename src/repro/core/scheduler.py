@@ -46,6 +46,15 @@ destination already installed instead of re-dumping from scratch.
 Non-ok outcomes are stamped with the fault windows that overlapped the
 job (:attr:`JobOutcome.fault_events`), so an injected-fault abort is
 distinguishable from a logic error straight from the report.
+
+Besides the batch submit-then-run shape, the scheduler has a *service
+mode* for long-running control planes (the continuous rebalancer):
+:meth:`MigrationScheduler.start_service` opens a persistent schedule,
+:meth:`MigrationScheduler.submit` then admits each job immediately
+(still bounded by ``max_concurrent`` and returning the job's player
+process so the caller can wait on it), and
+:meth:`MigrationScheduler.stop_service` drains the in-flight jobs and
+returns the accumulated :class:`ScheduleReport`.
 """
 
 from __future__ import annotations
@@ -219,6 +228,19 @@ class ScheduleReport:
         raise KeyError("no job for tenant %r" % tenant)
 
 
+@dataclass
+class _ScheduleSession:
+    """Mutable state shared by the jobs of one open schedule."""
+
+    report: ScheduleReport
+    span: Any
+    gate: Optional[Semaphore]
+    concurrent_gauge: Any
+    service: bool = False
+    in_flight: int = 0
+    players: List[Any] = field(default_factory=list)
+
+
 class MigrationScheduler:
     """Run several tenant migrations concurrently over one middleware.
 
@@ -234,6 +256,18 @@ class MigrationScheduler:
     ``run`` admits jobs in the order the policy dictates, bounded by
     ``max_concurrent``, and returns a :class:`ScheduleReport` once every
     job has finished one way or another.
+
+    For a long-running control plane the batch shape inverts into
+    *service mode*::
+
+        scheduler.start_service()
+        proc = scheduler.submit("A", "node1")    # admitted immediately
+        yield proc                               # wait for that one job
+        report = yield from scheduler.stop_service()
+
+    A service-mode :meth:`submit` returns the job's player process (its
+    ``value`` is the :class:`JobOutcome`), still bounded by
+    ``max_concurrent`` and covered by the same retry/resume policy.
     """
 
     def __init__(self, middleware: Middleware,
@@ -243,29 +277,43 @@ class MigrationScheduler:
         self.options = (options or ScheduleOptions()).resolve()
         self._pending: List[Tuple[str, str, Optional[MigrationOptions],
                                   Tuple[str, ...]]] = []
-        self._running = False
+        self._session: Optional[_ScheduleSession] = None
+
+    @property
+    def _running(self) -> bool:
+        return self._session is not None
 
     # ------------------------------------------------------------------
     def submit(self, tenant: str, destination: str,
                options: Optional[MigrationOptions] = None,
-               alternates: Sequence[str] = ()) -> None:
+               alternates: Sequence[str] = ()) -> Optional[Any]:
         """Queue one migration; runs when :meth:`run` admits it.
 
         ``alternates`` names fallback destinations for the retry policy:
         when an attempt's destination dies, the excluded-destination
         memory skips it and the next alternate is tried instead.  With
         ``retry_limit == 0`` (the default) they are never consulted.
+
+        While a service session is open (:meth:`start_service`) the job
+        is instead admitted immediately and the player process is
+        returned, so the caller can ``yield`` it to await that one job.
         """
-        if self._running:
-            raise MigrationError(
-                "cannot submit to a schedule that is already running")
         if options is not None and not isinstance(options,
                                                   MigrationOptions):
             raise TypeError("submit() takes a MigrationOptions "
                             "instance, got %r"
                             % (type(options).__name__,))
+        session = self._session
+        if session is not None:
+            if not session.service:
+                raise MigrationError(
+                    "cannot submit to a schedule that is already "
+                    "running")
+            return self._spawn_job(session, tenant, destination,
+                                   options, tuple(alternates))
         self._pending.append((tenant, destination, options,
                               tuple(alternates)))
+        return None
 
     # ------------------------------------------------------------------
     def _ordered_jobs(self) -> List[Tuple[str, str,
@@ -299,214 +347,34 @@ class MigrationScheduler:
                     ordered.append(queue.pop(0))
         return ordered
 
-    def run(self) -> Generator[Any, Any, ScheduleReport]:
-        """Process body: admit, migrate, collect, report."""
-        if self._running:
+    # -- session plumbing ----------------------------------------------
+    def _open_session(self, service: bool,
+                      jobs_hint: int) -> _ScheduleSession:
+        """Start a schedule span and the shared admission state."""
+        if self._session is not None:
             raise MigrationError("schedule is already running")
-        self._running = True
         opts = self.options
-        metrics = self.middleware.metrics
-        tracer = self.middleware.tracer
         report = ScheduleReport(policy=opts.policy,
                                 max_concurrent=opts.max_concurrent,
                                 started_at=self.env.now)
-        schedule_span = tracer.start(
+        schedule_span = self.middleware.tracer.start(
             "schedule", kind=SPAN, policy=opts.policy,
             max_concurrent=opts.max_concurrent,
-            jobs=len(self._pending))
+            jobs=jobs_hint)
         gate: Optional[Semaphore] = None
         if opts.max_concurrent > 0:
             gate = Semaphore(self.env, value=opts.max_concurrent)
-        in_flight = [0]
-        concurrent_gauge = metrics.gauge("scheduler.concurrent")
+        session = _ScheduleSession(
+            report=report, span=schedule_span, gate=gate,
+            concurrent_gauge=self.middleware.metrics.gauge(
+                "scheduler.concurrent"),
+            service=service)
+        self._session = session
+        return session
 
-        def next_destination(outcome: JobOutcome,
-                             candidates: List[str]) -> Optional[str]:
-            """First candidate not yet excluded by a dead-node retry."""
-            for name in candidates:
-                if name not in outcome.excluded_destinations:
-                    return name
-            return None
-
-        def clear_orphan_copy(outcome: JobOutcome,
-                              destination: str) -> None:
-            """Drop a partial tenant copy an aborted attempt left behind.
-
-            Aborts intentionally leave the slave copy in place (players
-            may still be draining against it); a retry into the same
-            live node must clear it or the restore would collide.
-            """
-            instance = self.middleware.cluster.node(destination).instance
-            if (not instance.crashed
-                    and self.middleware.route(outcome.tenant)
-                    != destination
-                    and instance.has_tenant(outcome.tenant)):
-                instance.drop_tenant(outcome.tenant)
-
-        def stamp_fault_events(outcome: JobOutcome) -> None:
-            """Record fault windows overlapping the job on its outcome.
-
-            Aborted/failed jobs become auditable from the report alone:
-            an empty list on a non-ok outcome means no injected fault
-            overlapped the job, i.e. the failure was the migration's
-            own doing rather than chaos.
-            """
-            for span in tracer.find(kind=FAULT):
-                if span.start > outcome.ended_at:
-                    continue
-                if (span.end is not None
-                        and span.end < outcome.submitted_at):
-                    continue
-                outcome.fault_events.append({
-                    "fault": span.name,
-                    "kind": span.attrs.get("fault_kind"),
-                    "target": span.attrs.get("target"),
-                    "start": span.start,
-                    "end": span.end,
-                })
-
-        def job_player(outcome: JobOutcome,
-                       options: Optional[MigrationOptions],
-                       alternates: Tuple[str, ...]) -> Generator:
-            if gate is not None:
-                yield from gate.acquire()
-            outcome.started_at = self.env.now
-            metrics.histogram("scheduler.queue_wait").observe(
-                outcome.queue_wait)
-            in_flight[0] += 1
-            report.max_in_flight = max(report.max_in_flight,
-                                       in_flight[0])
-            concurrent_gauge.set(in_flight[0])
-            job_span = tracer.start(
-                "schedule.job", kind=SPAN, parent=schedule_span,
-                tenant=outcome.tenant, destination=outcome.destination,
-                queue_wait=outcome.queue_wait)
-            candidates = [outcome.destination] + [
-                name for name in alternates
-                if name != outcome.destination]
-            resume_next = False
-            try:
-                while True:
-                    if resume_next:
-                        destination = outcome.destination
-                    else:
-                        destination = next_destination(outcome,
-                                                       candidates)
-                        if destination is None:
-                            # Every candidate died under an attempt; the
-                            # last error already describes the failure.
-                            break
-                        outcome.destination = destination
-                    outcome.attempts += 1
-                    retriable = False
-                    try:
-                        if resume_next:
-                            resume_next = False
-                            outcome.resumes += 1
-                            outcome.report = yield from \
-                                self.middleware.resume_migration(
-                                    outcome.tenant,
-                                    options or opts.migration)
-                        else:
-                            outcome.report = \
-                                yield from self.middleware.migrate(
-                                    outcome.tenant, destination,
-                                    options or opts.migration)
-                        outcome.outcome = "ok"
-                        break
-                    except SourceCrashed as exc:
-                        journal = self.middleware.migration_journal(
-                            outcome.tenant)
-                        suspended = (journal is not None
-                                     and journal.state
-                                     == JOURNAL_SUSPENDED)
-                        if (not opts.resume or not suspended
-                                or outcome.attempts > opts.retry_limit):
-                            # Final by design without the resume policy:
-                            # the master must recover, and the paper's
-                            # rule is abort + keep the source.
-                            outcome.outcome = ("suspended" if suspended
-                                               else "aborted")
-                            outcome.error = str(exc)
-                            break
-                        outcome.outcome = "suspended"
-                        outcome.error = str(exc)
-                        outcome.destination = journal.destination
-                        source_instance = self.middleware.cluster.node(
-                            journal.source).instance
-                        yield source_instance.wait_recovered()
-                        delay = min(opts.retry_cap,
-                                    opts.retry_base
-                                    * (2 ** (outcome.attempts - 1)))
-                        metrics.counter("scheduler.resumes").inc()
-                        tracer.event("schedule.resume",
-                                     tenant=outcome.tenant,
-                                     attempt=outcome.attempts,
-                                     delay=delay,
-                                     phase=journal.suspend_phase)
-                        yield self.env.timeout(delay)
-                        resume_next = True
-                        continue
-                    except CatchUpTimeout as exc:
-                        outcome.outcome = "aborted"
-                        outcome.error = str(exc)
-                        retriable = True
-                    except (MigrationError, NetworkDown,
-                            NodeCrashed) as exc:
-                        outcome.outcome = "failed"
-                        outcome.error = str(exc)
-                        retriable = True
-                    if (not retriable
-                            or outcome.attempts > opts.retry_limit):
-                        break
-                    dest_instance = self.middleware.cluster.node(
-                        destination).instance
-                    if dest_instance.crashed:
-                        # Excluded-destination memory: never retry into
-                        # the node that just died under this job.
-                        outcome.excluded_destinations.append(destination)
-                    if next_destination(outcome, candidates) is None:
-                        break
-                    delay = min(opts.retry_cap,
-                                opts.retry_base
-                                * (2 ** (outcome.attempts - 1)))
-                    metrics.counter("scheduler.retries").inc()
-                    tracer.event("schedule.retry", tenant=outcome.tenant,
-                                 attempt=outcome.attempts, delay=delay,
-                                 excluded=list(
-                                     outcome.excluded_destinations))
-                    yield self.env.timeout(delay)
-                    retry_into = next_destination(outcome, candidates)
-                    if retry_into is not None:
-                        clear_orphan_copy(outcome, retry_into)
-            finally:
-                outcome.ended_at = self.env.now
-                if outcome.outcome != "ok":
-                    stamp_fault_events(outcome)
-                in_flight[0] -= 1
-                concurrent_gauge.set(in_flight[0])
-                tracer.finish(job_span, outcome=outcome.outcome,
-                              attempts=outcome.attempts,
-                              resumes=outcome.resumes,
-                              destination=outcome.destination)
-                metrics.counter("scheduler.jobs_%s"
-                                % outcome.outcome).inc()
-                if gate is not None:
-                    gate.release()
-
-        players = []
-        for tenant, destination, options, alternates in \
-                self._ordered_jobs():
-            outcome = JobOutcome(tenant=tenant,
-                                 source=self.middleware.route(tenant),
-                                 destination=destination,
-                                 submitted_at=self.env.now)
-            report.jobs.append(outcome)
-            players.append(self.env.process(
-                job_player(outcome, options, alternates),
-                name="schedule.%s" % tenant))
-        if players:
-            yield self.env.all_of(players)
+    def _close_session(self, session: _ScheduleSession) -> ScheduleReport:
+        """Stamp the report, finish the span, and reset the scheduler."""
+        report = session.report
         report.ended_at = self.env.now
         network = self.middleware.cluster.network
         for name, port in sorted(network.link_ports().items()):
@@ -514,15 +382,274 @@ class MigrationScheduler:
                 continue
             utilisation = port.utilisation(since=report.started_at)
             report.link_utilisation[name] = utilisation
-            metrics.gauge("scheduler.link.%s.utilisation"
-                          % name).set(utilisation)
-        tracer.finish(schedule_span, ok=report.ok_count,
-                      max_in_flight=report.max_in_flight,
-                      wall_clock=report.wall_clock)
-        self._running = False
+            self.middleware.metrics.gauge(
+                "scheduler.link.%s.utilisation" % name).set(utilisation)
+        self.middleware.tracer.finish(
+            session.span, ok=report.ok_count,
+            max_in_flight=report.max_in_flight,
+            wall_clock=report.wall_clock)
+        self._session = None
         self._pending = []
         return report
+
+    def _spawn_job(self, session: _ScheduleSession, tenant: str,
+                   destination: str,
+                   options: Optional[MigrationOptions],
+                   alternates: Tuple[str, ...]) -> Any:
+        """Admit one job into the open session; returns its player."""
+        outcome = JobOutcome(tenant=tenant,
+                             source=self.middleware.route(tenant),
+                             destination=destination,
+                             submitted_at=self.env.now)
+        session.report.jobs.append(outcome)
+        player = self.env.process(
+            self._job_player(session, outcome, options, alternates),
+            name="schedule.%s" % tenant)
+        session.players.append(player)
+        return player
+
+    # -- per-job helpers -----------------------------------------------
+    @staticmethod
+    def _next_destination(outcome: JobOutcome,
+                          candidates: List[str]) -> Optional[str]:
+        """First candidate not yet excluded by a dead-node retry."""
+        for name in candidates:
+            if name not in outcome.excluded_destinations:
+                return name
+        return None
+
+    def _clear_orphan_copy(self, outcome: JobOutcome,
+                           destination: str) -> None:
+        """Drop a partial tenant copy an aborted attempt left behind.
+
+        Aborts intentionally leave the slave copy in place (players
+        may still be draining against it); a retry into the same
+        live node must clear it or the restore would collide.
+        """
+        instance = self.middleware.cluster.node(destination).instance
+        if (not instance.crashed
+                and self.middleware.route(outcome.tenant)
+                != destination
+                and instance.has_tenant(outcome.tenant)):
+            instance.drop_tenant(outcome.tenant)
+
+    def _stamp_fault_events(self, outcome: JobOutcome) -> None:
+        """Record fault windows overlapping the job on its outcome.
+
+        Aborted/failed jobs become auditable from the report alone:
+        an empty list on a non-ok outcome means no injected fault
+        overlapped the job, i.e. the failure was the migration's
+        own doing rather than chaos.
+        """
+        for span in self.middleware.tracer.find(kind=FAULT):
+            if span.start > outcome.ended_at:
+                continue
+            if (span.end is not None
+                    and span.end < outcome.submitted_at):
+                continue
+            outcome.fault_events.append({
+                "fault": span.name,
+                "kind": span.attrs.get("fault_kind"),
+                "target": span.attrs.get("target"),
+                "start": span.start,
+                "end": span.end,
+            })
+
+    def _job_player(self, session: _ScheduleSession, outcome: JobOutcome,
+                    options: Optional[MigrationOptions],
+                    alternates: Tuple[str, ...]) -> Generator:
+        opts = self.options
+        metrics = self.middleware.metrics
+        tracer = self.middleware.tracer
+        report = session.report
+        if session.gate is not None:
+            yield from session.gate.acquire()
+        outcome.started_at = self.env.now
+        metrics.histogram("scheduler.queue_wait").observe(
+            outcome.queue_wait)
+        session.in_flight += 1
+        report.max_in_flight = max(report.max_in_flight,
+                                   session.in_flight)
+        session.concurrent_gauge.set(session.in_flight)
+        job_span = tracer.start(
+            "schedule.job", kind=SPAN, parent=session.span,
+            tenant=outcome.tenant, destination=outcome.destination,
+            queue_wait=outcome.queue_wait)
+        candidates = [outcome.destination] + [
+            name for name in alternates
+            if name != outcome.destination]
+        resume_next = False
+        try:
+            while True:
+                if resume_next:
+                    destination = outcome.destination
+                else:
+                    destination = self._next_destination(outcome,
+                                                         candidates)
+                    if destination is None:
+                        # Every candidate died under an attempt; the
+                        # last error already describes the failure.
+                        break
+                    outcome.destination = destination
+                outcome.attempts += 1
+                retriable = False
+                try:
+                    if resume_next:
+                        resume_next = False
+                        outcome.resumes += 1
+                        outcome.report = yield from \
+                            self.middleware.resume_migration(
+                                outcome.tenant,
+                                options or opts.migration)
+                    else:
+                        outcome.report = \
+                            yield from self.middleware.migrate(
+                                outcome.tenant, destination,
+                                options or opts.migration)
+                    outcome.outcome = "ok"
+                    break
+                except SourceCrashed as exc:
+                    journal = self.middleware.migration_journal(
+                        outcome.tenant)
+                    suspended = (journal is not None
+                                 and journal.state
+                                 == JOURNAL_SUSPENDED)
+                    if (not opts.resume or not suspended
+                            or outcome.attempts > opts.retry_limit):
+                        # Final by design without the resume policy:
+                        # the master must recover, and the paper's
+                        # rule is abort + keep the source.
+                        outcome.outcome = ("suspended" if suspended
+                                           else "aborted")
+                        outcome.error = str(exc)
+                        break
+                    outcome.outcome = "suspended"
+                    outcome.error = str(exc)
+                    outcome.destination = journal.destination
+                    source_instance = self.middleware.cluster.node(
+                        journal.source).instance
+                    yield source_instance.wait_recovered()
+                    delay = min(opts.retry_cap,
+                                opts.retry_base
+                                * (2 ** (outcome.attempts - 1)))
+                    metrics.counter("scheduler.resumes").inc()
+                    tracer.event("schedule.resume",
+                                 tenant=outcome.tenant,
+                                 attempt=outcome.attempts,
+                                 delay=delay,
+                                 phase=journal.suspend_phase)
+                    yield self.env.timeout(delay)
+                    resume_next = True
+                    continue
+                except CatchUpTimeout as exc:
+                    outcome.outcome = "aborted"
+                    outcome.error = str(exc)
+                    retriable = True
+                except (MigrationError, NetworkDown,
+                        NodeCrashed) as exc:
+                    outcome.outcome = "failed"
+                    outcome.error = str(exc)
+                    retriable = True
+                if (not retriable
+                        or outcome.attempts > opts.retry_limit):
+                    break
+                dest_instance = self.middleware.cluster.node(
+                    destination).instance
+                if dest_instance.crashed:
+                    # Excluded-destination memory: never retry into
+                    # the node that just died under this job.
+                    outcome.excluded_destinations.append(destination)
+                if self._next_destination(outcome, candidates) is None:
+                    break
+                delay = min(opts.retry_cap,
+                            opts.retry_base
+                            * (2 ** (outcome.attempts - 1)))
+                metrics.counter("scheduler.retries").inc()
+                tracer.event("schedule.retry", tenant=outcome.tenant,
+                             attempt=outcome.attempts, delay=delay,
+                             excluded=list(
+                                 outcome.excluded_destinations))
+                yield self.env.timeout(delay)
+                retry_into = self._next_destination(outcome, candidates)
+                if retry_into is not None:
+                    self._clear_orphan_copy(outcome, retry_into)
+        finally:
+            outcome.ended_at = self.env.now
+            if outcome.outcome != "ok":
+                self._stamp_fault_events(outcome)
+            session.in_flight -= 1
+            session.concurrent_gauge.set(session.in_flight)
+            tracer.finish(job_span, outcome=outcome.outcome,
+                          attempts=outcome.attempts,
+                          resumes=outcome.resumes,
+                          destination=outcome.destination)
+            metrics.counter("scheduler.jobs_%s"
+                            % outcome.outcome).inc()
+            if session.gate is not None:
+                session.gate.release()
+        # The player's value: service-mode callers yield the process
+        # returned by submit() and read the outcome straight off it.
+        return outcome
+
+    # -- batch mode ----------------------------------------------------
+    def run(self) -> Generator[Any, Any, ScheduleReport]:
+        """Process body: admit, migrate, collect, report."""
+        session = self._open_session(service=False,
+                                     jobs_hint=len(self._pending))
+        for tenant, destination, options, alternates in \
+                self._ordered_jobs():
+            self._spawn_job(session, tenant, destination, options,
+                            alternates)
+        if session.players:
+            yield self.env.all_of(session.players)
+        return self._close_session(session)
 
     def start(self, name: str = "scheduler") -> Any:
         """Spawn :meth:`run` as a process; its ``value`` is the report."""
         return self.env.process(self.run(), name=name)
+
+    # -- service mode --------------------------------------------------
+    def start_service(self) -> None:
+        """Open a persistent schedule that admits jobs as they arrive.
+
+        While the service is open, :meth:`submit` spawns the job
+        immediately (bounded by ``max_concurrent``) and returns its
+        player process.  Close with :meth:`stop_service`.  Jobs queued
+        before the service opened are rejected — service mode is for
+        control planes that decide as they go, not for batches.
+        """
+        if self._pending:
+            raise MigrationError(
+                "cannot open a service over %d batch-queued jobs; "
+                "run() them first" % len(self._pending))
+        self._open_session(service=True, jobs_hint=0)
+
+    @property
+    def service_open(self) -> bool:
+        """Whether a service session is accepting live submissions."""
+        session = self._session
+        return session is not None and session.service
+
+    def drain(self) -> Generator[Any, Any, None]:
+        """Process body: wait until every admitted job has finished.
+
+        New jobs may be submitted while draining; they are waited on
+        too.  The service stays open afterwards.
+        """
+        session = self._session
+        if session is None or not session.service:
+            raise MigrationError("no service session to drain")
+        while True:
+            live = [player for player in session.players
+                    if not player.triggered]
+            if not live:
+                return
+            yield self.env.all_of(live)
+
+    def stop_service(self) -> Generator[Any, Any, ScheduleReport]:
+        """Process body: drain every job, then close and report."""
+        session = self._session
+        if session is None or not session.service:
+            raise MigrationError("no service session to stop")
+        yield from self.drain()
+        return self._close_session(session)

@@ -95,6 +95,19 @@ PARALLEL_SCHEDULES = (("fifo", 0), ("round-robin", 0),
 SCENARIOS = ("pipeline", "policies", "multitenant_parallel",
              "simthroughput")
 
+#: One-line summaries for ``repro bench --list-scenarios``.
+SCENARIO_DESCRIPTIONS = {
+    "pipeline": "pipelined vs serial snapshot shipping across "
+                "database sizes",
+    "policies": "migration time under each propagation policy at one "
+                "fixed load",
+    "multitenant_parallel": "N-tenant evacuation: serialized vs "
+                            "scheduler-concurrent, per admission "
+                            "policy",
+    "simthroughput": "DES substrate throughput gate (events/s, sim "
+                     "speedup)",
+}
+
 
 @dataclass
 class BenchCase:

@@ -1,7 +1,11 @@
 """Tests for the redesigned public API surface: the ``repro.api``
 facade, MigrationOptions resolution, the retired ``migrate(tenant,
-dst, rates)`` shim, and the scheduler's facade exports."""
+dst, rates)`` shim, the control-plane exports, the unified
+retry/backoff/resume knob names, and the docstring-vs-``__all__``
+sweep."""
 
+import dataclasses
+import re
 import warnings
 
 import pytest
@@ -17,10 +21,16 @@ from repro.workload.simplekv import setup_kv_tenant
 
 RATES = TransferRates(dump_mb_s=8.0, restore_mb_s=4.0, base_mb=16.0)
 
-FACADE_NAMES = ("Middleware", "MiddlewareConfig", "MigrationOptions",
+FACADE_NAMES = ("ClusterView", "MetricsRegistry", "Middleware",
+                "MiddlewareConfig", "MigrationOptions",
                 "MigrationReport", "MigrationScheduler",
+                "RebalanceOptions", "RebalanceReport", "Rebalancer",
                 "ScheduleOptions", "ScheduleReport", "TransferRates",
                 "policy_by_name", "run_benchmark")
+
+#: The knob names MigrationOptions / ScheduleOptions /
+#: RebalanceOptions must all spell identically.
+SHARED_KNOBS = ("retry_limit", "retry_base", "retry_cap", "resume")
 
 
 class TestFacade:
@@ -28,6 +38,18 @@ class TestFacade:
         for name in FACADE_NAMES:
             assert hasattr(repro.api, name), name
         assert sorted(repro.api.__all__) == sorted(FACADE_NAMES)
+
+    def test_every_exported_name_appears_in_the_docstring(self):
+        # The module docstring is the API contract: every name in
+        # __all__ must be documented there (as a :class:/:func: role),
+        # and every promised name must actually be exported.
+        documented = set(re.findall(r":(?:class|func|meth):`~?([\w.]+)`",
+                                    repro.api.__doc__))
+        documented = {name.split(".")[-1] for name in documented}
+        for name in repro.api.__all__:
+            assert name in documented, (
+                "%r is exported but not documented in the repro.api "
+                "docstring" % name)
 
     def test_facade_names_are_the_canonical_objects(self):
         from repro.core.middleware import Middleware as canonical
@@ -41,14 +63,86 @@ class TestFacade:
         assert repro.api.ScheduleOptions is repro.ScheduleOptions
         assert repro.api.ScheduleReport is repro.ScheduleReport
 
+    def test_facade_control_plane_names_are_canonical(self):
+        from repro.control import Rebalancer as canonical
+        from repro.obs.metrics import MetricsRegistry as registry
+        assert repro.api.Rebalancer is canonical
+        assert repro.api.RebalanceOptions is repro.RebalanceOptions
+        assert repro.api.RebalanceReport is repro.RebalanceReport
+        assert repro.api.ClusterView is repro.ClusterView
+        assert repro.api.MetricsRegistry is registry
+
     def test_top_level_package_reexports_options(self):
         assert repro.MigrationOptions is MigrationOptions
         assert "MigrationOptions" in repro.__all__
         assert "MigrationScheduler" in repro.__all__
         assert "ScheduleOptions" in repro.__all__
+        for name in ("Rebalancer", "RebalanceOptions",
+                     "RebalanceReport", "ClusterView", "LoadWatcher",
+                     "HotspotDetector"):
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+
+    def test_top_level_all_is_sorted_and_resolvable(self):
+        names = [n for n in repro.__all__ if n != "__version__"]
+        assert names == sorted(names)
+        for name in names:
+            assert hasattr(repro, name), name
 
     def test_policy_by_name_resolves_madeus(self):
         assert repro.api.policy_by_name("Madeus") is MADEUS
+
+
+class TestUnifiedKnobNames:
+    """retry/backoff/resume spell the same on all three options."""
+
+    def test_all_three_options_share_the_knob_names(self):
+        from repro.api import (MigrationOptions, RebalanceOptions,
+                               ScheduleOptions)
+        for cls in (MigrationOptions, ScheduleOptions,
+                    RebalanceOptions):
+            fields = {f.name for f in dataclasses.fields(cls)}
+            for knob in SHARED_KNOBS:
+                assert knob in fields, (cls.__name__, knob)
+
+    def test_no_new_options_class_grows_legacy_spellings(self):
+        from repro.api import RebalanceOptions, ScheduleOptions
+        for cls in (ScheduleOptions, RebalanceOptions):
+            fields = {f.name for f in dataclasses.fields(cls)}
+            assert not any(name.startswith("ship_retry")
+                           for name in fields), cls.__name__
+
+    def test_deprecated_migration_spellings_warn_once_and_map(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            options = MigrationOptions(ship_retry_limit=9,
+                                       ship_retry_base=0.25,
+                                       ship_retry_cap=4.0)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 3
+        assert "retry_limit" in str(deprecations[0].message)
+        resolved = options.resolve(MiddlewareConfig(policy=MADEUS))
+        assert resolved.retry_limit == 9
+        assert resolved.retry_base == 0.25
+        assert resolved.retry_cap == 4.0
+
+    def test_new_spelling_wins_over_deprecated_alias(self):
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            options = MigrationOptions(retry_limit=3,
+                                       ship_retry_limit=9)
+        resolved = options.resolve(MiddlewareConfig(policy=MADEUS))
+        assert resolved.retry_limit == 3
+
+    def test_new_spellings_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            MigrationOptions(retry_limit=2, retry_base=0.5,
+                             retry_cap=2.0, resume=True)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
 
 
 class TestMigrationOptions:

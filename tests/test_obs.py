@@ -144,18 +144,32 @@ class TestMetricsRegistry:
         registry = MetricsRegistry()
         registry.counter("c").inc(2)
         registry.gauge("g").set(7)
-        registry.histogram("h").observe(1.5)
+        for value in (1.0, 2.0):
+            registry.histogram("h").observe(value)
         snapshot = registry.snapshot()
-        assert snapshot["c"]["value"] == 2
-        assert snapshot["g"]["max"] == 7
-        assert snapshot["h"]["count"] == 1
+        # the stable read API: a flat {name: value} mapping
+        assert snapshot == {"c": 2, "g": 7, "h": 1.5}
         registry.reset()
         # handles stay valid; values zero
         assert registry.counter("c").value == 0
         assert registry.gauge("g").max_value == 0
         assert registry.histogram("h").count == 0
         # the old snapshot is a copy, not a view
-        assert snapshot["c"]["value"] == 2
+        assert snapshot["c"] == 2
+
+    def test_gauge_value_reads_without_creating(self):
+        registry = MetricsRegistry()
+        registry.gauge("players").set(4)
+        registry.counter("commits").inc(9)
+        registry.histogram("h").observe(3.0)
+        assert registry.gauge_value("players") == 4
+        # counters carry a point value too
+        assert registry.gauge_value("commits") == 9
+        # histograms have no single current value -> default
+        assert registry.gauge_value("h", default=-1.0) == -1.0
+        # absent names yield the default and are NOT materialised
+        assert registry.gauge_value("missing", default=2.5) == 2.5
+        assert "missing" not in registry
 
     def test_absorb_dataclass_and_mapping(self):
         from repro.core.propagation import PropagationStats

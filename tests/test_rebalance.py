@@ -1,0 +1,260 @@
+"""The continuous-rebalance experiment (``repro rebalance``).
+
+One short seeded run is shared by the whole module (a 12-tenant /
+3-node fleet through two hotspot phases); the tests assert the control
+plane's structural invariants, the BENCH_rebalance.json schema,
+byte-determinism across same-seed runs, the ``check_bench.py`` /
+``check_trace.py`` gates, and the CLI wiring (including the
+``--list-scenarios`` flags).
+"""
+
+import argparse
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import bench, chaos, rebalance
+from repro.experiments.profiles import get_profile
+
+SEED = 7
+TENANTS = 12
+NODES = 3
+PHASES = 2
+PHASE_SECONDS = 60.0
+
+
+def _load_script(name):
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "scripts", "%s.py" % name)
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run(directory):
+    return rebalance.run_rebalance(
+        get_profile("quick"), seed=SEED, tenants=TENANTS, nodes=NODES,
+        phases=PHASES, phase_seconds=PHASE_SECONDS,
+        trace_dir=directory, bench_dir=directory)
+
+
+@pytest.fixture(scope="module")
+def rebalance_run(tmp_path_factory):
+    return _run(str(tmp_path_factory.mktemp("rebalance")))
+
+
+class TestInvariants:
+    def test_every_phase_converges(self, rebalance_run):
+        outcome = rebalance_run.data
+        assert len(outcome.phases) == PHASES
+        for phase in outcome.phases:
+            assert (phase["imbalance_after"]
+                    < phase["imbalance_before"])
+        assert outcome.converged
+
+    def test_moves_were_issued_and_settled_ok(self, rebalance_run):
+        outcome = rebalance_run.data
+        assert outcome.moves_submitted >= 1
+        assert outcome.moves_ok == outcome.moves_submitted
+        assert outcome.moves_failed == 0
+        for move in outcome.moves:
+            assert move["outcome"] == "ok"
+            assert move["source"] != move["destination"]
+            assert move["observed_cost"] > 0
+
+    def test_nothing_lost_and_ownership_intact(self, rebalance_run):
+        outcome = rebalance_run.data
+        assert outcome.lost_commits == 0
+        assert outcome.value_mismatches == 0
+        assert outcome.owner_violations == []
+        assert outcome.committed_txns > 0
+
+    def test_no_tenant_moved_twice_within_a_cooldown(self,
+                                                     rebalance_run):
+        outcome = rebalance_run.data
+        assert outcome.cooldown_violations == 0
+        assert outcome.ok
+
+    def test_cost_model_predictions_are_sane(self, rebalance_run):
+        outcome = rebalance_run.data
+        # Predictions land within the same order of magnitude as the
+        # observed migration times (relative bound, never absolute).
+        assert 0.0 <= outcome.mean_cost_error < 1.0
+
+
+class TestValidation:
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            rebalance.run_rebalance(get_profile("quick"), tenants=4,
+                                    nodes=2)
+
+    def test_fewer_tenants_than_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            rebalance.run_rebalance(get_profile("quick"), tenants=2,
+                                    nodes=3)
+
+    def test_zero_phases_rejected(self):
+        with pytest.raises(ValueError):
+            rebalance.run_rebalance(get_profile("quick"), tenants=6,
+                                    nodes=3, phases=0)
+
+
+class TestArtifacts:
+    def test_bench_artifact_matches_schema(self, rebalance_run):
+        with open(rebalance_run.data.report_path) as handle:
+            record = json.load(handle)
+        assert record["bench"] == "rebalance"
+        assert record["seed"] == SEED
+        assert record["tenants"] == TENANTS
+        assert record["nodes"] == NODES
+        assert len(record["cases"]) == PHASES
+        for phase in record["cases"]:
+            for field in ("phase", "hot_node", "started", "ended",
+                          "imbalance_before", "imbalance_after",
+                          "moves_submitted", "moves_ok"):
+                assert field in phase
+        for move in record["moves"]:
+            for field in ("tenant", "source", "destination",
+                          "decided_at", "outcome", "attempts",
+                          "predicted_cost", "observed_cost"):
+                assert field in move
+        summary = record["summary"]
+        assert summary["ok"] is True
+        assert summary["converged"] is True
+        assert summary["moves_submitted"] == len(record["moves"])
+
+    def test_trace_records_the_control_plane(self, rebalance_run):
+        decides = submits = settles = phases = 0
+        with open(rebalance_run.data.trace_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                name = record.get("name")
+                if name == "rebalance.decide":
+                    decides += 1
+                elif name == "rebalance.submit":
+                    submits += 1
+                elif name == "rebalance.settle":
+                    settles += 1
+                elif name == "rebalance.phase":
+                    phases += 1
+        assert decides >= 1
+        assert submits == rebalance_run.data.moves_submitted
+        assert settles == submits
+        assert phases == PHASES
+
+    def test_same_seed_runs_are_byte_identical(self, rebalance_run,
+                                               tmp_path):
+        again = _run(str(tmp_path))
+        with open(rebalance_run.data.report_path, "rb") as handle:
+            first = handle.read()
+        with open(again.data.report_path, "rb") as handle:
+            second = handle.read()
+        assert first == second
+        with open(rebalance_run.data.trace_path, "rb") as handle:
+            first = handle.read()
+        with open(again.data.trace_path, "rb") as handle:
+            second = handle.read()
+        assert first == second
+
+
+class TestGates:
+    def test_check_bench_passes_the_artifact(self, rebalance_run,
+                                             capsys):
+        check_bench = _load_script("check_bench")
+        rc = check_bench.main([rebalance_run.data.report_path])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_bench_fails_a_divergent_run(self, rebalance_run,
+                                               tmp_path):
+        check_bench = _load_script("check_bench")
+        with open(rebalance_run.data.report_path) as handle:
+            record = json.load(handle)
+        record["cases"][0]["imbalance_after"] = (
+            record["cases"][0]["imbalance_before"] + 1.0)
+        record["summary"]["lost_commits"] = 3
+        path = str(tmp_path / "BENCH_rebalance.json")
+        with open(path, "w") as handle:
+            json.dump(record, handle)
+        assert check_bench.main([path]) == 1
+
+    def test_check_trace_gates_the_control_plane(self, rebalance_run,
+                                                 capsys):
+        check_trace = _load_script("check_trace")
+        rc = check_trace.main([
+            rebalance_run.data.trace_path,
+            "--min-event", "rebalance.decide:1",
+            "--min-event", "rebalance.submit:1",
+            "--min-event", "rebalance.settle:1",
+            "--require-all-migrations-ok",
+            "--expect-owner-count", "1",
+        ])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_trace_min_event_floor_fails_when_unmet(
+            self, rebalance_run):
+        check_trace = _load_script("check_trace")
+        rc = check_trace.main([
+            rebalance_run.data.trace_path,
+            "--min-event", "rebalance.submit:100000",
+        ])
+        assert rc == 1
+
+    def test_check_trace_namespace_without_new_flags_still_works(
+            self, rebalance_run):
+        # Older callers build the args namespace by hand; the new
+        # flags must be optional for them (read via getattr).
+        check_trace = _load_script("check_trace")
+        args = argparse.Namespace(
+            policy=None, min_rounds=None, min_players=None,
+            require_phase_order=False, expect_outcome=None,
+            min_fault_events=None, expect_standby_dropped=None,
+            expect_owner_count=None, min_overlapping_faults=None,
+            expect_resumed=None, max_lost_commits=None)
+        _policy, failures, _skipped = check_trace.check_file(
+            rebalance_run.data.trace_path, args)
+        assert failures == []
+
+
+class TestCli:
+    def test_rebalance_subcommand_runs_and_writes_artifacts(
+            self, tmp_path, capsys):
+        rc = cli_main([
+            "rebalance", "--profile", "quick", "--seed", str(SEED),
+            "--tenants", str(TENANTS), "--nodes", str(NODES),
+            "--phases", "1", "--phase-seconds", "60",
+            "--bench-dir", str(tmp_path),
+            "--trace-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Continuous rebalance" in out
+        assert os.path.exists(str(tmp_path / "BENCH_rebalance.json"))
+        assert os.path.exists(str(tmp_path / "trace_rebalance.jsonl"))
+
+    def test_repro_list_mentions_rebalance(self, capsys):
+        assert cli_main(["list"]) == 0
+        assert "rebalance" in capsys.readouterr().out
+
+    def test_bench_list_scenarios(self, capsys):
+        assert cli_main(["bench", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in bench.SCENARIOS:
+            assert name in out
+            assert bench.SCENARIO_DESCRIPTIONS[name] in out
+
+    def test_chaos_list_scenarios(self, capsys):
+        assert cli_main(["chaos", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in chaos.SCENARIOS:
+            assert name in out
+            assert chaos.DESCRIPTIONS[name] in out
+
+    def test_every_scenario_has_a_description(self):
+        assert set(bench.SCENARIO_DESCRIPTIONS) == set(bench.SCENARIOS)
+        assert set(chaos.DESCRIPTIONS) >= set(chaos.SCENARIOS)

@@ -432,8 +432,8 @@ class TestSchedulerRecovery:
         # tight ship-retry budget: a single attempt cannot sit out the
         # outage on its own, so recovery must come from the scheduler
         scheduler.submit("T1", "node1", MigrationOptions(
-            rates=RATES, ship_retry_limit=1, ship_retry_base=0.01,
-            ship_retry_cap=0.02))
+            rates=RATES, retry_limit=1, retry_base=0.01,
+            retry_cap=0.02))
         proc = scheduler.start()
         env.run()
         report = proc.value
