@@ -12,6 +12,15 @@ scenario, every scheduled run must beat (or at worst match) the
 serialized baseline, and ``--min-parallel-improvement`` gates the
 headline (fifo, uncapped) comparison — again relative only.
 
+The watermark gate (``--require-watermark``) is structural and
+relative, per the same tolerance policy: the pipeline artifact must
+carry watermark rows (``strategy: "watermark"``, chunked), watermark
+must not be slower than serial at any size, and at the largest size —
+4x the rate model's ``base_mb`` knee, where the dump window is widest —
+the watermark catch-up window must be *strictly* smaller than the
+pipelined one (the whole point of the virtual-cut path: catch-up
+bounded by chunk size instead of dump duration).
+
 Like ``check_trace.py`` this script is deliberately stdlib-only and
 does not import :mod:`repro`, so a bug that breaks the bench harness
 fails the gate instead of hiding it.
@@ -71,9 +80,15 @@ def check_case(index, case):
             failures.append("%s: missing field %r" % (label, field))
     if failures:
         return failures
+    # The snapshot path: pre-watermark artifacts spell it through the
+    # ``pipelined`` boolean; watermark rows carry an explicit
+    # ``strategy`` key (serial/pipelined rows deliberately do not, so
+    # their schema stays byte-identical across artifact versions).
+    strategy = case.get("strategy") or ("pipelined" if case["pipelined"]
+                                        else "serial")
     label = "case %d (%s/%s, %.0f MB, %s)" % (
         index, case["scenario"], case["policy"], case["size_mb"],
-        "pipelined" if case["pipelined"] else "serial")
+        strategy)
     if case["wall_clock"] <= 0:
         failures.append("%s: wall_clock must be positive" % label)
     for phase in PHASE_NAMES:
@@ -90,9 +105,11 @@ def check_case(index, case):
         if field not in case["group_commit"]:
             failures.append("%s: group_commit missing %r"
                             % (label, field))
-    if case["pipelined"] and case["chunks"] < 1:
-        failures.append("%s: pipelined case reports no chunks" % label)
-    if not case["pipelined"] and case["chunks"] != 0:
+    if strategy == "watermark" and case["pipelined"]:
+        failures.append("%s: watermark case claims pipelined" % label)
+    if strategy in ("pipelined", "watermark") and case["chunks"] < 1:
+        failures.append("%s: chunked case reports no chunks" % label)
+    if strategy == "serial" and case["chunks"] != 0:
         failures.append("%s: serial case reports %d chunks"
                         % (label, case["chunks"]))
     if case["consistent"] is False:
@@ -131,6 +148,66 @@ def check_pipeline_comparisons(data, min_improvement):
         failures.append(
             "headline improvement %.1f%% < required %.1f%%"
             % (100.0 * headline, 100.0 * min_improvement))
+    return failures
+
+
+WATERMARK_COMPARISON_FIELDS = ("watermark_wall_clock",
+                               "watermark_improvement",
+                               "watermark_catchup", "pipelined_catchup")
+
+
+def check_watermark_comparisons(data, required):
+    """Relative-ordering failures for the watermark snapshot path.
+
+    With ``required`` (the ``--require-watermark`` gate) the pipeline
+    artifact must carry the three-way comparison; without it, a
+    pre-watermark artifact passes untouched but any watermark fields
+    that *are* present still have to be internally consistent.
+    """
+    failures = []
+    comparisons = [c for c in (data.get("comparisons") or [])
+                   if any(f in c for f in WATERMARK_COMPARISON_FIELDS)]
+    if not comparisons:
+        if required:
+            failures.append("--require-watermark: pipeline artifact "
+                            "has no watermark comparisons")
+        return failures
+    if not any(case.get("strategy") == "watermark"
+               for case in data.get("cases", [])):
+        failures.append("watermark comparisons present but no "
+                        "watermark cases")
+    checked = []
+    for comparison in comparisons:
+        missing = [f for f in WATERMARK_COMPARISON_FIELDS
+                   if f not in comparison]
+        if missing:
+            failures.append("comparison @ %.0f MB: missing watermark "
+                            "fields %s" % (comparison.get("size_mb", -1),
+                                           ", ".join(missing)))
+            continue
+        label = "@ %.0f MB" % comparison["size_mb"]
+        # Non-regression vs serial at every size (like the pipelined
+        # bar above); the catch-up ordering is gated at the largest
+        # size only, where the dump window is widest.
+        if (comparison["watermark_wall_clock"]
+                > comparison["serial_wall_clock"] * 1.0001):
+            failures.append(
+                "%s: watermark (%.3f s) is slower than serial (%.3f s)"
+                % (label, comparison["watermark_wall_clock"],
+                   comparison["serial_wall_clock"]))
+        for field in ("watermark_catchup", "pipelined_catchup"):
+            if comparison[field] < 0:
+                failures.append("%s: negative %s" % (label, field))
+        checked.append(comparison)
+    if checked:
+        largest = max(checked, key=lambda c: c["size_mb"])
+        if not (largest["watermark_catchup"]
+                < largest["pipelined_catchup"]):
+            failures.append(
+                "@ %.0f MB: watermark catch-up window (%.3f s) is not "
+                "strictly smaller than the pipelined one (%.3f s)"
+                % (largest["size_mb"], largest["watermark_catchup"],
+                   largest["pipelined_catchup"]))
     return failures
 
 
@@ -369,6 +446,8 @@ def check_file(path, args):
     if data["bench"] == "pipeline":
         failures.extend(
             check_pipeline_comparisons(data, args.min_improvement))
+        failures.extend(
+            check_watermark_comparisons(data, args.require_watermark))
     elif data["bench"] == "multitenant_parallel":
         failures.extend(
             check_parallel_comparisons(data,
@@ -389,6 +468,12 @@ def main(argv=None):
                         help="minimum relative headline improvement of "
                              "scheduler-concurrent over serialized "
                              "multi-tenant migration (e.g. 0.1)")
+    parser.add_argument("--require-watermark", action="store_true",
+                        help="require the three-way watermark "
+                             "comparison in the pipeline artifact and "
+                             "gate its catch-up window (strictly "
+                             "smaller than pipelined at the largest "
+                             "size)")
     parser.add_argument("--baseline", default=None, metavar="BENCH",
                         help="baseline BENCH_simthroughput.json to "
                              "compare throughputs against (the perf "

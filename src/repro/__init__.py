@@ -56,6 +56,7 @@ from .core import (
     PropagationPolicy,
     ScheduleOptions,
     ScheduleReport,
+    SnapshotStrategy,
 )
 from .engine import DbmsInstance, Session, TenantDatabase, TransferRates, parse
 from .errors import (
@@ -112,6 +113,7 @@ __all__ = [
     "ScheduleReport",
     "SchemaError",
     "Session",
+    "SnapshotStrategy",
     "SqlError",
     "TenantDatabase",
     "Tracer",

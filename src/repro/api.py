@@ -12,9 +12,12 @@ The surface, by layer:
 
 * :class:`Middleware` / :class:`MiddlewareConfig` — the proxy itself;
 * :class:`MigrationOptions` — per-migration knobs for
-  :meth:`Middleware.migrate` (rates, standbys, pipelining, and the
-  shared retry/resume knobs ``retry_limit`` / ``retry_base`` /
-  ``retry_cap`` / ``resume``);
+  :meth:`Middleware.migrate` (rates, standbys, the snapshot
+  ``strategy``, and the shared retry/resume knobs ``retry_limit`` /
+  ``retry_base`` / ``retry_cap`` / ``resume``);
+* :class:`SnapshotStrategy` — how the initial copy is produced
+  (``SERIAL`` / ``PIPELINED`` / ``WATERMARK``), the same ``strategy``
+  knob on all three options classes;
 * :class:`MigrationReport` — what a finished migration reports;
 * :class:`TransferRates` — the dump/restore rate model;
 * :func:`policy_by_name` — resolve ``"Madeus"`` / ``"B-ALL"`` / ... to
@@ -51,8 +54,9 @@ The surface, by layer:
 The three options classes (:class:`MigrationOptions`,
 :class:`ScheduleOptions`, :class:`RebalanceOptions`) spell their
 retry/backoff/resume knobs identically — ``retry_limit``,
-``retry_base``, ``retry_cap``, ``resume`` — so a knob learned once
-applies everywhere.
+``retry_base``, ``retry_cap``, ``resume`` — and share the
+``strategy`` knob (a :class:`SnapshotStrategy` or its string
+spelling), so a knob learned once applies everywhere.
 """
 
 from .control import (
@@ -73,6 +77,7 @@ from .core.scheduler import (
     ScheduleOptions,
     ScheduleReport,
 )
+from .core.watermark import SnapshotStrategy
 from .engine.dump import TransferRates
 from .experiments.bench import run_benchmark
 from .obs.metrics import MetricsRegistry
@@ -90,6 +95,7 @@ __all__ = [
     "Rebalancer",
     "ScheduleOptions",
     "ScheduleReport",
+    "SnapshotStrategy",
     "TransferRates",
     "policy_by_name",
     "run_benchmark",

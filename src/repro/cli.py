@@ -91,12 +91,14 @@ def bench_main(argv=None) -> int:
     """
     parser = argparse.ArgumentParser(
         prog="repro bench",
-        description="Benchmark the migration middleware: pipelined vs "
-                    "serial snapshot shipping, a per-policy sweep, and "
-                    "serialized vs scheduler-concurrent multi-tenant "
-                    "migration. Writes BENCH_<scenario>.json artifacts.")
+        description="Benchmark the migration middleware: serial vs "
+                    "pipelined vs watermark snapshot shipping, a "
+                    "per-policy sweep, and serialized vs "
+                    "scheduler-concurrent multi-tenant migration. "
+                    "Writes BENCH_<scenario>.json artifacts.")
     parser.add_argument("--scenario", default="all",
-                        choices=sorted(bench.SCENARIOS) + ["all"],
+                        choices=sorted(bench.SCENARIOS)
+                        + sorted(bench.SCENARIO_ALIASES) + ["all"],
                         help="bench scenario to run (default: all)")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="list the bench scenarios with their "
@@ -121,7 +123,8 @@ def bench_main(argv=None) -> int:
                              % simthroughput.PAPER_SMOKE_BUDGET_S)
     args = parser.parse_args(argv)
     if args.list_scenarios:
-        for name in sorted(bench.SCENARIOS):
+        for name in sorted(bench.SCENARIOS
+                           + tuple(bench.SCENARIO_ALIASES)):
             print("%-22s %s" % (name,
                                 bench.SCENARIO_DESCRIPTIONS[name]))
         return 0
@@ -368,9 +371,10 @@ def main(argv=None) -> int:
                             "outage, degradation, stall); --soak runs "
                             "the failure-model soak"))
         print("%-12s %s" % ("bench",
-                            "perf harness: pipelined vs serial "
-                            "snapshots, parallel multi-tenant "
-                            "schedules, BENCH_*.json artifacts"))
+                            "perf harness: serial vs pipelined vs "
+                            "watermark snapshots, parallel "
+                            "multi-tenant schedules, BENCH_*.json "
+                            "artifacts"))
         print("%-12s %s" % ("rebalance",
                             "continuous control plane: 100-tenant "
                             "fleet under a shifting hotspot, balanced "

@@ -42,6 +42,7 @@ from ..core.scheduler import (
     ScheduleOptions,
     ScheduleReport,
 )
+from ..core.watermark import SnapshotStrategy
 from ..engine.dump import TransferRates
 from ..errors import MigrationError
 from ..obs.trace import SPAN
@@ -99,8 +100,16 @@ class RebalanceOptions:
     #: Resume crash-parked migrations from their journal (default True
     #: — the control plane always journals its moves).
     resume: Optional[bool] = None
+    #: Snapshot strategy for every move — the same knob as
+    #: :attr:`~repro.core.middleware.MigrationOptions.strategy` and
+    #: :attr:`~repro.core.scheduler.ScheduleOptions.strategy`.
+    strategy: Optional[SnapshotStrategy] = None
     #: Per-move migration knobs (default resumable migrations).
     migration: Optional[MigrationOptions] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "strategy", SnapshotStrategy.coerce(self.strategy))
 
     def resolve(self) -> "RebalanceOptions":
         """A copy with every ``None`` replaced by its default."""
@@ -127,6 +136,8 @@ class RebalanceOptions:
         migration = self.migration
         if migration is None:
             migration = MigrationOptions(resume=True)
+        if self.strategy is not None and migration.strategy is None:
+            migration = replace(migration, strategy=self.strategy)
         return replace(
             self, sample_interval=sample_interval, window=window,
             decide_every=decide_every,

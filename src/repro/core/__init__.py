@@ -15,7 +15,7 @@ from .middleware import (
     TenantState,
 )
 from .operations import Operation, OpKind, TxnTracker
-from .pipeline import ChunkFeed, ChunkReader
+from .pipeline import ChangeTap, ChunkFeed, ChunkReader
 from .policy import (
     ALL_POLICIES,
     B_ALL,
@@ -41,6 +41,7 @@ from .region import (
     CriticalRegion,
 )
 from .ssb import SyncsetBuffer, SyncsetList
+from .watermark import ChangeStreamApplier, SnapshotStrategy
 from .theory import (
     NECESSARY_DEPENDENCIES,
     UNNECESSARY_DEPENDENCIES,
@@ -58,6 +59,8 @@ __all__ = [
     "B_CON",
     "B_MIN",
     "COMMIT_CLASS",
+    "ChangeStreamApplier",
+    "ChangeTap",
     "ChunkFeed",
     "ChunkReader",
     "Conductor",
@@ -71,13 +74,13 @@ __all__ = [
     "LsirValidator",
     "MADEUS",
     "Middleware",
-    "MigrationScheduler",
     "MiddlewareConfig",
     "MigrationOptions",
     "MigrationReport",
+    "MigrationScheduler",
     "NECESSARY_DEPENDENCIES",
-    "Operation",
     "OpKind",
+    "Operation",
     "PropagationPolicy",
     "PropagationStats",
     "ReplayEvent",
@@ -85,6 +88,7 @@ __all__ = [
     "ScheduleOptions",
     "ScheduleReport",
     "SerialReplayer",
+    "SnapshotStrategy",
     "SyncsetBuffer",
     "SyncsetList",
     "TenantState",

@@ -23,6 +23,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
 )
 
 from ..cluster.cluster import Cluster
@@ -30,11 +31,15 @@ from ..engine.dump import (
     SchemaSpec,
     SnapshotTruncated,
     TransferRates,
+    create_from_schemas,
     dump,
     dump_stream,
+    finalize_indexes,
     plan_chunks,
     restore,
+    restore_duration,
     restore_stream,
+    watermark_select,
 )
 from ..engine.session import Session, SessionResult
 from ..engine.sqlmini import parse
@@ -51,9 +56,10 @@ from ..obs.trace import MIGRATION, Tracer
 from ..sim.events import Event, Interrupt
 from ..sim.sync import Channel, Gate
 from .operations import Operation, OpKind, TxnTracker
-from .pipeline import ChunkFeed
+from .pipeline import ChangeTap, ChunkFeed
 from .policy import MADEUS, PropagationPolicy
 from .propagation import make_propagator
+from .watermark import ChangeStreamApplier, SnapshotStrategy
 from .region import COMMIT_CLASS, FIRST_READ_CLASS, CriticalRegion
 from .ssb import SyncsetBuffer, SyncsetList
 from .theory import LsirValidator, states_equal
@@ -92,7 +98,7 @@ class MiddlewareConfig:
     divergence_min_growth: int = 64
     #: Stream the snapshot (dump/ship/restore overlap) instead of the
     #: serial paper-faithful chain.  Per-migration override:
-    #: :attr:`MigrationOptions.pipeline`.
+    #: :attr:`MigrationOptions.strategy`.
     pipeline_snapshot: bool = True
     #: Chunks the dump may run ahead of the slowest destination (also
     #: the per-destination in-flight channel capacity).
@@ -111,11 +117,12 @@ class MiddlewareConfig:
     resumable: bool = False
 
 
-#: Deprecated :class:`MigrationOptions` field spellings and the unified
+#: Retired :class:`MigrationOptions` field spellings and the unified
 #: knob each maps to (shared with :class:`~repro.core.scheduler.
-#: ScheduleOptions` and ``RebalanceOptions``).  One shim cycle per the
-#: README "Public API" policy; the old names go away next release.
-_DEPRECATED_OPTION_FIELDS = (
+#: ScheduleOptions` and ``RebalanceOptions``).  Their one-release
+#: DeprecationWarning shim cycle (README "Public API" policy) has
+#: passed; constructing with any of them raises :class:`TypeError`.
+_RETIRED_OPTION_FIELDS = (
     ("ship_retry_limit", "retry_limit"),
     ("ship_retry_base", "retry_base"),
     ("ship_retry_cap", "retry_cap"),
@@ -137,14 +144,24 @@ class MigrationOptions:
     :class:`~repro.control.RebalanceOptions`: ``retry_limit`` /
     ``retry_base`` / ``retry_cap`` bound the capped-exponential retry
     loop at each layer (here: per-node snapshot ship/restore resends),
-    and ``resume`` opts into journalled restart-and-resume.
+    ``resume`` opts into journalled restart-and-resume, and
+    ``strategy`` picks the snapshot path
+    (:class:`~repro.core.watermark.SnapshotStrategy`) uniformly at
+    every layer.
     """
 
     #: Dump/restore throughput model (None -> library defaults).
     rates: Optional[TransferRates] = None
     #: Extra nodes fed the snapshot + syncset stream (Section 4.2).
     standbys: Optional[Sequence[str]] = None
-    #: Stream the snapshot pipeline-style (None -> config).
+    #: How the initial copy is produced — a
+    #: :class:`~repro.core.watermark.SnapshotStrategy` (or its string
+    #: value): ``SERIAL``, ``PIPELINED``, or ``WATERMARK``.  ``None``
+    #: inherits :attr:`MiddlewareConfig.pipeline_snapshot`.
+    strategy: Optional[SnapshotStrategy] = None
+    #: Deprecated boolean spelling of :attr:`strategy` (one
+    #: DeprecationWarning shim cycle; ``True`` -> ``PIPELINED``,
+    #: ``False`` -> ``SERIAL``).
     pipeline: Optional[bool] = None
     #: Bounded-buffer depth of the pipelined path (None -> config).
     pipeline_depth: Optional[int] = None
@@ -161,27 +178,36 @@ class MigrationOptions:
     divergence_min_growth: Optional[int] = None
     #: Journal progress for restart-and-resume (None -> config).
     resume: Optional[bool] = None
-    # -- deprecated spellings (one DeprecationWarning shim cycle) ------
+    # -- retired spellings (shim cycle over; TypeError on use) ---------
     ship_retry_limit: Optional[int] = None
     ship_retry_base: Optional[float] = None
     ship_retry_cap: Optional[float] = None
     resumable: Optional[bool] = None
 
     def __post_init__(self) -> None:
-        for old, new in _DEPRECATED_OPTION_FIELDS:
-            value = getattr(self, old)
-            if value is None:
-                continue
+        for old, new in _RETIRED_OPTION_FIELDS:
+            if getattr(self, old) is not None:
+                raise TypeError(
+                    "MigrationOptions(%s=...) was removed after its "
+                    "deprecation cycle; use the unified knob name %r "
+                    "(shared with ScheduleOptions and RebalanceOptions)"
+                    % (old, new))
+        object.__setattr__(self, "strategy",
+                           SnapshotStrategy.coerce(self.strategy))
+        if self.pipeline is not None:
             warnings.warn(
-                "MigrationOptions(%s=...) is deprecated; use the "
-                "unified knob name %r (shared with ScheduleOptions "
-                "and RebalanceOptions)" % (old, new),
+                "MigrationOptions(pipeline=...) is deprecated; use "
+                "strategy=SnapshotStrategy.%s instead"
+                % ("PIPELINED" if self.pipeline else "SERIAL"),
                 DeprecationWarning, stacklevel=3)
-            if getattr(self, new) is None:
-                object.__setattr__(self, new, value)
+            if self.strategy is None:
+                object.__setattr__(
+                    self, "strategy",
+                    SnapshotStrategy.PIPELINED if self.pipeline
+                    else SnapshotStrategy.SERIAL)
             # Clear the old field so dataclasses.replace() round-trips
             # never re-trigger the warning.
-            object.__setattr__(self, old, None)
+            object.__setattr__(self, "pipeline", None)
 
     def resolve(self, config: MiddlewareConfig) -> "MigrationOptions":
         """Fill every ``None`` from ``config`` / library defaults."""
@@ -193,7 +219,10 @@ class MigrationOptions:
             self,
             rates=self.rates if self.rates is not None else TransferRates(),
             standbys=tuple(self.standbys or ()),
-            pipeline=pick(self.pipeline, config.pipeline_snapshot),
+            strategy=pick(self.strategy,
+                          SnapshotStrategy.PIPELINED
+                          if config.pipeline_snapshot
+                          else SnapshotStrategy.SERIAL),
             pipeline_depth=pick(self.pipeline_depth, config.pipeline_depth),
             retry_limit=pick(self.retry_limit, config.ship_retry_limit),
             retry_base=pick(self.retry_base, config.ship_retry_base),
@@ -221,6 +250,10 @@ class TenantState:
     active_txns: int = 0
     drain_waiters: List[Event] = field(default_factory=list)
     propagator: Any = None
+    #: Row-image change stream of a live watermark migration (commit
+    #: post-images in CSN order, with lo/hi markers); ``None`` outside
+    #: :data:`~repro.core.watermark.SnapshotStrategy.WATERMARK` runs.
+    change_tap: Optional[ChangeTap] = None
     #: Additional slaves fed during a multi-slave migration
     #: (Section 4.2: "Madeus can propagate syncsets to multiple slaves
     #: at the same time"); node name -> (SyncsetList, propagator).
@@ -284,6 +317,8 @@ class MigrationReport:
     ship_retries: int = 0
     #: Whether the snapshot was streamed (dump/ship/restore overlapped).
     pipelined: bool = False
+    #: Snapshot strategy used: "serial", "pipelined", or "watermark".
+    strategy: str = "serial"
     #: Chunks the streamed dump emitted (0 on the serial path).
     chunks: int = 0
     #: The master (source) node crashed at some point mid-migration.
@@ -395,6 +430,17 @@ class MigrationJournal:
     size_mb: float
     total_chunks: int
     pipelined: bool
+    #: Snapshot strategy of the journalled attempt; a resume re-enters
+    #: with the same strategy regardless of the options it was given.
+    strategy: str = "pipelined"
+    #: Watermark resume state: the ``(table, key)`` cursor after the
+    #: last fully installed chunk (``None`` = walk not started, or
+    #: exhausted once ``watermark_chunks > 0``) and the installed-chunk
+    #: count.  The interrupted chunk itself is deliberately absent — a
+    #: re-entry re-selects it from live data under a fresh watermark
+    #: bracket.
+    watermark_cursor: Optional[Tuple[str, Any]] = None
+    watermark_chunks: int = 0
     schemas: List[SchemaSpec] = field(default_factory=list)
     state: str = JOURNAL_ACTIVE
     #: Current phase: "dump", "catch-up", "handover", or "done".
@@ -622,6 +668,9 @@ class Middleware:
             for name in sorted(state.standby_propagators):
                 self._drop_standby(state, name, phase="recovery",
                                    reason="handover recovery")
+        if state.change_tap is not None:
+            state.change_tap.cancel_pending_markers()
+            state.change_tap = None
         if not state.gate.is_open:
             state.gate.open()
         return self.owners(tenant)[0]
@@ -780,10 +829,22 @@ class Middleware:
                                     aborted=not result.ok)
             return result
         yield from state.region.enter(COMMIT_CLASS)
+        # Capture the row post-images *before* forwarding: the session
+        # drops its Transaction the instant the engine commit returns.
+        session = conn._session
+        txn = session.txn if session is not None else None
         try:
             result = yield from self._forward(conn, operation)
             if result.ok:
                 state.commits_seen += 1
+                if (state.migrating and state.change_tap is not None
+                        and txn is not None and txn.write_order):
+                    state.change_tap.append_txn(
+                        [(table_name, key,
+                          dict(txn.writes[(table_name, key)])
+                          if txn.writes[(table_name, key)] is not None
+                          else None)
+                         for table_name, key in txn.write_order])
                 ssb = conn.ssb
                 if ssb is not None:
                     ssb.ets = state.mlc
@@ -793,7 +854,10 @@ class Middleware:
                     conn.ssb = None
                     for ssl in state.all_ssls():
                         ssl.resolve_open(ssb)
-                        if state.migrating:
+                        # Under a watermark migration the change tap is
+                        # the replication stream; linking SSBs too would
+                        # leak an undrained SSL backlog.
+                        if state.migrating and state.change_tap is None:
                             ssl.link(ssb, self.env.now)
                     for propagator in state.all_propagators():
                         if state.migrating:
@@ -898,6 +962,10 @@ class Middleware:
                                      % (tenant, node_name))
         if destination in standbys:
             raise MigrationError("destination cannot also be a standby")
+        if opts.strategy is SnapshotStrategy.WATERMARK and standbys:
+            raise MigrationError(
+                "watermark snapshots do not support standbys; use "
+                "SnapshotStrategy.PIPELINED for multi-slave migrations")
         source_instance = self.cluster.node(source).instance
         dest_instance = self.cluster.node(destination).instance
         standby_instances = {name: self.cluster.node(name).instance
@@ -907,21 +975,31 @@ class Middleware:
         # would notice — the middleware buffers the syncsets, so replay
         # could quietly finish against a dead master.
         source_down = source_instance.wait_crashed()
+        overlapped = opts.strategy is not SnapshotStrategy.SERIAL
         report = MigrationReport(tenant, source, destination,
                                  self.config.policy.name,
                                  started_at=self.env.now,
-                                 pipelined=bool(opts.pipeline))
+                                 pipelined=(opts.strategy
+                                            is SnapshotStrategy.PIPELINED),
+                                 strategy=opts.strategy.value)
         migration_span = self.tracer.start(
             "migration", kind=MIGRATION, tenant=tenant, source=source,
             destination=destination, policy=self.config.policy.name,
-            standbys=len(standbys), pipelined=bool(opts.pipeline))
+            standbys=len(standbys), pipelined=overlapped,
+            strategy=opts.strategy.value)
         # --- Step 1: snapshot at a commit boundary --------------------
         phase_span = self.tracer.phase("dump", parent=migration_span,
-                                       pipelined=bool(opts.pipeline))
+                                       pipelined=overlapped,
+                                       strategy=opts.strategy.value)
         yield from state.region.enter(FIRST_READ_CLASS)
         report.mts = state.mlc
         snapshot_csn = source_instance.current_csn()
         state.migrating = True  # commits from here on link their SSBs
+        if opts.strategy is SnapshotStrategy.WATERMARK:
+            # From the very next commit every row post-image flows into
+            # the change tap instead of the SSL — created inside the
+            # critical region so no commit slips between the two.
+            state.change_tap = ChangeTap(self.env, name=tenant)
         state.region.leave()
         del rates  # phases read opts.rates
         run = _MigrationRun(
@@ -953,7 +1031,8 @@ class Middleware:
             destination=run.destination, mts=run.report.mts,
             snapshot_csn=run.snapshot_csn, size_mb=size_mb,
             total_chunks=plan_chunks(size_mb, chunk_cap),
-            pipelined=bool(opts.pipeline), schemas=specs)
+            pipelined=(opts.strategy is SnapshotStrategy.PIPELINED),
+            strategy=opts.strategy.value, schemas=specs)
         journal.manager = self.env.active_process
         self._journals[run.tenant] = journal
         return journal
@@ -985,7 +1064,11 @@ class Middleware:
                               delay=delay)
             yield self.env.timeout(delay)
 
-        if opts.pipeline or run.resume:
+        if opts.strategy is SnapshotStrategy.WATERMARK:
+            phase_span = yield from self._watermark_snapshot(
+                run, phase_span, restore_errors, retry_backoff)
+        elif (opts.strategy is SnapshotStrategy.PIPELINED
+                or run.resume):
             dump_error, phase_span = yield from self._pipelined_snapshot(
                 run, phase_span, restore_errors, retry_backoff)
             if isinstance(dump_error, NodeCrashed):
@@ -1103,6 +1186,14 @@ class Middleware:
         report.restored_at = self.env.now
         self.tracer.finish(phase_span, retries=report.ship_retries)
 
+    @staticmethod
+    def _replication_backlog(state: TenantState) -> int:
+        """Pending replication units: tap records under a watermark
+        migration (the SSL stays empty there), linked SSBs otherwise."""
+        if state.change_tap is not None:
+            return state.change_tap.pending_count()
+        return state.ssl.pending_count()
+
     def _catchup_phase(self, run: _MigrationRun
                        ) -> Generator[Any, Any, None]:
         """Step 3: concurrent syncset propagation until caught up."""
@@ -1110,14 +1201,16 @@ class Middleware:
         tenant = run.tenant
         if run.journal is not None:
             run.journal.phase = "catch-up"
-        phase_span = self.tracer.phase("catch-up",
-                                       parent=run.migration_span,
-                                       backlog=state.ssl.pending_count())
-        adopted = (run.resume and state.propagator is not None)
+        phase_span = self.tracer.phase(
+            "catch-up", parent=run.migration_span,
+            backlog=self._replication_backlog(state))
+        adopted = state.propagator is not None
         if adopted:
-            # The engine of the interrupted attempt kept replaying to
-            # the destination while the migration was parked; adopt it
-            # rather than racing a successor against its claimed SSBs.
+            # Keep an engine that is already replaying toward the
+            # destination rather than racing a successor against its
+            # claimed work: the watermark applier spun up during the
+            # snapshot walk, and a resumed migration's parked engine
+            # kept draining while the journal was suspended.
             propagator = state.propagator
         else:
             propagator = make_propagator(self.env, state.ssl,
@@ -1215,7 +1308,7 @@ class Middleware:
                 abort_reason = "timeout"
             # --- abort: tear down, report, raise -----------------------
             watchdog_control["stop"] = True
-            backlog = state.ssl.pending_count()
+            backlog = self._replication_backlog(state)
             elapsed = self.env.now - report.restored_at
             self._abort_migration(state, run.dest_instance, tenant)
             self.tracer.finish(phase_span, outcome=abort_reason,
@@ -1301,6 +1394,7 @@ class Middleware:
         state.migrating = False
         propagator = state.propagator
         state.propagator = None
+        state.change_tap = None
         state.standby_ssls.clear()
         state.standby_propagators.clear()
         if self.config.drop_source_copy:
@@ -1416,6 +1510,27 @@ class Middleware:
         for name in sorted(state.standby_propagators):
             self._drop_standby(state, name, phase="resume",
                                reason="migration resumed")
+        tap = state.change_tap
+        if tap is not None:
+            # Unpark an applier left waiting at a watermark of the
+            # interrupted attempt: its marker is still at the tap
+            # cursor, so cancelling fires the pending ``proceed`` and
+            # the resumed walk brackets the re-selected chunk afresh.
+            cancelled = tap.cancel_pending_markers()
+            if cancelled:
+                self.tracer.event("watermark.markers_cancelled",
+                                  tenant=state.name, count=cancelled)
+        elif journal.strategy == "watermark" and journal.phase == "dump":
+            journal.state = JOURNAL_ABANDONED
+            journal.manager = None
+            state.migrating = False
+            if not state.gate.is_open:
+                state.gate.open()
+            raise MigrationError(
+                "cannot resume tenant %r: the watermark change tap was "
+                "torn down mid-walk, so commit images since the last "
+                "watermark are unrecoverable — re-migrate from scratch"
+                % (state.name,))
         engine = state.propagator
         if engine is not None:
             if engine.failed is not None:
@@ -1423,6 +1538,9 @@ class Middleware:
                 journal.manager = None
                 state.propagator = None
                 state.migrating = False
+                if state.change_tap is not None:
+                    state.change_tap.cancel_pending_markers()
+                    state.change_tap = None
                 state.ssl.take_all()
                 if not state.gate.is_open:
                     state.gate.open()
@@ -1492,6 +1610,10 @@ class Middleware:
         if source_instance.crashed:
             raise SourceCrashed(journal.source, "resume")
         opts = (options or MigrationOptions()).resolve(self.config)
+        # A resume continues the journalled attempt; its snapshot
+        # strategy is a fact of the journal, not a per-call choice.
+        opts = replace(opts, strategy=SnapshotStrategy(journal.strategy))
+        watermark = opts.strategy is SnapshotStrategy.WATERMARK
         journal.state = JOURNAL_ACTIVE
         journal.resumes += 1
         journal.manager = self.env.active_process
@@ -1500,7 +1622,8 @@ class Middleware:
                                  journal.destination,
                                  self.config.policy.name,
                                  started_at=self.env.now,
-                                 pipelined=True)
+                                 pipelined=journal.pipelined,
+                                 strategy=journal.strategy)
         report.mts = journal.mts
         report.resumed = True
         self.metrics.counter("migration.resumed").inc()
@@ -1514,7 +1637,9 @@ class Middleware:
         migration_span = self.tracer.start(
             "migration", kind=MIGRATION, tenant=tenant,
             source=journal.source, destination=journal.destination,
-            policy=self.config.policy.name, standbys=0, pipelined=True,
+            policy=self.config.policy.name, standbys=0,
+            pipelined=True,  # resumed snapshots always stream
+            strategy=journal.strategy,
             resumed=True, resumes=journal.resumes)
         run = _MigrationRun(
             tenant=tenant, state=state, opts=opts, report=report,
@@ -1533,7 +1658,22 @@ class Middleware:
                                owner=journal.source)
             raise
         restored = journal.chunks_restored.get(run.destination, 0)
-        if restored and not run.dest_instance.has_tenant(tenant):
+        if (watermark and restored
+                and not run.dest_instance.has_tenant(tenant)):
+            # A watermark copy lost while parked restarts the key walk
+            # from scratch: every change record already drained into
+            # the lost copy is re-covered by the live re-selects (the
+            # current row state *includes* those changes), so unlike
+            # the frozen-plan stream below nothing is unrecoverable.
+            journal.watermark_cursor = None
+            journal.watermark_chunks = 0
+            journal.chunks_restored[run.destination] = 0
+            journal.chunk_log.pop(run.destination, None)
+            journal.phase = "dump"
+            restored = 0
+            self.tracer.event("watermark.walk_restarted", tenant=tenant,
+                              destination=run.destination)
+        elif restored and not run.dest_instance.has_tenant(tenant):
             # The destination lost its partial copy while the journal
             # was parked.  Chunks can be re-shipped from the frozen
             # plan, but a syncset already replayed into the lost copy
@@ -1558,18 +1698,26 @@ class Middleware:
             journal.chunks_restored[run.destination] = 0
             journal.chunk_log.pop(run.destination, None)
             restored = 0
-        if restored >= journal.total_chunks:
+        if watermark:
+            # The key walk has no frozen chunk plan; the journal phase
+            # says whether it finished before the interruption.
+            snapshot_done = journal.phase != "dump"
+        else:
+            snapshot_done = restored >= journal.total_chunks
+        if snapshot_done:
             # Snapshot fully installed before the interruption: skip
             # straight to catch-up.
             report.snapshot_at = self.env.now
             report.restored_at = self.env.now
             report.snapshot_size_mb = journal.size_mb
-            report.chunks_skipped = journal.total_chunks
+            report.chunks_skipped = (journal.watermark_chunks if watermark
+                                     else journal.total_chunks)
         else:
             journal.phase = "dump"
-            phase_span = self.tracer.phase("dump",
-                                           parent=migration_span,
-                                           pipelined=True, resumed=True)
+            phase_span = self.tracer.phase(
+                "dump", parent=migration_span, pipelined=True,
+                resumed=True,
+                **({"strategy": "watermark"} if watermark else {}))
             yield from self._snapshot_phase(run, phase_span)
         yield from self._catchup_phase(run)
         return (yield from self._handover_phase(run))
@@ -1594,6 +1742,9 @@ class Middleware:
         if state.propagator is not None:
             state.propagator.request_stop()
             state.propagator = None
+        if state.change_tap is not None:
+            state.change_tap.cancel_pending_markers()
+            state.change_tap = None
         state.ssl.take_all()
         for name in sorted(state.standby_propagators):
             self._drop_standby(state, name, phase="resume",
@@ -1608,7 +1759,8 @@ class Middleware:
                                  journal.destination,
                                  self.config.policy.name,
                                  started_at=self.env.now,
-                                 pipelined=journal.pipelined)
+                                 pipelined=journal.pipelined,
+                                 strategy=journal.strategy)
         report.mts = journal.mts
         report.resumed = True
         report.snapshot_at = self.env.now
@@ -1630,7 +1782,8 @@ class Middleware:
             "migration", kind=MIGRATION, tenant=tenant,
             source=journal.source, destination=journal.destination,
             policy=self.config.policy.name, standbys=0,
-            pipelined=journal.pipelined, resumed=True, settled=True)
+            pipelined=journal.pipelined, strategy=journal.strategy,
+            resumed=True, settled=True)
         self.tracer.finish(span, outcome="ok",
                            owner=journal.destination, resumed=True,
                            settled=True)
@@ -1812,6 +1965,177 @@ class Middleware:
         self.metrics.gauge("pipeline.backpressure_wait_s").set(
             feed.producer_wait_time)
         return dump_result.get("error"), restore_span
+
+    def _watermark_snapshot(self, run: _MigrationRun, dump_span: Any,
+                            restore_errors: Dict[str, Optional[str]],
+                            retry_backoff: Any) -> Generator:
+        """Steps 1+2, virtual-cut style: chunked selects under live load.
+
+        The DBLog watermark algorithm: every committed transaction's
+        row post-images flow through the tenant's :class:`ChangeTap`
+        and are replayed on the destination by a
+        :class:`ChangeStreamApplier` while this manager walks the key
+        space in chunks.  Each chunk select is bracketed by ``lo`` /
+        ``hi`` markers injected into the change stream; once the
+        applier has consumed everything before ``hi`` it parks, chunk
+        rows whose keys changed inside the window are dropped (the
+        stream already delivered a newer image), the survivors ship
+        over the shared prioritised bulk stream and install, and the
+        applier proceeds.  Installs therefore land strictly between the
+        in-window records and anything newer, so the copy is
+        snapshot-equivalent without ever freezing a CSN — and the
+        post-walk catch-up is bounded by chunk size, not dump duration.
+
+        Returns the still-open ``restore`` span (the caller's shared
+        tail stamps ``restored_at`` and closes it); destination
+        failures land in ``restore_errors`` like the other arms, and a
+        source crash raises through :meth:`_abort_source_crash`
+        (suspending first when journalled — ``journal.watermark_cursor``
+        / ``watermark_chunks`` let the resume re-enter the key walk at
+        the last fully installed chunk).
+        """
+        state, opts, report = run.state, run.opts, run.report
+        tenant = run.tenant
+        rates = opts.rates
+        journal = run.journal
+        tap = state.change_tap
+        assert tap is not None, "watermark migration without a change tap"
+        source_db = run.source_instance.tenant(tenant)
+        size_mb = source_db.size_mb()
+        total_rows = source_db.row_count()
+        mb_per_row = size_mb / total_rows if total_rows else 0.0
+        chunk_cap = (opts.chunk_mb if opts.chunk_mb is not None
+                     else rates.chunk_mb)
+        rows_per_chunk = (max(1, int(chunk_cap / mb_per_row))
+                          if mb_per_row > 0 else 1)
+        report.snapshot_size_mb = size_mb
+        cursor: Any = None
+        chunk_index = 0
+        if journal is not None:
+            cursor = journal.watermark_cursor
+            chunk_index = journal.watermark_chunks
+            report.chunks_skipped = journal.watermark_chunks
+        if journal is not None and journal.schemas:
+            specs = journal.schemas
+        else:
+            specs = []
+            for table_name in source_db.catalog.table_names():
+                table = source_db.table(table_name)
+                specs.append(SchemaSpec(table_name, table.schema.columns,
+                                        dict(table.schema.indexes)))
+        if not run.dest_instance.has_tenant(tenant):
+            create_from_schemas(run.dest_instance, tenant, specs,
+                                source_db.fixed_overhead_mb,
+                                source_db.size_multiplier)
+        applier = state.propagator
+        if applier is None:
+            applier = ChangeStreamApplier(
+                self.env, tap, report.source, state.ssl,
+                run.dest_instance, tenant, self.cluster.network,
+                self.config.policy, tracer=self.tracer,
+                metrics=self.metrics)
+            state.propagator = applier
+            applier.start()
+        restore_span = self.tracer.phase(
+            "restore", parent=run.migration_span, size_mb=size_mb,
+            pipelined=True, strategy="watermark")
+        dest_tenant = run.dest_instance.tenant(tenant)
+
+        def fail_destination(reason: str) -> None:
+            restore_errors[run.destination] = reason
+            self.tracer.finish(dump_span, outcome="failed")
+
+        while True:
+            lo = tap.marker("lo", chunk_index)
+            self.tracer.event("watermark.lo", tenant=tenant,
+                              chunk=chunk_index)
+            applier.notify_linked()
+            try:
+                rows, next_cursor = yield from watermark_select(
+                    run.source_instance, tenant, cursor, rows_per_chunk,
+                    mb_per_row, rates)
+            except NodeCrashed:
+                self.tracer.finish(restore_span,
+                                   outcome="source_crashed")
+                self._abort_source_crash(state, run.dest_instance,
+                                         tenant, report,
+                                         run.migration_span, dump_span,
+                                         phase="dump")
+            hi = tap.marker("hi", chunk_index)
+            applier.notify_linked()
+            fired = yield self.env.any_of(
+                [hi.reached, applier.wait_failed(), run.source_down])
+            if fired is run.source_down:
+                self.tracer.finish(restore_span,
+                                   outcome="source_crashed")
+                self._abort_source_crash(state, run.dest_instance,
+                                         tenant, report,
+                                         run.migration_span, dump_span,
+                                         phase="dump")
+            if not hi.reached.triggered:
+                # The applier died replaying the stream; the shared
+                # tail aborts (watermark runs carry no standbys).
+                fail_destination(applier.failed or "replay failed")
+                return restore_span
+            window = tap.window_keys(lo, hi)
+            fresh = [(table_name, key, row)
+                     for table_name, key, row in rows
+                     if (table_name, key) not in window]
+            chunk_mb = mb_per_row * len(fresh)
+            attempt = 0
+            while True:
+                try:
+                    if chunk_mb > 0:
+                        yield from self.cluster.network.bulk_transfer(
+                            report.source, run.destination, chunk_mb)
+                    break
+                except NetworkDown as exc:
+                    attempt += 1
+                    if attempt > opts.retry_limit:
+                        fail_destination(str(exc))
+                        return restore_span
+                    yield from retry_backoff(run.destination, attempt)
+            if chunk_mb > 0:
+                yield from run.dest_instance.disk.write(chunk_mb)
+                spec = run.dest_instance.disk.spec
+                io_time = (spec.seek_latency
+                           + chunk_mb / spec.write_bandwidth_mb_s)
+                pace = restore_duration(chunk_mb, rates) - io_time
+                if pace > 0:
+                    yield self.env.timeout(pace)
+            if run.dest_instance.crashed:
+                fail_destination("%s crashed during watermark install"
+                                 % run.destination)
+                return restore_span
+            csn = run.dest_instance.next_csn()
+            for table_name, key, row in fresh:
+                dest_tenant.table(table_name).install(key, csn, row)
+            if not hi.proceed.triggered:
+                hi.proceed.succeed()
+            self.tracer.event("watermark.hi", tenant=tenant,
+                              chunk=chunk_index, rows=len(rows),
+                              deduped=len(rows) - len(fresh),
+                              window=len(window))
+            chunk_index += 1
+            report.chunks += 1
+            if journal is not None:
+                journal.watermark_chunks = chunk_index
+                journal.watermark_cursor = next_cursor
+                journal.chunks_restored[run.destination] = chunk_index
+                journal.chunk_log.setdefault(
+                    run.destination, []).append(chunk_index - 1)
+            if next_cursor is None:
+                break
+            cursor = next_cursor
+        finalize_indexes(dest_tenant, specs)
+        report.snapshot_at = self.env.now
+        self.metrics.gauge("watermark.chunks").set(report.chunks)
+        self.metrics.gauge("watermark.backlog_at_walk_end").set(
+            tap.pending_count())
+        self.tracer.finish(dump_span, mts=report.mts, size_mb=size_mb,
+                           chunks=report.chunks,
+                           chunks_skipped=report.chunks_skipped)
+        return restore_span
 
     def _publish_report_metrics(self, report: MigrationReport,
                                 stats: Any) -> None:
@@ -2007,8 +2331,9 @@ class Middleware:
                              opts: MigrationOptions) -> Generator:
         """Abort-early detector over the primary replay backlog.
 
-        Samples ``state.ssl`` each interval (reading the attribute live,
-        so a promoted standby's SSL is followed automatically) and fires
+        Samples the replication backlog each interval (the SSL — read
+        live, so a promoted standby's SSL is followed automatically —
+        or the change tap under a watermark migration) and fires
         once the backlog has grown *strictly monotonically* across the
         whole window by at least the configured floor.  A healthy
         catch-up oscillates toward zero and never sustains that, so a
@@ -2020,7 +2345,7 @@ class Middleware:
             yield self.env.timeout(opts.divergence_interval)
             if control["stop"]:
                 return
-            samples.append(state.ssl.pending_count())
+            samples.append(self._replication_backlog(state))
             if len(samples) > opts.divergence_window:
                 samples.pop(0)
             if (len(samples) == opts.divergence_window
@@ -2049,6 +2374,12 @@ class Middleware:
         if state.propagator is not None:
             state.propagator.request_stop()
             state.propagator = None
+        # A watermark tap dies with the migration: unpark any applier
+        # waiting at a marker so its engine can wind down, then stop
+        # capturing commit images.
+        if state.change_tap is not None:
+            state.change_tap.cancel_pending_markers()
+            state.change_tap = None
         # Unlink any backlog so the SSL does not leak into a retry.
         state.ssl.take_all()
         # Standby engines must wind down too, or their propagators and

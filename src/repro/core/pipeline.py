@@ -1,4 +1,16 @@
-"""Chunk-feed plumbing for the pipelined snapshot path.
+"""Chunk-feed and change-tap plumbing for the streamed snapshot paths.
+
+Two buffering primitives live here:
+
+* :class:`ChunkFeed` / :class:`ChunkReader` broadcast the pipelined
+  snapshot's chunk stream with back-pressure (below);
+* :class:`ChangeTap` / :class:`TapMarker` carry the watermark path's
+  row-image change stream: the middleware's commit path appends each
+  committed transaction's post-images, the snapshot manager injects
+  low/high watermark markers around every chunk select, and the
+  change-stream applier consumes the whole sequence in commit (= CSN)
+  order.  The tap owns the read cursor so an applier that dies on a
+  fault can be rebuilt mid-stream without losing or replaying records.
 
 The streaming dump is one producer feeding *several* consumers: the
 destination plus every standby each receive the full chunk sequence.  A
@@ -26,7 +38,8 @@ the same footprint the serial path's :class:`LogicalSnapshot` has; the
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional
+from typing import (TYPE_CHECKING, Any, Deque, Generator, Hashable,
+                    List, Optional, Set, Tuple)
 
 from ..sim.events import Event
 from ..sim.sync import CLOSED
@@ -191,3 +204,162 @@ class ChunkReader:
         if self.active:
             self.active = False
             self.feed._wake_producer()
+
+
+# ----------------------------------------------------------------------
+# watermark change stream
+# ----------------------------------------------------------------------
+
+class TapMarker:
+    """One low/high watermark record injected into a :class:`ChangeTap`.
+
+    The snapshot manager appends a ``lo`` marker, runs the chunk select,
+    appends a ``hi`` marker, and then waits on :attr:`reached` — which
+    the applier fires once every change record *before* the marker has
+    been applied on the destination.  A ``hi`` marker additionally parks
+    the applier until :attr:`proceed` fires, so the deduplicated chunk
+    rows install strictly between the in-window records and anything
+    newer (the DBLog ordering that makes the copy snapshot-equivalent).
+    A marker orphaned by a suspension is :attr:`cancelled` on resume so
+    a (possibly rebuilt) applier skips the pause instead of deadlocking
+    on a proceed signal that will never come.
+    """
+
+    __slots__ = ("kind", "chunk", "index", "reached", "proceed",
+                 "cancelled")
+
+    def __init__(self, env: "Environment", kind: str, chunk: int,
+                 index: int):
+        self.kind = kind
+        self.chunk = chunk
+        #: Position of this marker in the tap's record sequence.
+        self.index = index
+        self.reached = Event(env)
+        self.proceed = Event(env)
+        self.cancelled = False
+
+
+class ChangeTap:
+    """Ordered row-image change stream feeding the watermark applier.
+
+    Records are appended synchronously from the middleware's commit path
+    (after the master acknowledged the commit and installed its
+    versions), so the sequence is exactly CSN order.  Each transaction
+    record is a tuple of ``(table, key, row_or_None)`` post-images
+    (``None`` = delete); :class:`TapMarker` records interleave with
+    them.  The tap — not the applier — owns the read :attr:`cursor`:
+    consumption state survives an applier that dies on a fault and is
+    rebuilt during restart-and-resume.
+    """
+
+    def __init__(self, env: "Environment", name: Optional[str] = None):
+        self.env = env
+        self.name = name
+        self.records: List[Any] = []
+        #: Index of the first unconsumed record.
+        self.cursor = 0
+        self._pending_txns = 0
+        # statistics
+        self.appended_txns = 0
+        self.appended_writes = 0
+
+    # ------------------------------------------------------------------
+    # producer side (commit path + snapshot manager)
+    # ------------------------------------------------------------------
+
+    def append_txn(self, writes: Tuple[Tuple[str, Hashable, Any], ...]
+                   ) -> None:
+        """Append one committed transaction's post-images (CSN order)."""
+        if not writes:
+            return
+        self.records.append(tuple(writes))
+        self._pending_txns += 1
+        self.appended_txns += 1
+        self.appended_writes += len(writes)
+
+    def marker(self, kind: str, chunk: int) -> TapMarker:
+        """Append (and return) a ``lo``/``hi`` watermark marker."""
+        mark = TapMarker(self.env, kind, chunk, len(self.records))
+        self.records.append(mark)
+        return mark
+
+    # ------------------------------------------------------------------
+    # consumer side (the change-stream applier)
+    # ------------------------------------------------------------------
+
+    def peek(self, limit: int) -> Tuple[List[Any], Optional[TapMarker]]:
+        """The next batch of unconsumed transaction records.
+
+        Returns up to ``limit`` transaction records starting at the
+        cursor, stopping at the first marker.  If the cursor sits *on*
+        a marker, returns ``([], marker)`` instead.  The cursor does not
+        move — call :meth:`advance` after the batch was durably applied
+        so a mid-batch failure replays it (row-image installs are
+        value-idempotent).
+        """
+        if self.cursor < len(self.records):
+            head = self.records[self.cursor]
+            if isinstance(head, TapMarker):
+                return [], head
+        batch: List[Any] = []
+        for record in self.records[self.cursor:self.cursor + limit]:
+            if isinstance(record, TapMarker):
+                break
+            batch.append(record)
+        return batch, None
+
+    def advance(self, count: int) -> None:
+        """Consume ``count`` transaction records at the cursor."""
+        self.cursor += count
+        self._pending_txns -= count
+
+    def consume_marker(self, marker: TapMarker) -> None:
+        """Consume the marker currently at the cursor."""
+        assert self.records[self.cursor] is marker
+        self.cursor += 1
+
+    # ------------------------------------------------------------------
+    # manager-side queries
+    # ------------------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Unconsumed transaction records (the applier's backlog)."""
+        return self._pending_txns
+
+    @property
+    def drained(self) -> bool:
+        """Whether every appended record has been consumed."""
+        return self.cursor >= len(self.records)
+
+    def window_keys(self, lo: TapMarker, hi: TapMarker
+                    ) -> Set[Tuple[str, Hashable]]:
+        """Keys written between the ``lo`` and ``hi`` markers.
+
+        These are the chunk rows the manager must *drop*: the change
+        stream already carries a newer post-image for them, and that
+        image was applied before ``hi.reached`` fired.
+        """
+        keys: Set[Tuple[str, Hashable]] = set()
+        for record in self.records[lo.index + 1:hi.index]:
+            if isinstance(record, TapMarker):
+                continue
+            for table_name, key, _row in record:
+                keys.add((table_name, key))
+        return keys
+
+    def cancel_pending_markers(self) -> int:
+        """Void every unconsumed marker (restart-and-resume path).
+
+        A resumed migration re-selects its current chunk with fresh
+        markers; stale ones must neither park the applier (``hi`` with
+        no manager waiting to fire ``proceed``) nor confuse window
+        bookkeeping.  Returns the number of markers cancelled.
+        """
+        cancelled = 0
+        for record in self.records[self.cursor:]:
+            if isinstance(record, TapMarker):
+                record.cancelled = True
+                if not record.proceed.triggered:
+                    record.proceed.succeed()
+                cancelled += 1
+        return cancelled

@@ -77,6 +77,7 @@ from .middleware import (
     MigrationOptions,
     MigrationReport,
 )
+from .watermark import SnapshotStrategy
 
 #: Admission-order policies understood by :class:`ScheduleOptions`.
 SCHEDULE_POLICIES = ("fifo", "round-robin", "smallest-first")
@@ -96,6 +97,11 @@ class ScheduleOptions:
     policy: Optional[str] = None
     #: Cap on migrations in flight at once; ``0`` means unlimited.
     max_concurrent: Optional[int] = None
+    #: Snapshot strategy applied to every job whose own
+    #: :class:`MigrationOptions` does not name one — the same
+    #: :class:`~repro.core.watermark.SnapshotStrategy` knob as
+    #: ``MigrationOptions.strategy`` / ``RebalanceOptions.strategy``.
+    strategy: Optional["SnapshotStrategy"] = None
     #: Default per-job knobs; a job's own options override this.
     migration: Optional[MigrationOptions] = None
     #: Re-attempts per job after a failed/aborted migration (default 0 =
@@ -133,9 +139,14 @@ class ScheduleOptions:
                      if self.retry_cap is not None else 5.0)
         if retry_base < 0 or retry_cap < 0:
             raise ValueError("retry backoff must be >= 0")
+        strategy = SnapshotStrategy.coerce(self.strategy)
+        migration = self.migration or MigrationOptions()
+        if strategy is not None and migration.strategy is None:
+            migration = replace(migration, strategy=strategy)
         return replace(self, policy=policy,
                        max_concurrent=max_concurrent,
-                       migration=self.migration or MigrationOptions(),
+                       strategy=strategy,
+                       migration=migration,
                        retry_limit=retry_limit, retry_base=retry_base,
                        retry_cap=retry_cap,
                        resume=bool(self.resume))

@@ -1,0 +1,220 @@
+"""Watermark (virtual-cut) snapshot machinery.
+
+The third snapshot path (after the serial dump and the pipelined chunk
+stream) interleaves chunked selects with the *live* change stream the
+way DBLog does: the commit path taps each committed transaction's row
+post-images into a :class:`~repro.core.pipeline.ChangeTap`, the
+snapshot manager brackets every chunk select between low and high
+watermark markers injected into that stream, and the
+:class:`ChangeStreamApplier` here replays the stream on the destination
+in commit order.  A chunk row whose key saw a change inside its own
+lo/hi window is dropped — the change stream already carries a newer
+image — so the restored copy is snapshot-equivalent without ever
+freezing a CSN, and catch-up after the last chunk is bounded by chunk
+size instead of dump duration.
+
+This module also defines :class:`SnapshotStrategy`, the first-class
+selector threaded through ``MigrationOptions`` / ``ScheduleOptions`` /
+``RebalanceOptions`` in place of the old pipelined/serial boolean.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator, Optional, Union
+
+from ..engine.wal import change_payload_mb
+from ..errors import NetworkDown, NodeCrashed
+from .pipeline import ChangeTap, TapMarker
+from .propagation import _BasePropagator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.instance import DbmsInstance
+    from ..net.network import Network
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import Tracer
+    from ..sim.core import Environment
+    from .policy import PropagationPolicy
+    from .ssb import SyncsetList
+
+
+class SnapshotStrategy(str, enum.Enum):
+    """How the initial copy of a migrating tenant is produced.
+
+    ``SERIAL``
+        the paper-faithful monolithic dump → ship → restore;
+    ``PIPELINED``
+        the chunk-streamed dump/ship/restore overlap (PR 4);
+    ``WATERMARK``
+        DBLog-style virtual cuts: chunked selects interleaved with the
+        live change stream, catch-up bounded by chunk size.
+    """
+
+    SERIAL = "serial"
+    PIPELINED = "pipelined"
+    WATERMARK = "watermark"
+
+    @classmethod
+    def coerce(cls, value: Union["SnapshotStrategy", str, None]
+               ) -> Optional["SnapshotStrategy"]:
+        """Normalise a strategy spelling (``None`` passes through)."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                raise ValueError(
+                    "unknown snapshot strategy %r (expected one of: %s)"
+                    % (value,
+                       ", ".join(member.value for member in cls))
+                ) from None
+        raise TypeError(
+            "snapshot strategy must be a SnapshotStrategy or str, "
+            "got %r" % (value,))
+
+
+class ChangeStreamApplier(_BasePropagator):
+    """Replays the row-image change stream on the destination.
+
+    A third propagation engine beside :class:`SerialReplayer` and
+    :class:`Conductor`, speaking the same manager protocol (``start`` /
+    ``wait_caught_up`` / ``request_stop`` / ``wait_fully_drained``) so
+    the catch-up and handover phases drive it unchanged.  Instead of
+    replaying SQL syncsets it consumes a :class:`ChangeTap`: committed
+    post-images are batched, shipped over the shared prioritised
+    ``net.bulk_transfer`` stream (so they contend honestly with
+    in-flight snapshot chunks), written to the destination disk, and
+    installed as fresh versions — value-idempotent, so a batch replayed
+    after a fault converges to the same state.  Watermark markers in
+    the stream pace the snapshot manager: at a ``hi`` marker the
+    applier signals ``reached`` (everything before the watermark is now
+    applied) and parks until the manager has installed the deduplicated
+    chunk and fires ``proceed``.
+
+    The read cursor lives on the tap, not here: if this applier dies on
+    a fault, restart-and-resume builds a fresh one that continues from
+    the exact record its predecessor last durably applied.
+    """
+
+    #: Max transaction records shipped per round; with the tap appended
+    #: in commit order this bounds both the batch payload and how long
+    #: a ``hi`` marker waits behind in-flight work.
+    BATCH_LIMIT = 32
+
+    #: Same bounded-lag definition as :class:`Conductor`: under heavy
+    #: workload the stream never hits a strictly empty instant.
+    CATCHUP_THRESHOLD = 8
+
+    def __init__(self, env: "Environment", tap: ChangeTap,
+                 source_name: str, ssl: "SyncsetList",
+                 slave: "DbmsInstance", tenant_name: str,
+                 network: "Network", policy: "PropagationPolicy",
+                 tracer: Optional["Tracer"] = None,
+                 metrics: Optional["MetricsRegistry"] = None,
+                 metrics_prefix: str = "propagation"):
+        super().__init__(env, ssl, slave, tenant_name, network, policy,
+                         None, tracer=tracer, metrics=metrics,
+                         metrics_prefix=metrics_prefix)
+        self.tap = tap
+        self.source_name = source_name
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    def _in_flight(self) -> int:
+        return 1 if self._busy else 0
+
+    def _is_drained(self) -> bool:
+        return self.tap.drained and not self._busy
+
+    def _backlog(self) -> int:
+        return self.tap.pending_count()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> Generator:
+        while True:
+            if self.failed is not None:
+                return
+            batch, marker = self.tap.peek(self.BATCH_LIMIT)
+            if marker is not None:
+                yield from self._consume_marker(marker)
+                continue
+            if not batch:
+                if self._backlog() <= self.CATCHUP_THRESHOLD:
+                    self._fire_caught_up()
+                if self._stop_requested and self._is_drained():
+                    self._fire_drained()
+                    return
+                yield from self._wait_for_work()
+                continue
+            self._busy = True
+            try:
+                yield from self._ship_and_apply(batch)
+            except (NodeCrashed, NetworkDown) as exc:
+                self._busy = False
+                self._fail(str(exc))
+                return
+            self._busy = False
+            # Only consume once durably applied: a mid-batch fault
+            # leaves the cursor put and a successor replays the batch
+            # (row-image installs are value-idempotent).
+            self.tap.advance(len(batch))
+            if self._backlog() <= self.CATCHUP_THRESHOLD:
+                self._fire_caught_up()
+
+    def _consume_marker(self, marker: TapMarker) -> Generator:
+        """Handle a watermark record at the tap cursor.
+
+        ``reached`` fires for both kinds; a live ``hi`` marker parks the
+        applier here — cursor still *on* the marker, so a resume that
+        cancels pending markers unblocks exactly this wait — until the
+        manager installed the deduplicated chunk.
+        """
+        if not marker.reached.triggered:
+            marker.reached.succeed()
+        if marker.kind == "hi" and not marker.cancelled:
+            yield marker.proceed
+        self.tap.consume_marker(marker)
+
+    def _ship_and_apply(self, batch) -> Generator:
+        """Ship one batch of transactions and install their images."""
+        operations = sum(len(writes) for writes in batch)
+        payload = change_payload_mb(operations)
+        attempt = 0
+        while True:
+            try:
+                if payload > 0:
+                    yield from self.network.bulk_transfer(
+                        self.source_name, self.slave.name, payload)
+                break
+            except NetworkDown:
+                attempt += 1
+                if attempt > self.NET_RETRY_LIMIT:
+                    raise
+                self.stats.net_retries += 1
+                yield self.env.timeout(
+                    min(self.NET_RETRY_CAP,
+                        self.NET_RETRY_BASE * (2 ** (attempt - 1))))
+        if self.slave.crashed:
+            raise NodeCrashed(self.slave.name,
+                              "crashed during change-stream apply")
+        if payload > 0:
+            yield from self.slave.disk.write(payload)
+        if self.slave.crashed:
+            raise NodeCrashed(self.slave.name,
+                              "crashed during change-stream apply")
+        tenant = self.slave.tenant(self.tenant_name)
+        for writes in batch:
+            csn = self.slave.next_csn()
+            for table_name, key, row in writes:
+                tenant.table(table_name).install(
+                    key, csn, dict(row) if row is not None else None)
+            self.stats.syncsets_replayed += 1
+            self.stats.commits_replayed += 1
+            self.stats.writes_replayed += len(writes)
+            self.stats.operations_replayed += len(writes)
+        self.stats.rounds += 1
+        self.stats.max_concurrent_players = max(
+            self.stats.max_concurrent_players, 1)
+        if self.stats.rounds % 32 == 0:
+            self._publish_stats()

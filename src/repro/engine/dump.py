@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Hashable, List, Tuple
+from typing import Any, Dict, Generator, Hashable, List, Optional, Tuple
 
 from ..errors import NodeCrashed
 from .instance import DbmsInstance
@@ -84,6 +84,39 @@ class LogicalSnapshot:
 def snapshot_size_mb(instance: DbmsInstance, tenant_name: str) -> float:
     """Current nominal size of a tenant, in MB."""
     return instance.tenant(tenant_name).size_mb()
+
+
+def create_from_schemas(instance: DbmsInstance, tenant_name: str,
+                        schemas: List[SchemaSpec],
+                        fixed_overhead_mb: float = 0.0,
+                        size_multiplier: float = 1.0) -> Any:
+    """Create an empty tenant shell on ``instance`` from schema specs.
+
+    Shared by every restore flavour (serial, chunk-streamed, watermark):
+    the destination needs the tables and size-accounting knobs in place
+    before the first row lands.  Secondary indexes are *not* created
+    here — see :func:`finalize_indexes`.  Returns the tenant database.
+    """
+    tenant = instance.create_tenant(tenant_name)
+    tenant.fixed_overhead_mb = fixed_overhead_mb
+    tenant.size_multiplier = size_multiplier
+    for spec in schemas:
+        tenant.create_table(spec.to_schema())
+    return tenant
+
+
+def finalize_indexes(tenant: Any, schemas: List[SchemaSpec]) -> None:
+    """Create any secondary indexes the copy does not have yet.
+
+    The streamed paths defer index creation until after the bulk load
+    (their build time is already inside the pacing model); idempotent so
+    a resumed restore may call it again.
+    """
+    for spec in schemas:
+        table = tenant.table(spec.name)
+        for index_name, column in spec.indexes.items():
+            if index_name not in table.indexes:
+                table.create_index(index_name, column)
 
 
 def dump(instance: DbmsInstance, tenant_name: str, snapshot_csn: int,
@@ -140,11 +173,9 @@ def restore(instance: DbmsInstance, snapshot: LogicalSnapshot,
     Returns the created tenant's name.
     """
     name = tenant_name or snapshot.tenant_name
-    tenant = instance.create_tenant(name)
-    tenant.fixed_overhead_mb = snapshot.fixed_overhead_mb
-    tenant.size_multiplier = snapshot.size_multiplier
-    for spec in snapshot.schemas:
-        tenant.create_table(spec.to_schema())
+    tenant = create_from_schemas(instance, name, snapshot.schemas,
+                                 snapshot.fixed_overhead_mb,
+                                 snapshot.size_multiplier)
     duration = restore_duration(snapshot.size_mb, rates)
     write_mb = snapshot.size_mb
     chunks = max(1, int(math.ceil(write_mb / rates.chunk_mb)))
@@ -339,11 +370,9 @@ def restore_stream(instance: DbmsInstance, source: Any,
                 # retry inside a resumed stream): reuse, re-install.
                 tenant = instance.tenant(name)
             else:
-                tenant = instance.create_tenant(name)
-                tenant.fixed_overhead_mb = chunk.fixed_overhead_mb
-                tenant.size_multiplier = chunk.size_multiplier
-                for spec in (chunk.schemas or spec_schemas):
-                    tenant.create_table(spec.to_schema())
+                tenant = create_from_schemas(
+                    instance, name, chunk.schemas or spec_schemas,
+                    chunk.fixed_overhead_mb, chunk.size_multiplier)
         if chunk.schemas:
             spec_schemas = list(chunk.schemas)
         expected = chunk.total
@@ -372,10 +401,67 @@ def restore_stream(instance: DbmsInstance, source: Any,
     if instance.crashed:
         # The crash landed while we waited for end-of-stream.
         raise NodeCrashed(instance.name, "crashed during restore")
-    for spec in spec_schemas:
-        table = tenant.table(spec.name)
-        for index_name, column in spec.indexes.items():
-            if index_name not in table.indexes:
-                table.create_index(index_name, column)
+    finalize_indexes(tenant, spec_schemas)
     assert name is not None
     return name
+
+
+# ----------------------------------------------------------------------
+# watermark (virtual-cut) chunk selects
+# ----------------------------------------------------------------------
+
+#: A position in the watermark key walk: ``(table_name, key)`` of the
+#: last row the previous chunk covered, or ``None`` at the start.
+WatermarkCursor = Optional[Tuple[str, Hashable]]
+
+
+def watermark_select(instance: DbmsInstance, tenant_name: str,
+                     cursor: WatermarkCursor, max_rows: int,
+                     mb_per_row: float, rates: TransferRates
+                     ) -> Generator[Any, Any,
+                                    Tuple[List[Tuple[str, Hashable,
+                                                     Dict[str, Any]]],
+                                          WatermarkCursor]]:
+    """One chunked watermark select over the *live* table state.
+
+    Unlike :func:`dump` / :func:`dump_stream` there is no frozen
+    snapshot CSN: the select reads the latest committed rows strictly
+    after ``cursor`` in ``(table, key)`` order, up to ``max_rows`` of
+    them, capturing the row images synchronously (one MVCC read per
+    chain head) and then pacing the I/O against the source disk at the
+    dump rate — so chunk selects contend with foreground commits and
+    the WAL exactly like a dump slice does.  Returns ``(rows,
+    next_cursor)`` where ``rows`` is a list of ``(table, key,
+    row_copy)`` and ``next_cursor`` is ``None`` once the key walk is
+    exhausted.  Correctness under concurrent writes comes from the
+    low/high watermark bracket the caller places around this select,
+    not from MVCC snapshots.
+    """
+    tenant = instance.tenant(tenant_name)
+    rows: List[Tuple[str, Hashable, Dict[str, Any]]] = []
+    next_cursor: WatermarkCursor = None
+    for table_name in sorted(tenant.catalog.table_names()):
+        if cursor is not None and table_name < cursor[0]:
+            continue
+        table = tenant.table(table_name)
+        latest = dict(table.latest_rows())
+        for key in sorted(latest):
+            if (cursor is not None and table_name == cursor[0]
+                    and not key > cursor[1]):
+                continue
+            rows.append((table_name, key, dict(latest[key])))
+            if len(rows) >= max_rows:
+                next_cursor = (table_name, key)
+                break
+        if next_cursor is not None:
+            break
+    if instance.crashed:
+        raise NodeCrashed(instance.name, "crashed during chunk select")
+    chunk_mb = mb_per_row * len(rows)
+    if chunk_mb > 0:
+        yield from instance.disk.read(chunk_mb)
+        read_bw = instance.disk.spec.read_bandwidth_mb_s
+        pace = chunk_mb / rates.dump_mb_s - chunk_mb / read_bw
+        if pace > 0:
+            yield instance.env.timeout(pace)
+    return rows, next_cursor

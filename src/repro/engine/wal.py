@@ -23,6 +23,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..obs.metrics import MetricsRegistry
     from ..sim.core import Environment
 
+#: Wire size of one logical row-image change record, in MB.  The
+#: watermark snapshot path ships committed post-images to the
+#: destination over the same bulk stream as snapshot chunks; a full row
+#: image is a little heavier than the bare commit record the WAL
+#: fsyncs (:attr:`WalWriter.COMMIT_RECORD_MB`) because it carries the
+#: column values, not just the redo pointer.
+CHANGE_RECORD_MB = 0.0005
+
+
+def change_payload_mb(operations: int) -> float:
+    """Wire size of a change-stream batch of ``operations`` row images."""
+    return CHANGE_RECORD_MB * max(0, operations)
+
 
 class WalWriter:
     """The shared log flusher of one DBMS instance."""

@@ -4,13 +4,20 @@ Not a paper figure — a regression harness for the middleware itself.
 Four scenarios:
 
 ``pipeline``
-    Migrates the same tenant twice per database size — once with the
-    serial dump -> ship -> restore path and once with the streamed
-    (chunked, back-pressured) snapshot pipeline — and reports the
-    wall-clock improvement.  The largest size sits above the rate
-    model's ``base_mb`` knee, where the serial restore pays the
-    superlinear index-build term all at once while the pipeline pays it
-    per chunk, so that comparison is the headline number.
+    Migrates the same tenant once per snapshot strategy per database
+    size — the serial dump -> ship -> restore path, the streamed
+    (chunked, back-pressured) snapshot pipeline, and the watermark
+    (virtual-cut) path — and reports the wall-clock improvements.  The
+    largest size sits above the rate model's ``base_mb`` knee, where
+    the serial restore pays the superlinear index-build term all at
+    once while the pipeline pays it per chunk, so the serial-vs-
+    pipelined comparison there is the headline number; the watermark
+    rows additionally expose the catch-up window, which the watermark
+    path bounds by chunk size instead of dump duration (gated by
+    ``scripts/check_bench.py --require-watermark``).  ``watermark`` is
+    an alias for this scenario.  Each strategy runs on its own freshly
+    seeded testbed, so the serial and pipelined figures are bit-stable
+    against pre-watermark artifacts.
 
 ``policies``
     One migration per propagation policy (Table 2) on the default
@@ -52,6 +59,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.middleware import MigrationOptions, MigrationReport
 from ..core.policy import ALL_POLICIES, MADEUS, PropagationPolicy
 from ..core.scheduler import ScheduleOptions
+from ..core.watermark import SnapshotStrategy
 from ..engine.dump import restore_duration
 from ..metrics.report import format_table
 from .common import Report, TenantSetup, Testbed, build_testbed, seeded
@@ -95,10 +103,16 @@ PARALLEL_SCHEDULES = (("fifo", 0), ("round-robin", 0),
 SCENARIOS = ("pipeline", "policies", "multitenant_parallel",
              "simthroughput")
 
+#: Alternate scenario spellings accepted by ``run_benchmark`` and the
+#: CLI.  ``watermark`` names the same three-way run as ``pipeline``
+#: (both write ``BENCH_pipeline.json``); asking for both runs it once.
+SCENARIO_ALIASES = {"watermark": "pipeline"}
+
 #: One-line summaries for ``repro bench --list-scenarios``.
 SCENARIO_DESCRIPTIONS = {
-    "pipeline": "pipelined vs serial snapshot shipping across "
-                "database sizes",
+    "pipeline": "serial vs pipelined vs watermark snapshot shipping "
+                "across database sizes",
+    "watermark": "alias for the three-way pipeline scenario",
     "policies": "migration time under each propagation policy at one "
                 "fixed load",
     "multitenant_parallel": "N-tenant evacuation: serialized vs "
@@ -128,6 +142,10 @@ class BenchCase:
     #: under which mode ("serialized" or "concurrent:<policy>").
     tenant: Optional[str] = None
     mode: Optional[str] = None
+    #: Snapshot strategy, set only on watermark rows — serial and
+    #: pipelined rows keep the exact pre-watermark schema so those
+    #: figures stay byte-identical across artifact versions.
+    strategy: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         record = {
@@ -147,6 +165,8 @@ class BenchCase:
             record["tenant"] = self.tenant
         if self.mode is not None:
             record["mode"] = self.mode
+        if self.strategy is not None:
+            record["strategy"] = self.strategy
         return record
 
 
@@ -198,13 +218,18 @@ def _case_from_report(scenario: str, report: MigrationReport,
         },
         chunks=report.chunks,
         ship_retries=report.ship_retries,
-        consistent=report.consistent)
+        consistent=report.consistent,
+        # Only watermark rows carry the strategy key; serial and
+        # pipelined rows keep the pre-watermark schema byte-identical.
+        strategy=(report.strategy
+                  if report.strategy == SnapshotStrategy.WATERMARK.value
+                  else None))
 
 
 def _run_migration(profile: Profile,
                    policy: PropagationPolicy = MADEUS,
                    size_mb: Optional[float] = None,
-                   pipeline: Optional[bool] = None,
+                   strategy: Optional[SnapshotStrategy] = None,
                    trace_dir: Optional[str] = None
                    ) -> Tuple[MigrationReport, float]:
     """One seeded migration; returns (report, tenant size in MB)."""
@@ -224,7 +249,7 @@ def _run_migration(profile: Profile,
     warmup = max(2.0, profile.duration(30.0))
     testbed.run(until=warmup)
     outcome = testbed.migrate_async(
-        "A", "node1", options=MigrationOptions(pipeline=pipeline))
+        "A", "node1", options=MigrationOptions(strategy=strategy))
     transfer = (actual_mb / profile.rates.dump_mb_s
                 + restore_duration(actual_mb, profile.rates))
     cap = (warmup + profile.catchup_deadline + profile.duration(60.0)
@@ -234,7 +259,7 @@ def _run_migration(profile: Profile,
     if report is None:
         raise RuntimeError(
             "bench migration did not complete (policy=%s, size=%.0f MB, "
-            "pipeline=%s): %s" % (policy.name, actual_mb, pipeline,
+            "strategy=%s): %s" % (policy.name, actual_mb, strategy,
                                   outcome.get("timeout")))
     return report, actual_mb
 
@@ -244,22 +269,33 @@ def run_pipeline_scenario(profile: Profile,
                           = PIPELINE_SIZE_FACTORS,
                           trace_dir: Optional[str] = None
                           ) -> BenchScenarioResult:
-    """Serial vs pipelined snapshot shipping across database sizes."""
+    """Serial vs pipelined vs watermark shipping across database sizes.
+
+    Every strategy runs on its own freshly seeded testbed, so adding
+    the watermark leg leaves the serial and pipelined runs — and hence
+    the paper-figure fields of each comparison — byte-identical to the
+    pre-watermark artifact.
+    """
     result = BenchScenarioResult(scenario="pipeline",
                                  profile=profile.name,
                                  seed=profile.seed)
     for factor in size_factors:
         size_mb = profile.rates.base_mb * factor
         serial, actual_mb = _run_migration(
-            profile, size_mb=size_mb, pipeline=False,
+            profile, size_mb=size_mb, strategy=SnapshotStrategy.SERIAL,
             trace_dir=trace_dir)
         piped, _ = _run_migration(
-            profile, size_mb=size_mb, pipeline=True,
-            trace_dir=trace_dir)
+            profile, size_mb=size_mb,
+            strategy=SnapshotStrategy.PIPELINED, trace_dir=trace_dir)
+        watermark, _ = _run_migration(
+            profile, size_mb=size_mb,
+            strategy=SnapshotStrategy.WATERMARK, trace_dir=trace_dir)
         result.cases.append(
             _case_from_report("pipeline", serial, actual_mb))
         result.cases.append(
             _case_from_report("pipeline", piped, actual_mb))
+        result.cases.append(
+            _case_from_report("pipeline", watermark, actual_mb))
         improvement = ((serial.migration_time - piped.migration_time)
                        / serial.migration_time)
         result.comparisons.append({
@@ -267,6 +303,14 @@ def run_pipeline_scenario(profile: Profile,
             "serial_wall_clock": serial.migration_time,
             "pipelined_wall_clock": piped.migration_time,
             "improvement": improvement,
+            "watermark_wall_clock": watermark.migration_time,
+            "watermark_improvement":
+                ((serial.migration_time - watermark.migration_time)
+                 / serial.migration_time),
+            # The watermark headline: its catch-up window is bounded
+            # by chunk size, the pipelined one by dump duration.
+            "pipelined_catchup": piped.catchup_time,
+            "watermark_catchup": watermark.catchup_time,
         })
         result.headline_improvement = improvement
     return result
@@ -414,7 +458,12 @@ def run_benchmark(profile: Optional[Profile] = None, *,
     directory = (bench_dir or os.environ.get(BENCH_DIR_ENV_VAR)
                  or DEFAULT_BENCH_DIR)
     results: List[Any] = []
+    requested: List[str] = []
     for scenario in (scenarios or SCENARIOS):
+        scenario = SCENARIO_ALIASES.get(scenario, scenario)
+        if scenario not in requested:
+            requested.append(scenario)
+    for scenario in requested:
         if scenario == "pipeline":
             result = run_pipeline_scenario(profile, trace_dir=trace_dir)
         elif scenario == "policies":
@@ -447,8 +496,9 @@ def report(results: List[Any], profile: Profile) -> str:
             label = case.scenario
             if case.mode is not None:
                 label = "%s %s" % (case.mode, case.tenant)
-            rows.append([label, case.policy, case.size_mb,
-                         "yes" if case.pipelined else "-",
+            path = (case.strategy if case.strategy is not None
+                    else "piped" if case.pipelined else "serial")
+            rows.append([label, case.policy, case.size_mb, path,
                          case.wall_clock, case.phases["dump"],
                          case.phases["restore"],
                          case.phases["catch-up"], case.chunks,
@@ -456,7 +506,7 @@ def report(results: List[Any], profile: Profile) -> str:
     lines = []
     if rows:
         lines.append(format_table(
-            ["scenario", "policy", "size [MB]", "piped", "wall [s]",
+            ["scenario", "policy", "size [MB]", "path", "wall [s]",
              "dump [s]", "restore [s]", "catchup [s]", "chunks",
              "group size"],
             rows,
@@ -474,6 +524,16 @@ def report(results: List[Any], profile: Profile) -> str:
                        comparison["serial_wall_clock"],
                        comparison["pipelined_wall_clock"],
                        100.0 * comparison["improvement"]))
+                if "watermark_wall_clock" in comparison:
+                    lines.append(
+                        "watermark @ %.0f MB: wall %.1f s (%.0f%% "
+                        "faster than serial), catch-up %.2f s vs "
+                        "pipelined %.2f s"
+                        % (comparison["size_mb"],
+                           comparison["watermark_wall_clock"],
+                           100.0 * comparison["watermark_improvement"],
+                           comparison["watermark_catchup"],
+                           comparison["pipelined_catchup"]))
             else:
                 lines.append(
                     "evacuation (%s): serialized %.1f s -> concurrent "

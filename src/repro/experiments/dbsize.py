@@ -65,7 +65,7 @@ def run_one_size(items: int, population_ebs: int,
     # Figure 9's superlinearity comes from the serial restore's index
     # builds, so the streamed snapshot path is pinned off here.
     outcome = testbed.migrate_async(
-        "A", "node1", options=MigrationOptions(pipeline=False))
+        "A", "node1", options=MigrationOptions(strategy="serial"))
     # Large databases legitimately take long; the patience budget is
     # several times the closed-form dump+restore estimate (the size is
     # already profile-scaled, so no further time scaling applies).

@@ -71,7 +71,7 @@ def run_one(policy: PropagationPolicy, paper_ebs: int,
     # Figure 6 reproduces the paper's serial dump -> ship -> restore
     # timings, so the streamed snapshot path is pinned off here.
     outcome = testbed.migrate_async(
-        "A", "node1", options=MigrationOptions(pipeline=False))
+        "A", "node1", options=MigrationOptions(strategy="serial"))
     cap = warmup + profile.catchup_deadline + profile.duration(300.0)
     testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
     if "report" in outcome:

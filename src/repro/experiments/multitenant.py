@@ -91,7 +91,7 @@ def run_case(migrate_tenant: str,
     testbed.run(until=order_at)
     # Paper-faithful case timings: serial dump -> ship -> restore.
     outcome = testbed.migrate_async(
-        migrate_tenant, "node1", options=MigrationOptions(pipeline=False))
+        migrate_tenant, "node1", options=MigrationOptions(strategy="serial"))
     cap = order_at + profile.catchup_deadline + profile.duration(600.0)
     testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
     report = outcome.get("report")

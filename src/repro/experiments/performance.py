@@ -61,7 +61,7 @@ def run_timeline(profile: Optional[Profile] = None,
     testbed.run(until=start)
     # Paper-faithful timeline: serial dump -> ship -> restore.
     outcome = testbed.migrate_async(
-        "A", "node1", options=MigrationOptions(pipeline=False))
+        "A", "node1", options=MigrationOptions(strategy="serial"))
     cap = start + profile.catchup_deadline + profile.duration(400.0)
     testbed.run_until(lambda: "done" in outcome, step=5.0, cap=cap)
     report = outcome.get("report")

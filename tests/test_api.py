@@ -25,7 +25,8 @@ FACADE_NAMES = ("ClusterView", "MetricsRegistry", "Middleware",
                 "MiddlewareConfig", "MigrationOptions",
                 "MigrationReport", "MigrationScheduler",
                 "RebalanceOptions", "RebalanceReport", "Rebalancer",
-                "ScheduleOptions", "ScheduleReport", "TransferRates",
+                "ScheduleOptions", "ScheduleReport",
+                "SnapshotStrategy", "TransferRates",
                 "policy_by_name", "run_benchmark")
 
 #: The knob names MigrationOptions / ScheduleOptions /
@@ -112,28 +113,48 @@ class TestUnifiedKnobNames:
             assert not any(name.startswith("ship_retry")
                            for name in fields), cls.__name__
 
-    def test_deprecated_migration_spellings_warn_once_and_map(self):
+    def test_all_three_options_share_the_strategy_knob(self):
+        from repro.api import (MigrationOptions, RebalanceOptions,
+                               ScheduleOptions)
+        for cls in (MigrationOptions, ScheduleOptions,
+                    RebalanceOptions):
+            fields = {f.name for f in dataclasses.fields(cls)}
+            assert "strategy" in fields, cls.__name__
+
+    def test_retired_ship_retry_spellings_raise_type_error(self):
+        # The PR 8 shim served its one-release DeprecationWarning
+        # window; the old names are now hard errors that point at the
+        # unified spellings.
+        for retired, current in (("ship_retry_limit", "retry_limit"),
+                                 ("ship_retry_base", "retry_base"),
+                                 ("ship_retry_cap", "retry_cap"),
+                                 ("resumable", "resume")):
+            with pytest.raises(TypeError, match=current):
+                MigrationOptions(**{retired: 1})
+
+    def test_deprecated_pipeline_bool_warns_once_and_maps(self):
+        from repro.api import SnapshotStrategy
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            options = MigrationOptions(ship_retry_limit=9,
-                                       ship_retry_base=0.25,
-                                       ship_retry_cap=4.0)
+            options = MigrationOptions(pipeline=True)
         deprecations = [w for w in caught
                         if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 3
-        assert "retry_limit" in str(deprecations[0].message)
-        resolved = options.resolve(MiddlewareConfig(policy=MADEUS))
-        assert resolved.retry_limit == 9
-        assert resolved.retry_base == 0.25
-        assert resolved.retry_cap == 4.0
-
-    def test_new_spelling_wins_over_deprecated_alias(self):
+        assert len(deprecations) == 1
+        assert "strategy" in str(deprecations[0].message)
+        assert options.strategy is SnapshotStrategy.PIPELINED
         with warnings.catch_warnings(record=True):
             warnings.simplefilter("always")
-            options = MigrationOptions(retry_limit=3,
-                                       ship_retry_limit=9)
+            serial = MigrationOptions(pipeline=False)
+        assert serial.strategy is SnapshotStrategy.SERIAL
+
+    def test_new_spelling_wins_over_deprecated_alias(self):
+        from repro.api import SnapshotStrategy
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            options = MigrationOptions(
+                strategy=SnapshotStrategy.WATERMARK, pipeline=True)
         resolved = options.resolve(MiddlewareConfig(policy=MADEUS))
-        assert resolved.retry_limit == 3
+        assert resolved.strategy is SnapshotStrategy.WATERMARK
 
     def test_new_spellings_do_not_warn(self):
         with warnings.catch_warnings(record=True) as caught:
@@ -153,20 +174,25 @@ class TestMigrationOptions:
         assert options.standbys is None
 
     def test_resolve_fills_from_config(self):
+        from repro.api import SnapshotStrategy
         config = MiddlewareConfig(policy=MADEUS, pipeline_snapshot=False,
                                   pipeline_depth=7)
         resolved = MigrationOptions().resolve(config)
-        assert resolved.pipeline is False
+        assert resolved.strategy is SnapshotStrategy.SERIAL
         assert resolved.pipeline_depth == 7
         assert isinstance(resolved.rates, TransferRates)
         assert resolved.standbys == ()
+        piped = MigrationOptions().resolve(
+            MiddlewareConfig(policy=MADEUS, pipeline_snapshot=True))
+        assert piped.strategy is SnapshotStrategy.PIPELINED
 
     def test_resolve_keeps_explicit_overrides(self):
+        from repro.api import SnapshotStrategy
         config = MiddlewareConfig(policy=MADEUS, pipeline_snapshot=False)
         resolved = MigrationOptions(
-            pipeline=True, rates=RATES,
+            strategy="pipelined", rates=RATES,
             standbys=["node2"]).resolve(config)
-        assert resolved.pipeline is True
+        assert resolved.strategy is SnapshotStrategy.PIPELINED
         assert resolved.rates is RATES
         assert resolved.standbys == ("node2",)
 

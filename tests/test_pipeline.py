@@ -356,7 +356,7 @@ class TestStreamEquivalence:
 
 
 class TestPipelinedMigration:
-    def _migrate(self, pipeline, size_mb=48.0, seed=11):
+    def _migrate(self, strategy, size_mb=48.0, seed=11):
         env = Environment()
         cluster = Cluster(env)
         cluster.add_node("node0")
@@ -376,14 +376,14 @@ class TestPipelinedMigration:
             middleware.register_tenant("A", "node0")
             report = yield from middleware.migrate(
                 "A", "node1", MigrationOptions(rates=rates,
-                                               pipeline=pipeline))
+                                               strategy=strategy))
             holder["report"] = report
         env.process(main(env))
         env.run()
         return holder["report"], cluster
 
     def test_pipelined_migration_is_consistent(self):
-        report, cluster = self._migrate(pipeline=True)
+        report, cluster = self._migrate(strategy="pipelined")
         assert report.consistent is True, report.inconsistencies
         assert report.pipelined is True
         assert report.chunks >= 2
@@ -393,8 +393,8 @@ class TestPipelinedMigration:
         assert equal, differences
 
     def test_pipelined_beats_serial_above_base_mb(self):
-        piped, _ = self._migrate(pipeline=True)
-        serial, _ = self._migrate(pipeline=False)
+        piped, _ = self._migrate(strategy="pipelined")
+        serial, _ = self._migrate(strategy="serial")
         assert serial.consistent is True
         assert serial.pipelined is False and serial.chunks == 0
         assert piped.migration_time < serial.migration_time

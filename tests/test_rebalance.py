@@ -256,5 +256,10 @@ class TestCli:
             assert chaos.DESCRIPTIONS[name] in out
 
     def test_every_scenario_has_a_description(self):
-        assert set(bench.SCENARIO_DESCRIPTIONS) == set(bench.SCENARIOS)
+        assert (set(bench.SCENARIO_DESCRIPTIONS)
+                == set(bench.SCENARIOS) | set(bench.SCENARIO_ALIASES))
         assert set(chaos.DESCRIPTIONS) >= set(chaos.SCENARIOS)
+
+    def test_scenario_aliases_resolve_to_real_scenarios(self):
+        for target in bench.SCENARIO_ALIASES.values():
+            assert target in bench.SCENARIOS
