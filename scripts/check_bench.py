@@ -38,6 +38,16 @@ at least ``(1 - --max-throughput-regression)`` times the same case's
 throughput in the baseline artifact — a relative comparison of two runs
 on the same runner, never an absolute bar.
 
+For ``BENCH_router.json`` (per-request downtime through the router
+tier) the gate is again structural and relative only: all three
+snapshot strategies present with >= 25 clean migrations each, every
+zero-loss safety counter (lost requests, phantom increments, dropped
+acks, park rejects/timeouts) at zero, monotone downtime percentiles,
+and the headline ordering — the watermark strategy's downtime p99
+strictly below the serial one's.  ``--require-router`` additionally
+fails the run when no router artifact was among the inputs, so the CI
+job cannot silently skip the scenario.
+
 Usage::
 
     python scripts/check_bench.py BENCH_pipeline.json \
@@ -422,14 +432,108 @@ def check_rebalance(data):
     return failures
 
 
+ROUTER_STRATEGY_FIELDS = ("strategy", "migrations_ok",
+                          "migrations_failed", "committed_txns",
+                          "aborted_txns", "lost_requests",
+                          "phantom_increments", "downtime", "requests",
+                          "blocked_requests", "stale_routes",
+                          "park_rejects", "park_timeouts",
+                          "acks_dropped")
+ROUTER_ZERO_COUNTERS = ("migrations_failed", "lost_requests",
+                        "phantom_increments", "acks_dropped",
+                        "park_rejects", "park_timeouts")
+ROUTER_DOWNTIME_FIELDS = ("count", "mean", "p50", "p90", "p99", "max")
+ROUTER_REQUIRED_STRATEGIES = ("serial", "pipelined", "watermark")
+ROUTER_COMPARISON_FIELDS = ("baseline", "candidate", "serial_p99",
+                            "candidate_p99", "p99_improvement")
+ROUTER_MIN_MIGRATIONS = 25
+
+
+def check_router(data):
+    """Structural + relative failures for the router scenario.
+
+    Per ROADMAP.md's tolerance policy everything here is structural or
+    relative: >= 25 clean migrations per strategy, zero-loss safety
+    counters, monotone downtime percentiles, and the headline ordering
+    — the watermark strategy's per-request downtime p99 strictly below
+    the serial one's.  No absolute durations are asserted.
+    """
+    failures = []
+    migrations = data.get("migrations_per_strategy")
+    if not migrations or migrations < ROUTER_MIN_MIGRATIONS:
+        failures.append("migrations_per_strategy is %r, need >= %d"
+                        % (migrations, ROUTER_MIN_MIGRATIONS))
+    records = {}
+    for index, record in enumerate(data.get("strategies", [])):
+        label = "strategy %d" % index
+        missing = [f for f in ROUTER_STRATEGY_FIELDS if f not in record]
+        if missing:
+            failures.append("%s: missing fields %s"
+                            % (label, ", ".join(missing)))
+            continue
+        label = "strategy %s" % record["strategy"]
+        records[record["strategy"]] = record
+        if migrations and record["migrations_ok"] < migrations:
+            failures.append("%s: only %d of %d migrations ok"
+                            % (label, record["migrations_ok"],
+                               migrations))
+        for counter in ROUTER_ZERO_COUNTERS:
+            if record[counter] != 0:
+                failures.append("%s: %s = %s, expected 0"
+                                % (label, counter, record[counter]))
+        downtime = record["downtime"]
+        missing = [f for f in ROUTER_DOWNTIME_FIELDS
+                   if f not in downtime]
+        if missing:
+            failures.append("%s: downtime histogram missing %s"
+                            % (label, ", ".join(missing)))
+            continue
+        if downtime["count"] < 1:
+            failures.append("%s: empty downtime histogram — no request "
+                            "ever observed a handover" % label)
+        if not (0.0 <= downtime["p50"] <= downtime["p90"]
+                <= downtime["p99"] <= downtime["max"]):
+            failures.append("%s: downtime percentiles are not monotone "
+                            "(p50 %.6f, p90 %.6f, p99 %.6f, max %.6f)"
+                            % (label, downtime["p50"], downtime["p90"],
+                               downtime["p99"], downtime["max"]))
+    for name in ROUTER_REQUIRED_STRATEGIES:
+        if name not in records:
+            failures.append("missing strategy record %r" % name)
+    comparisons = data.get("comparisons") or []
+    if not comparisons:
+        failures.append("router artifact has no comparisons")
+    for comparison in comparisons:
+        missing = [f for f in ROUTER_COMPARISON_FIELDS
+                   if f not in comparison]
+        if missing:
+            failures.append("comparison: missing fields %s"
+                            % ", ".join(missing))
+    if "serial" in records and "watermark" in records:
+        serial_p99 = records["serial"]["downtime"]["p99"]
+        watermark_p99 = records["watermark"]["downtime"]["p99"]
+        if not watermark_p99 < serial_p99:
+            failures.append(
+                "watermark downtime p99 (%.6f s) is not strictly below "
+                "serial (%.6f s)" % (watermark_p99, serial_p99))
+    return failures
+
+
 def check_file(path, args):
     """Return a list of failures for one BENCH_*.json artifact."""
     failures = []
     data = load(path)
-    for field in ("bench", "profile", "seed", "cases"):
+    for field in ("bench", "profile", "seed"):
         if field not in data:
             failures.append("missing top-level field %r" % field)
     if failures:
+        return failures
+    if data["bench"] == "router":
+        # Its own schema: per-strategy records, no migration cases.
+        failures.extend(check_router(data))
+        return failures
+    if "cases" not in data:
+        failures.append("missing top-level field 'cases'")
         return failures
     if not data["cases"]:
         failures.append("artifact has no cases")
@@ -474,6 +578,10 @@ def main(argv=None):
                              "gate its catch-up window (strictly "
                              "smaller than pipelined at the largest "
                              "size)")
+    parser.add_argument("--require-router", action="store_true",
+                        help="require a BENCH_router.json artifact "
+                             "among the inputs (fails the run when the "
+                             "router downtime scenario was skipped)")
     parser.add_argument("--baseline", default=None, metavar="BENCH",
                         help="baseline BENCH_simthroughput.json to "
                              "compare throughputs against (the perf "
@@ -486,8 +594,10 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     exit_code = 0
+    benches_seen = set()
     for path in args.artifacts:
         failures = check_file(path, args)
+        benches_seen.add(load(path).get("bench"))
         if failures:
             exit_code = 1
             print("FAIL %s" % path)
@@ -495,6 +605,12 @@ def main(argv=None):
                 print("  - %s" % failure)
         else:
             print("PASS %s" % path)
+    if args.require_router and "router" not in benches_seen:
+        exit_code = 1
+        print("FAIL --require-router: no router artifact among the "
+              "inputs (saw: %s)"
+              % (", ".join(sorted(b for b in benches_seen if b))
+                 or "none"))
     return exit_code
 
 

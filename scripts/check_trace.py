@@ -288,26 +288,34 @@ def check_all_migrations_ok(spans):
     return failures
 
 
-def check_file(path, args):
-    """Return a list of failures for one trace file."""
+def check_file(path, args, tally=None):
+    """Return a list of failures for one trace file.
+
+    ``tally`` (optional) is a shared ``{record name: count}`` dict the
+    caller threads through every file; both point events and spans
+    count — rebalance.decide is a span, rebalance.submit an event.
+    ``main`` checks the ``--min-event`` floors against the accumulated
+    tally *after* every file has been read, so a floor can be satisfied
+    by records spread across several traces.
+    """
     failures = []
     meta, spans, events, metrics = index_trace(path)
     policy = meta.get("policy") or migration_attr(spans, "policy")
+    if tally is not None:
+        for record in events:
+            name = record.get("name")
+            if name:
+                tally[name] = tally.get(name, 0) + 1
+        for record in spans:
+            name = record.get("name")
+            if name:
+                tally[name] = tally.get(name, 0) + 1
 
     if args.require_phase_order:
         failures.extend(check_phase_order(spans))
 
-    # The rebalance gate flags; getattr so hand-built Namespace
-    # objects (tests) without them keep working.  Both point events
-    # and spans count — rebalance.decide is a span, rebalance.submit
-    # an event.
-    for spec in getattr(args, "min_event", None) or []:
-        name, minimum = parse_min_event(spec)
-        count = (count_events(events, name)
-                 + sum(1 for s in spans if s.get("name") == name))
-        if count < minimum:
-            failures.append("%s records = %d < required %d"
-                            % (name, count, minimum))
+    # getattr so hand-built Namespace objects (tests) without the
+    # newer flags keep working.
     if getattr(args, "require_all_migrations_ok", False):
         failures.extend(check_all_migrations_ok(spans))
 
@@ -344,6 +352,26 @@ def check_file(path, args):
             failures.append("soak lost_commits = %s > allowed %d"
                             % (lost, args.max_lost_commits))
 
+    max_lost_requests = getattr(args, "max_lost_requests", None)
+    if max_lost_requests is not None:
+        lost = latest_event_attr(events, "router.summary",
+                                 "lost_requests")
+        if lost is None:
+            failures.append("no router.summary event found for "
+                            "--max-lost-requests")
+        elif lost > max_lost_requests:
+            failures.append("router lost_requests = %s > allowed %d"
+                            % (lost, max_lost_requests))
+        phantoms = latest_event_attr(events, "router.summary",
+                                     "phantom_increments")
+        bound = latest_event_attr(events, "router.summary",
+                                  "phantom_bound")
+        if (phantoms is not None and bound is not None
+                and phantoms > bound):
+            failures.append("router phantom_increments = %s exceeds "
+                            "the dropped-ack bound %s"
+                            % (phantoms, bound))
+
     if args.expect_standby_dropped is not None:
         dropped = metric_value(metrics, "migration.standby_dropped")
         if dropped is None:
@@ -360,10 +388,12 @@ def check_file(path, args):
 
     if args.expect_outcome is not None:
         failures.extend(check_outcome(args.expect_outcome, spans, events))
-    elif args.expect_resumed is None and args.max_lost_commits is None:
-        # Soak traces legitimately record suspended / abandoned
-        # attempts alongside the migrations that finished, so the
-        # soak flags disable the single-migration default gate.
+    elif (args.expect_resumed is None and args.max_lost_commits is None
+          and max_lost_requests is None):
+        # Soak and router traces legitimately record suspended /
+        # abandoned attempts alongside the migrations that finished,
+        # so the soak/router flags disable the single-migration
+        # default gate.
         outcome = migration_attr(spans, "outcome")
         if outcome not in (None, "ok"):
             failures.append("migration outcome is %r, expected 'ok'"
@@ -438,12 +468,21 @@ def main(argv=None):
                              "soak.summary event may report (soak "
                              "runs; 0 = none); also disables the "
                              "default first-migration outcome gate")
+    parser.add_argument("--max-lost-requests", type=int, default=None,
+                        help="maximum lost_requests the trace's final "
+                             "router.summary event may report (router "
+                             "runs; 0 = every acknowledged request "
+                             "survived); also checks phantom "
+                             "increments against the dropped-ack "
+                             "bound and disables the default "
+                             "first-migration outcome gate")
     parser.add_argument("--min-event", action="append", default=None,
                         metavar="NAME[:COUNT]",
                         help="require at least COUNT (default 1) "
                              "trace records (events or spans) with "
-                             "this name; repeatable (e.g. --min-event "
-                             "rebalance.submit:1)")
+                             "this name, counted across ALL trace "
+                             "files passed; repeatable (e.g. "
+                             "--min-event rebalance.submit:1)")
     parser.add_argument("--require-all-migrations-ok",
                         action="store_true",
                         help="every migration span in the trace must "
@@ -457,8 +496,9 @@ def main(argv=None):
 
     exit_code = 0
     gated = 0
+    tally = {}
     for path in args.traces:
-        policy, failures, skipped = check_file(path, args)
+        policy, failures, skipped = check_file(path, args, tally)
         label = "%s [%s]" % (path, policy or "?")
         if failures:
             exit_code = 1
@@ -470,6 +510,17 @@ def main(argv=None):
         else:
             gated += 1
             print("PASS %s" % label)
+    # The --min-event floors gate the *accumulated* counts, so a floor
+    # can be met by records spread across several trace files.
+    for spec in args.min_event or []:
+        name, minimum = parse_min_event(spec)
+        count = tally.get(name, 0)
+        if count < minimum:
+            exit_code = 1
+            observed = ", ".join(sorted(tally)) or "none"
+            print("FAIL --min-event %s: %d record(s) across %d trace "
+                  "file(s) < required %d (observed record names: %s)"
+                  % (name, count, len(args.traces), minimum, observed))
     if args.policy and not gated and exit_code == 0:
         print("FAIL: no trace matched --policy %s" % args.policy)
         exit_code = 1

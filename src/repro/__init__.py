@@ -15,6 +15,9 @@ on a deterministic discrete-event substrate:
   baseline propagation policies of Table 2;
 * :mod:`repro.control` — the continuous control plane: load watching,
   hotspot detection, and the cost-model-driven :class:`Rebalancer`;
+* :mod:`repro.router` — the client-facing connection tier: a
+  :class:`RouterFleet` of crashable shards that drain connections
+  through handovers and record per-request downtime histograms;
 * :mod:`repro.workload` — TPC-W (schema, Table-3 population, the three
   mixes, emulated browsers) and a simple key-value workload;
 * :mod:`repro.experiments` — one module per paper table/figure.
@@ -65,6 +68,7 @@ from .errors import (
     NetworkDown,
     NodeCrashed,
     ReproError,
+    RouterCrashed,
     RoutingError,
     SchemaError,
     SqlError,
@@ -72,6 +76,7 @@ from .errors import (
 )
 from .faults import FaultInjector, FaultPlan, FaultSpec
 from .obs import MetricsRegistry, Tracer, read_trace, write_trace
+from .router import RouterConfig, RouterFleet, RouterShard
 from .sim import Environment
 
 __version__ = "1.0.0"
@@ -108,6 +113,10 @@ __all__ = [
     "RebalanceReport",
     "Rebalancer",
     "ReproError",
+    "RouterConfig",
+    "RouterCrashed",
+    "RouterFleet",
+    "RouterShard",
     "RoutingError",
     "ScheduleOptions",
     "ScheduleReport",

@@ -41,10 +41,26 @@ The surface, by layer:
 * :class:`ClusterView` — one frozen sample of per-tenant rates and
   per-node loads, with the ``imbalance`` coefficient.
 
+**Router tier** — what a *client connection* experiences:
+
+* :class:`RouterFleet` / :class:`RouterShard` /
+  :class:`RouterConfig` — the shardable, crashable connection tier in
+  front of the middleware: persistent per-client connections,
+  connection draining through handovers (in-flight requests quiesce,
+  new ``BEGIN``\\ s park in a bounded queue with capped-backoff
+  retry), seeded crash failover, and the per-request downtime
+  histogram (``router.downtime``) the service-interruption argument
+  rests on.  The fleet duck-types ``connect`` / ``submit``, so any
+  workload written against :class:`Middleware` runs through it
+  unchanged.
+
 **Observability** — read what the system measured:
 
 * :class:`MetricsRegistry` — counters and gauges, with the stable read
-  API ``snapshot()`` / ``gauge_value(name, default)``.
+  API ``snapshot()`` / ``gauge_value(name, default)``;
+* :class:`QuantileHistogram` — the sample-retaining histogram behind
+  the router's per-request downtime metric (``p50``/``p90``/``p99``
+  via nearest-rank ``quantile(q)``).
 
 **Harness**:
 
@@ -80,7 +96,8 @@ from .core.scheduler import (
 from .core.watermark import SnapshotStrategy
 from .engine.dump import TransferRates
 from .experiments.bench import run_benchmark
-from .obs.metrics import MetricsRegistry
+from .obs.metrics import MetricsRegistry, QuantileHistogram
+from .router import RouterConfig, RouterFleet, RouterShard
 
 __all__ = [
     "ClusterView",
@@ -90,9 +107,13 @@ __all__ = [
     "MigrationOptions",
     "MigrationReport",
     "MigrationScheduler",
+    "QuantileHistogram",
     "RebalanceOptions",
     "RebalanceReport",
     "Rebalancer",
+    "RouterConfig",
+    "RouterFleet",
+    "RouterShard",
     "ScheduleOptions",
     "ScheduleReport",
     "SnapshotStrategy",

@@ -13,7 +13,6 @@ any of the Table-2 baselines.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
@@ -159,9 +158,9 @@ class MigrationOptions:
     #: value): ``SERIAL``, ``PIPELINED``, or ``WATERMARK``.  ``None``
     #: inherits :attr:`MiddlewareConfig.pipeline_snapshot`.
     strategy: Optional[SnapshotStrategy] = None
-    #: Deprecated boolean spelling of :attr:`strategy` (one
-    #: DeprecationWarning shim cycle; ``True`` -> ``PIPELINED``,
-    #: ``False`` -> ``SERIAL``).
+    #: Retired boolean spelling of :attr:`strategy`; its one-release
+    #: DeprecationWarning shim cycle has passed, so any non-``None``
+    #: value raises :class:`TypeError` naming ``SnapshotStrategy``.
     pipeline: Optional[bool] = None
     #: Bounded-buffer depth of the pipelined path (None -> config).
     pipeline_depth: Optional[int] = None
@@ -195,19 +194,11 @@ class MigrationOptions:
         object.__setattr__(self, "strategy",
                            SnapshotStrategy.coerce(self.strategy))
         if self.pipeline is not None:
-            warnings.warn(
-                "MigrationOptions(pipeline=...) is deprecated; use "
-                "strategy=SnapshotStrategy.%s instead"
-                % ("PIPELINED" if self.pipeline else "SERIAL"),
-                DeprecationWarning, stacklevel=3)
-            if self.strategy is None:
-                object.__setattr__(
-                    self, "strategy",
-                    SnapshotStrategy.PIPELINED if self.pipeline
-                    else SnapshotStrategy.SERIAL)
-            # Clear the old field so dataclasses.replace() round-trips
-            # never re-trigger the warning.
-            object.__setattr__(self, "pipeline", None)
+            raise TypeError(
+                "MigrationOptions(pipeline=...) was removed after its "
+                "deprecation cycle; use strategy=SnapshotStrategy.%s "
+                "instead"
+                % ("PIPELINED" if self.pipeline else "SERIAL"))
 
     def resolve(self, config: MiddlewareConfig) -> "MigrationOptions":
         """Fill every ``None`` from ``config`` / library defaults."""
@@ -691,6 +682,27 @@ class Middleware:
         self.tenant_state(tenant)  # validate
         return Connection(self, tenant)
 
+    def disconnect(self, conn: Connection) -> None:
+        """Abandon a connection whose customer side went away.
+
+        The server-side unwind a real DBMS performs when it loses the
+        client socket: any in-flight transaction is rolled back and the
+        gate slot it held is released, so an abandoned connection (a
+        router shard crashing mid-transaction, a client process dying)
+        can never wedge a handover drain.  Idempotent.
+        """
+        state = self.tenant_state(conn.tenant)
+        self._connection_lost(conn, state)
+
+    def draining(self, tenant: str) -> bool:
+        """Whether ``tenant``'s gate is closed (handover in progress).
+
+        The router tier consults this before admitting a new
+        transaction: a draining tenant's BEGINs are parked router-side
+        in a bounded queue instead of piling onto the middleware gate.
+        """
+        return not self.tenant_state(tenant).gate.is_open
+
     # ------------------------------------------------------------------
     # the worker (Algorithms 1 and 2), inline on the customer connection
     # ------------------------------------------------------------------
@@ -927,7 +939,8 @@ class Middleware:
         MTS is a clean commit boundary; (2) ship + restore on the
         destination — streamed in overlapping chunks by default, or the
         serial paper-faithful chain with
-        ``MigrationOptions(pipeline=False)``; (3) propagate syncsets
+        ``MigrationOptions(strategy=SnapshotStrategy.SERIAL)``; (3)
+        propagate syncsets
         under the configured policy until caught up; (4) suspend new
         transactions, drain, switch over, resume.
 
@@ -962,10 +975,6 @@ class Middleware:
                                      % (tenant, node_name))
         if destination in standbys:
             raise MigrationError("destination cannot also be a standby")
-        if opts.strategy is SnapshotStrategy.WATERMARK and standbys:
-            raise MigrationError(
-                "watermark snapshots do not support standbys; use "
-                "SnapshotStrategy.PIPELINED for multi-slave migrations")
         source_instance = self.cluster.node(source).instance
         dest_instance = self.cluster.node(destination).instance
         standby_instances = {name: self.cluster.node(name).instance
@@ -1222,6 +1231,10 @@ class Middleware:
                                          metrics=self.metrics)
             state.propagator = propagator
         for name, instance in run.standby_instances.items():
+            if name in state.standby_propagators:
+                # Watermark standby appliers were adopted during the
+                # snapshot walk; they keep consuming their tap cursors.
+                continue
             standby_ssl = SyncsetList()
             standby_ssl.adopt_opens(state.ssl)
             standby_ssl.adopt_backlog(state.ssl)
@@ -2030,12 +2043,33 @@ class Middleware:
         applier = state.propagator
         if applier is None:
             applier = ChangeStreamApplier(
-                self.env, tap, report.source, state.ssl,
+                self.env, tap.consumer("dest"), report.source, state.ssl,
                 run.dest_instance, tenant, self.cluster.network,
                 self.config.policy, tracer=self.tracer,
                 metrics=self.metrics)
             state.propagator = applier
             applier.start()
+        # Standby fan-out off the same broadcast tap: each standby gets
+        # its own named cursor (one feed, N consumers — no per-reader
+        # re-read of the source) and replays the identical stream; the
+        # chunk walk below ships every deduplicated chunk to standbys
+        # too, so a surviving standby is exactly as complete as the
+        # destination at every point past the walk.
+        for name, instance in run.standby_instances.items():
+            if name in state.standby_propagators:
+                continue  # adopted across a resume
+            if not instance.has_tenant(tenant):
+                create_from_schemas(instance, tenant, specs,
+                                    source_db.fixed_overhead_mb,
+                                    source_db.size_multiplier)
+            standby_applier = ChangeStreamApplier(
+                self.env, tap.consumer("standby:%s" % name),
+                report.source, state.ssl, instance, tenant,
+                self.cluster.network, self.config.policy,
+                tracer=self.tracer, metrics=self.metrics,
+                metrics_prefix="propagation.standby.%s" % name)
+            state.standby_propagators[name] = standby_applier
+            standby_applier.start()
         restore_span = self.tracer.phase(
             "restore", parent=run.migration_span, size_mb=size_mb,
             pipelined=True, strategy="watermark")
@@ -2043,6 +2077,14 @@ class Middleware:
 
         def fail_destination(reason: str) -> None:
             restore_errors[run.destination] = reason
+            # A mid-walk standby holds chunks only up to the point of
+            # failure, so there is nothing complete to promote: discard
+            # the lot and let the shared tail abort.
+            for name in sorted(run.standby_instances):
+                run.standby_instances.pop(name)
+                self._drop_standby(state, name, phase="watermark",
+                                   reason="primary walk failed: %s"
+                                   % reason)
             self.tracer.finish(dump_span, outcome="failed")
 
         while True:
@@ -2063,18 +2105,42 @@ class Middleware:
                                          phase="dump")
             hi = tap.marker("hi", chunk_index)
             applier.notify_linked()
-            fired = yield self.env.any_of(
-                [hi.reached, applier.wait_failed(), run.source_down])
-            if fired is run.source_down:
-                self.tracer.finish(restore_span,
-                                   outcome="source_crashed")
-                self._abort_source_crash(state, run.dest_instance,
-                                         tenant, report,
-                                         run.migration_span, dump_span,
-                                         phase="dump")
-            if not hi.reached.triggered:
-                # The applier died replaying the stream; the shared
-                # tail aborts (watermark runs carry no standbys).
+            for prop in state.standby_propagators.values():
+                prop.notify_linked()
+            while not hi.reached.triggered:
+                standby_failed = {
+                    name: prop.wait_failed()
+                    for name, prop in state.standby_propagators.items()}
+                waits = [hi.reached, applier.wait_failed(),
+                         run.source_down]
+                waits.extend(standby_failed.values())
+                fired = yield self.env.any_of(waits)
+                if fired is run.source_down:
+                    self.tracer.finish(restore_span,
+                                       outcome="source_crashed")
+                    self._abort_source_crash(state, run.dest_instance,
+                                             tenant, report,
+                                             run.migration_span,
+                                             dump_span, phase="dump")
+                if hi.reached.triggered:
+                    break
+                dropped = None
+                for name, event in standby_failed.items():
+                    if fired is event:
+                        dropped = name
+                        break
+                if dropped is not None:
+                    # Section 4.2 applied to the broadcast: discard the
+                    # dead consumer's cursor (which may be the one the
+                    # ``hi`` marker is still waiting on) and walk on.
+                    reason = (state.standby_propagators[dropped].failed
+                              or "replay failed")
+                    run.standby_instances.pop(dropped, None)
+                    self._drop_standby(state, dropped, phase="watermark",
+                                       reason=reason)
+                    continue
+                # The destination applier died replaying the stream;
+                # the shared tail aborts.
                 fail_destination(applier.failed or "replay failed")
                 return restore_span
             window = tap.window_keys(lo, hi)
@@ -2110,6 +2176,47 @@ class Middleware:
             csn = run.dest_instance.next_csn()
             for table_name, key, row in fresh:
                 dest_tenant.table(table_name).install(key, csn, row)
+            # Fan the deduplicated chunk out to the standbys before any
+            # consumer resumes past ``hi``: installs must land strictly
+            # between the in-window records and anything newer on every
+            # copy, or the standby loses snapshot-equivalence.  A
+            # standby that cannot take the chunk is discarded; it never
+            # stalls the primary walk.
+            for name in sorted(run.standby_instances):
+                instance = run.standby_instances[name]
+                standby_error: Optional[str] = None
+                attempt = 0
+                try:
+                    while True:
+                        try:
+                            if chunk_mb > 0:
+                                yield from (
+                                    self.cluster.network.bulk_transfer(
+                                        report.source, name, chunk_mb))
+                            break
+                        except NetworkDown as exc:
+                            attempt += 1
+                            if attempt > opts.retry_limit:
+                                standby_error = str(exc)
+                                break
+                            yield from retry_backoff(name, attempt)
+                    if standby_error is None and chunk_mb > 0:
+                        yield from instance.disk.write(chunk_mb)
+                except NodeCrashed as exc:
+                    standby_error = str(exc)
+                if standby_error is None and instance.crashed:
+                    standby_error = ("%s crashed during watermark "
+                                     "install" % name)
+                if standby_error is not None:
+                    run.standby_instances.pop(name)
+                    self._drop_standby(state, name, phase="watermark",
+                                       reason=standby_error)
+                    continue
+                standby_csn = instance.next_csn()
+                standby_tenant = instance.tenant(tenant)
+                for table_name, key, row in fresh:
+                    standby_tenant.table(table_name).install(
+                        key, standby_csn, row)
             if not hi.proceed.triggered:
                 hi.proceed.succeed()
             self.tracer.event("watermark.hi", tenant=tenant,
@@ -2124,10 +2231,16 @@ class Middleware:
                 journal.chunks_restored[run.destination] = chunk_index
                 journal.chunk_log.setdefault(
                     run.destination, []).append(chunk_index - 1)
+                for name in run.standby_instances:
+                    journal.chunks_restored[name] = chunk_index
+                    journal.chunk_log.setdefault(
+                        name, []).append(chunk_index - 1)
             if next_cursor is None:
                 break
             cursor = next_cursor
         finalize_indexes(dest_tenant, specs)
+        for name, instance in run.standby_instances.items():
+            finalize_indexes(instance.tenant(tenant), specs)
         report.snapshot_at = self.env.now
         self.metrics.gauge("watermark.chunks").set(report.chunks)
         self.metrics.gauge("watermark.backlog_at_walk_end").set(
@@ -2183,6 +2296,10 @@ class Middleware:
             ssl.take_all()
         if propagator is not None:
             propagator.request_stop()
+        if state.change_tap is not None:
+            # Broadcast stream: forget this consumer's cursor so pending
+            # watermark markers stop waiting on a dead reader.
+            state.change_tap.discard_consumer("standby:%s" % node_name)
         state.failed_standbys.append(node_name)
         self.metrics.counter("migration.standby_dropped").inc()
         self.tracer.event("migration.standby_dropped", tenant=state.name,
@@ -2197,17 +2314,25 @@ class Middleware:
         During catch-up the standby's SSL and propagator simply take
         over the primary role — the standby replayed the same syncset
         stream, so it is exactly as caught up as its own backlog says.
-        Survivor choice is sorted-order for determinism.
+        Under a watermark migration the standby consumed its own cursor
+        of the shared broadcast tap, so only the engine swaps: the dead
+        primary's cursor is discarded and the tap keeps feeding the
+        survivor.  Survivor choice is sorted-order for determinism.
         """
         promoted = sorted(standby_instances)[0]
         instance = standby_instances.pop(promoted)
         standby_prop = state.standby_propagators.pop(promoted, None)
         standby_ssl = state.standby_ssls.pop(promoted, None)
         if standby_prop is not None:
-            old_ssl = state.ssl
-            state.ssl = standby_ssl
+            if standby_ssl is not None:
+                old_ssl = state.ssl
+                state.ssl = standby_ssl
+                old_ssl.take_all()  # the dead destination's backlog
             state.propagator = standby_prop
-            old_ssl.take_all()  # the dead destination's backlog
+        if state.change_tap is not None:
+            # The dead primary's cursor must not hold up future markers;
+            # the promoted applier keeps reading its own named cursor.
+            state.change_tap.discard_consumer("dest")
         report.destination = promoted
         report.failovers += 1
         self.metrics.counter("migration.failover").inc()

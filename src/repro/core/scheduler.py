@@ -282,10 +282,16 @@ class MigrationScheduler:
     """
 
     def __init__(self, middleware: Middleware,
-                 options: Optional[ScheduleOptions] = None):
+                 options: Optional[ScheduleOptions] = None,
+                 router: Optional[Any] = None):
         self.middleware = middleware
         self.env = middleware.env
         self.options = (options or ScheduleOptions()).resolve()
+        #: Optional router tier (:class:`~repro.router.RouterFleet`):
+        #: each completed job pushes a route invalidation for its
+        #: tenant, so shard caches stop bouncing off the old master
+        #: instead of waiting for the stale-route detection path.
+        self.router = router
         self._pending: List[Tuple[str, str, Optional[MigrationOptions],
                                   Tuple[str, ...]]] = []
         self._session: Optional[_ScheduleSession] = None
@@ -518,6 +524,8 @@ class MigrationScheduler:
                                 outcome.tenant, destination,
                                 options or opts.migration)
                     outcome.outcome = "ok"
+                    if self.router is not None:
+                        self.router.invalidate(outcome.tenant)
                     break
                 except SourceCrashed as exc:
                     journal = self.middleware.migration_journal(

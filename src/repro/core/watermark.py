@@ -5,17 +5,21 @@ stream) interleaves chunked selects with the *live* change stream the
 way DBLog does: the commit path taps each committed transaction's row
 post-images into a :class:`~repro.core.pipeline.ChangeTap`, the
 snapshot manager brackets every chunk select between low and high
-watermark markers injected into that stream, and the
-:class:`ChangeStreamApplier` here replays the stream on the destination
-in commit order.  A chunk row whose key saw a change inside its own
-lo/hi window is dropped — the change stream already carries a newer
-image — so the restored copy is snapshot-equivalent without ever
-freezing a CSN, and catch-up after the last chunk is bounded by chunk
-size instead of dump duration.
+watermark markers injected into that stream, and one
+:class:`ChangeStreamApplier` *per destination node* replays the stream
+in commit order.  The tap is a single-feed broadcast
+(:class:`~repro.core.pipeline.TapCursor` per consumer), so a migration
+with standbys fans the one change stream out to N nodes without
+re-reading the source, and a consumer that crashes mid-walk is
+discarded without disturbing the rest.  A chunk row whose key saw a
+change inside its own lo/hi window is dropped — the change stream
+already carries a newer image — so every restored copy is
+snapshot-equivalent without ever freezing a CSN, and catch-up after
+the last chunk is bounded by chunk size instead of dump duration.
 
 This module also defines :class:`SnapshotStrategy`, the first-class
 selector threaded through ``MigrationOptions`` / ``ScheduleOptions`` /
-``RebalanceOptions`` in place of the old pipelined/serial boolean.
+``RebalanceOptions``.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from typing import TYPE_CHECKING, Generator, Optional, Union
 
 from ..engine.wal import change_payload_mb
 from ..errors import NetworkDown, NodeCrashed
-from .pipeline import ChangeTap, TapMarker
+from .pipeline import TapCursor, TapMarker
 from .propagation import _BasePropagator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,20 +85,23 @@ class ChangeStreamApplier(_BasePropagator):
     :class:`Conductor`, speaking the same manager protocol (``start`` /
     ``wait_caught_up`` / ``request_stop`` / ``wait_fully_drained``) so
     the catch-up and handover phases drive it unchanged.  Instead of
-    replaying SQL syncsets it consumes a :class:`ChangeTap`: committed
-    post-images are batched, shipped over the shared prioritised
-    ``net.bulk_transfer`` stream (so they contend honestly with
-    in-flight snapshot chunks), written to the destination disk, and
-    installed as fresh versions — value-idempotent, so a batch replayed
-    after a fault converges to the same state.  Watermark markers in
-    the stream pace the snapshot manager: at a ``hi`` marker the
-    applier signals ``reached`` (everything before the watermark is now
-    applied) and parks until the manager has installed the deduplicated
-    chunk and fires ``proceed``.
+    replaying SQL syncsets it consumes one :class:`TapCursor` of the
+    tenant's broadcast :class:`~repro.core.pipeline.ChangeTap`:
+    committed post-images are batched, shipped over the shared
+    prioritised ``net.bulk_transfer`` stream (so they contend honestly
+    with in-flight snapshot chunks), written to the destination disk,
+    and installed as fresh versions — value-idempotent, so a batch
+    replayed after a fault converges to the same state.  Watermark
+    markers in the stream pace the snapshot manager: at a ``hi``
+    marker the applier announces its cursor reached the watermark
+    (``reached`` fires once the *last* consumer arrives) and parks
+    until the manager has installed the deduplicated chunk on every
+    node and fires ``proceed``.
 
-    The read cursor lives on the tap, not here: if this applier dies on
-    a fault, restart-and-resume builds a fresh one that continues from
-    the exact record its predecessor last durably applied.
+    The read cursor lives on the tap, not here: if this applier dies
+    on a fault, restart-and-resume builds a fresh one around the same
+    named cursor and continues from the exact record its predecessor
+    last durably applied.
     """
 
     #: Max transaction records shipped per round; with the tap appended
@@ -106,7 +113,7 @@ class ChangeStreamApplier(_BasePropagator):
     #: workload the stream never hits a strictly empty instant.
     CATCHUP_THRESHOLD = 8
 
-    def __init__(self, env: "Environment", tap: ChangeTap,
+    def __init__(self, env: "Environment", cursor: TapCursor,
                  source_name: str, ssl: "SyncsetList",
                  slave: "DbmsInstance", tenant_name: str,
                  network: "Network", policy: "PropagationPolicy",
@@ -116,7 +123,8 @@ class ChangeStreamApplier(_BasePropagator):
         super().__init__(env, ssl, slave, tenant_name, network, policy,
                          None, tracer=tracer, metrics=metrics,
                          metrics_prefix=metrics_prefix)
-        self.tap = tap
+        self.cursor = cursor
+        self.tap = cursor.tap
         self.source_name = source_name
         self._busy = False
 
@@ -125,17 +133,17 @@ class ChangeStreamApplier(_BasePropagator):
         return 1 if self._busy else 0
 
     def _is_drained(self) -> bool:
-        return self.tap.drained and not self._busy
+        return self.cursor.drained and not self._busy
 
     def _backlog(self) -> int:
-        return self.tap.pending_count()
+        return self.cursor.pending_count()
 
     # ------------------------------------------------------------------
     def _run(self) -> Generator:
         while True:
             if self.failed is not None:
                 return
-            batch, marker = self.tap.peek(self.BATCH_LIMIT)
+            batch, marker = self.cursor.peek(self.BATCH_LIMIT)
             if marker is not None:
                 yield from self._consume_marker(marker)
                 continue
@@ -158,23 +166,23 @@ class ChangeStreamApplier(_BasePropagator):
             # Only consume once durably applied: a mid-batch fault
             # leaves the cursor put and a successor replays the batch
             # (row-image installs are value-idempotent).
-            self.tap.advance(len(batch))
+            self.cursor.advance(len(batch))
             if self._backlog() <= self.CATCHUP_THRESHOLD:
                 self._fire_caught_up()
 
     def _consume_marker(self, marker: TapMarker) -> Generator:
-        """Handle a watermark record at the tap cursor.
+        """Handle a watermark record at this consumer's cursor.
 
-        ``reached`` fires for both kinds; a live ``hi`` marker parks the
-        applier here — cursor still *on* the marker, so a resume that
-        cancels pending markers unblocks exactly this wait — until the
-        manager installed the deduplicated chunk.
+        The cursor announces it reached the marker (``reached`` fires
+        once every active consumer has); a live ``hi`` marker parks
+        the applier here — cursor still *on* the marker, so a resume
+        that cancels pending markers unblocks exactly this wait —
+        until the manager installed the deduplicated chunk everywhere.
         """
-        if not marker.reached.triggered:
-            marker.reached.succeed()
+        self.cursor.reach_marker(marker)
         if marker.kind == "hi" and not marker.cancelled:
             yield marker.proceed
-        self.tap.consume_marker(marker)
+        self.cursor.consume_marker(marker)
 
     def _ship_and_apply(self, batch) -> Generator:
         """Ship one batch of transactions and install their images."""

@@ -108,3 +108,17 @@ class CatchUpTimeout(MigrationError):
 
 class RoutingError(ReproError):
     """No node hosts the requested tenant, or routing tables are stale."""
+
+
+class RouterCrashed(ReproError):
+    """The router shard carrying this connection died mid-request.
+
+    The reply (if any) was lost in the shard's buffers; the client must
+    treat the request outcome as *unknown* and reconnect to a surviving
+    shard.  Requests the shard had not yet forwarded were never
+    acknowledged, so dropping them loses nothing that was promised.
+    """
+
+    def __init__(self, shard: str):
+        super().__init__("router shard %s crashed" % shard)
+        self.shard = shard

@@ -41,6 +41,18 @@ Four scenarios:
     perf gate compares this artifact between a PR and its base commit
     on the same runner.
 
+``router``
+    Measures what clients actually feel instead of migration
+    wall-clock: a kv workload runs through the crashable
+    :class:`~repro.router.RouterFleet` while one tenant bounces
+    node0 <-> node1 for 25 migrations per snapshot strategy, and every
+    blocked request (parked BEGINs during the handover drain,
+    stale-route bounces, reconnects) lands in the ``router.downtime``
+    quantile histogram.  The artifact reports p50/p90/p99/max per
+    strategy plus zero-loss safety counters; the headline gate is
+    relative — watermark p99 below serial p99 (``check_bench.py
+    --require-router``).
+
 Each scenario writes one ``BENCH_<scenario>.json`` file (see
 EXPERIMENTS.md for the schema).  Except for ``simthroughput`` (which
 honestly measures the host clock), values are *simulated* seconds from
@@ -56,12 +68,24 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..core.middleware import MigrationOptions, MigrationReport
+from ..cluster.cluster import Cluster
+from ..core.middleware import (
+    Middleware,
+    MiddlewareConfig,
+    MigrationOptions,
+    MigrationReport,
+)
 from ..core.policy import ALL_POLICIES, MADEUS, PropagationPolicy
 from ..core.scheduler import ScheduleOptions
 from ..core.watermark import SnapshotStrategy
-from ..engine.dump import restore_duration
+from ..engine.dump import TransferRates, restore_duration
 from ..metrics.report import format_table
+from ..obs.export import write_trace
+from ..router import RouterFleet
+from ..sim.core import Environment
+from ..sim.rand import StreamFactory
+from ..workload import simplekv
+from ..workload.simplekv import KvWorkloadConfig, KvWorkloadResult
 from .common import Report, TenantSetup, Testbed, build_testbed, seeded
 from .profiles import Profile, get_profile
 from .simthroughput import (
@@ -100,8 +124,25 @@ PARALLEL_PAPER_EBS = 25
 PARALLEL_SCHEDULES = (("fifo", 0), ("round-robin", 0),
                       ("smallest-first", 0), ("smallest-first", 2))
 
+#: The router scenario: migrations per strategy (the downtime
+#: histogram accumulates over all of them) and testbed shape.
+ROUTER_MIGRATIONS = 25
+ROUTER_STRATEGIES = (SnapshotStrategy.SERIAL, SnapshotStrategy.PIPELINED,
+                     SnapshotStrategy.WATERMARK)
+ROUTER_SHARD_COUNT = 2
+ROUTER_KEYS = 24
+ROUTER_CLIENTS = 4
+ROUTER_THINK_TIME = 0.2
+ROUTER_TENANT_MB = 8.0
+ROUTER_CHUNK_MB = 2.0
+#: Idle gap between bounce migrations, simulated seconds.
+ROUTER_GAP = 2.0
+#: Deliberately modest rates so each migration (and its handover
+#: drain) spans enough sim time for requests to land inside it.
+ROUTER_RATES = TransferRates(dump_mb_s=5.0, restore_mb_s=2.0)
+
 SCENARIOS = ("pipeline", "policies", "multitenant_parallel",
-             "simthroughput")
+             "simthroughput", "router")
 
 #: Alternate scenario spellings accepted by ``run_benchmark`` and the
 #: CLI.  ``watermark`` names the same three-way run as ``pipeline``
@@ -120,6 +161,8 @@ SCENARIO_DESCRIPTIONS = {
                             "policy",
     "simthroughput": "DES substrate throughput gate (events/s, sim "
                      "speedup)",
+    "router": "per-request downtime histograms through the router "
+              "tier, 25 migrations per snapshot strategy",
 }
 
 
@@ -431,6 +474,201 @@ def run_multitenant_parallel_scenario(profile: Profile,
     return result
 
 
+@dataclass
+class RouterBenchResult:
+    """The router scenario's per-strategy downtime distributions."""
+
+    scenario: str
+    profile: str
+    seed: int
+    migrations: int
+    #: One record per strategy: downtime percentiles plus the safety
+    #: counters (``lost_requests`` must be 0 on every row).
+    strategies: List[Dict[str, Any]] = field(default_factory=list)
+    comparisons: List[Dict[str, Any]] = field(default_factory=list)
+    path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": self.scenario,
+            "profile": self.profile,
+            "seed": self.seed,
+            "migrations_per_strategy": self.migrations,
+            "strategies": self.strategies,
+            "comparisons": self.comparisons,
+        }
+
+
+def _run_router_strategy(profile: Profile, strategy: SnapshotStrategy,
+                         migrations: int,
+                         trace_dir: Optional[str]) -> Dict[str, Any]:
+    """One strategy's leg: bounce a tenant ``migrations`` times under
+    kv load through the router tier, collect the downtime histogram."""
+    env = Environment()
+    cluster = Cluster(env)
+    for name in ("node0", "node1"):
+        cluster.add_node(name)
+    middleware = Middleware(env, cluster, MiddlewareConfig(
+        policy=MADEUS, verify_consistency=True, drop_source_copy=True))
+    fleet = RouterFleet(env, middleware, shards=ROUTER_SHARD_COUNT,
+                        seed=profile.seed)
+    ready: Dict[str, bool] = {}
+
+    def setup(env: Environment) -> Any:
+        instance = cluster.node("node0").instance
+        yield from simplekv.setup_kv_tenant(instance, "A", ROUTER_KEYS)
+        instance.tenant("A").fixed_overhead_mb = ROUTER_TENANT_MB
+        middleware.register_tenant("A", "node0")
+        ready["ok"] = True
+
+    env.process(setup(env), name="bench.router.setup")
+    while "ok" not in ready:
+        env.run(until=env.now + 0.1)
+
+    stop = {"flag": False}
+    workload = KvWorkloadResult()
+    config = KvWorkloadConfig(keys=ROUTER_KEYS, clients=ROUTER_CLIENTS,
+                              think_time=ROUTER_THINK_TIME)
+    streams = StreamFactory(profile.seed)
+
+    def client(env: Environment, rng: Any) -> Any:
+        # Deadline-free load: clients issue transactions through the
+        # fleet until the mover finishes, then quiesce cleanly (never
+        # frozen mid-transaction, so the ack ledger stays exact).
+        conn = fleet.connect("A")
+        while not stop["flag"]:
+            yield env.timeout(rng.exponential(config.think_time))
+            if stop["flag"]:
+                return
+            if rng.random() < config.read_only_ratio:
+                yield from simplekv._read_only_txn(fleet, conn, rng,
+                                                   config, workload)
+            else:
+                yield from simplekv._update_txn(fleet, conn, rng,
+                                                config, workload)
+
+    clients = [
+        env.process(client(env, streams.stream("bench-router-%d" % i)),
+                    name="bench.router.kv.%d" % i)
+        for i in range(ROUTER_CLIENTS)]
+    counts = {"ok": 0, "failed": 0}
+
+    def mover(env: Environment) -> Any:
+        destination = "node1"
+        for _index in range(migrations):
+            report = yield from middleware.migrate(
+                "A", destination,
+                MigrationOptions(rates=ROUTER_RATES,
+                                 chunk_mb=ROUTER_CHUNK_MB,
+                                 strategy=strategy))
+            counts["ok" if report.outcome == "ok" else "failed"] += 1
+            destination = ("node0" if destination == "node1"
+                           else "node1")
+            yield env.timeout(ROUTER_GAP)
+        stop["flag"] = True
+
+    env.process(mover(env), name="bench.router.mover")
+    while not stop["flag"]:
+        env.run(until=env.now + 10.0)
+    while any(proc.is_alive for proc in clients):
+        env.run(until=env.now + 10.0)
+    env.run(until=env.now + 1.0)
+
+    # Safety ledger: every acknowledged increment must be on the final
+    # owner; without router crashes there is no phantom allowance.
+    owner = middleware.route("A")
+    table = cluster.node(owner).instance.tenant("A").table("kv")
+    lost = phantom = 0
+    for key, increments in sorted(
+            workload.committed_increments.items()):
+        got = table.chain(key).latest()["v"]
+        if got < increments:
+            lost += increments - got
+        elif got > increments:
+            phantom += got - increments
+
+    stats = fleet.stats()
+    histogram = middleware.metrics.get("router.downtime")
+    if histogram is not None and histogram.count:
+        downtime = {
+            "count": histogram.count,
+            "mean": round(histogram.mean, 6),
+            "p50": round(histogram.quantile(0.50), 6),
+            "p90": round(histogram.quantile(0.90), 6),
+            "p99": round(histogram.quantile(0.99), 6),
+            "max": round(histogram.max or 0.0, 6),
+        }
+    else:
+        downtime = {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                    "p99": 0.0, "max": 0.0}
+    record = {
+        "strategy": strategy.value,
+        "migrations_ok": counts["ok"],
+        "migrations_failed": counts["failed"],
+        "committed_txns": workload.committed_txns,
+        "aborted_txns": workload.aborted_txns,
+        "lost_requests": lost,
+        "phantom_increments": phantom,
+        "downtime": downtime,
+        "requests": int(stats["requests"]),
+        "blocked_requests": int(stats["blocked_requests"]),
+        "stale_routes": int(stats["stale_routes"]),
+        "park_rejects": int(stats["park_rejects"]),
+        "park_timeouts": int(stats["park_timeouts"]),
+        "acks_dropped": int(stats["acks_dropped"]),
+    }
+    middleware.tracer.event(
+        "router.summary", lost_requests=lost,
+        phantom_increments=phantom,
+        phantom_bound=config.writes_per_txn
+        * int(stats["acks_dropped"]), **stats)
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        path = os.path.join(trace_dir,
+                            "trace_router_%s.jsonl" % strategy.value)
+        write_trace(path, middleware.tracer, middleware.metrics, {
+            "experiment": "bench-router",
+            "profile": profile.name,
+            "strategy": strategy.value,
+            "seed": profile.seed,
+        })
+    return record
+
+
+def run_router_scenario(profile: Profile,
+                        migrations: int = ROUTER_MIGRATIONS,
+                        trace_dir: Optional[str] = None
+                        ) -> RouterBenchResult:
+    """Per-request downtime per snapshot strategy, via the router tier.
+
+    Each strategy runs on its own freshly seeded testbed (cluster,
+    router fleet, workload streams), so the three histograms are
+    independent seeded measurements of the same client experience —
+    only the snapshot strategy differs.
+    """
+    result = RouterBenchResult(scenario="router", profile=profile.name,
+                               seed=profile.seed,
+                               migrations=migrations)
+    for strategy in ROUTER_STRATEGIES:
+        result.strategies.append(
+            _run_router_strategy(profile, strategy, migrations,
+                                 trace_dir))
+    by_name = {record["strategy"]: record
+               for record in result.strategies}
+    serial_p99 = by_name["serial"]["downtime"]["p99"]
+    for candidate in ("pipelined", "watermark"):
+        p99 = by_name[candidate]["downtime"]["p99"]
+        result.comparisons.append({
+            "baseline": "serial",
+            "candidate": candidate,
+            "serial_p99": serial_p99,
+            "candidate_p99": p99,
+            "p99_improvement": (round((serial_p99 - p99) / serial_p99, 6)
+                                if serial_p99 else 0.0),
+        })
+    return result
+
+
 def _write_artifact(result: Any, bench_dir: str) -> str:
     os.makedirs(bench_dir, exist_ok=True)
     path = os.path.join(bench_dir, "BENCH_%s.json" % result.scenario)
@@ -474,6 +712,8 @@ def run_benchmark(profile: Optional[Profile] = None, *,
         elif scenario == "simthroughput":
             result = run_simthroughput_scenario(profile,
                                                 paper_smoke=paper_smoke)
+        elif scenario == "router":
+            result = run_router_scenario(profile, trace_dir=trace_dir)
         else:
             raise ValueError("unknown bench scenario %r (one of %s)"
                              % (scenario, ", ".join(SCENARIOS)))
@@ -486,11 +726,43 @@ def report(results: List[Any], profile: Profile) -> str:
     """The bench cases as a table, plus the headline comparisons."""
     rows = []
     throughput_lines: List[str] = []
+    router_lines: List[str] = []
     for result in results:
         if isinstance(result, SimThroughputResult):
             throughput_lines.extend(render_simthroughput(result))
             if result.path is not None:
                 throughput_lines.append("artifact: %s" % result.path)
+            continue
+        if isinstance(result, RouterBenchResult):
+            router_rows = []
+            for record in result.strategies:
+                downtime = record["downtime"]
+                router_rows.append([
+                    record["strategy"], record["migrations_ok"],
+                    downtime["count"],
+                    "%.4f" % downtime["p50"],
+                    "%.4f" % downtime["p90"],
+                    "%.4f" % downtime["p99"],
+                    "%.4f" % downtime["max"],
+                    record["stale_routes"], record["lost_requests"]])
+            router_lines.append(format_table(
+                ["strategy", "migrations", "blocked", "p50 [s]",
+                 "p90 [s]", "p99 [s]", "max [s]", "stale",
+                 "lost"],
+                router_rows,
+                title="router tier: per-request downtime over %d "
+                      "migrations/strategy (seed=%d)"
+                      % (result.migrations, result.seed)))
+            for comparison in result.comparisons:
+                router_lines.append(
+                    "downtime p99: serial %.4f s -> %s %.4f s "
+                    "(%.0f%% lower)"
+                    % (comparison["serial_p99"],
+                       comparison["candidate"],
+                       comparison["candidate_p99"],
+                       100.0 * comparison["p99_improvement"]))
+            if result.path is not None:
+                router_lines.append("artifact: %s" % result.path)
             continue
         for case in result.cases:
             label = case.scenario
@@ -513,7 +785,7 @@ def report(results: List[Any], profile: Profile) -> str:
             title="repro bench (profile=%s, seed=%d)"
                   % (profile.name, profile.seed)))
     for result in results:
-        if isinstance(result, SimThroughputResult):
+        if isinstance(result, (SimThroughputResult, RouterBenchResult)):
             continue
         for comparison in result.comparisons:
             if "size_mb" in comparison:
@@ -547,6 +819,7 @@ def report(results: List[Any], profile: Profile) -> str:
                        comparison["total_queue_wait"]))
         if result.path is not None:
             lines.append("artifact: %s" % result.path)
+    lines.extend(router_lines)
     lines.extend(throughput_lines)
     return "\n".join(lines)
 

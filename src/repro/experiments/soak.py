@@ -5,8 +5,10 @@ stages one hand-written fault plan against one migration.  The soak
 instead *draws* a whole failure scenario from a
 :class:`~repro.faults.generate.FailureModel` — per-node crash/recovery
 processes, link flaps, degradation windows, disk stalls, correlated
-bursts — and runs a multi-tenant key-value fleet through wave after
-wave of scheduled migrations for simulated hours or days, with
+bursts, router-shard crashes — and runs a multi-tenant key-value fleet
+(fronted by a crashable :class:`~repro.router.RouterFleet`) through
+wave after wave of scheduled migrations for simulated hours or days,
+with
 restart-and-resume enabled (``MiddlewareConfig(resumable=True)`` plus
 the scheduler's ``resume`` retry policy).
 
@@ -52,6 +54,7 @@ from ..faults import FailureModel, FaultInjector, generate_plan
 from ..metrics.report import format_table
 from ..obs.export import write_trace
 from ..obs.trace import MIGRATION
+from ..router import RouterFleet
 from ..sim.core import Environment
 from ..sim.rand import StreamFactory
 from ..workload import simplekv
@@ -73,6 +76,10 @@ KV_KEYS = 24
 KV_CLIENTS = 3
 KV_THINK_TIME = 3.0
 
+#: Router shards fronting the kv clients (crash targets of the
+#: generated ``router_crash`` stream).
+ROUTER_SHARDS = 2
+
 #: Idle gap between migration waves, in simulated seconds.
 WAVE_GAP = 45.0
 
@@ -89,6 +96,7 @@ DEFAULT_MODEL = FailureModel(
     link_mtbf=1800.0, link_mttr=8.0,
     degrade_mtbf=2700.0, degrade_mttr=120.0, degrade_factor=3.0,
     disk_stall_mtbf=1200.0, disk_stall_mttr=2.0,
+    router_mtbf=1800.0, router_mttr=10.0,
     burst_probability=0.15, burst_spread=20.0,
     max_faults=5000)
 
@@ -121,9 +129,18 @@ class SoakOutcome:
     wedged_waves: int = 0
     #: Acknowledged increments missing from the final owner copies.
     lost_commits: int = 0
-    #: Keys whose final value differs from the acknowledged count in
-    #: either direction (lost *or* phantom increments).
+    #: Keys whose final value fell *below* the acknowledged count
+    #: (an actual loss; surplus is accounted separately).
     value_mismatches: int = 0
+    #: Increments present on the owner beyond the acknowledged count —
+    #: COMMITs that executed but whose reply died in a crashed router
+    #: shard's buffers (outcome-unknown, never acked).
+    phantom_increments: int = 0
+    #: Upper bound on legitimate phantoms: ``writes_per_txn`` times the
+    #: router tier's ``acks_dropped`` counter.
+    phantom_bound: int = 0
+    #: Router-tier counters (``RouterFleet.stats()``).
+    router: Dict[str, Any] = field(default_factory=dict)
     committed_txns: int = 0
     aborted_txns: int = 0
     report_path: Optional[str] = None
@@ -135,6 +152,7 @@ class SoakOutcome:
         return (not self.owner_violations
                 and self.lost_commits == 0
                 and self.value_mismatches == 0
+                and self.phantom_increments <= self.phantom_bound
                 and not self.unmigrated_tenants
                 and self.wedged_waves == 0)
 
@@ -170,14 +188,17 @@ class SoakOutcome:
                 "owner_violations": self.owner_violations,
                 "lost_commits": self.lost_commits,
                 "value_mismatches": self.value_mismatches,
+                "phantom_increments": self.phantom_increments,
+                "phantom_bound": self.phantom_bound,
                 "unmigrated_tenants": self.unmigrated_tenants,
                 "wedged_waves": self.wedged_waves,
             },
+            "router": self.router,
             "ok": self.ok,
         }
 
 
-def _kv_client(env: Environment, middleware: Middleware, tenant: str,
+def _kv_client(env: Environment, gateway: Any, tenant: str,
                rng: Any, config: KvWorkloadConfig,
                result: KvWorkloadResult,
                deadline: float) -> Generator[Any, Any, None]:
@@ -187,18 +208,21 @@ def _kv_client(env: Environment, middleware: Middleware, tenant: str,
     budget), the soak needs load across the whole horizon and a clean
     quiesce afterwards, so the loop is bounded by the simulated clock —
     the client always finishes shortly after the horizon closes, never
-    mid-transaction.
+    mid-transaction.  ``gateway`` is anything with the middleware's
+    ``connect``/``submit`` surface — here the
+    :class:`~repro.router.RouterFleet`, so every transaction rides the
+    crashable router tier.
     """
-    conn = middleware.connect(tenant)
+    conn = gateway.connect(tenant)
     while env.now < deadline:
         yield env.timeout(rng.exponential(config.think_time))
         if env.now >= deadline:
             return
         if rng.random() < config.read_only_ratio:
-            yield from simplekv._read_only_txn(middleware, conn, rng,
+            yield from simplekv._read_only_txn(gateway, conn, rng,
                                                config, result)
         else:
-            yield from simplekv._update_txn(middleware, conn, rng,
+            yield from simplekv._update_txn(gateway, conn, rng,
                                             config, result)
 
 
@@ -274,6 +298,8 @@ def run_soak(profile: Optional[Profile] = None, *,
     for name in node_names:
         cluster.node(name).instance.bind_obs(middleware.metrics,
                                              tracer=middleware.tracer)
+    fleet = RouterFleet(env, middleware, shards=ROUTER_SHARDS,
+                        seed=root_seed)
 
     # -- tenants + load -------------------------------------------------
     workloads: Dict[str, KvWorkloadResult] = {}
@@ -302,15 +328,17 @@ def run_soak(profile: Optional[Profile] = None, *,
         for client in range(KV_CLIENTS):
             rng = streams.stream("soak-kv-%s-%d" % (tenant, client))
             client_procs.append(env.process(
-                _kv_client(env, middleware, tenant, rng, kv_config,
+                _kv_client(env, fleet, tenant, rng, kv_config,
                            result, horizon),
                 name="soak.kv.%s.%d" % (tenant, client)))
 
     # -- generated fault scenario ---------------------------------------
-    plan = generate_plan(model, node_names, horizon, seed=root_seed)
+    plan = generate_plan(model, node_names, horizon, seed=root_seed,
+                         routers=sorted(fleet.shard_map()))
     injector = FaultInjector(env, cluster, plan,
                              tracer=middleware.tracer,
-                             metrics=middleware.metrics, seed=root_seed)
+                             metrics=middleware.metrics, seed=root_seed,
+                             routers=fleet.shard_map())
     env.run(until=env.now + 2.0)    # let the load ramp up
     injector.start()
 
@@ -348,7 +376,8 @@ def run_soak(profile: Optional[Profile] = None, *,
                     _resume_parked(middleware, cluster, tenant,
                                    migration_options, holder),
                     name="soak.resume.%s" % tenant)
-        scheduler = MigrationScheduler(middleware, schedule_options)
+        scheduler = MigrationScheduler(middleware, schedule_options,
+                                       router=fleet)
         movers = [tenant for tenant in tenant_names
                   if tenant not in resumers]
         for tenant in movers:
@@ -459,10 +488,15 @@ def run_soak(profile: Optional[Profile] = None, *,
         for key, increments in sorted(
                 workload.committed_increments.items()):
             got = table.chain(key).latest()["v"]
-            if got != increments:
+            if got < increments:
+                # An acknowledged increment is missing: a real loss.
                 outcome.value_mismatches += 1
-                if got < increments:
-                    outcome.lost_commits += increments - got
+                outcome.lost_commits += increments - got
+            elif got > increments:
+                # Surplus: a COMMIT executed but its reply died in a
+                # crashed router shard (outcome-unknown, never acked).
+                # Bounded below by the router's acks_dropped counter.
+                outcome.phantom_increments += got - increments
         if ok_by_tenant[tenant] == 0:
             outcome.unmigrated_tenants.append(tenant)
     registry = middleware.metrics
@@ -476,6 +510,9 @@ def run_soak(profile: Optional[Profile] = None, *,
         1 for span in middleware.tracer.find(kind=MIGRATION)
         if span.attrs.get("resumed")
         and span.attrs.get("outcome") == "ok")
+    outcome.router = fleet.stats()
+    outcome.phantom_bound = (kv_config.writes_per_txn
+                             * int(outcome.router["acks_dropped"]))
     middleware.tracer.event(
         "soak.summary", waves=len(outcome.waves),
         migrations_ok=outcome.migrations_ok,
@@ -483,9 +520,15 @@ def run_soak(profile: Optional[Profile] = None, *,
         suspended=outcome.suspended,
         lost_commits=outcome.lost_commits,
         value_mismatches=outcome.value_mismatches,
+        phantom_increments=outcome.phantom_increments,
+        phantom_bound=outcome.phantom_bound,
         owner_violations=len(outcome.owner_violations),
         unmigrated=len(outcome.unmigrated_tenants),
         faults_injected=outcome.injected_faults, ok=outcome.ok)
+    middleware.tracer.event(
+        "router.summary", lost_requests=outcome.lost_commits,
+        phantom_increments=outcome.phantom_increments,
+        phantom_bound=outcome.phantom_bound, **outcome.router)
 
     # -- artifacts -------------------------------------------------------
     artifacts: List[str] = []
@@ -553,10 +596,20 @@ def report(outcome: SoakOutcome) -> str:
                                 outcome.failed))
     lines.append("workload: %d committed txns, %d aborted"
                  % (outcome.committed_txns, outcome.aborted_txns))
+    if outcome.router:
+        lines.append("router: %d shards, %d crashes, %d reconnects, "
+                     "%d acks dropped, %d stale routes"
+                     % (outcome.router.get("shards", 0),
+                        outcome.router.get("crashes", 0),
+                        outcome.router.get("reconnects", 0),
+                        outcome.router.get("acks_dropped", 0),
+                        outcome.router.get("stale_routes", 0)))
     lines.append("invariants: %d lost commits, %d value mismatches, "
+                 "%d phantom increments (bound %d), "
                  "%d owner violations, %d unmigrated tenants, "
                  "%d wedged waves -> %s"
                  % (outcome.lost_commits, outcome.value_mismatches,
+                    outcome.phantom_increments, outcome.phantom_bound,
                     len(outcome.owner_violations),
                     len(outcome.unmigrated_tenants),
                     outcome.wedged_waves,

@@ -19,6 +19,7 @@ from .plan import (
     FAULT_KINDS,
     LATENCY,
     LINK_DOWN,
+    ROUTER_CRASH,
     FaultPlan,
     FaultSpec,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "FAULT_KINDS",
     "LATENCY",
     "LINK_DOWN",
+    "ROUTER_CRASH",
     "FailureModel",
     "FaultInjector",
     "FaultPlan",

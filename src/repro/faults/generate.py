@@ -40,7 +40,15 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Union
 
-from .plan import BANDWIDTH, CRASH, DISK_STALL, LATENCY, LINK_DOWN, FaultPlan
+from .plan import (
+    BANDWIDTH,
+    CRASH,
+    DISK_STALL,
+    LATENCY,
+    LINK_DOWN,
+    ROUTER_CRASH,
+    FaultPlan,
+)
 
 #: Downtime floor: a draw below this becomes this, never 0 (permanent).
 MIN_DURATION = 0.5
@@ -76,6 +84,11 @@ class FailureModel:
     disk_stall_mtbf: float = 0.0
     #: Mean disk stall length.
     disk_stall_mttr: float = 2.0
+    #: Mean time between router-shard crashes, per shard (0 = none);
+    #: draws only apply when ``generate_plan`` is given router names.
+    router_mtbf: float = 0.0
+    #: Mean router-shard downtime (the shard restarts empty).
+    router_mttr: float = 5.0
     #: Chance each primary crash drags one other node down with it.
     burst_probability: float = 0.0
     #: Correlated crash lands within this many seconds of its primary.
@@ -87,7 +100,8 @@ class FailureModel:
         """Raise ``ValueError`` on a nonsensical model."""
         for name in ("node_mtbf", "node_mttr", "link_mtbf", "link_mttr",
                      "degrade_mtbf", "degrade_mttr", "disk_stall_mtbf",
-                     "disk_stall_mttr", "burst_spread"):
+                     "disk_stall_mttr", "router_mtbf", "router_mttr",
+                     "burst_spread"):
             if getattr(self, name) < 0:
                 raise ValueError("FailureModel.%s must be >= 0" % name)
         if not 0 <= self.burst_probability <= 1:
@@ -107,6 +121,8 @@ class FailureModel:
             "degrade_factor": self.degrade_factor,
             "disk_stall_mtbf": self.disk_stall_mtbf,
             "disk_stall_mttr": self.disk_stall_mttr,
+            "router_mtbf": self.router_mtbf,
+            "router_mttr": self.router_mttr,
             "burst_probability": self.burst_probability,
             "burst_spread": self.burst_spread,
             "max_faults": self.max_faults,
@@ -135,19 +151,27 @@ def _windows(rng: random.Random, mtbf: float, mttr: float,
 
 def generate_plan(model: FailureModel, nodes: Sequence[str],
                   horizon: float,
-                  seed: Union[int, str] = 0) -> FaultPlan:
+                  seed: Union[int, str] = 0,
+                  routers: Sequence[str] = ()) -> FaultPlan:
     """Draw one chaos scenario from ``model`` over ``horizon`` seconds.
 
     ``nodes`` are the node names eligible for node faults (crashes,
     disk stalls); link and degradation streams are cluster-global,
-    matching the single shared-link network model.  Returns a validated
-    :class:`FaultPlan`, deterministically — same arguments, same plan.
+    matching the single shared-link network model.  ``routers`` names
+    the router shards eligible for ``router_crash`` windows (ignored
+    when ``router_mtbf`` is 0, and vice versa — an empty shard list
+    silently disables the stream, so node-only callers are untouched).
+    Returns a validated :class:`FaultPlan`, deterministically — same
+    arguments, same plan; the router stream draws from its own derived
+    RNGs, so adding shards never perturbs the node/link/disk draws.
     """
     model.validate()
     if not nodes:
         raise ValueError("generate_plan needs at least one node")
     if sorted(set(nodes)) != sorted(nodes):
         raise ValueError("duplicate node names: %r" % (list(nodes),))
+    if sorted(set(routers)) != sorted(routers):
+        raise ValueError("duplicate router names: %r" % (list(routers),))
     if horizon <= 0:
         raise ValueError("horizon must be positive")
     plan = FaultPlan()
@@ -211,6 +235,15 @@ def generate_plan(model: FailureModel, nodes: Sequence[str],
                              model.disk_stall_mttr, horizon)):
                 plan.add("stall.%s.%d" % (node, index), DISK_STALL,
                          at=at, target=node, duration=duration)
+    # Per-shard router crash streams.
+    if model.router_mtbf > 0 and routers:
+        for shard in sorted(routers):
+            rng = _derive_rng(seed, "router:%s" % shard)
+            for index, (at, duration) in enumerate(
+                    _windows(rng, model.router_mtbf, model.router_mttr,
+                             horizon)):
+                plan.add("rcrash.%s.%d" % (shard, index), ROUTER_CRASH,
+                         at=at, target=shard, duration=duration)
     plan.faults.sort(key=lambda spec: (spec.at, spec.name))
     if len(plan.faults) > model.max_faults:
         del plan.faults[model.max_faults:]

@@ -36,6 +36,7 @@ from .plan import (
     DISK_STALL,
     LATENCY,
     LINK_DOWN,
+    ROUTER_CRASH,
     FaultPlan,
     FaultSpec,
 )
@@ -58,13 +59,24 @@ class FaultInjector:
                  plan: FaultPlan,
                  tracer: Optional["Tracer"] = None,
                  metrics: Optional["MetricsRegistry"] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 routers: Optional[Dict[str, Any]] = None):
         self.env = env
         self.cluster = cluster
         self.plan = plan
+        #: Router shards by name (``RouterFleet.shard_map()``), the
+        #: targets of ``router_crash`` specs.
+        self.routers: Dict[str, Any] = routers or {}
         # Fail fast: a malformed plan is a construction error, not
         # something to discover only when the run calls start().
         plan.validate()
+        for spec in plan:
+            if spec.kind == ROUTER_CRASH and spec.target not in self.routers:
+                raise ValueError(
+                    "fault %r targets unknown router shard %r "
+                    "(known: %s)"
+                    % (spec.name, spec.target,
+                       ", ".join(sorted(self.routers)) or "<none>"))
         self.tracer = tracer
         self.metrics = metrics
         #: Shuffle the arming order deterministically (None = plan
@@ -170,6 +182,8 @@ class FaultInjector:
             yield from self._run_degrade(spec, latency=False)
         elif spec.kind == DISK_STALL:
             yield from self._run_disk_stall(spec)
+        elif spec.kind == ROUTER_CRASH:
+            yield from self._run_router_crash(spec)
 
     def _record(self, event_name: str, spec: FaultSpec) -> None:
         if self.tracer is not None:
@@ -249,3 +263,12 @@ class FaultInjector:
         disk = self.cluster.node(spec.target).instance.disk
         yield from disk.stall(spec.duration)
         self._heal(spec)
+
+    def _run_router_crash(self, spec: FaultSpec
+                          ) -> Generator[Any, Any, None]:
+        shard = self.routers[spec.target]
+        shard.crash()
+        if spec.duration > 0:
+            yield self.env.timeout(spec.duration)
+            shard.restart()
+            self._heal(spec)

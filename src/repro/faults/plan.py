@@ -24,6 +24,11 @@ Fault kinds
 ``disk_stall``
     Occupy the disk head of ``target`` for ``duration`` seconds (queued
     I/O waits; nothing errors).
+``router_crash``
+    Kill the router shard named ``target``: parked and in-flight client
+    requests fail with unknown outcome and clients reconnect to a
+    surviving shard; with ``duration > 0`` the shard restarts (empty,
+    cold routing cache) after ``duration`` seconds.
 
 ``at`` is an offset in simulated seconds — from injector start when
 ``phase`` is ``None``, otherwise from the moment the named migration
@@ -57,12 +62,17 @@ LINK_DOWN = "link_down"
 LATENCY = "latency"
 BANDWIDTH = "bandwidth"
 DISK_STALL = "disk_stall"
+ROUTER_CRASH = "router_crash"
 
 #: Every fault kind the injector knows how to schedule.
-FAULT_KINDS = (CRASH, LINK_DOWN, LATENCY, BANDWIDTH, DISK_STALL)
+FAULT_KINDS = (CRASH, LINK_DOWN, LATENCY, BANDWIDTH, DISK_STALL,
+               ROUTER_CRASH)
 
 #: Kinds that hit one node (and therefore require a ``target``).
 NODE_KINDS = (CRASH, DISK_STALL)
+
+#: Kinds whose ``target`` names a router shard instead of a node.
+ROUTER_KINDS = (ROUTER_CRASH,)
 
 #: The phase names a spec may anchor to (repro.obs.trace.PHASE_ORDER).
 PHASES = ("dump", "restore", "catch-up", "handover")
@@ -113,6 +123,9 @@ class FaultSpec:
                              % (self.kind, ", ".join(FAULT_KINDS)))
         if self.kind in NODE_KINDS and not self.target:
             raise ValueError("fault %r (%s) needs a target node"
+                             % (self.name, self.kind))
+        if self.kind in ROUTER_KINDS and not self.target:
+            raise ValueError("fault %r (%s) needs a target router shard"
                              % (self.name, self.kind))
         if self.at < 0:
             raise ValueError("fault %r: negative offset %r"

@@ -118,6 +118,54 @@ class Histogram:
                 "max": self.max, "mean": self.mean}
 
 
+class QuantileHistogram(Histogram):
+    """A histogram that keeps its samples for exact quantiles.
+
+    The streaming :class:`Histogram` deliberately stores only
+    count/sum/min/max; per-request *downtime* distributions need tail
+    percentiles (the paper's service-interruption argument rests on
+    what the worst requests saw, not on the mean), so this subclass
+    retains every observation.  Intended for bounded sample counts —
+    one observation per blocked client request, not per simulated
+    packet.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample, retaining it for quantile queries."""
+        super().observe(value)
+        self.samples.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile (nearest-rank) of the samples; 0.0 if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile %r outside [0, 1]" % (q,))
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        """Forget every sample."""
+        super().reset()
+        self.samples = []
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON record: the streaming summary plus tail percentiles."""
+        record = super().to_dict()
+        record["kind"] = "quantile_histogram"
+        record["p50"] = self.quantile(0.50)
+        record["p90"] = self.quantile(0.90)
+        record["p99"] = self.quantile(0.99)
+        return record
+
+
 class MetricsRegistry:
     """Named instruments, created on first use.
 
@@ -151,6 +199,10 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         """Get or create the histogram ``name``."""
         return self._get(name, Histogram)
+
+    def quantile_histogram(self, name: str) -> QuantileHistogram:
+        """Get or create the sample-retaining histogram ``name``."""
+        return self._get(name, QuantileHistogram)
 
     # ------------------------------------------------------------------
     def absorb(self, prefix: str, stats: Any) -> None:

@@ -88,6 +88,13 @@ def render_metrics_table(data: TraceData) -> str:
                       % (record.get("count"), record.get("mean") or 0.0,
                          record.get("min"), record.get("max")))
             value: Any = record.get("sum")
+        elif kind == "quantile_histogram":
+            detail = ("count=%s p50=%.3g p90=%.3g p99=%.3g max=%.3g"
+                      % (record.get("count"), record.get("p50") or 0.0,
+                         record.get("p90") or 0.0,
+                         record.get("p99") or 0.0,
+                         record.get("max") or 0.0))
+            value = record.get("sum")
         elif kind == "gauge":
             detail = "max=%s" % record.get("max")
             value = record.get("value")

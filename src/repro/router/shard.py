@@ -1,0 +1,242 @@
+"""One router shard: routing cache, connection draining, crash surface.
+
+A shard is deliberately thin — real SQL routers (MaxScale, Vitess
+vtgate) do shallow statement inspection and keep a routing cache that
+can go stale; the correctness burden is *detecting* staleness and
+surviving the shard's own death, which is exactly what this models.
+Requests execute on the client's simulation process (``yield from
+shard.handle(...)``), so a shard crash is observed at yield boundaries:
+parked requests wake and fail un-acknowledged, and a reply obtained
+just before the crash is dropped in the shard's buffers and surfaced as
+:class:`~repro.errors.RouterCrashed` (outcome unknown) — never as a
+silent loss or a duplicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional, Tuple
+
+from ..engine.session import SessionResult
+from ..engine.sqlmini import Begin, Commit, parse
+from ..errors import RouterCrashed
+from ..sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.middleware import Connection, Middleware
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import Tracer
+    from ..sim.core import Environment
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning knobs of the router tier (shared by every shard)."""
+
+    #: Max ``BEGIN``\ s one shard parks while a tenant drains; the next
+    #: one is rejected (bounded queue, like a listen backlog).
+    park_capacity: int = 32
+    #: How long a parked ``BEGIN`` waits for the handover to finish
+    #: before it is failed back to the client.
+    park_timeout: float = 30.0
+    #: Capped exponential backoff between drain re-checks.
+    retry_base: float = 0.05
+    retry_cap: float = 1.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on a nonsensical configuration."""
+        if self.park_capacity < 1:
+            raise ValueError("park_capacity must be >= 1")
+        if self.park_timeout <= 0:
+            raise ValueError("park_timeout must be positive")
+        if self.retry_base <= 0 or self.retry_cap < self.retry_base:
+            raise ValueError("need 0 < retry_base <= retry_cap")
+
+
+class RouterConnection:
+    """One client connection as the router tier sees it.
+
+    Wraps the middleware-level :class:`~repro.core.middleware.Connection`
+    plus the shard currently carrying it; the fleet rebinds both when
+    the shard dies.
+    """
+
+    __slots__ = ("tenant", "inner", "shard")
+
+    def __init__(self, tenant: str, inner: "Connection",
+                 shard: "RouterShard"):
+        self.tenant = tenant
+        self.inner = inner
+        self.shard = shard
+
+
+class RouterShard:
+    """A crashable connection proxy in front of the middleware."""
+
+    def __init__(self, env: "Environment", middleware: "Middleware",
+                 name: str, config: Optional[RouterConfig] = None,
+                 tracer: Optional["Tracer"] = None,
+                 metrics: Optional["MetricsRegistry"] = None):
+        self.env = env
+        self.middleware = middleware
+        self.name = name
+        self.config = config or RouterConfig()
+        self.config.validate()
+        self.tracer = tracer if tracer is not None else middleware.tracer
+        self.metrics = (metrics if metrics is not None
+                        else middleware.metrics)
+        self.crashed = False
+        self._crash_event = Event(env, name="router.%s.crash" % name)
+        #: Cached tenant -> owner entries; deliberately allowed to go
+        #: stale so the detection path is exercised.
+        self._routing: Dict[str, str] = {}
+        #: Currently parked BEGINs (the bounded queue occupancy).
+        self.parked = 0
+
+    # ------------------------------------------------------------------
+    # fault surface
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the shard: parked and in-flight requests observe it at
+        their next yield boundary; the routing cache is lost."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._routing.clear()
+        self.metrics.counter("router.crashes").inc()
+        self.tracer.event("router.crash", shard=self.name,
+                          parked=self.parked)
+        if not self._crash_event.triggered:
+            self._crash_event.succeed()
+
+    def restart(self) -> None:
+        """Bring the shard back empty: no connections, cold cache."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self._crash_event = Event(self.env,
+                                  name="router.%s.crash" % self.name)
+        self.metrics.counter("router.restarts").inc()
+        self.tracer.event("router.restart", shard=self.name)
+
+    def invalidate(self, tenant: str) -> None:
+        """Drop the cached route for ``tenant`` (control-plane push)."""
+        self._routing.pop(tenant, None)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def handle(self, conn: RouterConnection, sql: str,
+               cpu_cost: Optional[float] = None
+               ) -> Generator[Any, Any, SessionResult]:
+        """Proxy one statement; raises :class:`RouterCrashed` if this
+        shard dies while the request is in its hands."""
+        if self.crashed:
+            raise RouterCrashed(self.name)
+        self.metrics.counter("router.requests").inc()
+        statement = parse(sql)
+        blocked = 0.0
+        if isinstance(statement, Begin):
+            # The routing decision point: resolve (and, if stale,
+            # re-resolve) the owner, then admit or park.
+            blocked += yield from self._route(conn.tenant)
+            if self.middleware.draining(conn.tenant):
+                if self.parked >= self.config.park_capacity:
+                    self.metrics.counter("router.park_rejects").inc()
+                    self._observe_downtime(blocked)
+                    return SessionResult(
+                        kind="error",
+                        error="router %s: park queue full" % self.name)
+                waited, timed_out = yield from self._park(conn.tenant)
+                blocked += waited
+                if timed_out:
+                    self.metrics.counter("router.park_timeouts").inc()
+                    self.tracer.event("router.park_timeout",
+                                      shard=self.name, tenant=conn.tenant,
+                                      waited=waited)
+                    self._observe_downtime(blocked)
+                    return SessionResult(
+                        kind="error",
+                        error="router %s: parked request timed out "
+                              "after %.1f s" % (self.name, waited))
+                # The handover may have moved the owner while we waited.
+                blocked += yield from self._route(conn.tenant)
+        result = yield from self.middleware.submit(conn.inner, sql,
+                                                   cpu_cost)
+        if self.crashed:
+            # The reply is sitting in a dead shard's buffers.  An
+            # executed COMMIT took effect without anyone being told:
+            # count it so tests can bound effects by acks + drops.
+            if isinstance(statement, Commit) and result.ok:
+                self.metrics.counter("router.acks_dropped").inc()
+            raise RouterCrashed(self.name)
+        if blocked > 0:
+            self._observe_downtime(blocked)
+        return result
+
+    # ------------------------------------------------------------------
+    def _route(self, tenant: str) -> Generator[Any, Any, float]:
+        """Resolve the owner; pay for (and count) stale cache entries.
+
+        A stale entry means the BEGIN bounces off the old master, which
+        answers "not the owner" — one wasted round trip, a counter, and
+        a retry against the authoritative placement.  Never a silent
+        misroute: the loop only exits once the cached entry matches the
+        journal-resolved owner at the instant of the check.
+        """
+        blocked = 0.0
+        owner = self.middleware.owners(tenant)[0]
+        cached = self._routing.get(tenant)
+        while cached is not None and cached != owner:
+            start = self.env.now
+            self.metrics.counter("router.stale_routes").inc()
+            self.tracer.event("router.stale_route", shard=self.name,
+                              tenant=tenant, cached=cached, owner=owner)
+            yield from self.middleware.cluster.network.round_trip()
+            if self.crashed:
+                raise RouterCrashed(self.name)
+            blocked += self.env.now - start
+            cached = owner
+            owner = self.middleware.owners(tenant)[0]
+        self._routing[tenant] = owner
+        return blocked
+
+    def _park(self, tenant: str
+              ) -> Generator[Any, Any, Tuple[float, bool]]:
+        """Hold one BEGIN in the bounded queue until the drain ends.
+
+        Returns ``(waited_seconds, timed_out)``.  Capped exponential
+        backoff between re-checks keeps parked requests from stampeding
+        the instant the gate reopens; a shard crash wakes every parked
+        request immediately (they were never acknowledged, so failing
+        them loses nothing).
+        """
+        start = self.env.now
+        deadline = start + self.config.park_timeout
+        attempt = 0
+        self.parked += 1
+        self.metrics.gauge("router.parked").inc()
+        self.tracer.event("router.parked", shard=self.name,
+                          tenant=tenant, queue=self.parked)
+        try:
+            while self.middleware.draining(tenant):
+                now = self.env.now
+                if now >= deadline:
+                    return now - start, True
+                delay = min(self.config.retry_cap,
+                            self.config.retry_base * (2 ** attempt))
+                delay = min(delay, deadline - now)
+                attempt += 1
+                yield self.env.any_of([self.env.timeout(delay),
+                                       self._crash_event])
+                if self.crashed:
+                    raise RouterCrashed(self.name)
+            return self.env.now - start, False
+        finally:
+            self.parked -= 1
+            self.metrics.gauge("router.parked").dec()
+
+    def _observe_downtime(self, blocked: float) -> None:
+        self.metrics.counter("router.blocked_requests").inc()
+        self.metrics.quantile_histogram("router.downtime").observe(
+            blocked)

@@ -24,9 +24,10 @@ RATES = TransferRates(dump_mb_s=8.0, restore_mb_s=4.0, base_mb=16.0)
 FACADE_NAMES = ("ClusterView", "MetricsRegistry", "Middleware",
                 "MiddlewareConfig", "MigrationOptions",
                 "MigrationReport", "MigrationScheduler",
-                "RebalanceOptions", "RebalanceReport", "Rebalancer",
-                "ScheduleOptions", "ScheduleReport",
-                "SnapshotStrategy", "TransferRates",
+                "QuantileHistogram", "RebalanceOptions",
+                "RebalanceReport", "Rebalancer", "RouterConfig",
+                "RouterFleet", "RouterShard", "ScheduleOptions",
+                "ScheduleReport", "SnapshotStrategy", "TransferRates",
                 "policy_by_name", "run_benchmark")
 
 #: The knob names MigrationOptions / ScheduleOptions /
@@ -132,29 +133,20 @@ class TestUnifiedKnobNames:
             with pytest.raises(TypeError, match=current):
                 MigrationOptions(**{retired: 1})
 
-    def test_deprecated_pipeline_bool_warns_once_and_maps(self):
-        from repro.api import SnapshotStrategy
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            options = MigrationOptions(pipeline=True)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "strategy" in str(deprecations[0].message)
-        assert options.strategy is SnapshotStrategy.PIPELINED
-        with warnings.catch_warnings(record=True):
-            warnings.simplefilter("always")
-            serial = MigrationOptions(pipeline=False)
-        assert serial.strategy is SnapshotStrategy.SERIAL
+    def test_retired_pipeline_bool_raises_naming_the_strategy(self):
+        # The PR 9 one-release DeprecationWarning window is over: the
+        # boolean spelling is now a hard error that names the exact
+        # SnapshotStrategy member to use instead.
+        with pytest.raises(TypeError, match="SnapshotStrategy.PIPELINED"):
+            MigrationOptions(pipeline=True)
+        with pytest.raises(TypeError, match="SnapshotStrategy.SERIAL"):
+            MigrationOptions(pipeline=False)
 
-    def test_new_spelling_wins_over_deprecated_alias(self):
+    def test_retired_pipeline_bool_rejects_even_with_strategy(self):
         from repro.api import SnapshotStrategy
-        with warnings.catch_warnings(record=True):
-            warnings.simplefilter("always")
-            options = MigrationOptions(
+        with pytest.raises(TypeError, match="SnapshotStrategy"):
+            MigrationOptions(
                 strategy=SnapshotStrategy.WATERMARK, pipeline=True)
-        resolved = options.resolve(MiddlewareConfig(policy=MADEUS))
-        assert resolved.strategy is SnapshotStrategy.WATERMARK
 
     def test_new_spellings_do_not_warn(self):
         with warnings.catch_warnings(record=True) as caught:

@@ -203,15 +203,48 @@ class TestWatermarkMigration:
                       if span.name in ("dump", "restore")}
         assert strategies == {"watermark"}
 
-    def test_standbys_are_rejected(self, env):
+    def test_standbys_ride_the_broadcast_stream(self, env):
+        # PR 9 rejected watermark + standbys outright; the broadcast
+        # tap lifts that: one change feed, one cursor per consumer, and
+        # the chunk walk fans every deduplicated chunk out to the
+        # standbys, so the standby copy is snapshot-equivalent too.
         cluster, middleware = build(env, nodes=3)
-        seed_tenant(env, cluster, middleware)
+        workload = seed_tenant(env, cluster, middleware,
+                               overhead_mb=10.0)
         holder = _launch(env, middleware, resume=False,
                          standbys=("node2",))
         env.run()
-        assert "migration_error" in holder
-        assert "standby" in str(holder["migration_error"])
-        assert middleware.route("A") == "node0"
+        report = holder["report"]
+        assert report.outcome == "ok"
+        assert report.consistent is True, report.inconsistencies
+        assert report.standby_consistency == {"node2": True}
+        assert report.failed_standbys == []
+        assert middleware.owners("A") == ["node1"]
+        _assert_no_lost_commits(cluster, middleware, workload)
+
+    def test_standby_crash_mid_walk_is_discarded(self, env):
+        # Per-consumer crash discard: a standby dying mid-walk drops
+        # its cursor (so pending markers stop waiting on it) and the
+        # migration lands on the primary destination regardless.
+        cluster, middleware = build(env, nodes=3)
+        workload = seed_tenant(env, cluster, middleware,
+                               overhead_mb=10.0)
+
+        def crasher(env):
+            while not any(e.name == "watermark.lo"
+                          for e in middleware.tracer.events):
+                yield env.timeout(0.02)
+            cluster.node("node2").instance.crash()
+        env.process(crasher(env))
+        holder = _launch(env, middleware, resume=False,
+                         standbys=("node2",))
+        env.run()
+        report = holder["report"]
+        assert report.outcome == "ok"
+        assert report.consistent is True, report.inconsistencies
+        assert report.failed_standbys == ["node2"]
+        assert middleware.owners("A") == ["node1"]
+        _assert_no_lost_commits(cluster, middleware, workload)
 
     def test_destination_crash_aborts_to_live_source(self, env):
         cluster, middleware = build(env, nodes=2)
